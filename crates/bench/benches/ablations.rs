@@ -1,0 +1,134 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * **A1 scheduling** — the paper's two-stage lexicographic schedule vs a
+//!   component-blind round-robin vs randomized local order. The two-stage
+//!   schedule is what keeps every sub-table cache-resident while needed.
+//! * **A2 cache size** — shrink the compute-node cache below the §5.1
+//!   memory assumption (`2·c_R + b·c_S`) and watch repeat fetches appear.
+//! * **A3 edge ratio / OPAS** — a high-edge-ratio dataset where IJ's
+//!   advantage collapses (Section 6.2's closing caveat).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orv_bench::deploy_pair;
+use orv_bench::figures::family_partitions;
+use orv_join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig, SchedulePolicy};
+
+fn a1_scheduling(c: &mut Criterion) {
+    let (p, q) = family_partitions(32, 2);
+    let (d, t1, t2) = deploy_pair([128, 128, 1], p, q, 2, &["oilp"], &["wp"]).unwrap();
+    let mut group = c.benchmark_group("a1_schedule_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("two_stage_lex", SchedulePolicy::TwoStageLexicographic),
+        ("random_order", SchedulePolicy::RandomPairOrder(42)),
+        ("pair_round_robin", SchedulePolicy::PairRoundRobin),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                indexed_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &IndexedJoinConfig {
+                        n_compute: 2,
+                        // Tight cache: bad schedules now pay refetches.
+                        cache_capacity: 256 << 10,
+                        policy,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn a2_cache_size(c: &mut Criterion) {
+    let (p, q) = family_partitions(32, 2);
+    let (d, t1, t2) = deploy_pair([128, 128, 1], p, q, 2, &["oilp"], &["wp"]).unwrap();
+    let mut group = c.benchmark_group("a2_cache_capacity");
+    group.sample_size(10);
+    for (name, capacity) in [
+        ("unbounded", 1u64 << 30),
+        ("assumption_met_64k", 64 << 10),
+        ("starved_4k", 4 << 10),
+        ("none", 0),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &capacity, |b, &cap| {
+            b.iter(|| {
+                indexed_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &IndexedJoinConfig {
+                        n_compute: 2,
+                        cache_capacity: cap,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn a3_edge_ratio(c: &mut Criterion) {
+    // Orthogonal slab partitions: every left chunk overlaps every right
+    // chunk in its row — the OPAS regime where IJ degrades.
+    let (d, t1, t2) =
+        deploy_pair([128, 128, 1], [128, 4, 1], [4, 128, 1], 2, &["oilp"], &["wp"]).unwrap();
+    let mut group = c.benchmark_group("a3_high_edge_ratio");
+    group.sample_size(10);
+    group.bench_function("IJ", |b| {
+        b.iter(|| {
+            indexed_join(
+                &d,
+                t1.table,
+                t2.table,
+                &["x", "y", "z"],
+                &IndexedJoinConfig {
+                    n_compute: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("GH", |b| {
+        b.iter(|| {
+            grace_hash_join(
+                &d,
+                t1.table,
+                t2.table,
+                &["x", "y", "z"],
+                &GraceHashConfig {
+                    n_compute: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+
+/// Fast Criterion profile: these benches exist to show *shapes*
+/// (who wins, how the curve moves), not microsecond-exact numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = a1_scheduling, a2_cache_size, a3_edge_ratio
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Figure 4 — execution time vs `n_e · c_S` — measured on the threaded
+//! runtime at laptop scale (the paper-scale curves come from
+//! `cargo run --release -p orv-bench --bin figures -- --fig 4`).
+//!
+//! Expected shape: IJ time grows with the family index `i` (its lookup
+//! count is `n_e·c_S = 2^i·T`) while GH stays flat; they cross somewhere
+//! in the middle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orv_bench::figures::family_partitions;
+use orv_bench::deploy_pair;
+use orv_join::{
+    grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_ne_cs");
+    group.sample_size(10);
+    for i in [0u32, 2, 4] {
+        let (p, q) = family_partitions(32, i);
+        let (d, t1, t2) = deploy_pair([128, 128, 1], p, q, 2, &["oilp"], &["wp"]).unwrap();
+        group.bench_with_input(BenchmarkId::new("IJ", i), &i, |b, _| {
+            b.iter(|| {
+                indexed_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &IndexedJoinConfig {
+                        n_compute: 2,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GH", i), &i, |b, _| {
+            b.iter(|| {
+                grace_hash_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &GraceHashConfig {
+                        n_compute: 2,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion profile: these benches exist to show *shapes*
+/// (who wins, how the curve moves), not microsecond-exact numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 5 — execution time vs number of compute nodes (threads), for a
+//! low-`n_e·c_S` dataset where IJ leads. Expected shape: both algorithms
+//! speed up with threads and the absolute gap shrinks ∝ 1/n_j.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orv_bench::deploy_pair;
+use orv_bench::figures::family_partitions;
+use orv_join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let (p, q) = family_partitions(32, 1);
+    let (d, t1, t2) = deploy_pair([256, 128, 1], p, q, 2, &["oilp"], &["wp"]).unwrap();
+    let mut group = c.benchmark_group("fig5_compute_nodes");
+    group.sample_size(10);
+    for nj in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("IJ", nj), &nj, |b, &nj| {
+            b.iter(|| {
+                indexed_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &IndexedJoinConfig {
+                        n_compute: nj,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GH", nj), &nj, |b, &nj| {
+            b.iter(|| {
+                grace_hash_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &GraceHashConfig {
+                        n_compute: nj,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion profile: these benches exist to show *shapes*
+/// (who wins, how the curve moves), not microsecond-exact numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 6 — execution time vs total tuples `T`. Expected shape: both
+//! algorithms scale linearly in T (double the grid, double the time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use orv_bench::deploy_pair;
+use orv_bench::figures::family_partitions;
+use orv_join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let (p, q) = family_partitions(32, 1);
+    let mut group = c.benchmark_group("fig6_total_tuples");
+    group.sample_size(10);
+    for gx in [64u64, 128, 256] {
+        let grid = [gx, 128, 1];
+        let t = grid.iter().product::<u64>();
+        let (d, t1, t2) = deploy_pair(grid, p, q, 2, &["oilp"], &["wp"]).unwrap();
+        group.throughput(Throughput::Elements(t));
+        group.bench_with_input(BenchmarkId::new("IJ", t), &t, |b, _| {
+            b.iter(|| {
+                indexed_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &IndexedJoinConfig {
+                        n_compute: 2,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GH", t), &t, |b, _| {
+            b.iter(|| {
+                grace_hash_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &GraceHashConfig {
+                        n_compute: 2,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion profile: these benches exist to show *shapes*
+/// (who wins, how the curve moves), not microsecond-exact numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

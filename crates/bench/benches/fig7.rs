@@ -1,0 +1,69 @@
+//! Figure 7 — execution time vs number of attributes (record size).
+//! Expected shape: times grow with record size through the transfer and
+//! bucket-I/O terms; CPU terms are per-tuple and unaffected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orv_bench::deploy_pair;
+use orv_bench::figures::family_partitions;
+use orv_join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let (p, q) = family_partitions(32, 1);
+    let mut group = c.benchmark_group("fig7_attributes");
+    group.sample_size(10);
+    for n_scalars in [1usize, 9, 18] {
+        // 3 coordinates + n scalars = 4..21 attributes of 4 bytes each.
+        let names: Vec<String> = (0..n_scalars).map(|i| format!("s{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let (d, t1, t2) = deploy_pair([128, 128, 1], p, q, 2, &refs, &refs).unwrap();
+        let attrs_total = 3 + n_scalars;
+        group.bench_with_input(BenchmarkId::new("IJ", attrs_total), &attrs_total, |b, _| {
+            b.iter(|| {
+                indexed_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &IndexedJoinConfig {
+                        n_compute: 2,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GH", attrs_total), &attrs_total, |b, _| {
+            b.iter(|| {
+                grace_hash_join(
+                    &d,
+                    t1.table,
+                    t2.table,
+                    &["x", "y", "z"],
+                    &GraceHashConfig {
+                        n_compute: 2,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion profile: these benches exist to show *shapes*
+/// (who wins, how the curve moves), not microsecond-exact numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure 8 — effect of computing power, via the paper's own trick: the
+//! hash build/probe instructions are repeated `k` times to emulate a CPU
+//! `k×` slower. Expected shape: IJ (whose lookup term dominates here)
+//! degrades faster than GH as the work factor grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orv_bench::deploy_pair;
+use orv_bench::figures::family_partitions;
+use orv_join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let (p, q) = family_partitions(32, 3); // tangled dataset: IJ is CPU-bound
+    let (d, t1, t2) = deploy_pair([128, 128, 1], p, q, 2, &["oilp"], &["wp"]).unwrap();
+    let mut group = c.benchmark_group("fig8_computing_power");
+    group.sample_size(10);
+    for work_factor in [1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("IJ", work_factor),
+            &work_factor,
+            |b, &wf| {
+                b.iter(|| {
+                    indexed_join(
+                        &d,
+                        t1.table,
+                        t2.table,
+                        &["x", "y", "z"],
+                        &IndexedJoinConfig {
+                            n_compute: 2,
+                            work_factor: wf,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("GH", work_factor),
+            &work_factor,
+            |b, &wf| {
+                b.iter(|| {
+                    grace_hash_join(
+                        &d,
+                        t1.table,
+                        t2.table,
+                        &["x", "y", "z"],
+                        &GraceHashConfig {
+                            n_compute: 2,
+                            work_factor: wf,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion profile: these benches exist to show *shapes*
+/// (who wins, how the curve moves), not microsecond-exact numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Cluster substrate: the hardware the paper ran on, twice over.
+//!
+//! The paper's experiments ran on a Linux cluster (10 nodes, PIII 933 MHz,
+//! 512 MB RAM, IDE disks, Switched Fast Ethernet) split into storage and
+//! compute nodes. This crate substitutes for that testbed in two
+//! complementary ways:
+//!
+//! * [`sim`] — a **deterministic discrete-event cluster simulator**. Every
+//!   resource the paper's cost models name (storage-disk read bandwidth,
+//!   scratch-disk read/write bandwidth, NIC/fabric bandwidth, per-node CPU
+//!   rate) is a FIFO bandwidth server; join algorithms issue chunk-grained
+//!   requests against them, so pipelining and contention *emerge* rather
+//!   than being assumed. Runs the paper's experiments at full scale
+//!   (2·10⁹ tuples) in milliseconds, because only costs move, not bytes.
+//! * [`runtime`] — helpers for the **real threaded runtime**: byte-counting
+//!   transports, optional bandwidth throttling, per-node scratch stores for
+//!   Grace-Hash buckets, and run statistics. One OS thread per cluster node
+//!   executes the same scheduling/caching/partitioning code paths on real
+//!   data.
+//!
+//! [`spec::ClusterSpec`] describes a cluster once; both substrates consume
+//! it.
+
+pub mod resource;
+pub mod runtime;
+pub mod sim;
+pub mod spec;
+
+pub use resource::Resource;
+pub use runtime::{ByteCounter, RunStats, Scratch, ScratchKind, Throttle};
+pub use sim::{NodeClocks, SimCluster};
+pub use spec::ClusterSpec;

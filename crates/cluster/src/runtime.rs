@@ -1,0 +1,364 @@
+//! Building blocks for the real threaded cluster runtime.
+//!
+//! The threaded runtime maps each cluster node to an OS thread; crossbeam
+//! channels are the interconnect. This module supplies the accounting and
+//! storage pieces those threads share:
+//!
+//! * [`ByteCounter`] — lock-free counters for bytes moved per link class;
+//! * [`Throttle`] — optional bandwidth pacing, so laptop runs can emulate
+//!   Fast-Ethernet-era ratios when wall-clock realism matters;
+//! * [`Scratch`] — per-compute-node bucket storage for Grace Hash (memory
+//!   or real temp files);
+//! * [`RunStats`] — the full accounting of one join execution, used both
+//!   for reporting and for validating cost-model *inputs* exactly.
+
+use orv_types::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable byte counter.
+#[derive(Clone, Default, Debug)]
+pub struct ByteCounter(Arc<AtomicU64>);
+
+impl ByteCounter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` bytes.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Paces an activity to a target bandwidth by sleeping off any surplus.
+///
+/// Threads call [`Throttle::consume`] after moving `n` bytes; the throttle
+/// sleeps long enough that the cumulative rate since construction does not
+/// exceed `bytes_per_sec`. A `None` rate is a no-op.
+pub struct Throttle {
+    start: Instant,
+    bytes: AtomicU64,
+    rate: Option<f64>,
+}
+
+impl Throttle {
+    /// A throttle at `bytes_per_sec`, or unthrottled if `None`.
+    pub fn new(bytes_per_sec: Option<f64>) -> Self {
+        Throttle {
+            start: Instant::now(),
+            bytes: AtomicU64::new(0),
+            rate: bytes_per_sec.filter(|r| r.is_finite() && *r > 0.0),
+        }
+    }
+
+    /// Account `n` bytes, sleeping if ahead of the allowed rate.
+    pub fn consume(&self, n: u64) {
+        let total = self.bytes.fetch_add(n, Ordering::Relaxed) + n;
+        let Some(rate) = self.rate else { return };
+        let due = total as f64 / rate;
+        let elapsed = self.start.elapsed().as_secs_f64();
+        if due > elapsed {
+            std::thread::sleep(Duration::from_secs_f64(due - elapsed));
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn total(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Backing store for Grace-Hash buckets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScratchKind {
+    /// Buckets in process memory (fast; still byte-accounted).
+    Memory,
+    /// Buckets in real temp files (exercises the write/read path).
+    TempFile,
+}
+
+/// Per-compute-node scratch space: named append-only buckets.
+pub struct Scratch {
+    kind: ScratchKind,
+    mem: Mutex<HashMap<String, Vec<u8>>>,
+    dir: Option<PathBuf>,
+    written: ByteCounter,
+    read: ByteCounter,
+}
+
+impl Scratch {
+    /// Create scratch space; `TempFile` scratch creates a unique directory
+    /// under the system temp dir.
+    pub fn new(kind: ScratchKind, label: &str) -> Result<Self> {
+        let dir = match kind {
+            ScratchKind::Memory => None,
+            ScratchKind::TempFile => {
+                let dir = std::env::temp_dir().join(format!(
+                    "orv-scratch-{label}-{}-{:x}",
+                    std::process::id(),
+                    &*Box::new(0u8) as *const u8 as usize
+                ));
+                fs::create_dir_all(&dir)?;
+                Some(dir)
+            }
+        };
+        Ok(Scratch {
+            kind,
+            mem: Mutex::new(HashMap::new()),
+            dir,
+            written: ByteCounter::new(),
+            read: ByteCounter::new(),
+        })
+    }
+
+    /// Append bytes to bucket `name`.
+    pub fn append(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.written.add(data.len() as u64);
+        match self.kind {
+            ScratchKind::Memory => {
+                self.mem.lock().entry(name.to_string()).or_default().extend_from_slice(data);
+                Ok(())
+            }
+            ScratchKind::TempFile => {
+                let path = self.bucket_path(name)?;
+                let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+                f.write_all(data)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Read a whole bucket back (empty if never written).
+    pub fn read_bucket(&self, name: &str) -> Result<Vec<u8>> {
+        let data = match self.kind {
+            ScratchKind::Memory => self.mem.lock().get(name).cloned().unwrap_or_default(),
+            ScratchKind::TempFile => {
+                let path = self.bucket_path(name)?;
+                match fs::File::open(path) {
+                    Ok(mut f) => {
+                        let mut buf = Vec::new();
+                        f.read_to_end(&mut buf)?;
+                        buf
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        };
+        self.read.add(data.len() as u64);
+        Ok(data)
+    }
+
+    fn bucket_path(&self, name: &str) -> Result<PathBuf> {
+        if name.contains('/') || name.contains("..") {
+            return Err(Error::Config(format!("invalid bucket name `{name}`")));
+        }
+        Ok(self.dir.as_ref().expect("tempfile scratch has a dir").join(name))
+    }
+
+    /// Size of one bucket in bytes (0 if never written).
+    pub fn bucket_size(&self, name: &str) -> Result<u64> {
+        match self.kind {
+            ScratchKind::Memory => {
+                Ok(self.mem.lock().get(name).map(|b| b.len() as u64).unwrap_or(0))
+            }
+            ScratchKind::TempFile => {
+                let path = self.bucket_path(name)?;
+                match std::fs::metadata(path) {
+                    Ok(m) => Ok(m.len()),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+                    Err(e) => Err(e.into()),
+                }
+            }
+        }
+    }
+
+    /// Total bytes appended.
+    pub fn bytes_written(&self) -> u64 {
+        self.written.get()
+    }
+
+    /// Total bytes read back.
+    pub fn bytes_read(&self) -> u64 {
+        self.read.get()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.dir {
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// Accounting of one distributed join execution on the threaded runtime.
+#[derive(Clone, Default, Debug)]
+pub struct RunStats {
+    /// Wall-clock execution time, seconds.
+    pub wall_secs: f64,
+    /// Bytes of chunk data read from storage.
+    pub bytes_read_storage: u64,
+    /// Bytes of sub-table/record data sent storage → compute.
+    pub bytes_transferred: u64,
+    /// Grace Hash bucket bytes written to scratch.
+    pub bytes_scratch_written: u64,
+    /// Grace Hash bucket bytes read from scratch.
+    pub bytes_scratch_read: u64,
+    /// Hash-table insert operations performed.
+    pub hash_builds: u64,
+    /// Hash-table lookup operations performed.
+    pub hash_probes: u64,
+    /// Result tuples produced.
+    pub result_tuples: u64,
+    /// Sub-table fetches answered by the cache (IJ only).
+    pub cache_hits: u64,
+    /// Sub-table fetches that went to storage.
+    pub cache_misses: u64,
+}
+
+impl RunStats {
+    /// Cache hit rate in `[0, 1]` (0 if no fetches).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Merge another node's stats into this one (wall time maxes, counters
+    /// add).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.wall_secs = self.wall_secs.max(other.wall_secs);
+        self.bytes_read_storage += other.bytes_read_storage;
+        self.bytes_transferred += other.bytes_transferred;
+        self.bytes_scratch_written += other.bytes_scratch_written;
+        self.bytes_scratch_read += other.bytes_scratch_read;
+        self.hash_builds += other.hash_builds;
+        self.hash_probes += other.hash_probes;
+        self.result_tuples += other.result_tuples;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_counter_is_shared() {
+        let c = ByteCounter::new();
+        let c2 = c.clone();
+        let h = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                c2.add(3);
+            }
+        });
+        for _ in 0..1000 {
+            c.add(2);
+        }
+        h.join().unwrap();
+        assert_eq!(c.get(), 5000);
+    }
+
+    #[test]
+    fn throttle_unlimited_is_noop() {
+        let t = Throttle::new(None);
+        let start = Instant::now();
+        t.consume(10_000_000);
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(t.total(), 10_000_000);
+    }
+
+    #[test]
+    fn throttle_paces_to_rate() {
+        let t = Throttle::new(Some(1_000_000.0)); // 1 MB/s
+        let start = Instant::now();
+        for _ in 0..10 {
+            t.consume(10_000); // 100 KB total → 0.1s at 1 MB/s
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.09, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn mem_scratch_roundtrip_and_accounting() {
+        let s = Scratch::new(ScratchKind::Memory, "t").unwrap();
+        s.append("b0", b"abc").unwrap();
+        s.append("b0", b"def").unwrap();
+        s.append("b1", b"xy").unwrap();
+        assert_eq!(s.read_bucket("b0").unwrap(), b"abcdef");
+        assert_eq!(s.read_bucket("b1").unwrap(), b"xy");
+        assert_eq!(s.read_bucket("b9").unwrap(), b"");
+        assert_eq!(s.bytes_written(), 8);
+        assert_eq!(s.bytes_read(), 8);
+    }
+
+    #[test]
+    fn bucket_sizes_reported() {
+        for kind in [ScratchKind::Memory, ScratchKind::TempFile] {
+            let s = Scratch::new(kind, "sz").unwrap();
+            assert_eq!(s.bucket_size("b0").unwrap(), 0);
+            s.append("b0", b"12345").unwrap();
+            s.append("b0", b"678").unwrap();
+            assert_eq!(s.bucket_size("b0").unwrap(), 8, "{kind:?}");
+            assert_eq!(s.bucket_size("other").unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn file_scratch_roundtrip_and_cleanup() {
+        let dir;
+        {
+            let s = Scratch::new(ScratchKind::TempFile, "t").unwrap();
+            dir = s.dir.clone().unwrap();
+            s.append("b0", b"hello ").unwrap();
+            s.append("b0", b"world").unwrap();
+            assert_eq!(s.read_bucket("b0").unwrap(), b"hello world");
+            assert_eq!(s.read_bucket("missing").unwrap(), b"");
+            assert!(s.append("../evil", b"x").is_err());
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "scratch dir must be removed on drop");
+    }
+
+    #[test]
+    fn stats_merge_semantics() {
+        let mut a = RunStats {
+            wall_secs: 1.5,
+            hash_builds: 10,
+            cache_hits: 3,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        let b = RunStats {
+            wall_secs: 2.0,
+            hash_builds: 5,
+            cache_hits: 1,
+            cache_misses: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.wall_secs, 2.0);
+        assert_eq!(a.hash_builds, 15);
+        assert_eq!(a.cache_hit_rate(), 0.5);
+        assert_eq!(RunStats::default().cache_hit_rate(), 0.0);
+    }
+}

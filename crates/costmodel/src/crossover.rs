@@ -1,0 +1,162 @@
+//! Choosing between IJ and GH — the Section 6.2 analysis.
+
+use crate::grace::GraceHashModel;
+use crate::indexed::IndexedJoinModel;
+use crate::params::{CostParams, SystemParams};
+use orv_types::Result;
+
+/// A planning decision with the evidence behind it.
+#[derive(Clone, Copy, Debug)]
+pub struct Choice {
+    /// Predicted IJ time, seconds.
+    pub ij_total: f64,
+    /// Predicted GH time, seconds.
+    pub gh_total: f64,
+    /// True if IJ is predicted faster (ties go to GH, which is less
+    /// sensitive to mis-estimated dataset parameters).
+    pub indexed_join: bool,
+}
+
+impl Choice {
+    /// Predicted speedup of the chosen algorithm over the other.
+    pub fn speedup(&self) -> f64 {
+        if self.indexed_join {
+            self.gh_total / self.ij_total
+        } else {
+            self.ij_total / self.gh_total
+        }
+    }
+}
+
+/// Full model comparison: evaluate both totals.
+pub fn choose_algorithm(d: &CostParams, s: &SystemParams) -> Result<Choice> {
+    let ij = IndexedJoinModel::evaluate(d, s)?.total();
+    let gh = GraceHashModel::evaluate(d, s)?.total();
+    Ok(Choice {
+        ij_total: ij,
+        gh_total: gh,
+        indexed_join: ij < gh,
+    })
+}
+
+/// The closed-form Section 6.2 test, valid under its assumptions
+/// (`IO_bw = readIO_bw = writeIO_bw`): prefer IJ iff
+///
+/// ```text
+/// IO_bw / F < 2·(RS_R + RS_S) / (γ2 · (n_e/m_S − 1))
+/// ```
+///
+/// expressed here with `α_lookup = γ2 / F`, i.e.
+/// `α_lookup · (n_e/m_S − 1) < 2·(RS_R+RS_S) / IO_bw`. When `n_e ≤ m_S`
+/// the left side is non-positive and IJ always wins.
+pub fn prefers_indexed_join(d: &CostParams, io_bw: f64, alpha_lookup: f64) -> bool {
+    let degree_excess = d.n_e / d.m_s() - 1.0;
+    alpha_lookup * degree_excess < 2.0 * (d.rs_r + d.rs_s) / io_bw
+}
+
+/// The `n_e · c_S` value at which the Figure 4 curves cross, holding
+/// everything else fixed (and `IO_bw = readIO = writeIO`). Setting
+/// `Total_IJ = Total_GH`:
+///
+/// ```text
+/// α_lookup·n_e·c_S/n_j = 2·T·(RS_R+RS_S)/(IO_bw·n_j) + α_lookup·T/n_j
+/// n_e·c_S = T · (2·(RS_R+RS_S)/(IO_bw·α_lookup) + 1)
+/// ```
+pub fn crossover_ne_cs(t: f64, rs_r: f64, rs_s: f64, io_bw: f64, alpha_lookup: f64) -> f64 {
+    t * (2.0 * (rs_r + rs_s) / (io_bw * alpha_lookup) + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orv_cluster::ClusterSpec;
+
+    fn base() -> CostParams {
+        CostParams {
+            t: 1.0e6,
+            c_r: 4096.0,
+            c_s: 4096.0,
+            n_e: 244.0,
+            rs_r: 16.0,
+            rs_s: 16.0,
+        }
+    }
+
+    fn sys() -> SystemParams {
+        // Uniform IO so the closed form is exact.
+        let mut spec = ClusterSpec::paper_testbed(5, 5);
+        spec.disk_read_bw = 25.0e6;
+        spec.disk_write_bw = 25.0e6;
+        SystemParams::from_cluster(&spec, 280.0, 230.0)
+    }
+
+    #[test]
+    fn ij_wins_low_connectivity_gh_wins_high() {
+        let s = sys();
+        let low = base(); // n_e ≈ m_S → degree ≈ 1
+        let c = choose_algorithm(&low, &s).unwrap();
+        assert!(c.indexed_join, "IJ should win at low n_e·c_S");
+        assert!(c.speedup() > 1.0);
+
+        let mut high = base();
+        high.n_e = 300_000.0; // huge fan-out
+        let c = choose_algorithm(&high, &s).unwrap();
+        assert!(!c.indexed_join, "GH should win at high n_e·c_S");
+    }
+
+    #[test]
+    fn closed_form_agrees_with_full_models_under_assumptions() {
+        let s = sys();
+        let io_bw = s.read_io_bw;
+        for n_e in [100.0, 500.0, 2_000.0, 10_000.0, 50_000.0, 200_000.0] {
+            let mut d = base();
+            d.n_e = n_e;
+            let full = choose_algorithm(&d, &s).unwrap().indexed_join;
+            let closed = prefers_indexed_join(&d, io_bw, s.alpha_lookup);
+            assert_eq!(full, closed, "disagreement at n_e = {n_e}");
+        }
+    }
+
+    #[test]
+    fn crossover_point_separates_regimes() {
+        let s = sys();
+        let d = base();
+        let cross = crossover_ne_cs(d.t, d.rs_r, d.rs_s, s.read_io_bw, s.alpha_lookup);
+        // Just below: IJ; just above: GH.
+        let mut below = d;
+        below.n_e = cross / d.c_s * 0.95;
+        let mut above = d;
+        above.n_e = cross / d.c_s * 1.05;
+        assert!(choose_algorithm(&below, &s).unwrap().indexed_join);
+        assert!(!choose_algorithm(&above, &s).unwrap().indexed_join);
+    }
+
+    #[test]
+    fn faster_cpu_expands_ij_region() {
+        // Section 6.2: "for the same dataset, IJ will offer more and more
+        // improvement over Grace Hash" as F grows relative to IO.
+        let mut d = base();
+        d.n_e = 3_000.0; // moderately tangled
+        let slow_cpu = sys();
+        let mut fast_spec = ClusterSpec::paper_testbed(5, 5);
+        fast_spec.disk_read_bw = 25.0e6;
+        fast_spec.disk_write_bw = 25.0e6;
+        fast_spec.cpu_ops_per_sec = 10.0 * 933.0e6;
+        let fast_cpu = SystemParams::from_cluster(&fast_spec, 280.0, 230.0);
+        let gain_slow = choose_algorithm(&d, &slow_cpu).unwrap();
+        let gain_fast = choose_algorithm(&d, &fast_cpu).unwrap();
+        let adv_slow = gain_slow.gh_total - gain_slow.ij_total;
+        let adv_fast = gain_fast.gh_total - gain_fast.ij_total;
+        assert!(adv_fast > adv_slow, "IJ advantage must grow with F");
+    }
+
+    #[test]
+    fn degree_one_or_less_always_prefers_ij() {
+        // n_e = m_S means every right sub-table probes exactly one hash
+        // table — IJ's lookup cost equals GH's and GH still pays bucket IO.
+        let d = base(); // n_e = 244 ≈ m_S = 244.1 → excess ≈ 0
+        assert!(prefers_indexed_join(&d, 25.0e6, 230.0 / 933.0e6));
+        // Even with absurdly slow IO.
+        assert!(prefers_indexed_join(&d, 1.0e3, 230.0 / 933.0e6));
+    }
+}

@@ -1,0 +1,108 @@
+//! The Grace Hash cost model (Section 5.2).
+
+use crate::params::{CostParams, SystemParams};
+use orv_types::Result;
+
+/// Cost terms of one Grace Hash execution, seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraceHashModel {
+    /// `Transfer_GH` — identical to IJ's transfer term.
+    pub transfer: f64,
+    /// `Write_GH = T·(RS_R+RS_S) / (writeIO_bw · n_j)`: spilling buckets.
+    pub write: f64,
+    /// `Read_GH = T·(RS_R+RS_S) / (readIO_bw · n_j)`: reading buckets back.
+    pub read: f64,
+    /// `Cpu_GH = (α_build + α_lookup) · T / n_j`.
+    pub cpu: f64,
+}
+
+impl GraceHashModel {
+    /// Evaluate the model.
+    pub fn evaluate(d: &CostParams, s: &SystemParams) -> Result<Self> {
+        d.validate()?;
+        s.validate()?;
+        let bytes = d.total_bytes();
+        Ok(GraceHashModel {
+            transfer: bytes / s.transfer_bw(),
+            write: bytes / (s.write_io_bw * s.n_j),
+            read: bytes / (s.read_io_bw * s.n_j),
+            cpu: (s.alpha_build + s.alpha_lookup) * d.t / s.n_j,
+        })
+    }
+
+    /// `Total_GH = Transfer + Write + Read + Cpu`.
+    pub fn total(&self) -> f64 {
+        self.transfer + self.write + self.read + self.cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexed::IndexedJoinModel;
+    use orv_cluster::ClusterSpec;
+
+    fn d() -> CostParams {
+        CostParams {
+            t: 1.0e6,
+            c_r: 4096.0,
+            c_s: 4096.0,
+            n_e: 244.0,
+            rs_r: 16.0,
+            rs_s: 16.0,
+        }
+    }
+
+    fn s() -> SystemParams {
+        SystemParams::from_cluster(&ClusterSpec::paper_testbed(5, 5), 280.0, 230.0)
+    }
+
+    #[test]
+    fn terms_match_formulas() {
+        let m = GraceHashModel::evaluate(&d(), &s()).unwrap();
+        assert!((m.write - 32.0e6 / (20.0e6 * 5.0)).abs() < 1e-9);
+        assert!((m.read - 32.0e6 / (25.0e6 * 5.0)).abs() < 1e-9);
+        let alpha = (280.0 + 230.0) / 933.0e6;
+        assert!((m.cpu - alpha * 1.0e6 / 5.0).abs() < 1e-12);
+        assert!((m.total() - (m.transfer + m.write + m.read + m.cpu)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_term_identical_to_ij() {
+        let gh = GraceHashModel::evaluate(&d(), &s()).unwrap();
+        let ij = IndexedJoinModel::evaluate(&d(), &s()).unwrap();
+        assert_eq!(gh.transfer, ij.transfer);
+    }
+
+    #[test]
+    fn insensitive_to_connectivity() {
+        let mut tangled = d();
+        tangled.n_e *= 100.0;
+        let base = GraceHashModel::evaluate(&d(), &s()).unwrap();
+        let t = GraceHashModel::evaluate(&tangled, &s()).unwrap();
+        assert_eq!(base.total(), t.total(), "GH is insensitive to n_e");
+    }
+
+    #[test]
+    fn every_term_scales_with_record_size() {
+        let mut fat = d();
+        fat.rs_r = 32.0;
+        fat.rs_s = 32.0;
+        let base = GraceHashModel::evaluate(&d(), &s()).unwrap();
+        let m = GraceHashModel::evaluate(&fat, &s()).unwrap();
+        assert!((m.transfer / base.transfer - 2.0).abs() < 1e-9);
+        assert!((m.write / base.write - 2.0).abs() < 1e-9);
+        assert!((m.read / base.read - 2.0).abs() < 1e-9);
+        assert_eq!(m.cpu, base.cpu, "CPU cost is per-tuple, not per-byte");
+    }
+
+    #[test]
+    fn io_terms_shrink_with_more_nodes() {
+        let few = SystemParams { n_j: 2.0, ..s() };
+        let many = SystemParams { n_j: 8.0, ..s() };
+        let m2 = GraceHashModel::evaluate(&d(), &few).unwrap();
+        let m8 = GraceHashModel::evaluate(&d(), &many).unwrap();
+        assert!((m2.write / m8.write - 4.0).abs() < 1e-9);
+        assert!((m2.read / m8.read - 4.0).abs() < 1e-9);
+    }
+}

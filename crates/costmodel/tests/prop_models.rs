@@ -1,0 +1,119 @@
+//! Property tests on the Section 5 cost models: monotonicity, term
+//! structure, and the Section 6.2 closed form's equivalence to the full
+//! comparison under its assumptions.
+
+use orv_costmodel::{
+    choose_algorithm, crossover_ne_cs, prefers_indexed_join, CostParams, GraceHashModel,
+    IndexedJoinModel, SystemParams,
+};
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = CostParams> {
+    (
+        1.0e4..1.0e9f64,  // t
+        1.0e2..1.0e6f64,  // c_r
+        1.0e2..1.0e6f64,  // c_s
+        1.0..1.0e6f64,    // n_e
+        4.0..128.0f64,    // rs_r
+        4.0..128.0f64,    // rs_s
+    )
+        .prop_map(|(t, c_r, c_s, n_e, rs_r, rs_s)| CostParams {
+            t,
+            c_r,
+            c_s,
+            n_e,
+            rs_r,
+            rs_s,
+        })
+}
+
+fn system() -> impl Strategy<Value = SystemParams> {
+    (
+        1.0e6..1.0e10f64, // net
+        1.0e6..1.0e9f64,  // io
+        1.0..16.0f64,     // n_s
+        1.0..16.0f64,     // n_j
+        1.0e-9..1.0e-5f64, // alpha_build
+        1.0e-9..1.0e-5f64, // alpha_lookup
+    )
+        .prop_map(|(net_bw, io, n_s, n_j, alpha_build, alpha_lookup)| SystemParams {
+            net_bw,
+            read_io_bw: io,
+            write_io_bw: io, // §6.2's uniform-IO assumption
+            n_s: n_s.floor(),
+            n_j: n_j.floor(),
+            alpha_build,
+            alpha_lookup,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn totals_are_positive_and_additive(d in dataset(), s in system()) {
+        let ij = IndexedJoinModel::evaluate(&d, &s).unwrap();
+        let gh = GraceHashModel::evaluate(&d, &s).unwrap();
+        prop_assert!(ij.total() > 0.0);
+        prop_assert!((ij.total() - (ij.transfer + ij.build + ij.lookup)).abs() < 1e-9 * ij.total());
+        prop_assert!((gh.total() - (gh.transfer + gh.write + gh.read + gh.cpu)).abs() < 1e-9 * gh.total());
+        // Shared transfer term.
+        prop_assert_eq!(ij.transfer, gh.transfer);
+    }
+
+    #[test]
+    fn totals_monotone_in_t(d in dataset(), s in system(), k in 1.1..10.0f64) {
+        let mut bigger = d;
+        bigger.t *= k;
+        bigger.n_e *= k; // more sub-tables, proportional edges
+        prop_assert!(
+            IndexedJoinModel::evaluate(&bigger, &s).unwrap().total()
+                > IndexedJoinModel::evaluate(&d, &s).unwrap().total()
+        );
+        prop_assert!(
+            GraceHashModel::evaluate(&bigger, &s).unwrap().total()
+                > GraceHashModel::evaluate(&d, &s).unwrap().total()
+        );
+    }
+
+    #[test]
+    fn gh_insensitive_to_ne_ij_monotone(d in dataset(), s in system(), k in 1.5..50.0f64) {
+        let mut tangled = d;
+        tangled.n_e *= k;
+        prop_assert_eq!(
+            GraceHashModel::evaluate(&d, &s).unwrap().total(),
+            GraceHashModel::evaluate(&tangled, &s).unwrap().total()
+        );
+        prop_assert!(
+            IndexedJoinModel::evaluate(&tangled, &s).unwrap().total()
+                > IndexedJoinModel::evaluate(&d, &s).unwrap().total()
+        );
+    }
+
+    #[test]
+    fn closed_form_equivalent_to_full_comparison(d in dataset(), s in system()) {
+        // Under write == read == IO and the shared transfer term, the §6.2
+        // inequality must agree with Total_IJ < Total_GH exactly.
+        let full = choose_algorithm(&d, &s).unwrap().indexed_join;
+        let closed = prefers_indexed_join(&d, s.read_io_bw, s.alpha_lookup);
+        prop_assert_eq!(full, closed);
+    }
+
+    #[test]
+    fn crossover_point_is_the_indifference_point(d in dataset(), s in system()) {
+        let cross = crossover_ne_cs(d.t, d.rs_r, d.rs_s, s.read_io_bw, s.alpha_lookup);
+        // At the crossover, totals agree to floating-point tolerance.
+        let mut at = d;
+        at.n_e = cross / d.c_s;
+        let ij = IndexedJoinModel::evaluate(&at, &s).unwrap().total();
+        let gh = GraceHashModel::evaluate(&at, &s).unwrap().total();
+        prop_assert!((ij - gh).abs() <= 1e-9 * ij.max(gh), "ij {ij} vs gh {gh}");
+    }
+
+    #[test]
+    fn miss_rate_extension_is_monotone(d in dataset(), s in system(), m1 in 0.0..1.0f64, m2 in 0.0..1.0f64) {
+        let model = IndexedJoinModel::evaluate(&d, &s).unwrap();
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        prop_assert!(model.total_with_miss_rate(&d, lo) <= model.total_with_miss_rate(&d, hi) + 1e-12);
+    }
+}

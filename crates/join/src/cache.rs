@@ -1,0 +1,113 @@
+//! The Caching Service.
+//!
+//! "The Caching Service can be used by the QES to store and access
+//! frequently accessed objects." One [`CacheService`] instance outlives
+//! individual query executions: each compute node owns an LRU shard
+//! holding left sub-tables *with their built hash tables* and right
+//! sub-tables, so a repeated or overlapping view query finds its working
+//! set warm.
+
+use crate::hash_join::HashJoiner;
+use crate::lru::LruCache;
+use orv_chunk::SubTable;
+use orv_types::{Error, Result, SubTableId};
+use parking_lot::Mutex;
+
+/// What a compute node caches per sub-table.
+pub enum CachedEntry {
+    /// A left sub-table with its built hash table (built once per left
+    /// sub-table, as §5.1 requires).
+    Left(HashJoiner),
+    /// A right sub-table.
+    Right(SubTable),
+}
+
+/// Per-compute-node LRU shards, shared across join executions.
+pub struct CacheService {
+    shards: Vec<Mutex<LruCache<SubTableId, CachedEntry>>>,
+}
+
+impl CacheService {
+    /// One shard per compute node, each `capacity_bytes` big.
+    pub fn new(n_compute: usize, capacity_bytes: u64) -> Self {
+        CacheService {
+            shards: (0..n_compute)
+                .map(|_| Mutex::new(LruCache::new(capacity_bytes)))
+                .collect(),
+        }
+    }
+
+    /// Number of compute-node shards.
+    pub fn n_compute(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard of compute node `j`.
+    pub fn shard(&self, j: usize) -> Result<&Mutex<LruCache<SubTableId, CachedEntry>>> {
+        self.shards
+            .get(j)
+            .ok_or_else(|| Error::Config(format!("cache service has no shard {j}")))
+    }
+
+    /// Aggregate `(hits, misses, evictions)` across shards (cumulative
+    /// over the service's lifetime).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        self.shards.iter().fold((0, 0, 0), |acc, s| {
+            let (h, m, e) = s.lock().stats();
+            (acc.0 + h, acc.1 + m, acc.2 + e)
+        })
+    }
+
+    /// Total bytes currently cached across shards.
+    pub fn used_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().used()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orv_types::{Schema, Value};
+    use std::sync::Arc;
+
+    fn st(rows: usize) -> SubTable {
+        let schema = Arc::new(Schema::grid(&["x"], &["p"]).unwrap());
+        let cols = vec![
+            (0..rows).map(|i| Value::I32(i as i32)).collect(),
+            (0..rows).map(|i| Value::F32(i as f32)).collect(),
+        ];
+        SubTable::from_columns(SubTableId::new(0u32, 0u32), schema, cols).unwrap()
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let svc = CacheService::new(2, 1024);
+        svc.shard(0)
+            .unwrap()
+            .lock()
+            .put(SubTableId::new(0u32, 0u32), CachedEntry::Right(st(4)), 32);
+        assert!(svc
+            .shard(1)
+            .unwrap()
+            .lock()
+            .peek(&SubTableId::new(0u32, 0u32))
+            .is_none());
+        assert_eq!(svc.used_bytes(), 32);
+        assert!(svc.shard(2).is_err());
+        assert_eq!(svc.n_compute(), 2);
+    }
+
+    #[test]
+    fn aggregate_stats() {
+        let svc = CacheService::new(2, 1024);
+        let id = SubTableId::new(0u32, 1u32);
+        assert!(svc.shard(0).unwrap().lock().get(&id).is_none()); // miss
+        svc.shard(0)
+            .unwrap()
+            .lock()
+            .put(id, CachedEntry::Right(st(1)), 16);
+        assert!(svc.shard(0).unwrap().lock().get(&id).is_some()); // hit
+        let (h, m, _) = svc.stats();
+        assert_eq!((h, m), (1, 1));
+    }
+}

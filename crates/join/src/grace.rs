@@ -1,0 +1,701 @@
+//! The distributed Grace Hash join on the threaded runtime.
+//!
+//! Phase 1 (partition): "each storage node runs a QES instance that
+//! contacts the local BDS instance to retrieve matching sub-tables from the
+//! left (inner) table. A hash function `h1` is used to map records to QES
+//! instances executing on the compute cluster. A compute node QES instance,
+//! upon receipt of a record, applies another hash function `h2` to map the
+//! record to a bucket. Buckets are stored on local disks on the compute
+//! nodes. The same procedure is repeated with the right (outer) table."
+//!
+//! Phase 2 (join): "each compute node QES instance then proceeds to join
+//! pairs of buckets independently" — the paper's modification of
+//! Kitsuregawa's algorithm that removes network costs from the join phase.
+//!
+//! Storage nodes and compute nodes are OS threads; `h1` routing is a
+//! crossbeam channel per compute node; buckets live in a per-node
+//! [`Scratch`] store (memory or real temp files). The sender hashes each
+//! record once (deriving both `h1` and `h2` from the same 64-bit hash) and
+//! encodes records straight from the columnar sub-table into per-
+//! `(destination, bucket)` byte buffers, so no row objects are
+//! materialized on the partition path.
+
+use crate::hash_join::{HashJoiner, JoinCounters};
+use orv_bds::{BdsService, Deployment};
+use orv_chunk::SubTable;
+use orv_cluster::{RunStats, Scratch, ScratchKind};
+use orv_types::{BoundingBox, Error, Record, Result, Schema, SubTableId, TableId, Value};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of one Grace Hash execution.
+#[derive(Clone, Debug)]
+pub struct GraceHashConfig {
+    /// Number of compute-node threads (`n_j`).
+    pub n_compute: usize,
+    /// Memory available per compute node for one in-memory bucket join —
+    /// determines the bucket count ("the number of buckets is chosen so
+    /// that each bucket fits in memory").
+    pub mem_per_node: u64,
+    /// Bucket storage backing.
+    pub scratch: ScratchKind,
+    /// Figure-8 work multiplier for hash build/probe.
+    pub work_factor: u32,
+    /// Collect result records (tests); otherwise only count them.
+    pub collect_results: bool,
+    /// Optional range constraint applied to scanned sub-tables.
+    pub range: Option<BoundingBox>,
+}
+
+impl Default for GraceHashConfig {
+    fn default() -> Self {
+        GraceHashConfig {
+            n_compute: 2,
+            mem_per_node: 256 << 20,
+            scratch: ScratchKind::Memory,
+            work_factor: 1,
+            collect_results: false,
+            range: None,
+        }
+    }
+}
+
+/// Result of a Grace Hash execution (same shape as IJ's).
+pub type JoinOutput = crate::indexed::JoinOutput;
+
+/// One routed message: encoded records of one side, grouped by bucket,
+/// destined for one compute node.
+struct Batch {
+    side: Side,
+    /// `(bucket index, packed records)` pairs.
+    buckets: Vec<(u32, Vec<u8>)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// splitmix64 over the join-key values. Both `h1` (low bits) and `h2`
+/// (high bits) derive from this one hash.
+fn hash_key(values: &[Value]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64;
+    for v in values {
+        let family = matches!(v, Value::F32(_) | Value::F64(_)) as u64;
+        h ^= v.key_bits().wrapping_add(family.wrapping_mul(0x1F83_D9AB_FB41_BD6B));
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// `h1`: record → compute node.
+#[cfg(test)]
+fn h1(values: &[Value], n_compute: usize) -> usize {
+    (hash_key(values) % n_compute as u64) as usize
+}
+
+/// `h2`: record → bucket, independent of `h1` (uses the upper hash bits).
+#[cfg(test)]
+fn h2(values: &[Value], n_buckets: usize) -> usize {
+    ((hash_key(values) >> 32) % n_buckets as u64) as usize
+}
+
+/// Pack records into the fixed-width little-endian wire format.
+#[cfg(test)]
+fn encode_records(records: &[Record]) -> Vec<u8> {
+    let total: usize = records.iter().map(Record::encoded_size).sum();
+    let mut out = Vec::with_capacity(total);
+    for r in records {
+        for v in r.values() {
+            v.encode_le(&mut out);
+        }
+    }
+    out
+}
+
+/// Decode columns of `schema` from the wire format.
+fn decode_columns(schema: &Schema, bytes: &[u8]) -> Result<Vec<Vec<Value>>> {
+    let rs = schema.record_size();
+    if rs == 0 || !bytes.len().is_multiple_of(rs) {
+        return Err(Error::Format(format!(
+            "bucket of {} bytes is not a whole number of {rs}-byte records",
+            bytes.len()
+        )));
+    }
+    let nrows = bytes.len() / rs;
+    let mut cols: Vec<Vec<Value>> =
+        schema.attrs().iter().map(|_| Vec::with_capacity(nrows)).collect();
+    for rec in bytes.chunks_exact(rs) {
+        let mut off = 0;
+        for (ci, attr) in schema.attrs().iter().enumerate() {
+            let v = Value::decode_le(attr.dtype, &rec[off..])
+                .ok_or_else(|| Error::Format("truncated record in bucket".into()))?;
+            cols[ci].push(v);
+            off += attr.dtype.width();
+        }
+    }
+    Ok(cols)
+}
+
+/// Pick the bucket count so each side's bucket fits in `mem_per_node`.
+fn bucket_count(total_bytes: u64, n_compute: usize, mem_per_node: u64) -> usize {
+    let per_node = total_bytes.div_ceil(n_compute as u64).max(1);
+    per_node.div_ceil(mem_per_node.max(1)).max(1) as usize
+}
+
+/// Fan-out of one recursive repartitioning step.
+const OVERFLOW_SPLIT: usize = 4;
+/// Recursion limit — beyond this (extreme key skew) the bucket is joined
+/// in memory regardless of the budget.
+const MAX_OVERFLOW_DEPTH: u32 = 4;
+
+/// Salted variant of [`hash_key`] used for overflow repartitioning, so
+/// sub-bucket assignment is independent of both `h1` and `h2`.
+fn hash_key_salted(values: &[Value], salt: u64) -> u64 {
+    let mut h = hash_key(values) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^ (h >> 31)
+}
+
+/// Repartition an oversized bucket into `OVERFLOW_SPLIT` sub-buckets on
+/// scratch, re-hashing each record with a depth salt.
+fn repartition_bucket(
+    scratch: &Scratch,
+    name: &str,
+    schema: &Schema,
+    key_indices: &[usize],
+    depth: u32,
+) -> Result<()> {
+    let bytes = scratch.read_bucket(name)?;
+    let cols = decode_columns(schema, &bytes)?;
+    let nrows = cols.first().map(Vec::len).unwrap_or(0);
+    let mut outs: Vec<Vec<u8>> = vec![Vec::new(); OVERFLOW_SPLIT];
+    let mut key = Vec::with_capacity(key_indices.len());
+    for r in 0..nrows {
+        key.clear();
+        key.extend(key_indices.iter().map(|&i| cols[i][r]));
+        let k = (hash_key_salted(&key, depth as u64 + 1) % OVERFLOW_SPLIT as u64) as usize;
+        for col in &cols {
+            col[r].encode_le(&mut outs[k]);
+        }
+    }
+    for (k, buf) in outs.into_iter().enumerate() {
+        if !buf.is_empty() {
+            scratch.append(&format!("{name}.{k}"), &buf)?;
+        }
+    }
+    Ok(())
+}
+
+/// Join one `(left, right)` bucket pair, recursively repartitioning when
+/// either side exceeds the memory budget (Grace Hash overflow handling —
+/// "bucket tuning" in its simplest recursive form).
+#[allow(clippy::too_many_arguments)]
+fn join_bucket_pair(
+    scratch: &Scratch,
+    lname: &str,
+    rname: &str,
+    lschema: &Arc<Schema>,
+    rschema: &Arc<Schema>,
+    lkeys: &[usize],
+    rkeys: &[usize],
+    join_attrs: &[&str],
+    counters: &JoinCounters,
+    cfg: &GraceHashConfig,
+    depth: u32,
+    results: &mut Vec<Record>,
+) -> Result<u64> {
+    let lsize = scratch.bucket_size(lname)?;
+    let rsize = scratch.bucket_size(rname)?;
+    if lsize == 0 || rsize == 0 {
+        return Ok(0);
+    }
+    if depth < MAX_OVERFLOW_DEPTH && lsize.max(rsize) > cfg.mem_per_node {
+        repartition_bucket(scratch, lname, lschema, lkeys, depth)?;
+        repartition_bucket(scratch, rname, rschema, rkeys, depth)?;
+        let mut produced = 0;
+        for k in 0..OVERFLOW_SPLIT {
+            produced += join_bucket_pair(
+                scratch,
+                &format!("{lname}.{k}"),
+                &format!("{rname}.{k}"),
+                lschema,
+                rschema,
+                lkeys,
+                rkeys,
+                join_attrs,
+                counters,
+                cfg,
+                depth + 1,
+                results,
+            )?;
+        }
+        return Ok(produced);
+    }
+    let lst = SubTable::from_columns(
+        SubTableId::new(0u32, depth),
+        Arc::clone(lschema),
+        decode_columns(lschema, &scratch.read_bucket(lname)?)?,
+    )?;
+    let rst = SubTable::from_columns(
+        SubTableId::new(1u32, depth),
+        Arc::clone(rschema),
+        decode_columns(rschema, &scratch.read_bucket(rname)?)?,
+    )?;
+    let joiner = HashJoiner::build(&lst, join_attrs, counters, cfg.work_factor)?;
+    if cfg.collect_results {
+        joiner.probe(&rst, join_attrs, counters, |r| results.push(r))
+    } else {
+        joiner.probe(&rst, join_attrs, counters, |_| {})
+    }
+}
+
+/// Route one sub-table's rows into per-`(dest, bucket)` buffers, encoding
+/// straight from the columns.
+fn route_subtable(
+    st: &SubTable,
+    key_indices: &[usize],
+    n_compute: usize,
+    n_buckets: usize,
+) -> Vec<Vec<(u32, Vec<u8>)>> {
+    let mut out: Vec<Vec<(u32, Vec<u8>)>> = (0..n_compute)
+        .map(|_| Vec::new())
+        .collect();
+    // Dense (dest, bucket) → buffer map would waste memory for large
+    // bucket counts; use a per-dest sparse assoc list (bucket counts per
+    // message are small in practice).
+    let arity = st.schema().arity();
+    let mut key = Vec::with_capacity(key_indices.len());
+    for r in 0..st.num_rows() {
+        key.clear();
+        key.extend(key_indices.iter().map(|&i| st.value(r, i)));
+        let h = hash_key(&key);
+        let dest = (h % n_compute as u64) as usize;
+        let bucket = ((h >> 32) % n_buckets as u64) as u32;
+        let dest_buckets = &mut out[dest];
+        let buf = match dest_buckets.iter_mut().find(|(b, _)| *b == bucket) {
+            Some((_, buf)) => buf,
+            None => {
+                dest_buckets.push((bucket, Vec::new()));
+                &mut dest_buckets.last_mut().unwrap().1
+            }
+        };
+        for c in 0..arity {
+            st.value(r, c).encode_le(buf);
+        }
+    }
+    out
+}
+
+/// Execute `left ⊕ right` on `join_attrs` with the Grace Hash QES.
+pub fn grace_hash_join(
+    deployment: &Deployment,
+    left: TableId,
+    right: TableId,
+    join_attrs: &[&str],
+    cfg: &GraceHashConfig,
+) -> Result<JoinOutput> {
+    if cfg.n_compute == 0 {
+        return Err(Error::Config("grace hash needs at least one compute node".into()));
+    }
+    let md = deployment.metadata();
+    let lschema = md.schema(left)?;
+    let rschema = md.schema(right)?;
+    let lkeys: Vec<usize> = join_attrs
+        .iter()
+        .map(|a| lschema.require(a))
+        .collect::<Result<_>>()?;
+    let rkeys: Vec<usize> = join_attrs
+        .iter()
+        .map(|a| rschema.require(a))
+        .collect::<Result<_>>()?;
+
+    let total_bytes = md.total_records(left)? * lschema.record_size() as u64
+        + md.total_records(right)? * rschema.record_size() as u64;
+    let n_buckets = bucket_count(total_bytes, cfg.n_compute, cfg.mem_per_node);
+
+    let services = BdsService::for_all_nodes(deployment)?;
+    let counters = JoinCounters::new();
+    let results: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+    let scratches: Vec<Scratch> = (0..cfg.n_compute)
+        .map(|j| Scratch::new(cfg.scratch, &format!("gh{j}")))
+        .collect::<Result<_>>()?;
+    let start = Instant::now();
+
+    // Channels: one receiver per compute node, every storage node holds a
+    // sender to each.
+    let mut senders = Vec::with_capacity(cfg.n_compute);
+    let mut receivers = Vec::with_capacity(cfg.n_compute);
+    for _ in 0..cfg.n_compute {
+        let (tx, rx) = crossbeam::channel::bounded::<Batch>(64);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let per_node: Vec<RunStats> = std::thread::scope(|scope| -> Result<Vec<RunStats>> {
+        // --- Storage-node QES instances: scan local chunks, route records.
+        let mut storage_handles = Vec::new();
+        for svc in &services {
+            let senders = senders.clone();
+            let lkeys = &lkeys;
+            let rkeys = &rkeys;
+            storage_handles.push(scope.spawn(move || -> Result<RunStats> {
+                let mut stats = RunStats::default();
+                for (table, keys, side) in
+                    [(left, lkeys, Side::Left), (right, rkeys, Side::Right)]
+                {
+                    let chunks = md.all_chunks(table)?;
+                    for chunk in chunks {
+                        let id = SubTableId { table, chunk };
+                        let meta = md.chunk_meta(id)?;
+                        if meta.node != svc.node() {
+                            continue;
+                        }
+                        if let Some(rg) = &cfg.range {
+                            if !meta.bbox.overlaps(rg) {
+                                continue;
+                            }
+                        }
+                        let mut st: SubTable = svc.subtable(id)?;
+                        if let Some(rg) = &cfg.range {
+                            st = st.filter_range(rg)?;
+                        }
+                        stats.bytes_read_storage += meta.size_bytes();
+                        let routed = route_subtable(&st, keys, cfg.n_compute, n_buckets);
+                        for (dest, buckets) in routed.into_iter().enumerate() {
+                            if buckets.is_empty() {
+                                continue;
+                            }
+                            stats.bytes_transferred +=
+                                buckets.iter().map(|(_, b)| b.len()).sum::<usize>() as u64;
+                            senders[dest]
+                                .send(Batch { side, buckets })
+                                .map_err(|_| Error::Cluster("compute node hung up".into()))?;
+                        }
+                    }
+                }
+                Ok(stats)
+            }));
+        }
+        drop(senders); // compute receivers see EOF once storage finishes
+
+        // --- Compute-node QES instances: spill buckets, then join pairs.
+        let mut compute_handles = Vec::new();
+        for (j, rx) in receivers.into_iter().enumerate() {
+            let scratch = &scratches[j];
+            let counters = &counters;
+            let results = &results;
+            let lschema = &lschema;
+            let rschema = &rschema;
+            let lkeys = &lkeys;
+            let rkeys = &rkeys;
+            compute_handles.push(scope.spawn(move || -> Result<RunStats> {
+                let mut stats = RunStats::default();
+                // Phase 1: append incoming bucket fragments to scratch.
+                for batch in rx {
+                    let prefix = match batch.side {
+                        Side::Left => "L",
+                        Side::Right => "R",
+                    };
+                    for (b, bytes) in batch.buckets {
+                        scratch.append(&format!("{prefix}{b}"), &bytes)?;
+                    }
+                }
+                // Phase 2: join bucket pairs independently, recursively
+                // repartitioning any bucket that outgrew the memory budget.
+                let mut local_results = Vec::new();
+                for b in 0..n_buckets {
+                    stats.result_tuples += join_bucket_pair(
+                        scratch,
+                        &format!("L{b}"),
+                        &format!("R{b}"),
+                        lschema,
+                        rschema,
+                        lkeys,
+                        rkeys,
+                        join_attrs,
+                        counters,
+                        cfg,
+                        0,
+                        &mut local_results,
+                    )?;
+                }
+                stats.bytes_scratch_written = scratch.bytes_written();
+                stats.bytes_scratch_read = scratch.bytes_read();
+                if cfg.collect_results {
+                    results.lock().append(&mut local_results);
+                }
+                Ok(stats)
+            }));
+        }
+
+        let mut all = Vec::new();
+        for h in storage_handles.into_iter().chain(compute_handles) {
+            all.push(
+                h.join()
+                    .map_err(|_| Error::Cluster("grace hash thread panicked".into()))??,
+            );
+        }
+        Ok(all)
+    })?;
+
+    let mut stats = RunStats::default();
+    for s in &per_node {
+        stats.merge(s);
+    }
+    stats.wall_secs = start.elapsed().as_secs_f64();
+    stats.hash_builds = counters.builds();
+    stats.hash_probes = counters.probes();
+    Ok(JoinOutput {
+        stats,
+        records: cfg.collect_results.then(|| results.into_inner()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{nested_loop_join, sort_records};
+    use orv_bds::{generate_dataset, DatasetSpec};
+    use orv_types::Interval;
+
+    fn deploy(
+        grid: [u64; 3],
+        p1: [u64; 3],
+        p2: [u64; 3],
+        nodes: usize,
+    ) -> (Deployment, TableId, TableId) {
+        let d = Deployment::in_memory(nodes);
+        let t1 = generate_dataset(
+            &DatasetSpec::builder("t1")
+                .grid(grid)
+                .partition(p1)
+                .scalar_attrs(&["oilp"])
+                .seed(1)
+                .build(),
+            &d,
+        )
+        .unwrap();
+        let t2 = generate_dataset(
+            &DatasetSpec::builder("t2")
+                .grid(grid)
+                .partition(p2)
+                .scalar_attrs(&["wp"])
+                .seed(2)
+                .build(),
+            &d,
+        )
+        .unwrap();
+        (d, t1.table, t2.table)
+    }
+
+    #[test]
+    fn matches_nested_loop_oracle() {
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 2], 2);
+        let cfg = GraceHashConfig {
+            n_compute: 3,
+            collect_results: true,
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+    }
+
+    #[test]
+    fn agrees_with_indexed_join() {
+        let (d, t1, t2) = deploy([8, 4, 2], [4, 2, 1], [2, 4, 2], 2);
+        let gh = grace_hash_join(
+            &d,
+            t1,
+            t2,
+            &["x", "y", "z"],
+            &GraceHashConfig {
+                collect_results: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ij = crate::indexed::indexed_join(
+            &d,
+            t1,
+            t2,
+            &["x", "y", "z"],
+            &crate::indexed::IndexedJoinConfig {
+                collect_results: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            sort_records(gh.records.unwrap()),
+            sort_records(ij.records.unwrap())
+        );
+    }
+
+    #[test]
+    fn small_memory_forces_many_buckets() {
+        assert_eq!(bucket_count(1000, 2, 100), 5);
+        assert_eq!(bucket_count(1000, 2, 1 << 30), 1);
+        assert_eq!(bucket_count(0, 2, 100), 1);
+        let (d, t1, t2) = deploy([8, 8, 1], [4, 4, 1], [2, 2, 1], 2);
+        let cfg = GraceHashConfig {
+            n_compute: 2,
+            mem_per_node: 64, // few records per bucket
+            collect_results: true,
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+        assert!(out.stats.bytes_scratch_written > 0);
+        assert_eq!(out.stats.bytes_scratch_written, out.stats.bytes_scratch_read);
+    }
+
+    #[test]
+    fn oversized_buckets_recursively_repartition() {
+        // Mismatched partitions with a tiny memory budget: several buckets
+        // exceed it and must be split before joining.
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 1], 2);
+        let cfg = GraceHashConfig {
+            n_compute: 2,
+            mem_per_node: 96, //6 records of 16 bytes
+            collect_results: true,
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+        // Repartitioning re-writes data: scratch writes exceed one pass.
+        assert!(
+            out.stats.bytes_scratch_written > 128 * 2 * 16,
+            "recursion must add scratch traffic: {}",
+            out.stats.bytes_scratch_written
+        );
+    }
+
+    #[test]
+    fn extreme_key_skew_terminates_via_depth_limit() {
+        // Joining on z over a z-extent-1 grid: every record shares ONE key,
+        // so no amount of repartitioning can shrink the bucket. The depth
+        // limit must kick in and the join still complete (64×64 pairs).
+        let (d, t1, t2) = deploy([8, 8, 1], [4, 4, 1], [4, 4, 1], 2);
+        let cfg = GraceHashConfig {
+            n_compute: 2,
+            mem_per_node: 64,
+            collect_results: true,
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["z"], &cfg).unwrap();
+        assert_eq!(out.stats.result_tuples, 64 * 64);
+        let expected = nested_loop_join(&d, t1, t2, &["z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+    }
+
+    #[test]
+    fn tempfile_scratch_roundtrips() {
+        let (d, t1, t2) = deploy([4, 4, 2], [2, 2, 2], [4, 2, 1], 2);
+        let cfg = GraceHashConfig {
+            scratch: ScratchKind::TempFile,
+            collect_results: true,
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+    }
+
+    #[test]
+    fn range_constraint_matches_oracle() {
+        let (d, t1, t2) = deploy([8, 8, 1], [4, 4, 1], [2, 2, 1], 2);
+        let range = BoundingBox::from_dims([("x", Interval::new(2.0, 5.0))]);
+        let cfg = GraceHashConfig {
+            collect_results: true,
+            range: Some(range.clone()),
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], Some(&range)).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+    }
+
+    #[test]
+    fn transfer_bytes_equal_both_tables() {
+        let (d, t1, t2) = deploy([8, 8, 1], [4, 4, 1], [4, 4, 1], 2);
+        let out =
+            grace_hash_join(&d, t1, t2, &["x", "y", "z"], &GraceHashConfig::default()).unwrap();
+        // Everything moves exactly once: T·(RS_R + RS_S).
+        assert_eq!(out.stats.bytes_transferred, 64 * 16 + 64 * 16);
+        assert_eq!(out.stats.result_tuples, 64);
+    }
+
+    #[test]
+    fn hash_functions_spread_and_are_deterministic() {
+        let keys: Vec<Vec<Value>> = (0..1000)
+            .map(|i| vec![Value::I32(i % 50), Value::I32(i / 50)])
+            .collect();
+        let mut node_counts = vec![0usize; 4];
+        let mut bucket_counts = vec![0usize; 8];
+        for k in &keys {
+            node_counts[h1(k, 4)] += 1;
+            bucket_counts[h2(k, 8)] += 1;
+            assert_eq!(h1(k, 4), h1(k, 4));
+        }
+        for &c in &node_counts {
+            assert!(c > 150, "h1 skewed: {node_counts:?}");
+        }
+        for &c in &bucket_counts {
+            assert!(c > 60, "h2 skewed: {bucket_counts:?}");
+        }
+    }
+
+    #[test]
+    fn record_wire_format_roundtrips() {
+        let schema = Schema::grid(&["x", "y"], &["wp"]).unwrap();
+        let recs: Vec<Record> = (0..10)
+            .map(|i| {
+                Record::new(vec![
+                    Value::I32(i),
+                    Value::I32(-i),
+                    Value::F32(i as f32 * 0.5),
+                ])
+            })
+            .collect();
+        let bytes = encode_records(&recs);
+        assert_eq!(bytes.len(), 10 * schema.record_size());
+        let cols = decode_columns(&schema, &bytes).unwrap();
+        assert_eq!(cols[0][3], Value::I32(3));
+        assert_eq!(cols[1][3], Value::I32(-3));
+        assert_eq!(cols[2][9], Value::F32(4.5));
+        assert!(decode_columns(&schema, &bytes[..5]).is_err());
+    }
+
+    #[test]
+    fn routing_covers_all_rows_once() {
+        let schema = std::sync::Arc::new(Schema::grid(&["x", "y"], &["wp"]).unwrap());
+        let cols = vec![
+            (0..100).map(Value::I32).collect(),
+            (0..100).map(|i| Value::I32(i * 7 % 13)).collect(),
+            (0..100).map(|i| Value::F32(i as f32)).collect(),
+        ];
+        let st = SubTable::from_columns(SubTableId::new(0u32, 0u32), schema.clone(), cols).unwrap();
+        let routed = route_subtable(&st, &[0, 1], 3, 4);
+        let total_bytes: usize = routed
+            .iter()
+            .flat_map(|d| d.iter().map(|(_, b)| b.len()))
+            .sum();
+        assert_eq!(total_bytes, 100 * schema.record_size());
+        // Bucket indices in range.
+        for dest in &routed {
+            for (b, bytes) in dest {
+                assert!(*b < 4);
+                assert_eq!(bytes.len() % schema.record_size(), 0);
+            }
+        }
+    }
+}

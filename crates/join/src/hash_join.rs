@@ -1,0 +1,284 @@
+//! The in-memory hash join sub-routine.
+//!
+//! Both QES implementations join a pair of in-memory record sets by
+//! building a hash table on the left (inner) side and probing it with the
+//! right (outer) side. The build stores *row indices* (the paper stores "a
+//! pointer to the relevant record"), so build cost is independent of record
+//! size — which is why the cost models can use flat `α_build`/`α_lookup`
+//! constants. Neither build nor probe materializes row objects: keys are
+//! gathered straight from the columnar sub-tables, and output records are
+//! only assembled for actual matches.
+//!
+//! [`JoinCounters`] tallies every insert and lookup; the threaded runtime
+//! aggregates these across nodes and the calibration harness divides wall
+//! time by them to measure `α` on the host.
+
+use orv_chunk::SubTable;
+use orv_types::{Record, Result, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters for hash-join operations.
+#[derive(Clone, Default, Debug)]
+pub struct JoinCounters {
+    builds: Arc<AtomicU64>,
+    probes: Arc<AtomicU64>,
+    results: Arc<AtomicU64>,
+}
+
+impl JoinCounters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hash-table inserts performed.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Hash-table lookups performed.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Result tuples produced.
+    pub fn results(&self) -> u64 {
+        self.results.load(Ordering::Relaxed)
+    }
+}
+
+/// A built hash table over one left-side sub-table.
+///
+/// IJ caches these per left sub-table ("a hash-table is created only once
+/// for every left sub-table"), so the type is cheap to clone and share:
+/// the table is `Arc`ed and the sub-table's columns already are.
+#[derive(Clone)]
+pub struct HashJoiner {
+    /// key → row indices in the build side.
+    table: Arc<HashMap<Vec<Value>, Vec<u32>>>,
+    /// The build-side sub-table (columns shared, not copied).
+    left: SubTable,
+    /// Work multiplier (Figure 8's repeated-instructions trick): every
+    /// build/probe is performed `work_factor` times.
+    work_factor: u32,
+}
+
+impl HashJoiner {
+    /// Build a hash table over `left`'s rows keyed by `key_attrs`.
+    pub fn build(
+        left: &SubTable,
+        key_attrs: &[&str],
+        counters: &JoinCounters,
+        work_factor: u32,
+    ) -> Result<Self> {
+        let key_indices: Vec<usize> = key_attrs
+            .iter()
+            .map(|a| left.schema().require(a))
+            .collect::<Result<_>>()?;
+        let nrows = left.num_rows();
+        let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(nrows);
+        let reps = work_factor.max(1);
+        let mut key = Vec::with_capacity(key_indices.len());
+        for rep in 0..reps {
+            for r in 0..nrows {
+                key.clear();
+                key.extend(key_indices.iter().map(|&i| left.value(r, i)));
+                if rep == 0 {
+                    match table.get_mut(key.as_slice()) {
+                        Some(rows) => rows.push(r as u32),
+                        None => {
+                            table.insert(key.clone(), vec![r as u32]);
+                        }
+                    }
+                } else {
+                    // Repeated work: re-hash and look up, discarding the
+                    // result, exactly like re-running the insert
+                    // instructions on a slower CPU.
+                    std::hint::black_box(table.get(key.as_slice()));
+                }
+            }
+        }
+        counters
+            .builds
+            .fetch_add(nrows as u64 * reps as u64, Ordering::Relaxed);
+        Ok(HashJoiner {
+            table: Arc::new(table),
+            left: left.clone(),
+            work_factor: reps,
+        })
+    }
+
+    /// Number of distinct keys in the table.
+    pub fn num_keys(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of build-side rows.
+    pub fn num_rows(&self) -> usize {
+        self.left.num_rows()
+    }
+
+    /// Probe with every row of `right`; for each match, emit
+    /// `left_row ⨝ right_row` (right key fields dropped) through `on_match`.
+    /// Returns the number of result tuples.
+    pub fn probe(
+        &self,
+        right: &SubTable,
+        key_attrs: &[&str],
+        counters: &JoinCounters,
+        mut on_match: impl FnMut(Record),
+    ) -> Result<u64> {
+        let right_keys: Vec<usize> = key_attrs
+            .iter()
+            .map(|a| right.schema().require(a))
+            .collect::<Result<_>>()?;
+        let mut produced = 0u64;
+        let nrows = right.num_rows();
+        let left_arity = self.left.schema().arity();
+        let right_arity = right.schema().arity();
+        let mut key = Vec::with_capacity(right_keys.len());
+        for rep in 0..self.work_factor {
+            for ri in 0..nrows {
+                key.clear();
+                key.extend(right_keys.iter().map(|&i| right.value(ri, i)));
+                if rep > 0 {
+                    std::hint::black_box(self.table.get(key.as_slice()));
+                    continue;
+                }
+                if let Some(rows) = self.table.get(key.as_slice()) {
+                    for &li in rows {
+                        produced += 1;
+                        // left row ++ right row minus its key fields.
+                        let mut vals =
+                            Vec::with_capacity(left_arity + right_arity - right_keys.len());
+                        for c in 0..left_arity {
+                            vals.push(self.left.value(li as usize, c));
+                        }
+                        for c in 0..right_arity {
+                            if !right_keys.contains(&c) {
+                                vals.push(right.value(ri, c));
+                            }
+                        }
+                        on_match(Record::new(vals));
+                    }
+                }
+            }
+        }
+        counters
+            .probes
+            .fetch_add(nrows as u64 * self.work_factor as u64, Ordering::Relaxed);
+        counters.results.fetch_add(produced, Ordering::Relaxed);
+        Ok(produced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orv_types::{Schema, SubTableId};
+    use std::sync::Arc as StdArc;
+
+    fn left() -> SubTable {
+        let schema = StdArc::new(Schema::grid(&["x", "y"], &["oilp"]).unwrap());
+        let cols = vec![
+            vec![Value::I32(0), Value::I32(1), Value::I32(1)],
+            vec![Value::I32(0), Value::I32(0), Value::I32(1)],
+            vec![Value::F32(0.1), Value::F32(0.2), Value::F32(0.3)],
+        ];
+        SubTable::from_columns(SubTableId::new(0u32, 0u32), schema, cols).unwrap()
+    }
+
+    fn right() -> SubTable {
+        let schema = StdArc::new(Schema::grid(&["x", "y"], &["wp"]).unwrap());
+        let cols = vec![
+            vec![Value::I32(1), Value::I32(0), Value::I32(2)],
+            vec![Value::I32(0), Value::I32(0), Value::I32(2)],
+            vec![Value::F32(0.5), Value::F32(0.6), Value::F32(0.7)],
+        ];
+        SubTable::from_columns(SubTableId::new(1u32, 0u32), schema, cols).unwrap()
+    }
+
+    #[test]
+    fn joins_matching_keys() {
+        let counters = JoinCounters::new();
+        let hj = HashJoiner::build(&left(), &["x", "y"], &counters, 1).unwrap();
+        assert_eq!(hj.num_rows(), 3);
+        assert_eq!(hj.num_keys(), 3);
+        let mut out = Vec::new();
+        let n = hj
+            .probe(&right(), &["x", "y"], &counters, |r| out.push(r))
+            .unwrap();
+        assert_eq!(n, 2);
+        // (1,0) matches and (0,0) matches; (2,2) does not.
+        out.sort_by_key(|r| (r.values()[0], r.values()[1]));
+        assert_eq!(
+            out[0].values(),
+            &[Value::I32(0), Value::I32(0), Value::F32(0.1), Value::F32(0.6)]
+        );
+        assert_eq!(
+            out[1].values(),
+            &[Value::I32(1), Value::I32(0), Value::F32(0.2), Value::F32(0.5)]
+        );
+        assert_eq!(counters.builds(), 3);
+        assert_eq!(counters.probes(), 3);
+        assert_eq!(counters.results(), 2);
+    }
+
+    #[test]
+    fn duplicate_build_keys_fan_out() {
+        let schema = StdArc::new(Schema::grid(&["x"], &["p"]).unwrap());
+        let cols = vec![
+            vec![Value::I32(5), Value::I32(5)],
+            vec![Value::F32(1.0), Value::F32(2.0)],
+        ];
+        let l = SubTable::from_columns(SubTableId::new(0u32, 0u32), schema.clone(), cols).unwrap();
+        let r_cols = vec![vec![Value::I32(5)], vec![Value::F32(9.0)]];
+        let r = SubTable::from_columns(SubTableId::new(1u32, 0u32), schema, r_cols).unwrap();
+        let counters = JoinCounters::new();
+        let hj = HashJoiner::build(&l, &["x"], &counters, 1).unwrap();
+        assert_eq!(hj.num_keys(), 1);
+        let n = hj.probe(&r, &["x"], &counters, |_| {}).unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn work_factor_multiplies_op_counts_not_results() {
+        let counters = JoinCounters::new();
+        let hj = HashJoiner::build(&left(), &["x", "y"], &counters, 3).unwrap();
+        let n = hj.probe(&right(), &["x", "y"], &counters, |_| {}).unwrap();
+        assert_eq!(n, 2, "results unchanged by work factor");
+        assert_eq!(counters.builds(), 9);
+        assert_eq!(counters.probes(), 9);
+        assert_eq!(counters.results(), 2);
+    }
+
+    #[test]
+    fn missing_key_attr_errors() {
+        let counters = JoinCounters::new();
+        assert!(HashJoiner::build(&left(), &["zzz"], &counters, 1).is_err());
+        let hj = HashJoiner::build(&left(), &["x"], &counters, 1).unwrap();
+        assert!(hj.probe(&right(), &["zzz"], &counters, |_| {}).is_err());
+    }
+
+    #[test]
+    fn empty_sides_produce_nothing() {
+        let counters = JoinCounters::new();
+        let schema = StdArc::new(Schema::grid(&["x"], &["p"]).unwrap());
+        let empty = SubTable::empty(SubTableId::new(0u32, 0u32), schema);
+        let hj = HashJoiner::build(&empty, &["x"], &counters, 1).unwrap();
+        let n = hj.probe(&empty, &["x"], &counters, |_| {}).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(counters.builds(), 0);
+    }
+
+    #[test]
+    fn key_order_respected_across_schemas() {
+        // Joining on (y, x) — key positions differ from storage order.
+        let counters = JoinCounters::new();
+        let hj = HashJoiner::build(&left(), &["y", "x"], &counters, 1).unwrap();
+        let n = hj.probe(&right(), &["y", "x"], &counters, |_| {}).unwrap();
+        assert_eq!(n, 2);
+    }
+}

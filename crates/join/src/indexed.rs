@@ -1,0 +1,385 @@
+//! The distributed page-level Indexed Join on the threaded runtime.
+//!
+//! "Each compute node runs a QES instance that receives a pair of sub-table
+//! ids to join. The QES instance checks with the local Cache Service
+//! Instance to see if either of the sub-tables are present. If not, the QES
+//! instance requests for the sub-tables from appropriate BDS instances
+//! running on the storage nodes. It then performs a hash join on the
+//! received pairs of sub-tables."
+//!
+//! Each compute node is an OS thread. Hash tables built on left sub-tables
+//! are cached alongside the sub-tables themselves, so "a hash-table is
+//! created only once for every left sub-table" as long as the §5.1 memory
+//! assumption holds.
+
+use crate::cache::{CacheService, CachedEntry};
+use crate::connectivity::ConnectivityGraph;
+use crate::hash_join::{HashJoiner, JoinCounters};
+use crate::schedule::{schedule, SchedulePolicy};
+use orv_bds::{BdsService, Deployment};
+use orv_chunk::SubTable;
+use orv_cluster::{ByteCounter, RunStats};
+use orv_types::{BoundingBox, Error, Record, Result, SubTableId, TableId};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Configuration of one Indexed Join execution.
+#[derive(Clone, Debug)]
+pub struct IndexedJoinConfig {
+    /// Number of compute-node threads (`n_j`).
+    pub n_compute: usize,
+    /// Sub-table cache capacity per compute node, bytes.
+    pub cache_capacity: u64,
+    /// Scheduling strategy (paper default: two-stage lexicographic).
+    pub policy: SchedulePolicy,
+    /// Figure-8 work multiplier for hash build/probe.
+    pub work_factor: u32,
+    /// Collect result records (tests); otherwise only count them.
+    pub collect_results: bool,
+    /// Optional range constraint pushed into the connectivity graph and
+    /// applied to fetched sub-tables.
+    pub range: Option<BoundingBox>,
+}
+
+impl Default for IndexedJoinConfig {
+    fn default() -> Self {
+        IndexedJoinConfig {
+            n_compute: 2,
+            cache_capacity: 256 << 20,
+            policy: SchedulePolicy::TwoStageLexicographic,
+            work_factor: 1,
+            collect_results: false,
+            range: None,
+        }
+    }
+}
+
+/// Result of a distributed join execution.
+#[derive(Debug)]
+pub struct JoinOutput {
+    /// Aggregated run statistics.
+    pub stats: RunStats,
+    /// Result records if `collect_results` was set.
+    pub records: Option<Vec<Record>>,
+}
+
+/// Execute `left ⊕ right` on `join_attrs` with the Indexed Join QES,
+/// using a fresh (query-lifetime) cache.
+pub fn indexed_join(
+    deployment: &Deployment,
+    left: TableId,
+    right: TableId,
+    join_attrs: &[&str],
+    cfg: &IndexedJoinConfig,
+) -> Result<JoinOutput> {
+    let cache = CacheService::new(cfg.n_compute, cfg.cache_capacity);
+    indexed_join_cached(deployment, left, right, join_attrs, cfg, &cache)
+}
+
+/// Execute with an externally owned [`CacheService`], so repeated queries
+/// find their working set warm. The service must have one shard per
+/// compute node.
+///
+/// Cached sub-tables are stored *after* the `range` filter is applied, so
+/// a service may only be shared between executions using the same `range`
+/// (the query engine shares it for unconstrained view scans only).
+pub fn indexed_join_cached(
+    deployment: &Deployment,
+    left: TableId,
+    right: TableId,
+    join_attrs: &[&str],
+    cfg: &IndexedJoinConfig,
+    cache: &CacheService,
+) -> Result<JoinOutput> {
+    if cfg.n_compute == 0 {
+        return Err(Error::Config("indexed join needs at least one compute node".into()));
+    }
+    if cache.n_compute() != cfg.n_compute {
+        return Err(Error::Config(format!(
+            "cache service has {} shards but the join uses {} compute nodes",
+            cache.n_compute(),
+            cfg.n_compute
+        )));
+    }
+    let md = deployment.metadata();
+
+    // Consult (or build and persist) the page-level join index, then prune
+    // by the range constraint.
+    let graph = match (&cfg.range, md.get_join_index(left, right, join_attrs)) {
+        (None, Some(pairs)) => {
+            ConnectivityGraph::from_edges(left, right, join_attrs, pairs.as_ref().clone())
+        }
+        (maybe_range, _) => {
+            let g = ConnectivityGraph::build(md, left, right, join_attrs, maybe_range.as_ref())?;
+            if maybe_range.is_none() {
+                md.put_join_index(left, right, join_attrs, g.edges().collect());
+            }
+            g
+        }
+    };
+
+    let plans = schedule(&graph, cfg.n_compute, cfg.policy);
+    let services = BdsService::for_all_nodes(deployment)?;
+    let counters = JoinCounters::new();
+    let transfer = ByteCounter::new();
+    let results: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+
+    let per_node: Vec<RunStats> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (node_idx, plan) in plans.iter().enumerate() {
+            let services = &services;
+            let counters = &counters;
+            let transfer = &transfer;
+            let results = &results;
+            handles.push(scope.spawn(move || -> Result<RunStats> {
+                let mut stats = RunStats::default();
+                let shard = cache.shard(node_idx)?;
+                let mut cache = shard.lock();
+                let mut local_results = Vec::new();
+
+                let fetch = |id: SubTableId,
+                             stats: &mut RunStats|
+                 -> Result<SubTable> {
+                    let meta = md.chunk_meta(id)?;
+                    let mut st = services[meta.node.index()].subtable(id)?;
+                    if let Some(rg) = &cfg.range {
+                        st = st.filter_range(rg)?;
+                    }
+                    stats.bytes_read_storage += meta.size_bytes();
+                    stats.bytes_transferred += st.encoded_size() as u64;
+                    transfer.add(st.encoded_size() as u64);
+                    Ok(st)
+                };
+
+                for &(lid, rid) in plan {
+                    // Left side: cached hash table or fetch + build.
+                    let joiner = match cache.get(&lid) {
+                        Some(CachedEntry::Left(j)) => {
+                            stats.cache_hits += 1;
+                            j.clone()
+                        }
+                        _ => {
+                            stats.cache_misses += 1;
+                            let st = fetch(lid, &mut stats)?;
+                            let size = st.encoded_size() as u64;
+                            let j = HashJoiner::build(&st, join_attrs, counters, cfg.work_factor)?;
+                            cache.put(lid, CachedEntry::Left(j.clone()), size);
+                            j
+                        }
+                    };
+                    // Right side: cached sub-table or fetch.
+                    let rst = match cache.get(&rid) {
+                        Some(CachedEntry::Right(st)) => {
+                            stats.cache_hits += 1;
+                            st.clone()
+                        }
+                        _ => {
+                            stats.cache_misses += 1;
+                            let st = fetch(rid, &mut stats)?;
+                            cache.put(rid, CachedEntry::Right(st.clone()), st.encoded_size() as u64);
+                            st
+                        }
+                    };
+                    let produced = if cfg.collect_results {
+                        joiner.probe(&rst, join_attrs, counters, |r| local_results.push(r))?
+                    } else {
+                        joiner.probe(&rst, join_attrs, counters, |_| {})?
+                    };
+                    stats.result_tuples += produced;
+                }
+                if cfg.collect_results {
+                    results.lock().append(&mut local_results);
+                }
+                Ok(stats)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| Error::Cluster("compute thread panicked".into()))?)
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    let mut stats = RunStats::default();
+    for s in &per_node {
+        stats.merge(s);
+    }
+    stats.wall_secs = start.elapsed().as_secs_f64();
+    stats.hash_builds = counters.builds();
+    stats.hash_probes = counters.probes();
+    Ok(JoinOutput {
+        stats,
+        records: cfg.collect_results.then(|| results.into_inner()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{nested_loop_join, sort_records};
+    use orv_bds::{generate_dataset, DatasetSpec};
+    use orv_types::Interval;
+
+    fn deploy(
+        grid: [u64; 3],
+        p1: [u64; 3],
+        p2: [u64; 3],
+        nodes: usize,
+    ) -> (Deployment, TableId, TableId) {
+        let d = Deployment::in_memory(nodes);
+        let t1 = generate_dataset(
+            &DatasetSpec::builder("t1")
+                .grid(grid)
+                .partition(p1)
+                .scalar_attrs(&["oilp"])
+                .seed(1)
+                .build(),
+            &d,
+        )
+        .unwrap();
+        let t2 = generate_dataset(
+            &DatasetSpec::builder("t2")
+                .grid(grid)
+                .partition(p2)
+                .scalar_attrs(&["wp"])
+                .seed(2)
+                .build(),
+            &d,
+        )
+        .unwrap();
+        (d, t1.table, t2.table)
+    }
+
+    #[test]
+    fn matches_nested_loop_oracle() {
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 2], 2);
+        let cfg = IndexedJoinConfig {
+            n_compute: 3,
+            collect_results: true,
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(out.stats.result_tuples as usize, expected.len());
+        assert_eq!(
+            sort_records(out.records.unwrap()),
+            sort_records(expected)
+        );
+    }
+
+    #[test]
+    fn selectivity_one_produces_t_tuples() {
+        let (d, t1, t2) = deploy([8, 4, 2], [4, 4, 2], [4, 2, 2], 2);
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
+        assert_eq!(out.stats.result_tuples, 64);
+        assert!(out.records.is_none());
+    }
+
+    #[test]
+    fn big_cache_never_refetches() {
+        let (d, t1, t2) = deploy([8, 8, 1], [2, 2, 1], [4, 4, 1], 2);
+        let cfg = IndexedJoinConfig {
+            n_compute: 2,
+            cache_capacity: 1 << 30,
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        // 16 left + 4 right sub-tables fetched exactly once each; with the
+        // two-stage schedule every pair beyond the first per sub-table hits.
+        assert_eq!(out.stats.cache_misses, 20);
+        let expected_bytes = 16 * 4 * 16 + 4 * 16 * 16; // chunks × rows × record size
+        assert_eq!(out.stats.bytes_transferred as usize, expected_bytes);
+    }
+
+    #[test]
+    fn tiny_cache_still_correct() {
+        let (d, t1, t2) = deploy([8, 8, 1], [2, 2, 1], [4, 4, 1], 2);
+        let cfg = IndexedJoinConfig {
+            n_compute: 2,
+            cache_capacity: 1, // nothing fits
+            collect_results: true,
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        assert_eq!(out.stats.cache_hits, 0);
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+    }
+
+    #[test]
+    fn range_constraint_prunes_and_matches_oracle() {
+        let (d, t1, t2) = deploy([8, 8, 1], [4, 4, 1], [2, 2, 1], 2);
+        let range = BoundingBox::from_dims([
+            ("x", Interval::new(0.0, 3.0)),
+            ("y", Interval::new(2.0, 5.0)),
+        ]);
+        let cfg = IndexedJoinConfig {
+            n_compute: 2,
+            collect_results: true,
+            range: Some(range.clone()),
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], Some(&range)).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+        assert_eq!(out.stats.result_tuples, 16);
+    }
+
+    #[test]
+    fn all_policies_agree() {
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 2, 2], [2, 4, 1], 3);
+        let mut outputs = Vec::new();
+        for policy in [
+            SchedulePolicy::TwoStageLexicographic,
+            SchedulePolicy::RandomPairOrder(9),
+            SchedulePolicy::PairRoundRobin,
+        ] {
+            let cfg = IndexedJoinConfig {
+                n_compute: 2,
+                policy,
+                collect_results: true,
+                ..Default::default()
+            };
+            let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+            outputs.push(sort_records(out.records.unwrap()));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn work_factor_changes_ops_not_output() {
+        let (d, t1, t2) = deploy([4, 4, 1], [2, 2, 1], [2, 2, 1], 1);
+        let base = indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
+        let cfg = IndexedJoinConfig {
+            work_factor: 3,
+            ..Default::default()
+        };
+        let tripled = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        assert_eq!(base.stats.result_tuples, tripled.stats.result_tuples);
+        assert_eq!(tripled.stats.hash_builds, 3 * base.stats.hash_builds);
+        assert_eq!(tripled.stats.hash_probes, 3 * base.stats.hash_probes);
+    }
+
+    #[test]
+    fn join_index_is_persisted_and_reused() {
+        let (d, t1, t2) = deploy([4, 4, 1], [2, 2, 1], [2, 2, 1], 1);
+        assert!(d.metadata().get_join_index(t1, t2, &["x", "y", "z"]).is_none());
+        indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
+        let idx = d.metadata().get_join_index(t1, t2, &["x", "y", "z"]).unwrap();
+        assert_eq!(idx.len(), 4); // identical partitions → 1:1 pairs
+        // Second run consumes the stored index (still correct).
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
+        assert_eq!(out.stats.result_tuples, 16);
+    }
+
+    #[test]
+    fn zero_compute_nodes_rejected() {
+        let (d, t1, t2) = deploy([4, 4, 1], [2, 2, 1], [2, 2, 1], 1);
+        let cfg = IndexedJoinConfig {
+            n_compute: 0,
+            ..Default::default()
+        };
+        assert!(indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! Simulator executions of IJ and Grace Hash at paper scale.
+//!
+//! These functions drive the discrete-event [`SimCluster`] with exactly the
+//! operation sequences the threaded runtime performs — chunk fetches,
+//! hash-table builds, probes, bucket writes/reads — but carry only *costs*,
+//! so a 2-billion-tuple run finishes in milliseconds. Used by the benchmark
+//! harness to regenerate Figures 4-9 and by the validation harness to
+//! check the analytic cost models.
+
+use crate::connectivity::RegularPrediction;
+use orv_cluster::{ClusterSpec, NodeClocks, SimCluster};
+use orv_types::{Error, Result};
+
+/// The dataset/compute shape of one simulated join, in cost-model terms.
+#[derive(Clone, Copy, Debug)]
+pub struct SimProblem {
+    /// Tuples per table (`T`).
+    pub t: f64,
+    /// Tuples per left sub-table (`c_R`).
+    pub c_r: f64,
+    /// Tuples per right sub-table (`c_S`).
+    pub c_s: f64,
+    /// Record size of the left table, bytes (`RS_R`).
+    pub rs_r: f64,
+    /// Record size of the right table, bytes (`RS_S`).
+    pub rs_s: f64,
+    /// Number of connectivity-graph components (`N_C`).
+    pub n_c: f64,
+    /// Left sub-tables per component (`a`).
+    pub a: f64,
+    /// Right sub-tables per component (`b`).
+    pub b: f64,
+    /// Edges per component (`E_C`).
+    pub e_c: f64,
+    /// CPU operations per hash-table insert (`γ1`).
+    pub gamma_build: f64,
+    /// CPU operations per hash-table lookup (`γ2`).
+    pub gamma_lookup: f64,
+}
+
+impl SimProblem {
+    /// Build from grid/partition shapes via the closed-form connectivity
+    /// prediction.
+    pub fn from_regular(
+        grid: [u64; 3],
+        p: [u64; 3],
+        q: [u64; 3],
+        rs_r: f64,
+        rs_s: f64,
+        gamma_build: f64,
+        gamma_lookup: f64,
+    ) -> Self {
+        let pred: RegularPrediction = crate::connectivity::predict_regular(grid, p, q);
+        SimProblem {
+            t: (grid[0] * grid[1] * grid[2]) as f64,
+            c_r: (p[0] * p[1] * p[2]) as f64,
+            c_s: (q[0] * q[1] * q[2]) as f64,
+            rs_r,
+            rs_s,
+            n_c: pred.n_c as f64,
+            a: pred.a as f64,
+            b: pred.b as f64,
+            e_c: pred.e_c as f64,
+            gamma_build,
+            gamma_lookup,
+        }
+    }
+
+    /// Total edges `n_e = N_C · E_C`.
+    pub fn n_e(&self) -> f64 {
+        self.n_c * self.e_c
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        let positive = [
+            self.t, self.c_r, self.c_s, self.rs_r, self.rs_s, self.n_c, self.a, self.b, self.e_c,
+            self.gamma_build, self.gamma_lookup,
+        ];
+        if positive.iter().any(|v| !(v.is_finite() && *v > 0.0)) {
+            return Err(Error::Config("all SimProblem fields must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-phase timing of a simulated run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimBreakdown {
+    /// Makespan, seconds — the figure the paper plots.
+    pub total_secs: f64,
+    /// End of the partition phase (GH only; 0 for IJ).
+    pub partition_secs: f64,
+    /// Aggregate CPU busy time across compute nodes.
+    pub cpu_busy_secs: f64,
+    /// Aggregate bytes received by compute nodes.
+    pub bytes_received: f64,
+}
+
+/// One micro-step of a compute node's IJ schedule: fetch a sub-table from
+/// a storage node and do the associated CPU work.
+#[derive(Clone, Copy, Debug)]
+struct IjStep {
+    storage_node: usize,
+    bytes: f64,
+    cpu_ops: f64,
+}
+
+/// Simulate the Indexed Join assuming the §5.1 memory assumption holds
+/// (ideal cache: every sub-table fetched exactly once). Equivalent to
+/// [`simulate_indexed_join_with_cache`] with an unbounded cache.
+///
+/// The driver always advances the node that is furthest behind by *one*
+/// fetch+compute step, so shared FIFO resources receive requests in
+/// (approximately) global time order — processing a whole component
+/// atomically would enqueue far-future requests ahead of other nodes'
+/// earlier ones and fabricate contention.
+pub fn simulate_indexed_join(problem: &SimProblem, spec: &ClusterSpec) -> Result<SimBreakdown> {
+    simulate_indexed_join_with_cache(problem, spec, f64::INFINITY)
+}
+
+/// Simulate the Indexed Join with a per-compute-node sub-table cache of
+/// `cache_bytes` — the §5.1 extension at paper scale.
+///
+/// Under the two-stage schedule, sub-tables are only revisited *within* a
+/// component: each right sub-table probes `E_C/b` left hash tables, which
+/// must stay resident alongside the right sub-table being streamed. When
+/// the cache cannot hold them all, the LRU evicts the lefts that the next
+/// right will need first (lexicographic order streams lefts cyclically —
+/// the classic LRU worst case), so every right must re-fetch and re-build
+/// the non-resident lefts.
+pub fn simulate_indexed_join_with_cache(
+    problem: &SimProblem,
+    spec: &ClusterSpec,
+    cache_bytes: f64,
+) -> Result<SimBreakdown> {
+    problem.validate()?;
+    let mut cluster = SimCluster::new(spec.clone())?;
+    let nj = spec.n_compute;
+    let ns = spec.n_storage as u64;
+    let mut clocks = NodeClocks::new(nj);
+
+    let n_c = problem.n_c.round() as u64;
+    let a = problem.a.round().max(1.0) as u64;
+    let b = problem.b.round().max(1.0) as u64;
+    let left_bytes = problem.c_r * problem.rs_r;
+    let right_bytes = problem.c_s * problem.rs_s;
+    // Each right sub-table in a component is probed against E_C/b left
+    // hash tables.
+    let probes_per_right = (problem.e_c / problem.b).max(1.0);
+    let build_ops = problem.c_r * problem.gamma_build;
+    let probe_ops = probes_per_right * problem.c_s * problem.gamma_lookup;
+
+    // Cache analysis (§5.1 extension): how many left sub-tables stay
+    // resident while a right streams through?
+    let lefts_per_right = probes_per_right.min(problem.a).max(1.0) as u64;
+    let resident = if cache_bytes.is_infinite() {
+        u64::MAX
+    } else {
+        (((cache_bytes - right_bytes) / left_bytes).floor().max(0.0)) as u64
+    };
+    let starved = resident < lefts_per_right;
+    // On-demand refetches per right beyond the first (LRU cyclic reuse).
+    let refetch_per_right = lefts_per_right.saturating_sub(resident);
+
+    // Expand each node's schedule into micro-steps (components were dealt
+    // round-robin, so node j's k-th component is global k·n_j + j; block-
+    // cyclic chunk placement maps sub-table indices to storage nodes).
+    let mut schedules: Vec<std::vec::IntoIter<IjStep>> = (0..nj)
+        .map(|j| {
+            let mut steps = Vec::new();
+            let mut global = j as u64;
+            while global < n_c {
+                if !starved {
+                    // Ideal: every left fetched and built exactly once.
+                    for i in 0..a {
+                        steps.push(IjStep {
+                            storage_node: ((global * a + i) % ns) as usize,
+                            bytes: left_bytes,
+                            cpu_ops: build_ops,
+                        });
+                    }
+                    for i in 0..b {
+                        steps.push(IjStep {
+                            storage_node: ((global * b + i) % ns) as usize,
+                            bytes: right_bytes,
+                            cpu_ops: probe_ops,
+                        });
+                    }
+                } else {
+                    // Starved: lefts fetched on demand per right; the
+                    // first right loads all it needs, later rights refetch
+                    // (and rebuild) whatever the LRU evicted.
+                    for i in 0..b {
+                        steps.push(IjStep {
+                            storage_node: ((global * b + i) % ns) as usize,
+                            bytes: right_bytes,
+                            cpu_ops: probe_ops,
+                        });
+                        let fetches = if i == 0 { lefts_per_right } else { refetch_per_right };
+                        for k in 0..fetches {
+                            steps.push(IjStep {
+                                storage_node: ((global * a + i + k) % ns) as usize,
+                                bytes: left_bytes,
+                                cpu_ops: build_ops,
+                            });
+                        }
+                    }
+                }
+                global += nj as u64;
+            }
+            steps.into_iter()
+        })
+        .collect();
+
+    let mut remaining: Vec<bool> = schedules.iter().map(|s| s.len() > 0).collect();
+    // Earliest node that still has steps, one step at a time.
+    while let Some(j) = (0..nj)
+        .filter(|&k| remaining[k])
+        .min_by(|&x, &y| clocks.get(x).partial_cmp(&clocks.get(y)).unwrap())
+    {
+        match schedules[j].next() {
+            Some(step) => {
+                let t = clocks.get(j);
+                let t = cluster.fetch(step.storage_node, j, step.bytes, t);
+                let t = cluster.cpu(j, step.cpu_ops, t);
+                clocks.set(j, t);
+            }
+            None => remaining[j] = false,
+        }
+    }
+
+    Ok(SimBreakdown {
+        total_secs: clocks.makespan(),
+        partition_secs: 0.0,
+        cpu_busy_secs: cluster.cpu_busy(),
+        bytes_received: cluster.bytes_received(),
+    })
+}
+
+/// Simulate the Grace Hash join: a storage-driven partition phase that
+/// reads every chunk, ships it to compute nodes and spills buckets to
+/// scratch, then an independent per-node bucket-join phase.
+pub fn simulate_grace_hash(problem: &SimProblem, spec: &ClusterSpec) -> Result<SimBreakdown> {
+    problem.validate()?;
+    let mut cluster = SimCluster::new(spec.clone())?;
+    let nj = spec.n_compute;
+    let ns = spec.n_storage;
+
+    // --- Partition phase (storage nodes drive).
+    let mut storage_clocks = NodeClocks::new(ns);
+    // When each compute node may begin its bucket joins: once the last
+    // bucket write destined for it has landed.
+    let mut join_start = vec![0.0f64; nj];
+    // Chunk streams of both tables; chunk i of a table lives on node
+    // i % ns. `h1` scatters each chunk's records over *all* compute nodes,
+    // so every chunk becomes n_j fragment messages and n_j bucket writes —
+    // this request fan-out is what makes a shared NFS server degrade as
+    // compute nodes are added (Figure 9). The storage node streams
+    // (cut-through): it advances once it has read and sent a chunk; the
+    // downstream bucket writes complete asynchronously.
+    for (chunks, bytes) in [
+        ((problem.t / problem.c_r).round() as u64, problem.c_r * problem.rs_r),
+        ((problem.t / problem.c_s).round() as u64, problem.c_s * problem.rs_s),
+    ] {
+        let fragment = bytes / nj as f64;
+        for i in 0..chunks {
+            let s = (i % ns as u64) as usize;
+            let t0 = storage_clocks.get(s);
+            let read_done = cluster.read_chunk(s, bytes, t0);
+            let mut send_done = read_done;
+            for (dest, dest_start) in join_start.iter_mut().enumerate() {
+                // Receiver backpressure: the destination QES instance is
+                // single-threaded — it cannot accept the next fragment
+                // until it finished spilling the previous one, so the wire
+                // transfer waits for the receiver (as TCP flow control
+                // would make it).
+                let start = t0.max(*dest_start);
+                let net_done = cluster.transfer(s, dest, fragment, start);
+                send_done = send_done.max(net_done);
+                let write_done =
+                    cluster.scratch_write(dest, fragment, net_done.max(read_done));
+                *dest_start = dest_start.max(write_done);
+            }
+            storage_clocks.set(s, send_done);
+        }
+    }
+    let partition_end = join_start.iter().cloned().fold(0.0, f64::max);
+
+    // --- Join phase (compute nodes, independent).
+    let mut compute_clocks = NodeClocks::new(nj);
+    for (j, &start) in join_start.iter().enumerate() {
+        compute_clocks.set(j, start);
+    }
+    let bytes_per_node = problem.t * (problem.rs_r + problem.rs_s) / nj as f64;
+    let tuples_per_node = problem.t / nj as f64;
+    // Bucket count from the memory budget (each bucket read back whole).
+    let n_buckets = ((bytes_per_node / spec.mem_per_node as f64).ceil() as u64).max(1);
+    let bucket_bytes = bytes_per_node / n_buckets as f64;
+    let bucket_build_ops = tuples_per_node * problem.gamma_build / n_buckets as f64;
+    let bucket_probe_ops = tuples_per_node * problem.gamma_lookup / n_buckets as f64;
+    for _ in 0..n_buckets {
+        for j in 0..nj {
+            let mut t = compute_clocks.get(j);
+            t = cluster.scratch_read(j, bucket_bytes, t);
+            t = cluster.cpu(j, bucket_build_ops + bucket_probe_ops, t);
+            compute_clocks.set(j, t);
+        }
+    }
+
+    Ok(SimBreakdown {
+        total_secs: compute_clocks.makespan(),
+        partition_secs: partition_end,
+        cpu_busy_secs: cluster.cpu_busy(),
+        bytes_received: cluster.bytes_received(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// γ values matching the paper-testbed CPU calibration.
+    const GAMMA_BUILD: f64 = 280.0;
+    const GAMMA_LOOKUP: f64 = 230.0;
+
+    fn problem(grid: [u64; 3], p: [u64; 3], q: [u64; 3]) -> SimProblem {
+        SimProblem::from_regular(grid, p, q, 16.0, 16.0, GAMMA_BUILD, GAMMA_LOOKUP)
+    }
+
+    #[test]
+    fn from_regular_matches_prediction() {
+        let pr = problem([64, 64, 64], [16, 16, 16], [32, 8, 16]);
+        assert_eq!(pr.t, 64.0 * 64.0 * 64.0);
+        assert_eq!(pr.a, 2.0);
+        assert_eq!(pr.b, 2.0);
+        assert_eq!(pr.e_c, 4.0);
+        assert_eq!(pr.n_e(), 128.0);
+        pr.validate().unwrap();
+    }
+
+    #[test]
+    fn both_sims_scale_linearly_in_t() {
+        let spec = ClusterSpec::paper_testbed(5, 5);
+        let small = problem([128, 128, 16], [16, 16, 16], [16, 16, 16]);
+        let big = problem([256, 128, 16], [16, 16, 16], [16, 16, 16]);
+        let ij_s = simulate_indexed_join(&small, &spec).unwrap().total_secs;
+        let ij_b = simulate_indexed_join(&big, &spec).unwrap().total_secs;
+        let gh_s = simulate_grace_hash(&small, &spec).unwrap().total_secs;
+        let gh_b = simulate_grace_hash(&big, &spec).unwrap().total_secs;
+        assert!((ij_b / ij_s - 2.0).abs() < 0.15, "IJ ratio {}", ij_b / ij_s);
+        assert!((gh_b / gh_s - 2.0).abs() < 0.15, "GH ratio {}", gh_b / gh_s);
+    }
+
+    #[test]
+    fn ij_wins_at_low_ne_cs() {
+        // Identical partitions → E_C = 1, minimal probe work for IJ, while
+        // GH still pays bucket write+read.
+        let spec = ClusterSpec::paper_testbed(5, 5);
+        let pr = problem([256, 256, 16], [16, 16, 16], [16, 16, 16]);
+        let ij = simulate_indexed_join(&pr, &spec).unwrap().total_secs;
+        let gh = simulate_grace_hash(&pr, &spec).unwrap().total_secs;
+        assert!(ij < gh, "IJ {ij} should beat GH {gh} at low n_e·c_S");
+    }
+
+    #[test]
+    fn gh_wins_at_high_ne_cs() {
+        // Mismatched partitions with huge fan-out: IJ probe cost explodes.
+        let spec = ClusterSpec::paper_testbed(5, 5);
+        let pr = problem([256, 256, 16], [256, 1, 16], [1, 256, 16]);
+        assert!(pr.e_c >= 256.0 * 256.0);
+        let ij = simulate_indexed_join(&pr, &spec).unwrap().total_secs;
+        let gh = simulate_grace_hash(&pr, &spec).unwrap().total_secs;
+        assert!(gh < ij, "GH {gh} should beat IJ {ij} at high n_e·c_S");
+    }
+
+    #[test]
+    fn gh_partition_phase_precedes_join_phase() {
+        let spec = ClusterSpec::paper_testbed(2, 2);
+        let pr = problem([64, 64, 4], [16, 16, 4], [16, 16, 4]);
+        let r = simulate_grace_hash(&pr, &spec).unwrap();
+        assert!(r.partition_secs > 0.0);
+        assert!(r.total_secs > r.partition_secs);
+    }
+
+    #[test]
+    fn more_compute_nodes_speed_both_up() {
+        let pr = problem([256, 256, 8], [16, 16, 8], [8, 32, 8]);
+        let t2 = simulate_indexed_join(&pr, &ClusterSpec::paper_testbed(5, 2)).unwrap().total_secs;
+        let t8 = simulate_indexed_join(&pr, &ClusterSpec::paper_testbed(5, 8)).unwrap().total_secs;
+        assert!(t8 < t2);
+        let g2 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed(5, 2)).unwrap().total_secs;
+        let g8 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed(5, 8)).unwrap().total_secs;
+        assert!(g8 < g2);
+    }
+
+    #[test]
+    fn nfs_punishes_grace_hash_more(){
+        // Figure 9: under a single shared file server, GH's bucket I/O
+        // contends with chunk reads; adding compute nodes must not help GH.
+        let pr = problem([128, 128, 8], [16, 16, 8], [16, 16, 8]);
+        let gh2 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed_nfs(2)).unwrap().total_secs;
+        let gh8 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed_nfs(8)).unwrap().total_secs;
+        assert!(gh8 >= gh2 * 0.95, "GH must not improve under NFS: {gh2} → {gh8}");
+        let ij2 = simulate_indexed_join(&pr, &ClusterSpec::paper_testbed_nfs(2)).unwrap().total_secs;
+        assert!(ij2 < gh2, "IJ is the better choice under NFS");
+    }
+
+    #[test]
+    fn work_factor_hurts_ij_more() {
+        // Figure 8: lower computing power (higher work factor) hurts the
+        // CPU-bound side of the comparison more. At low n_e·c_S, IJ is
+        // CPU-light, so slowing the CPU narrows then flips the gap.
+        let pr = problem([256, 256, 16], [8, 8, 16], [64, 64, 16]);
+        let mut fast = ClusterSpec::paper_testbed(5, 5);
+        fast.cpu_work_factor = 1.0;
+        let mut slow = fast.clone();
+        slow.cpu_work_factor = 16.0;
+        let ij_gain_fast = simulate_grace_hash(&pr, &fast).unwrap().total_secs
+            - simulate_indexed_join(&pr, &fast).unwrap().total_secs;
+        let ij_gain_slow = simulate_grace_hash(&pr, &slow).unwrap().total_secs
+            - simulate_indexed_join(&pr, &slow).unwrap().total_secs;
+        assert!(
+            ij_gain_slow < ij_gain_fast,
+            "IJ's advantage should shrink on slower CPUs: fast {ij_gain_fast}, slow {ij_gain_slow}"
+        );
+    }
+
+    #[test]
+    fn cache_starvation_degrades_monotonically() {
+        use super::simulate_indexed_join_with_cache;
+        // A tangled component: a = b = 16, lefts_per_right = 16, chunks of
+        // 4096·16 = 64 KB.
+        let pr = problem([256, 256, 16], [64, 4, 16], [4, 64, 16]);
+        let spec = ClusterSpec::paper_testbed(5, 5);
+        let ideal = simulate_indexed_join(&pr, &spec).unwrap().total_secs;
+        // A cache holding the full working set behaves identically.
+        let big = simulate_indexed_join_with_cache(&pr, &spec, (64u64 << 20) as f64)
+            .unwrap()
+            .total_secs;
+        assert!((big - ideal).abs() < 1e-9, "ideal {ideal} vs big-cache {big}");
+        // Shrinking the cache below a·c_R + c_S bytes forces refetches.
+        let half = simulate_indexed_join_with_cache(&pr, &spec, 9.0 * 65536.0).unwrap().total_secs;
+        let tiny = simulate_indexed_join_with_cache(&pr, &spec, 2.0 * 65536.0).unwrap().total_secs;
+        assert!(ideal < half, "ideal {ideal} < half {half}");
+        assert!(half < tiny, "half {half} < tiny {tiny}");
+    }
+
+    #[test]
+    fn invalid_problem_rejected() {
+        let mut pr = problem([8, 8, 8], [2, 2, 2], [2, 2, 2]);
+        pr.t = 0.0;
+        assert!(pr.validate().is_err());
+        assert!(simulate_indexed_join(&pr, &ClusterSpec::paper_testbed(1, 1)).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for IJ scheduling: every policy is a permutation of the
+//! edge set, stage-1 balance holds, and the two-stage schedule preserves
+//! component locality.
+
+use orv_join::connectivity::ConnectivityGraph;
+use orv_join::schedule::schedule;
+use orv_join::SchedulePolicy;
+use orv_types::{SubTableId, TableId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn graph_strategy() -> impl Strategy<Value = ConnectivityGraph> {
+    // Random bipartite edges over up to 12×12 sub-tables.
+    proptest::collection::hash_set((0u32..12, 0u32..12), 1..60).prop_map(|edges| {
+        let edges: Vec<_> = edges
+            .into_iter()
+            .map(|(l, r)| (SubTableId::new(0u32, l), SubTableId::new(1u32, r)))
+            .collect();
+        ConnectivityGraph::from_edges(TableId(0), TableId(1), &["x"], edges)
+    })
+}
+
+fn policies() -> impl Strategy<Value = SchedulePolicy> {
+    prop_oneof![
+        Just(SchedulePolicy::TwoStageLexicographic),
+        (0u64..100).prop_map(SchedulePolicy::RandomPairOrder),
+        Just(SchedulePolicy::PairRoundRobin),
+        (0usize..6).prop_map(|b| SchedulePolicy::OpasGreedy { buffer_subtables: b }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_policy_is_a_permutation_of_edges(
+        g in graph_strategy(),
+        n in 1usize..5,
+        policy in policies(),
+    ) {
+        let plans = schedule(&g, n, policy);
+        prop_assert_eq!(plans.len(), n);
+        let mut all: Vec<_> = plans.into_iter().flatten().collect();
+        all.sort();
+        let mut expected: Vec<_> = g.edges().collect();
+        expected.sort();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn stage1_component_balance(
+        g in graph_strategy(),
+        n in 1usize..5,
+    ) {
+        // Each node receives either ⌊C/n⌋ or ⌈C/n⌉ complete components.
+        let plans = schedule(&g, n, SchedulePolicy::TwoStageLexicographic);
+        // Recover each node's component count by matching edges back to
+        // components.
+        for (ni, plan) in plans.iter().enumerate() {
+            let edge_set: HashSet<_> = plan.iter().copied().collect();
+            let mut comps_here = 0;
+            for comp in &g.components {
+                let mine = comp.edges.iter().filter(|e| edge_set.contains(e)).count();
+                prop_assert!(
+                    mine == 0 || mine == comp.edges.len(),
+                    "node {ni} got a partial component"
+                );
+                comps_here += (mine == comp.edges.len()) as usize;
+            }
+            let total = g.num_components();
+            let lo = total / n;
+            let hi = total.div_ceil(n);
+            prop_assert!((lo..=hi).contains(&comps_here));
+        }
+    }
+
+    #[test]
+    fn opas_never_worse_than_random_on_unit_lru(
+        g in graph_strategy(),
+        cap in 1u64..8,
+        seed in 0u64..50,
+    ) {
+        let replay = |plan: &[(SubTableId, SubTableId)]| -> u64 {
+            let mut cache: orv_join::LruCache<SubTableId, ()> = orv_join::LruCache::new(cap);
+            let mut fetches = 0;
+            for &(l, r) in plan {
+                for id in [l, r] {
+                    if cache.get(&id).is_none() {
+                        fetches += 1;
+                        cache.put(id, (), 1);
+                    }
+                }
+            }
+            fetches
+        };
+        let opas = schedule(&g, 1, SchedulePolicy::OpasGreedy { buffer_subtables: cap as usize });
+        let rand = schedule(&g, 1, SchedulePolicy::RandomPairOrder(seed));
+        // Greedy OPAS is a heuristic, not optimal — but with the simulated
+        // buffer equal to the replay LRU it must not lose by more than one
+        // fetch per component boundary.
+        let slack = g.num_components() as u64;
+        prop_assert!(
+            replay(&opas[0]) <= replay(&rand[0]) + slack,
+            "opas {} vs random {} (+{slack})",
+            replay(&opas[0]),
+            replay(&rand[0])
+        );
+    }
+}

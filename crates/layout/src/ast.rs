@@ -1,0 +1,204 @@
+//! Abstract syntax of layout descriptions.
+
+use orv_types::{DataType, Error, Result};
+
+/// Byte order of multi-byte fields.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Endian {
+    /// Least-significant byte first.
+    Little,
+    /// Most-significant byte first.
+    Big,
+}
+
+/// How records are laid out within a chunk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecordOrder {
+    /// Records are packed one after another (array of structs).
+    RowMajor,
+    /// Each field's values are stored contiguously (struct of arrays);
+    /// `pad` items become per-record gaps within each column block.
+    ColumnMajor,
+}
+
+/// One item in a layout body, in declaration order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Item {
+    /// A named, typed field.
+    Field {
+        /// Field name (becomes the attribute name).
+        name: String,
+        /// Scalar type.
+        dtype: DataType,
+    },
+    /// `n` bytes of padding after the previous item (per record).
+    Pad(usize),
+}
+
+/// A parsed layout description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LayoutDesc {
+    /// Layout name (identifies the extractor in the metadata service).
+    pub name: String,
+    /// Byte order.
+    pub endian: Endian,
+    /// Record order.
+    pub order: RecordOrder,
+    /// Bytes to skip at the start of every chunk.
+    pub header_len: usize,
+    /// Fields and padding, in on-disk order.
+    pub items: Vec<Item>,
+}
+
+impl LayoutDesc {
+    /// Field `(name, dtype)` pairs in on-disk order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, DataType)> {
+        self.items.iter().filter_map(|it| match it {
+            Item::Field { name, dtype } => Some((name.as_str(), *dtype)),
+            Item::Pad(_) => None,
+        })
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields().count()
+    }
+
+    /// Bytes occupied by one record, padding included.
+    pub fn record_stride(&self) -> usize {
+        self.items
+            .iter()
+            .map(|it| match it {
+                Item::Field { dtype, .. } => dtype.width(),
+                Item::Pad(n) => *n,
+            })
+            .sum()
+    }
+
+    /// Check structural invariants: at least one field, unique names.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_fields() == 0 {
+            return Err(Error::Format(format!("layout `{}` declares no fields", self.name)));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for (name, _) in self.fields() {
+            if seen.contains(&name) {
+                return Err(Error::Format(format!(
+                    "layout `{}` declares field `{name}` twice",
+                    self.name
+                )));
+            }
+            seen.push(name);
+        }
+        Ok(())
+    }
+
+    /// Render back to DSL source text; `parse_layout(desc.to_source())`
+    /// reproduces the description exactly.
+    pub fn to_source(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "layout {} {{", self.name);
+        let endian = match self.endian {
+            Endian::Little => "little",
+            Endian::Big => "big",
+        };
+        let _ = writeln!(out, "    endian {endian};");
+        let order = match self.order {
+            RecordOrder::RowMajor => "row_major",
+            RecordOrder::ColumnMajor => "column_major",
+        };
+        let _ = writeln!(out, "    order {order};");
+        let _ = writeln!(out, "    header {};", self.header_len);
+        for item in &self.items {
+            match item {
+                Item::Field { name, dtype } => {
+                    let _ = writeln!(out, "    field {name}: {dtype};");
+                }
+                Item::Pad(n) => {
+                    let _ = writeln!(out, "    pad {n};");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The canonical packed little-endian row-major layout for a list of
+    /// fields — what the oil-reservoir generator uses by default.
+    pub fn packed(name: impl Into<String>, fields: &[(&str, DataType)]) -> Self {
+        LayoutDesc {
+            name: name.into(),
+            endian: Endian::Little,
+            order: RecordOrder::RowMajor,
+            header_len: 0,
+            items: fields
+                .iter()
+                .map(|(n, t)| Item::Field {
+                    name: (*n).to_string(),
+                    dtype: *t,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_counts_fields_and_padding() {
+        let d = LayoutDesc {
+            name: "t".into(),
+            endian: Endian::Little,
+            order: RecordOrder::RowMajor,
+            header_len: 0,
+            items: vec![
+                Item::Field { name: "x".into(), dtype: DataType::I32 },
+                Item::Pad(4),
+                Item::Field { name: "p".into(), dtype: DataType::F64 },
+            ],
+        };
+        assert_eq!(d.record_stride(), 16);
+        assert_eq!(d.num_fields(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_empty() {
+        let mut d = LayoutDesc::packed("t", &[("x", DataType::I32), ("x", DataType::F32)]);
+        assert!(d.validate().is_err());
+        d.items.clear();
+        assert!(d.validate().is_err());
+        let ok = LayoutDesc::packed("t", &[("x", DataType::I32)]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn to_source_roundtrips_through_parser() {
+        let d = LayoutDesc {
+            name: "roundtrip".into(),
+            endian: Endian::Big,
+            order: RecordOrder::ColumnMajor,
+            header_len: 24,
+            items: vec![
+                Item::Field { name: "x".into(), dtype: DataType::I64 },
+                Item::Pad(3),
+                Item::Field { name: "wp".into(), dtype: DataType::F32 },
+            ],
+        };
+        let src = d.to_source();
+        assert!(src.contains("endian big;"));
+        assert!(src.contains("pad 3;"));
+        let back = crate::parser::parse_layout(&src).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn packed_layout_is_tight() {
+        let d = LayoutDesc::packed("t", &[("x", DataType::I32), ("wp", DataType::F32)]);
+        assert_eq!(d.record_stride(), 8);
+        assert_eq!(d.header_len, 0);
+        assert_eq!(d.endian, Endian::Little);
+    }
+}

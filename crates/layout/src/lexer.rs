@@ -1,0 +1,175 @@
+//! Tokenizer for the layout DSL.
+//!
+//! The language is tiny: identifiers, unsigned integers, and the punctuation
+//! `{ } : ;`. `#` starts a comment running to end of line.
+
+use orv_types::{Error, Result};
+use std::fmt;
+
+/// A lexical token with its source line (for error messages).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// Token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(n) => write!(f, "`{n}`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semi => write!(f, "`;`"),
+        }
+    }
+}
+
+/// Tokenize a layout source string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::LBrace, line });
+            }
+            '}' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::RBrace, line });
+            }
+            ':' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Colon, line });
+            }
+            ';' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Semi, line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(digit as u64))
+                            .ok_or_else(|| {
+                                Error::Parse(format!("line {line}: integer literal overflows u64"))
+                            })?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { kind: TokenKind::Int(n), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { kind: TokenKind::Ident(s), line });
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "line {line}: unexpected character `{other}` in layout description"
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_all_kinds() {
+        let toks = kinds("layout t { field x: i32; }");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("layout".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("field".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("i32".into()),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let toks = kinds("# a comment\n\n  pad 16; # trailing\n");
+        assert_eq!(toks, vec![TokenKind::Ident("pad".into()), TokenKind::Int(16), TokenKind::Semi]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = tokenize("a\nb\n  c").unwrap();
+        assert_eq!(toks.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bad_character_reports_line() {
+        let err = tokenize("ok\n$").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn big_integer_overflow_detected() {
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Recursive-descent parser for the layout DSL.
+//!
+//! Grammar:
+//!
+//! ```text
+//! layout      := "layout" IDENT "{" stmt* "}"
+//! stmt        := "endian" ("little" | "big") ";"
+//!              | "order" ("row_major" | "column_major") ";"
+//!              | "header" INT ";"
+//!              | "field" IDENT ":" TYPE ";"
+//!              | "pad" INT ";"
+//! TYPE        := "i32" | "i64" | "f32" | "f64"
+//! ```
+//!
+//! `endian`, `order` and `header` default to `little`, `row_major` and `0`
+//! and may appear at most once each.
+
+use crate::ast::{Endian, Item, LayoutDesc, RecordOrder};
+use crate::lexer::{tokenize, Token, TokenKind};
+use orv_types::{DataType, Error, Result};
+
+/// Parse a single layout description from source text.
+pub fn parse_layout(src: &str) -> Result<LayoutDesc> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let desc = p.layout()?;
+    p.expect_eof()?;
+    desc.validate()?;
+    Ok(desc)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Result<&Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| Error::Parse("unexpected end of layout description".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        let line = self.line();
+        let t = self.next()?;
+        if &t.kind == kind {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("line {line}: expected {kind}, found {}", t.kind)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        let line = self.line();
+        let t = self.next()?;
+        match &t.kind {
+            TokenKind::Ident(s) => Ok(s.clone()),
+            other => Err(Error::Parse(format!("line {line}: expected identifier, found {other}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64> {
+        let line = self.line();
+        let t = self.next()?;
+        match &t.kind {
+            TokenKind::Int(n) => Ok(*n),
+            other => Err(Error::Parse(format!("line {line}: expected integer, found {other}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        let line = self.line();
+        let got = self.ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("line {line}: expected keyword `{kw}`, found `{got}`")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "line {}: trailing input after layout description",
+                self.line()
+            )))
+        }
+    }
+
+    fn layout(&mut self) -> Result<LayoutDesc> {
+        self.keyword("layout")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+
+        let mut endian: Option<Endian> = None;
+        let mut order: Option<RecordOrder> = None;
+        let mut header: Option<u64> = None;
+        let mut items = Vec::new();
+
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(TokenKind::Ident(kw)) => {
+                    let kw = kw.clone();
+                    self.pos += 1;
+                    match kw.as_str() {
+                        "endian" => {
+                            let v = self.ident()?;
+                            let e = match v.as_str() {
+                                "little" => Endian::Little,
+                                "big" => Endian::Big,
+                                other => {
+                                    return Err(Error::Parse(format!(
+                                        "line {line}: unknown endianness `{other}`"
+                                    )))
+                                }
+                            };
+                            set_once(&mut endian, e, "endian", line)?;
+                        }
+                        "order" => {
+                            let v = self.ident()?;
+                            let o = match v.as_str() {
+                                "row_major" => RecordOrder::RowMajor,
+                                "column_major" => RecordOrder::ColumnMajor,
+                                other => {
+                                    return Err(Error::Parse(format!(
+                                        "line {line}: unknown record order `{other}`"
+                                    )))
+                                }
+                            };
+                            set_once(&mut order, o, "order", line)?;
+                        }
+                        "header" => {
+                            let n = self.int()?;
+                            set_once(&mut header, n, "header", line)?;
+                        }
+                        "field" => {
+                            let fname = self.ident()?;
+                            self.expect(&TokenKind::Colon)?;
+                            let tyname = self.ident()?;
+                            let dtype = DataType::parse(&tyname).ok_or_else(|| {
+                                Error::Parse(format!("line {line}: unknown type `{tyname}`"))
+                            })?;
+                            items.push(Item::Field { name: fname, dtype });
+                        }
+                        "pad" => {
+                            let n = self.int()?;
+                            items.push(Item::Pad(n as usize));
+                        }
+                        other => {
+                            return Err(Error::Parse(format!(
+                                "line {line}: unknown statement `{other}`"
+                            )))
+                        }
+                    }
+                    self.expect(&TokenKind::Semi)?;
+                }
+                Some(other) => {
+                    return Err(Error::Parse(format!(
+                        "line {line}: expected statement or `}}`, found {other}"
+                    )))
+                }
+                None => return Err(Error::Parse("unclosed layout body (missing `}`)".into())),
+            }
+        }
+
+        Ok(LayoutDesc {
+            name,
+            endian: endian.unwrap_or(Endian::Little),
+            order: order.unwrap_or(RecordOrder::RowMajor),
+            header_len: header.unwrap_or(0) as usize,
+            items,
+        })
+    }
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, what: &str, line: usize) -> Result<()> {
+    if slot.is_some() {
+        return Err(Error::Parse(format!("line {line}: `{what}` specified twice")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_layout() {
+        let d = parse_layout(
+            r#"
+            # Oil reservoir chunk format, version 1
+            layout reservoir_v1 {
+                endian big;
+                order column_major;
+                header 32;
+                field x: i32;
+                field y: i32;
+                pad 8;
+                field wp: f64;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(d.name, "reservoir_v1");
+        assert_eq!(d.endian, Endian::Big);
+        assert_eq!(d.order, RecordOrder::ColumnMajor);
+        assert_eq!(d.header_len, 32);
+        assert_eq!(d.items.len(), 4);
+        assert_eq!(d.record_stride(), 4 + 4 + 8 + 8);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let d = parse_layout("layout t { field x: i32; }").unwrap();
+        assert_eq!(d.endian, Endian::Little);
+        assert_eq!(d.order, RecordOrder::RowMajor);
+        assert_eq!(d.header_len, 0);
+    }
+
+    #[test]
+    fn rejects_duplicate_directives() {
+        let e = parse_layout("layout t { endian little; endian big; field x: i32; }").unwrap_err();
+        assert!(e.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_statement() {
+        assert!(parse_layout("layout t { field x: u8; }").is_err());
+        assert!(parse_layout("layout t { wibble 3; }").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon_and_unclosed_body() {
+        assert!(parse_layout("layout t { field x: i32 }").is_err());
+        assert!(parse_layout("layout t { field x: i32;").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let e = parse_layout("layout t { field x: i32; } extra").unwrap_err();
+        assert!(e.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_duplicate_field_names_via_validate() {
+        let e = parse_layout("layout t { field x: i32; field x: f32; }").unwrap_err();
+        assert!(e.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let e = parse_layout("layout t {\n  field x: i32;\n  field y i32;\n}").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: encode→decode is the identity for arbitrary layouts and
+//! arbitrary column data.
+
+use orv_layout::{CompiledLayout, Endian, Item, LayoutDesc, RecordOrder};
+use orv_types::{DataType, Value};
+use proptest::prelude::*;
+
+fn dtype_strategy() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::I32),
+        Just(DataType::I64),
+        Just(DataType::F32),
+        Just(DataType::F64),
+    ]
+}
+
+fn layout_strategy() -> impl Strategy<Value = LayoutDesc> {
+    let endian = prop_oneof![Just(Endian::Little), Just(Endian::Big)];
+    let order = prop_oneof![Just(RecordOrder::RowMajor), Just(RecordOrder::ColumnMajor)];
+    let item = prop_oneof![
+        3 => dtype_strategy().prop_map(|d| (Some(d), 0usize)),
+        1 => (1usize..8).prop_map(|n| (None, n)),
+    ];
+    (
+        endian,
+        order,
+        0usize..32,
+        proptest::collection::vec(item, 1..8),
+    )
+        .prop_map(|(endian, order, header_len, raw_items)| {
+            let mut items = Vec::new();
+            let mut fidx = 0;
+            for (field, pad) in raw_items {
+                match field {
+                    Some(dtype) => {
+                        items.push(Item::Field {
+                            name: format!("f{fidx}"),
+                            dtype,
+                        });
+                        fidx += 1;
+                    }
+                    None => items.push(Item::Pad(pad)),
+                }
+            }
+            if fidx == 0 {
+                items.push(Item::Field {
+                    name: "f0".into(),
+                    dtype: DataType::I32,
+                });
+            }
+            LayoutDesc {
+                name: "prop".into(),
+                endian,
+                order,
+                header_len,
+                items,
+            }
+        })
+}
+
+fn value_for(dtype: DataType, seed: i64) -> Value {
+    match dtype {
+        DataType::I32 => Value::I32(seed as i32),
+        DataType::I64 => Value::I64(seed.wrapping_mul(1 << 33)),
+        DataType::F32 => Value::F32(seed as f32 * 0.37),
+        DataType::F64 => Value::F64(seed as f64 * -1.0e6),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_identity(desc in layout_strategy(), nrows in 0usize..40, seed in any::<i64>()) {
+        let compiled = CompiledLayout::compile(&desc).unwrap();
+        let cols: Vec<Vec<Value>> = compiled
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(ci, (_, dtype))| {
+                (0..nrows)
+                    .map(|r| value_for(*dtype, seed.wrapping_add((ci * 1000 + r) as i64)))
+                    .collect()
+            })
+            .collect();
+        let bytes = compiled.encode(&cols).unwrap();
+        prop_assert_eq!(bytes.len(), desc.header_len + nrows * desc.record_stride());
+        let back = compiled.decode(&bytes).unwrap();
+        prop_assert_eq!(back, cols);
+    }
+
+    #[test]
+    fn source_roundtrip_identity(desc in layout_strategy()) {
+        let src = desc.to_source();
+        let back = orv_layout::parse_layout(&src).unwrap();
+        prop_assert_eq!(back, desc);
+    }
+
+    #[test]
+    fn row_count_agrees_with_encode(desc in layout_strategy(), nrows in 0usize..40) {
+        let compiled = CompiledLayout::compile(&desc).unwrap();
+        let cols: Vec<Vec<Value>> = compiled
+            .fields()
+            .iter()
+            .map(|(_, dtype)| (0..nrows).map(|r| value_for(*dtype, r as i64)).collect())
+            .collect();
+        let bytes = compiled.encode(&cols).unwrap();
+        prop_assert_eq!(compiled.row_count(bytes.len()).unwrap(), nrows);
+    }
+}

@@ -1,0 +1,17 @@
+//! The MetaData Service.
+//!
+//! Stores information about chunks (location, size, attributes, extractors,
+//! bounding boxes), answers range queries over chunk bounding boxes using an
+//! [R-tree](rtree::RTree) (Guttman '84 — the paper's reference \[6\]), and
+//! holds persistent artifacts other services produce, such as precomputed
+//! page-level join indices.
+
+pub mod catalog;
+pub mod persist;
+pub mod rtree;
+pub mod service;
+
+pub use catalog::{Catalog, TableEntry};
+pub use persist::CatalogSnapshot;
+pub use rtree::{RTree, Rect};
+pub use service::MetadataService;

@@ -1,0 +1,202 @@
+//! Catalog persistence.
+//!
+//! "The MetaData Service stores information about chunks and may also be
+//! used by other services to store persistent information." This module
+//! snapshots a [`MetadataService`] — tables, chunk metadata and the
+//! precomputed page-level join indices — to a JSON file and restores it,
+//! rebuilding the R-trees on load. A restored deployment can answer
+//! queries without re-scanning any data file.
+
+use crate::service::MetadataService;
+use orv_chunk::ChunkMeta;
+use orv_types::{Error, Result, Schema, SubTableId};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+
+/// On-disk snapshot of the whole service.
+#[derive(Serialize, Deserialize)]
+pub struct CatalogSnapshot {
+    /// Snapshot format version.
+    pub version: u32,
+    tables: Vec<TableSnapshot>,
+    join_indices: Vec<(String, Vec<(SubTableId, SubTableId)>)>,
+    /// Layout sources: `(extractor name, DSL source, coordinate attrs)`.
+    #[serde(default)]
+    layouts: Vec<(String, String, Vec<String>)>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TableSnapshot {
+    name: String,
+    schema: Schema,
+    chunks: Vec<ChunkMeta>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl MetadataService {
+    /// Capture a snapshot of tables, chunks and join indices.
+    pub fn snapshot(&self) -> Result<CatalogSnapshot> {
+        let mut tables = Vec::new();
+        for name in self.table_names() {
+            let id = self.table_id(&name)?;
+            let schema = (*self.schema(id)?).clone();
+            let chunks = self.with_chunks(id, |cs| cs.to_vec())?;
+            tables.push(TableSnapshot {
+                name,
+                schema,
+                chunks,
+            });
+        }
+        Ok(CatalogSnapshot {
+            version: SNAPSHOT_VERSION,
+            tables,
+            join_indices: self.export_join_indices(),
+            layouts: self.layouts(),
+        })
+    }
+
+    /// Write a JSON snapshot to `path`.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<()> {
+        let snapshot = self.snapshot()?;
+        let json = serde_json::to_string(&snapshot)
+            .map_err(|e| Error::Format(format!("cannot serialize catalog: {e}")))?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Restore a service from a snapshot (R-trees rebuilt on the fly).
+    ///
+    /// Table ids are reassigned in snapshot order, which preserves the
+    /// original ids since registration order is id order.
+    pub fn from_snapshot(snapshot: CatalogSnapshot) -> Result<Self> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(Error::Format(format!(
+                "unsupported catalog snapshot version {} (expected {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        let svc = MetadataService::new();
+        for table in snapshot.tables {
+            let id = svc.register_table(table.name, Arc::new(table.schema))?;
+            for chunk in table.chunks {
+                if chunk.table != id {
+                    return Err(Error::Format(format!(
+                        "snapshot chunk {} claims table {} but was stored under {id}",
+                        chunk.chunk, chunk.table
+                    )));
+                }
+                svc.register_chunk(chunk)?;
+            }
+        }
+        svc.import_join_indices(snapshot.join_indices);
+        for (name, source, coords) in snapshot.layouts {
+            svc.register_layout(name, source, coords);
+        }
+        Ok(svc)
+    }
+
+    /// Read a JSON snapshot from `path`.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let snapshot: CatalogSnapshot = serde_json::from_str(&json)
+            .map_err(|e| Error::Format(format!("cannot parse catalog snapshot: {e}")))?;
+        Self::from_snapshot(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orv_chunk::ChunkLocation;
+    use orv_types::{BoundingBox, ChunkId, Interval, NodeId, TableId};
+
+    fn populated() -> MetadataService {
+        let svc = MetadataService::new();
+        let schema = Arc::new(Schema::grid(&["x", "y"], &["wp"]).unwrap());
+        let t = svc.register_table("T1", schema).unwrap();
+        for i in 0..6u32 {
+            svc.register_chunk(ChunkMeta {
+                table: t,
+                chunk: ChunkId(i),
+                node: NodeId(i % 2),
+                location: ChunkLocation {
+                    file: "t1.dat".into(),
+                    offset: (i as u64) * 256,
+                    len: 256,
+                },
+                attributes: vec!["x".into(), "y".into(), "wp".into()],
+                extractors: vec!["t1_layout".into()],
+                bbox: BoundingBox::from_dims([
+                    ("x", Interval::new(i as f64 * 4.0, i as f64 * 4.0 + 3.0)),
+                    ("y", Interval::new(0.0, 7.0)),
+                ]),
+                num_records: 32,
+            })
+            .unwrap();
+        }
+        svc.put_join_index(
+            t,
+            t,
+            &["x", "y"],
+            vec![(SubTableId::new(0u32, 0u32), SubTableId::new(0u32, 1u32))],
+        );
+        svc
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let svc = populated();
+        let restored = MetadataService::from_snapshot(svc.snapshot().unwrap()).unwrap();
+        let t = restored.table_id("T1").unwrap();
+        assert_eq!(t, TableId(0));
+        assert_eq!(restored.total_records(t).unwrap(), 192);
+        assert_eq!(restored.schema(t).unwrap().arity(), 3);
+        // R-tree works after restore.
+        let q = BoundingBox::from_dims([("x", Interval::new(8.0, 11.0))]);
+        assert_eq!(restored.find_chunks(t, &q).unwrap(), vec![ChunkId(2)]);
+        // Join index survived.
+        let idx = restored.get_join_index(t, t, &["x", "y"]).unwrap();
+        assert_eq!(idx.len(), 1);
+        // Chunk metadata intact.
+        let meta = restored.chunk_meta(SubTableId::new(0u32, 5u32)).unwrap();
+        assert_eq!(meta.location.offset, 1280);
+        assert_eq!(meta.extractors, vec!["t1_layout"]);
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let svc = populated();
+        let path = std::env::temp_dir().join(format!("orv-catalog-{}.json", std::process::id()));
+        svc.save_json(&path).unwrap();
+        let restored = MetadataService::load_json(&path).unwrap();
+        assert_eq!(restored.num_tables(), 1);
+        assert_eq!(
+            restored.all_chunks(TableId(0)).unwrap().len(),
+            6
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let svc = populated();
+        let mut snap = svc.snapshot().unwrap();
+        snap.version = 99;
+        let err = match MetadataService::from_snapshot(snap) {
+            Err(e) => e,
+            Ok(_) => panic!("version mismatch must fail"),
+        };
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_json_rejected() {
+        let path = std::env::temp_dir().join(format!("orv-catalog-bad-{}.json", std::process::id()));
+        std::fs::write(&path, b"{not json").unwrap();
+        assert!(MetadataService::load_json(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,267 @@
+//! The shared, thread-safe MetaData service.
+//!
+//! All framework services (BDS instances, QES instances, the planner) hold
+//! an `Arc<MetadataService>`. Reads vastly outnumber writes once a dataset
+//! is registered, so the catalog sits behind a `parking_lot::RwLock`.
+//! Besides the chunk catalog, the service stores *persistent artifacts* —
+//! notably precomputed page-level join indices ("The page-index can be
+//! precomputed for common join attributes").
+
+use crate::catalog::Catalog;
+use orv_chunk::ChunkMeta;
+use orv_types::{BoundingBox, ChunkId, Error, Result, Schema, SubTableId, TableId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A stored page-level join index.
+type JoinIndex = Arc<Vec<(SubTableId, SubTableId)>>;
+
+/// Thread-safe MetaData service.
+#[derive(Default)]
+pub struct MetadataService {
+    catalog: RwLock<Catalog>,
+    /// Precomputed page-level join indices, keyed by
+    /// `(left table, right table, join attrs)`.
+    join_indices: RwLock<HashMap<String, JoinIndex>>,
+    /// Layout-description sources keyed by extractor name, with their
+    /// coordinate attribute names — enough to regenerate every extractor
+    /// when a persisted deployment is reopened.
+    layouts: RwLock<HashMap<String, (String, Vec<String>)>>,
+}
+
+impl MetadataService {
+    /// An empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table; returns its id.
+    pub fn register_table(&self, name: impl Into<String>, schema: Arc<Schema>) -> Result<TableId> {
+        self.catalog.write().register_table(name, schema)
+    }
+
+    /// Register a chunk.
+    pub fn register_chunk(&self, meta: ChunkMeta) -> Result<()> {
+        self.catalog.write().register_chunk(meta)
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        Ok(self.catalog.read().table_by_name(name)?.id)
+    }
+
+    /// Table name by id.
+    pub fn table_name(&self, id: TableId) -> Result<String> {
+        Ok(self.catalog.read().table(id)?.name.clone())
+    }
+
+    /// Schema of a table.
+    pub fn schema(&self, id: TableId) -> Result<Arc<Schema>> {
+        Ok(Arc::clone(&self.catalog.read().table(id)?.schema))
+    }
+
+    /// Metadata of one chunk (cloned out of the catalog).
+    pub fn chunk_meta(&self, id: SubTableId) -> Result<ChunkMeta> {
+        Ok(self.catalog.read().table(id.table)?.chunk(id.chunk)?.clone())
+    }
+
+    /// Ids of all chunks of `table` overlapping `range` — the "range part
+    /// of the query" resolution, via the R-tree.
+    pub fn find_chunks(&self, table: TableId, range: &BoundingBox) -> Result<Vec<ChunkId>> {
+        Ok(self.catalog.read().table(table)?.find_chunks(range))
+    }
+
+    /// All chunk ids of a table.
+    pub fn all_chunks(&self, table: TableId) -> Result<Vec<ChunkId>> {
+        Ok(self
+            .catalog
+            .read()
+            .table(table)?
+            .chunks()
+            .iter()
+            .map(|m| m.chunk)
+            .collect())
+    }
+
+    /// Total records of a table.
+    pub fn total_records(&self, table: TableId) -> Result<u64> {
+        Ok(self.catalog.read().table(table)?.total_records())
+    }
+
+    /// Number of registered tables.
+    pub fn num_tables(&self) -> usize {
+        self.catalog.read().num_tables()
+    }
+
+    /// Names of all registered tables, in id order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.read().tables().map(|t| t.name.clone()).collect()
+    }
+
+    /// Export all stored join indices (for persistence).
+    pub(crate) fn export_join_indices(&self) -> Vec<(String, Vec<(SubTableId, SubTableId)>)> {
+        self.join_indices
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_ref().clone()))
+            .collect()
+    }
+
+    /// Import previously exported join indices (for persistence).
+    pub(crate) fn import_join_indices(&self, indices: Vec<(String, Vec<(SubTableId, SubTableId)>)>) {
+        let mut map = self.join_indices.write();
+        for (k, v) in indices {
+            map.insert(k, Arc::new(v));
+        }
+    }
+
+    /// Store the DSL source of a layout (and its coordinate attribute
+    /// names) so extractors can be regenerated after a restart.
+    pub fn register_layout(&self, name: impl Into<String>, source: String, coords: Vec<String>) {
+        self.layouts.write().insert(name.into(), (source, coords));
+    }
+
+    /// All stored layout sources as `(name, source, coords)`.
+    pub fn layouts(&self) -> Vec<(String, String, Vec<String>)> {
+        self.layouts
+            .read()
+            .iter()
+            .map(|(n, (s, c))| (n.clone(), s.clone(), c.clone()))
+            .collect()
+    }
+
+    /// Run `f` against the chunk metadata of a table without cloning.
+    pub fn with_chunks<R>(&self, table: TableId, f: impl FnOnce(&[ChunkMeta]) -> R) -> Result<R> {
+        let cat = self.catalog.read();
+        Ok(f(cat.table(table)?.chunks()))
+    }
+
+    /// Store a precomputed page-level join index.
+    pub fn put_join_index(
+        &self,
+        left: TableId,
+        right: TableId,
+        attrs: &[&str],
+        pairs: Vec<(SubTableId, SubTableId)>,
+    ) {
+        let key = join_index_key(left, right, attrs);
+        self.join_indices.write().insert(key, Arc::new(pairs));
+    }
+
+    /// Fetch a precomputed page-level join index, if one exists.
+    pub fn get_join_index(
+        &self,
+        left: TableId,
+        right: TableId,
+        attrs: &[&str],
+    ) -> Option<Arc<Vec<(SubTableId, SubTableId)>>> {
+        self.join_indices
+            .read()
+            .get(&join_index_key(left, right, attrs))
+            .cloned()
+    }
+
+    /// Fetch a join index or fail with a descriptive error.
+    pub fn require_join_index(
+        &self,
+        left: TableId,
+        right: TableId,
+        attrs: &[&str],
+    ) -> Result<Arc<Vec<(SubTableId, SubTableId)>>> {
+        self.get_join_index(left, right, attrs).ok_or_else(|| {
+            Error::not_found(format!("join index for {left} ⋈ {right} on {attrs:?}"))
+        })
+    }
+}
+
+fn join_index_key(left: TableId, right: TableId, attrs: &[&str]) -> String {
+    format!("{left}⋈{right}:{}", attrs.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orv_chunk::ChunkLocation;
+    use orv_types::{Interval, NodeId};
+
+    fn service_with_table() -> (Arc<MetadataService>, TableId) {
+        let svc = Arc::new(MetadataService::new());
+        let schema = Arc::new(Schema::grid(&["x"], &["p"]).unwrap());
+        let t = svc.register_table("T1", schema).unwrap();
+        for i in 0..4u32 {
+            svc.register_chunk(ChunkMeta {
+                table: t,
+                chunk: ChunkId(i),
+                node: NodeId(i % 2),
+                location: ChunkLocation {
+                    file: "t1.dat".into(),
+                    offset: (i * 64) as u64,
+                    len: 64,
+                },
+                attributes: vec!["x".into(), "p".into()],
+                extractors: vec!["e".into()],
+                bbox: BoundingBox::from_dims([(
+                    "x",
+                    Interval::new(i as f64 * 10.0, i as f64 * 10.0 + 9.0),
+                )]),
+                num_records: 8,
+            })
+            .unwrap();
+        }
+        (svc, t)
+    }
+
+    #[test]
+    fn basic_lookups() {
+        let (svc, t) = service_with_table();
+        assert_eq!(svc.table_id("T1").unwrap(), t);
+        assert_eq!(svc.table_name(t).unwrap(), "T1");
+        assert_eq!(svc.schema(t).unwrap().arity(), 2);
+        assert_eq!(svc.total_records(t).unwrap(), 32);
+        assert_eq!(svc.all_chunks(t).unwrap().len(), 4);
+        let meta = svc.chunk_meta(SubTableId::new(t.0, 2u32)).unwrap();
+        assert_eq!(meta.location.offset, 128);
+        assert_eq!(svc.num_tables(), 1);
+    }
+
+    #[test]
+    fn range_resolution() {
+        let (svc, t) = service_with_table();
+        let q = BoundingBox::from_dims([("x", Interval::new(12.0, 25.0))]);
+        assert_eq!(svc.find_chunks(t, &q).unwrap(), vec![ChunkId(1), ChunkId(2)]);
+    }
+
+    #[test]
+    fn join_index_store() {
+        let (svc, t) = service_with_table();
+        assert!(svc.get_join_index(t, t, &["x"]).is_none());
+        assert!(svc.require_join_index(t, t, &["x"]).is_err());
+        let pairs = vec![(SubTableId::new(0u32, 0u32), SubTableId::new(1u32, 0u32))];
+        svc.put_join_index(t, t, &["x"], pairs.clone());
+        assert_eq!(*svc.get_join_index(t, t, &["x"]).unwrap(), pairs);
+        // Different attrs → different key.
+        assert!(svc.get_join_index(t, t, &["x", "y"]).is_none());
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let (svc, t) = service_with_table();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    let q = BoundingBox::from_dims([(
+                        "x",
+                        Interval::new((i % 40) as f64, (i % 40) as f64 + 1.0),
+                    )]);
+                    let _ = svc.find_chunks(t, &q).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

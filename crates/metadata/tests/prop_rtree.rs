@@ -1,0 +1,70 @@
+//! Property test: R-tree range queries agree with a brute-force scan.
+
+use orv_metadata::{RTree, Rect};
+use proptest::prelude::*;
+
+fn rect2(max: f64) -> impl Strategy<Value = Rect> {
+    (
+        0.0..max,
+        0.0..max,
+        0.0..(max / 4.0),
+        0.0..(max / 4.0),
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(vec![x, y], vec![x + w, y + h]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_matches_brute_force(
+        rects in proptest::collection::vec(rect2(100.0), 0..200),
+        query in rect2(100.0),
+    ) {
+        let mut tree = RTree::new(2);
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(r.clone(), i);
+        }
+        prop_assert_eq!(tree.len(), rects.len());
+
+        let mut got = tree.query(&query);
+        got.sort_unstable();
+        let expected: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.overlaps(&query))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn for_each_visits_exactly_inserted(
+        rects in proptest::collection::vec(rect2(50.0), 1..100),
+    ) {
+        let mut tree = RTree::new(2);
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(r.clone(), i);
+        }
+        let mut seen = Vec::new();
+        tree.for_each(|_, &v| seen.push(v));
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..rects.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn height_is_logarithmic(
+        n in 1usize..400,
+    ) {
+        let mut tree = RTree::new(2);
+        for i in 0..n {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            tree.insert(Rect::new(vec![x, y], vec![x + 1.0, y + 1.0]), i);
+        }
+        // With M=8, height ≤ ceil(log_3(n)) + 1 comfortably; assert a loose
+        // but meaningful bound to catch degenerate linear chains.
+        let bound = ((n as f64).ln() / 3.0f64.ln()).ceil() as usize + 2;
+        prop_assert!(tree.height() <= bound, "height {} > bound {bound} for n={n}", tree.height());
+    }
+}

@@ -1,0 +1,95 @@
+//! Aggregation accumulators — the aggregation DDS the paper lists as
+//! future work ("view definition may involve aggregation operations such
+//! as AVG or SUM").
+
+use crate::ast::AggFunc;
+use orv_types::Value;
+
+/// A running aggregate over one column (or over rows, for `COUNT`).
+#[derive(Clone, Debug)]
+pub struct Accumulator {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> Self {
+        Accumulator {
+            func,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one value (`None` for `COUNT(*)`, which only counts rows).
+    pub fn update(&mut self, v: Option<Value>) {
+        self.count += 1;
+        if let Some(v) = v {
+            let x = v.as_f64();
+            self.sum += x;
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+    }
+
+    /// Produce the final value.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::I64(self.count as i64),
+            AggFunc::Sum => Value::F64(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::F64(f64::NAN)
+                } else {
+                    Value::F64(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => Value::F64(self.min),
+            AggFunc::Max => Value::F64(self.max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(f: AggFunc, vals: &[f64]) -> Value {
+        let mut a = Accumulator::new(f);
+        for &v in vals {
+            a.update(Some(Value::F64(v)));
+        }
+        a.finish()
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        assert_eq!(run(AggFunc::Sum, &[1.0, 2.0, 3.0]), Value::F64(6.0));
+        assert_eq!(run(AggFunc::Avg, &[1.0, 2.0, 3.0]), Value::F64(2.0));
+        assert_eq!(run(AggFunc::Min, &[3.0, -1.0, 2.0]), Value::F64(-1.0));
+        assert_eq!(run(AggFunc::Max, &[3.0, -1.0, 2.0]), Value::F64(3.0));
+    }
+
+    #[test]
+    fn count_ignores_values() {
+        let mut a = Accumulator::new(AggFunc::Count);
+        a.update(None);
+        a.update(None);
+        a.update(Some(Value::I32(5)));
+        assert_eq!(a.finish(), Value::I64(3));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(Accumulator::new(AggFunc::Count).finish(), Value::I64(0));
+        assert_eq!(Accumulator::new(AggFunc::Sum).finish(), Value::F64(0.0));
+        // AVG of nothing is NaN (and NaN == NaN under our total order).
+        assert_eq!(Accumulator::new(AggFunc::Avg).finish(), Value::F64(f64::NAN));
+    }
+}

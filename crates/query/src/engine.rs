@@ -1,0 +1,514 @@
+//! The query engine: DDS registry + statement execution.
+
+use crate::ast::{predicates_to_bbox, Query, SelectItem, Statement, ViewDef};
+use crate::exec::{aggregate, column_names, filter_rows, order_and_limit, project, scan, RowSet};
+use crate::parser::parse_statement;
+use crate::plan::{PlanExplain, Planner};
+use orv_bds::Deployment;
+use orv_cluster::ClusterSpec;
+use orv_join::{
+    grace_hash_join, indexed_join, indexed_join_cached, CacheService, GraceHashConfig,
+    IndexedJoinConfig, JoinAlgorithm,
+};
+use orv_types::{Error, Record, Result};
+use std::collections::HashMap;
+
+/// The view registry — the Derived Data Source catalog.
+#[derive(Default)]
+pub struct Catalog {
+    views: HashMap<String, ViewDef>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a view (rejects duplicates and name clashes).
+    pub fn register(&mut self, view: ViewDef) -> Result<()> {
+        if self.views.contains_key(&view.name) {
+            return Err(Error::Config(format!("view `{}` already exists", view.name)));
+        }
+        self.views.insert(view.name.clone(), view);
+        Ok(())
+    }
+
+    /// Look up a view.
+    pub fn get(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(name)
+    }
+
+    /// Registered view names.
+    pub fn names(&self) -> Vec<&str> {
+        self.views.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// Result of one executed statement.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Record>,
+    /// Planning evidence, when a join view was executed.
+    pub explain: Option<PlanExplain>,
+}
+
+impl QueryResult {
+    fn empty() -> Self {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            explain: None,
+        }
+    }
+}
+
+/// The full engine a client talks to.
+pub struct QueryEngine {
+    deployment: Deployment,
+    catalog: Catalog,
+    planner: Planner,
+    n_compute: usize,
+    force: Option<JoinAlgorithm>,
+    /// The Caching Service: keeps unconstrained view scans warm across
+    /// queries (IJ only; constrained scans use a query-lifetime cache
+    /// because cached sub-tables are stored post-filter).
+    cache: CacheService,
+    cache_capacity: u64,
+}
+
+impl QueryEngine {
+    /// Engine over a deployment, planning against a paper-testbed-shaped
+    /// cluster with as many compute nodes as storage nodes.
+    pub fn new(deployment: Deployment) -> Self {
+        let n = deployment.num_storage_nodes().max(1);
+        let spec = ClusterSpec::paper_testbed(n, n);
+        let cache_capacity = 256 << 20;
+        QueryEngine {
+            deployment,
+            catalog: Catalog::new(),
+            planner: Planner::new(spec),
+            n_compute: n,
+            force: None,
+            cache: CacheService::new(n, cache_capacity),
+            cache_capacity,
+        }
+    }
+
+    /// Use a specific cluster description for planning.
+    pub fn with_cluster(mut self, spec: ClusterSpec) -> Self {
+        self.n_compute = spec.n_compute;
+        self.cache = CacheService::new(self.n_compute, self.cache_capacity);
+        self.planner = Planner::new(spec);
+        self
+    }
+
+    /// Resize the Caching Service (bytes per compute node).
+    pub fn with_cache_capacity(mut self, bytes: u64) -> Self {
+        self.cache_capacity = bytes;
+        self.cache = CacheService::new(self.n_compute, bytes);
+        self
+    }
+
+    /// Aggregate `(hits, misses, evictions)` of the Caching Service.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Override the planner (e.g. calibrated γ values).
+    pub fn with_planner(mut self, planner: Planner) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Force one algorithm regardless of the cost models (for experiments).
+    pub fn force_algorithm(mut self, algorithm: Option<JoinAlgorithm>) -> Self {
+        self.force = algorithm;
+        self
+    }
+
+    /// The underlying deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The view catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        match parse_statement(sql)? {
+            Statement::CreateView(view) => {
+                self.create_view(view)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Select(query) => self.select(&query),
+        }
+    }
+
+    fn create_view(&mut self, view: ViewDef) -> Result<()> {
+        let md = self.deployment.metadata();
+        let q = &view.query;
+        // Validate the FROM clause: either a base table or an existing
+        // view (DDSs layer on BDSs or other DDSs).
+        let from_is_view = self.catalog.get(&q.from).is_some();
+        if !from_is_view {
+            md.table_id(&q.from)?;
+        }
+        if let Some(join) = &q.join {
+            if from_is_view || self.catalog.get(&join.table).is_some() {
+                return Err(Error::Plan(
+                    "join inputs must be base tables; layer a non-join view on top instead".into(),
+                ));
+            }
+            let left = md.table_id(&q.from)?;
+            let right = md.table_id(&join.table)?;
+            let lschema = md.schema(left)?;
+            let rschema = md.schema(right)?;
+            for attr in &join.on {
+                lschema.require(attr)?;
+                rschema.require(attr)?;
+            }
+        }
+        self.catalog.register(view)
+    }
+
+    /// Materialize the FROM (+ JOIN) part of `query` with its predicates
+    /// applied, resolving views recursively.
+    fn resolve_source(
+        &mut self,
+        query: &Query,
+    ) -> Result<(Vec<String>, Vec<Record>, Option<PlanExplain>)> {
+        let range = predicates_to_bbox(&query.predicates);
+        if let Some(join) = &query.join {
+            return self.run_join(&query.from, &join.table, &join.on, range);
+        }
+        if let Some(view) = self.catalog.get(&query.from).cloned() {
+            if view.query.is_plain_join() {
+                // Pushable DDS: merge the view's baked-in predicates with
+                // the outer ones and run the distributed join directly.
+                let view_range = predicates_to_bbox(&view.query.predicates);
+                let combined = match (view_range, range) {
+                    (Some(a), Some(b)) => Some(a.intersect(&b)),
+                    (a, b) => a.or(b),
+                };
+                let join = view.query.join.as_ref().expect("plain join has a join");
+                return self.run_join(&view.query.from, &join.table, &join.on, combined);
+            }
+            // General DDS (projection/aggregation view, possibly over
+            // another DDS): materialize it, then post-filter by the outer
+            // predicates on its *output* columns.
+            let inner = self.select(&view.query)?;
+            let rows = filter_rows(&inner.columns, inner.rows, &query.predicates)?;
+            return Ok((inner.columns, rows, inner.explain));
+        }
+        // Basic Data Source scan with R-tree range pushdown.
+        let table = self.deployment.metadata().table_id(&query.from)?;
+        let (schema, rows) = scan(&self.deployment, table, range.as_ref())?;
+        Ok((column_names(&schema), rows, None))
+    }
+
+    /// Run a distributed join between two base tables, letting the QPS
+    /// pick the QES.
+    fn run_join(
+        &mut self,
+        left_name: &str,
+        right_name: &str,
+        on: &[String],
+        range: Option<orv_types::BoundingBox>,
+    ) -> Result<(Vec<String>, Vec<Record>, Option<PlanExplain>)> {
+        if self.catalog.get(left_name).is_some() || self.catalog.get(right_name).is_some() {
+            return Err(Error::Plan(
+                "join inputs must be base tables; layer a non-join view on top instead".into(),
+            ));
+        }
+        let md = self.deployment.metadata();
+        let left = md.table_id(left_name)?;
+        let right = md.table_id(right_name)?;
+        let attrs: Vec<&str> = on.iter().map(|s| s.as_str()).collect();
+        let plan = self.planner.plan_join(md, left, right, &attrs)?;
+        let algorithm = self.force.unwrap_or(plan.algorithm);
+        let output = match algorithm {
+            JoinAlgorithm::IndexedJoin => {
+                let ij_cfg = IndexedJoinConfig {
+                    n_compute: self.n_compute,
+                    cache_capacity: self.cache_capacity,
+                    collect_results: true,
+                    range: range.clone(),
+                    ..Default::default()
+                };
+                if range.is_none() {
+                    // Unconstrained scan: keep the working set warm in the
+                    // engine's Caching Service across queries.
+                    indexed_join_cached(&self.deployment, left, right, &attrs, &ij_cfg, &self.cache)?
+                } else {
+                    indexed_join(&self.deployment, left, right, &attrs, &ij_cfg)?
+                }
+            }
+            JoinAlgorithm::GraceHash => grace_hash_join(
+                &self.deployment,
+                left,
+                right,
+                &attrs,
+                &GraceHashConfig {
+                    n_compute: self.n_compute,
+                    collect_results: true,
+                    range,
+                    ..Default::default()
+                },
+            )?,
+        };
+        let joined_schema = md.schema(left)?.join(md.schema(right)?.as_ref(), &attrs)?;
+        let mut rows = output.records.expect("collect_results was set");
+        rows.sort_by(|a, b| a.values().cmp(b.values()));
+        Ok((column_names(&joined_schema), rows, Some(plan)))
+    }
+
+    fn select(&mut self, query: &Query) -> Result<QueryResult> {
+        let has_agg = query
+            .select
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate(..)));
+        let (columns, rows, explain) = self.resolve_source(query)?;
+        let rowset: RowSet = if has_agg || !query.group_by.is_empty() {
+            aggregate(&columns, rows, &query.select, &query.group_by)?
+        } else {
+            project(&columns, rows, &query.select)?
+        };
+        let rowset = order_and_limit(rowset, &query.order_by, query.limit)?;
+        Ok(QueryResult {
+            columns: rowset.columns,
+            rows: rowset.rows,
+            explain,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orv_bds::{generate_dataset, DatasetSpec};
+    use orv_types::Value;
+
+    fn engine() -> QueryEngine {
+        let d = Deployment::in_memory(2);
+        for (name, scalar, seed, part) in
+            [("t1", "oilp", 1u64, [4, 4, 1]), ("t2", "wp", 2, [2, 8, 1])]
+        {
+            generate_dataset(
+                &DatasetSpec::builder(name)
+                    .grid([8, 8, 1])
+                    .partition(part)
+                    .scalar_attrs(&[scalar])
+                    .seed(seed)
+                    .build(),
+                &d,
+            )
+            .unwrap();
+        }
+        QueryEngine::new(d)
+    }
+
+    #[test]
+    fn base_table_range_query() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT * FROM t1 WHERE x IN [0, 3] AND y IN [0, 1]")
+            .unwrap();
+        assert_eq!(r.columns, vec!["x", "y", "z", "oilp"]);
+        assert_eq!(r.rows.len(), 8);
+        assert!(r.explain.is_none());
+    }
+
+    #[test]
+    fn view_join_and_query() {
+        let mut e = engine();
+        e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let r = e.execute("SELECT * FROM v1").unwrap();
+        assert_eq!(r.rows.len(), 64);
+        assert_eq!(r.columns, vec!["x", "y", "z", "oilp", "wp"]);
+        let explain = r.explain.unwrap();
+        assert!(explain.choice.ij_total > 0.0);
+        // Range against the view.
+        let r = e.execute("SELECT * FROM v1 WHERE x IN [2, 5]").unwrap();
+        assert_eq!(r.rows.len(), 32);
+    }
+
+    #[test]
+    fn view_with_baked_in_predicate() {
+        let mut e = engine();
+        e.execute("CREATE VIEW vsmall AS SELECT * FROM t1 JOIN t2 ON (x, y, z) WHERE x IN [0, 1]")
+            .unwrap();
+        let r = e.execute("SELECT * FROM vsmall").unwrap();
+        assert_eq!(r.rows.len(), 16);
+        // Query predicate intersects the view predicate.
+        let r = e.execute("SELECT * FROM vsmall WHERE x IN [1, 7]").unwrap();
+        assert_eq!(r.rows.len(), 8);
+    }
+
+    #[test]
+    fn aggregation_over_view() {
+        let mut e = engine();
+        e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let r = e
+            .execute("SELECT x, COUNT(*), AVG(wp) FROM v1 GROUP BY x")
+            .unwrap();
+        assert_eq!(r.rows.len(), 8);
+        assert_eq!(r.columns, vec!["x", "COUNT(*)", "AVG(wp)"]);
+        for row in &r.rows {
+            assert_eq!(row.get(1), Value::I64(8));
+        }
+        // Paper's example query shape: average water pressure per grid row.
+        let r = e.execute("SELECT AVG(wp) FROM v1 WHERE wp >= 0.0").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn forced_algorithms_agree() {
+        let mut ij = engine().force_algorithm(Some(JoinAlgorithm::IndexedJoin));
+        let mut gh = engine().force_algorithm(Some(JoinAlgorithm::GraceHash));
+        for e in [&mut ij, &mut gh] {
+            e.execute("CREATE VIEW v AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+                .unwrap();
+        }
+        let a = ij.execute("SELECT * FROM v WHERE y IN [1, 4]").unwrap();
+        let b = gh.execute("SELECT * FROM v WHERE y IN [1, 4]").unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let mut e = engine();
+        assert!(e.execute("SELECT * FROM nope").is_err());
+        assert!(e
+            .execute("CREATE VIEW v AS SELECT * FROM t1 JOIN t2 ON (bogus)")
+            .is_err());
+        e.execute("CREATE VIEW v AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let err = e
+            .execute("CREATE VIEW v AS SELECT * FROM t1 JOIN t2 ON (x)")
+            .unwrap_err();
+        assert!(err.to_string().contains("already exists"));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut e = engine();
+        e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let r = e
+            .execute("SELECT x, y, wp FROM v1 ORDER BY wp DESC LIMIT 3")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let wps: Vec<f64> = r.rows.iter().map(|row| row.get(2).as_f64()).collect();
+        assert!(wps[0] >= wps[1] && wps[1] >= wps[2]);
+        // Ascending multi-key with aggregation.
+        let r = e
+            .execute("SELECT x, AVG(wp) FROM v1 GROUP BY x ORDER BY x ASC LIMIT 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].get(0), Value::I32(0));
+        assert_eq!(r.rows[1].get(0), Value::I32(1));
+        // Errors: unknown column, bad limit.
+        assert!(e.execute("SELECT x FROM t1 ORDER BY nope").is_err());
+        assert!(e.execute("SELECT x FROM t1 LIMIT -1").is_err());
+        assert!(e.execute("SELECT x FROM t1 LIMIT 1.5").is_err());
+    }
+
+    #[test]
+    fn direct_join_query_without_view() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT * FROM t1 JOIN t2 ON (x, y, z) WHERE x IN [0, 1]")
+            .unwrap();
+        assert_eq!(r.rows.len(), 16);
+        assert!(r.explain.is_some());
+    }
+
+    #[test]
+    fn layered_dds_aggregation_view() {
+        let mut e = engine();
+        e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        // A DDS over a DDS: per-x profile of the join view.
+        e.execute("CREATE VIEW profile AS SELECT x, AVG(wp), COUNT(*) FROM v1 GROUP BY x")
+            .unwrap();
+        let r = e.execute("SELECT * FROM profile").unwrap();
+        assert_eq!(r.rows.len(), 8);
+        assert_eq!(r.columns, vec!["x", "AVG(wp)", "COUNT(*)"]);
+        // Outer predicates post-filter the view's *output* columns.
+        let r = e.execute("SELECT * FROM profile WHERE x IN [2, 4]").unwrap();
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            assert_eq!(row.get(2), Value::I64(8));
+        }
+        // And a third layer: aggregate the aggregate.
+        e.execute("CREATE VIEW summary AS SELECT COUNT(*) FROM profile")
+            .unwrap();
+        let r = e.execute("SELECT * FROM summary").unwrap();
+        assert_eq!(r.rows[0].get(0), Value::I64(8));
+    }
+
+    #[test]
+    fn projection_view_layers_and_filters() {
+        let mut e = engine();
+        e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        e.execute("CREATE VIEW slim AS SELECT x, wp FROM v1").unwrap();
+        let r = e.execute("SELECT * FROM slim WHERE wp >= 0.5").unwrap();
+        assert_eq!(r.columns, vec!["x", "wp"]);
+        assert!(r.rows.iter().all(|row| row.get(1).as_f64() >= 0.5));
+        assert!(!r.rows.is_empty() && r.rows.len() < 64);
+    }
+
+    #[test]
+    fn join_over_view_is_rejected_with_guidance() {
+        let mut e = engine();
+        e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let err = e
+            .execute("CREATE VIEW bad AS SELECT * FROM v1 JOIN t2 ON (x)")
+            .unwrap_err();
+        assert!(err.to_string().contains("base tables"), "{err}");
+        let err = e.execute("SELECT * FROM v1 JOIN t2 ON (x)").unwrap_err();
+        assert!(err.to_string().contains("base tables"), "{err}");
+    }
+
+    #[test]
+    fn caching_service_warms_across_queries() {
+        let mut e = engine().force_algorithm(Some(JoinAlgorithm::IndexedJoin));
+        e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let a = e.execute("SELECT COUNT(*) FROM v1").unwrap();
+        let (h1, m1, _) = e.cache_stats();
+        assert!(m1 > 0, "cold run must miss");
+        let b = e.execute("SELECT COUNT(*) FROM v1").unwrap();
+        let (h2, m2, _) = e.cache_stats();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(m2, m1, "warm run must not miss again");
+        assert!(h2 > h1, "warm run must hit the Caching Service");
+        // Constrained queries bypass the shared cache and stay correct.
+        let c = e.execute("SELECT COUNT(*) FROM v1 WHERE x IN [0, 3]").unwrap();
+        assert_eq!(c.rows[0].get(0), Value::I64(32));
+        let d = e.execute("SELECT COUNT(*) FROM v1").unwrap();
+        assert_eq!(d.rows[0].get(0), Value::I64(64));
+    }
+
+    #[test]
+    fn projection_from_view() {
+        let mut e = engine();
+        e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let r = e.execute("SELECT wp, oilp FROM v1 WHERE x = 0").unwrap();
+        assert_eq!(r.columns, vec!["wp", "oilp"]);
+        assert_eq!(r.rows.len(), 8);
+        assert_eq!(r.rows[0].arity(), 2);
+    }
+}

@@ -1,0 +1,381 @@
+//! Query execution operators: scan, filter, project, aggregate.
+//!
+//! Range scans resolve chunk ids through the MetaData service's R-tree
+//! ("the MetaData Service may be queried using the range part of the query
+//! to retrieve ids of all matching sub-tables"), then ask the owning BDS
+//! instances for the sub-tables.
+
+use crate::agg::Accumulator;
+use crate::ast::{AggFunc, RangePred, SelectItem};
+use orv_bds::{BdsService, Deployment};
+use orv_types::{BoundingBox, Error, Record, Result, Schema, SubTableId, TableId, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Materialized rows plus their schema-ish column names.
+#[derive(Clone, Debug)]
+pub struct RowSet {
+    /// Column names, in row order.
+    pub columns: Vec<String>,
+    /// The rows.
+    pub rows: Vec<Record>,
+}
+
+/// Range scan of a base table with R-tree chunk pruning and row filtering.
+pub fn scan(
+    deployment: &Deployment,
+    table: TableId,
+    range: Option<&BoundingBox>,
+) -> Result<(Arc<Schema>, Vec<Record>)> {
+    let md = deployment.metadata();
+    let schema = md.schema(table)?;
+    let chunk_ids = match range {
+        Some(rg) => md.find_chunks(table, rg)?,
+        None => md.all_chunks(table)?,
+    };
+    let services = BdsService::for_all_nodes(deployment)?;
+    let mut rows = Vec::new();
+    for chunk in chunk_ids {
+        let id = SubTableId { table, chunk };
+        let node = md.chunk_meta(id)?.node;
+        let mut st = services[node.index()].subtable(id)?;
+        if let Some(rg) = range {
+            st = st.filter_range(rg)?;
+        }
+        rows.extend(st.records());
+    }
+    Ok((schema, rows))
+}
+
+/// Column names of a schema.
+pub fn column_names(schema: &Schema) -> Vec<String> {
+    schema.attrs().iter().map(|a| a.name.clone()).collect()
+}
+
+/// Sort by output columns (stable; `(name, descending)` pairs applied in
+/// order) and truncate to `limit`.
+pub fn order_and_limit(
+    mut rowset: RowSet,
+    order_by: &[(String, bool)],
+    limit: Option<usize>,
+) -> Result<RowSet> {
+    if !order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = order_by
+            .iter()
+            .map(|(name, desc)| {
+                rowset
+                    .columns
+                    .iter()
+                    .position(|c| c == name)
+                    .map(|i| (i, *desc))
+                    .ok_or_else(|| Error::Plan(format!("unknown ORDER BY column `{name}`")))
+            })
+            .collect::<Result<_>>()?;
+        rowset.rows.sort_by(|a, b| {
+            for &(i, desc) in &keys {
+                let ord = a.get(i).cmp(&b.get(i));
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = limit {
+        rowset.rows.truncate(n);
+    }
+    Ok(rowset)
+}
+
+/// Post-filter materialized rows by range predicates over named output
+/// columns (used when predicates cannot be pushed below an aggregation
+/// view).
+pub fn filter_rows(
+    columns: &[String],
+    rows: Vec<Record>,
+    preds: &[RangePred],
+) -> Result<Vec<Record>> {
+    if preds.is_empty() {
+        return Ok(rows);
+    }
+    let checks: Vec<(usize, f64, f64)> = preds
+        .iter()
+        .map(|p| {
+            columns
+                .iter()
+                .position(|c| c == &p.attr)
+                .map(|i| (i, p.lo, p.hi))
+                .ok_or_else(|| Error::Plan(format!("unknown column `{}` in predicate", p.attr)))
+        })
+        .collect::<Result<_>>()?;
+    Ok(rows
+        .into_iter()
+        .filter(|r| {
+            checks.iter().all(|&(i, lo, hi)| {
+                let v = r.get(i).as_f64();
+                lo <= v && v <= hi
+            })
+        })
+        .collect())
+}
+
+/// Apply a select list (no aggregates) to rows.
+pub fn project(
+    columns: &[String],
+    rows: Vec<Record>,
+    items: &[SelectItem],
+) -> Result<RowSet> {
+    if items.len() == 1 && items[0] == SelectItem::All {
+        return Ok(RowSet {
+            columns: columns.to_vec(),
+            rows,
+        });
+    }
+    let mut indices = Vec::new();
+    let mut names = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Column(name) => {
+                let idx = columns
+                    .iter()
+                    .position(|c| c == name)
+                    .ok_or_else(|| Error::Plan(format!("unknown column `{name}`")))?;
+                indices.push(idx);
+                names.push(name.clone());
+            }
+            SelectItem::All => {
+                for (i, c) in columns.iter().enumerate() {
+                    indices.push(i);
+                    names.push(c.clone());
+                }
+            }
+            SelectItem::Aggregate(..) => {
+                return Err(Error::Plan(
+                    "aggregates must be handled by the aggregate operator".into(),
+                ))
+            }
+        }
+    }
+    let rows = rows.into_iter().map(|r| r.project(&indices)).collect();
+    Ok(RowSet {
+        columns: names,
+        rows,
+    })
+}
+
+/// Grouped aggregation. `items` may mix group columns and aggregates; every
+/// plain column must appear in `group_by`.
+pub fn aggregate(
+    columns: &[String],
+    rows: Vec<Record>,
+    items: &[SelectItem],
+    group_by: &[String],
+) -> Result<RowSet> {
+    let col_idx = |name: &str| -> Result<usize> {
+        columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| Error::Plan(format!("unknown column `{name}`")))
+    };
+    let group_indices: Vec<usize> = group_by.iter().map(|g| col_idx(g)).collect::<Result<_>>()?;
+
+    // Resolve the output plan: each item is either a group key or an
+    // accumulator spec.
+    enum OutCol {
+        Group(usize),           // index into the group key
+        Agg(AggFunc, Option<usize>), // column index to aggregate
+    }
+    let mut out_cols = Vec::new();
+    let mut names = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Column(name) => {
+                let gpos = group_by.iter().position(|g| g == name).ok_or_else(|| {
+                    Error::Plan(format!("column `{name}` must appear in GROUP BY"))
+                })?;
+                out_cols.push(OutCol::Group(gpos));
+                names.push(name.clone());
+            }
+            SelectItem::Aggregate(f, arg) => {
+                let idx = arg.as_deref().map(col_idx).transpose()?;
+                out_cols.push(OutCol::Agg(*f, idx));
+                names.push(match arg {
+                    Some(a) => format!("{}({a})", f.name()),
+                    None => format!("{}(*)", f.name()),
+                });
+            }
+            SelectItem::All => {
+                return Err(Error::Plan("SELECT * cannot be combined with aggregation".into()))
+            }
+        }
+    }
+
+    // Group rows.
+    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    let make_accs = || -> Vec<Accumulator> {
+        out_cols
+            .iter()
+            .filter_map(|c| match c {
+                OutCol::Agg(f, _) => Some(Accumulator::new(*f)),
+                OutCol::Group(_) => None,
+            })
+            .collect()
+    };
+    for row in &rows {
+        let key = row.key(&group_indices);
+        let accs = groups.entry(key).or_insert_with(make_accs);
+        let mut ai = 0;
+        for c in &out_cols {
+            if let OutCol::Agg(_, idx) = c {
+                accs[ai].update(idx.map(|i| row.get(i)));
+                ai += 1;
+            }
+        }
+    }
+    // Global aggregation over zero rows still yields one output row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(Vec::new(), make_accs());
+    }
+
+    let mut out_rows: Vec<Record> = groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut vals = Vec::with_capacity(out_cols.len());
+            let mut ai = 0;
+            for c in &out_cols {
+                match c {
+                    OutCol::Group(g) => vals.push(key[*g]),
+                    OutCol::Agg(..) => {
+                        vals.push(accs[ai].finish());
+                        ai += 1;
+                    }
+                }
+            }
+            Record::new(vals)
+        })
+        .collect();
+    out_rows.sort_by(|a, b| a.values().cmp(b.values()));
+    Ok(RowSet {
+        columns: names,
+        rows: out_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AggFunc;
+    use orv_bds::{generate_dataset, DatasetSpec};
+    use orv_types::Interval;
+
+    fn deployed() -> (Deployment, TableId) {
+        let d = Deployment::in_memory(2);
+        let h = generate_dataset(
+            &DatasetSpec::builder("t1")
+                .grid([4, 4, 2])
+                .partition([2, 2, 2])
+                .scalar_attrs(&["oilp"])
+                .seed(3)
+                .build(),
+            &d,
+        )
+        .unwrap();
+        (d, h.table)
+    }
+
+    #[test]
+    fn scan_prunes_with_rtree() {
+        let (d, t) = deployed();
+        let range = BoundingBox::from_dims([
+            ("x", Interval::new(0.0, 1.0)),
+            ("y", Interval::new(0.0, 1.0)),
+        ]);
+        let (schema, rows) = scan(&d, t, Some(&range)).unwrap();
+        assert_eq!(schema.arity(), 4);
+        assert_eq!(rows.len(), 8); // 2×2×2 points
+        let (_, all) = scan(&d, t, None).unwrap();
+        assert_eq!(all.len(), 32);
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let (d, t) = deployed();
+        let (schema, rows) = scan(&d, t, None).unwrap();
+        let cols = column_names(&schema);
+        let rs = project(
+            &cols,
+            rows,
+            &[
+                SelectItem::Column("oilp".into()),
+                SelectItem::Column("x".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rs.columns, vec!["oilp", "x"]);
+        assert_eq!(rs.rows[0].arity(), 2);
+        // Unknown column errors.
+        let (schema, rows) = scan(&d, t, None).unwrap();
+        assert!(project(&column_names(&schema), rows, &[SelectItem::Column("zz".into())]).is_err());
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let (d, t) = deployed();
+        let (schema, rows) = scan(&d, t, None).unwrap();
+        let cols = column_names(&schema);
+        let rs = aggregate(
+            &cols,
+            rows,
+            &[
+                SelectItem::Column("z".into()),
+                SelectItem::Aggregate(AggFunc::Count, None),
+                SelectItem::Aggregate(AggFunc::Avg, Some("oilp".into())),
+            ],
+            &["z".into()],
+        )
+        .unwrap();
+        assert_eq!(rs.columns, vec!["z", "COUNT(*)", "AVG(oilp)"]);
+        assert_eq!(rs.rows.len(), 2); // z ∈ {0, 1}
+        for row in &rs.rows {
+            assert_eq!(row.get(1), Value::I64(16));
+            let avg = row.get(2).as_f64();
+            assert!((0.0..1.0).contains(&avg));
+        }
+    }
+
+    #[test]
+    fn global_aggregation_without_group_by() {
+        let (d, t) = deployed();
+        let (schema, rows) = scan(&d, t, None).unwrap();
+        let cols = column_names(&schema);
+        let rs = aggregate(
+            &cols,
+            rows,
+            &[SelectItem::Aggregate(AggFunc::Sum, Some("x".into()))],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        // Sum of x over 4×4×2 grid: each x in 0..4 appears 8 times.
+        assert_eq!(rs.rows[0].get(0), Value::F64((1 + 2 + 3) as f64 * 8.0));
+    }
+
+    #[test]
+    fn plain_column_must_be_grouped() {
+        let (d, t) = deployed();
+        let (schema, rows) = scan(&d, t, None).unwrap();
+        let cols = column_names(&schema);
+        let err = aggregate(
+            &cols,
+            rows,
+            &[
+                SelectItem::Column("x".into()),
+                SelectItem::Aggregate(AggFunc::Count, None),
+            ],
+            &["z".into()],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"));
+    }
+}

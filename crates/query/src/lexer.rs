@@ -1,0 +1,194 @@
+//! Tokenizer for the query language.
+
+use orv_types::{Error, Result};
+use std::fmt;
+
+/// A token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// Identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at the parser).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `(` / `)`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[` / `]`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// Comparison operators.
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Number(n) => write!(f, "`{n}`"),
+            Token::Star => write!(f, "`*`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::LBracket => write!(f, "`[`"),
+            Token::RBracket => write!(f, "`]`"),
+            Token::Le => write!(f, "`<=`"),
+            Token::Ge => write!(f, "`>=`"),
+            Token::Lt => write!(f, "`<`"),
+            Token::Gt => write!(f, "`>`"),
+            Token::Eq => write!(f, "`=`"),
+        }
+    }
+}
+
+/// Tokenize a statement.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '[' => {
+                chars.next();
+                out.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                out.push(Token::RBracket);
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Le);
+                } else {
+                    out.push(Token::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Ge);
+                } else {
+                    out.push(Token::Gt);
+                }
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    let exp_sign = (d == '-' || d == '+')
+                        && matches!(s.chars().last(), Some('e') | Some('E'));
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || exp_sign {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = s
+                    .parse()
+                    .map_err(|_| Error::Parse(format!("bad numeric literal `{s}`")))?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => {
+                return Err(Error::Parse(format!("unexpected character `{other}` in query")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_select() {
+        let toks = tokenize("SELECT * FROM v1 WHERE x IN [0, 256]").unwrap();
+        assert_eq!(toks.len(), 12);
+        assert_eq!(toks[1], Token::Star);
+        assert_eq!(toks[7], Token::LBracket);
+        assert_eq!(toks[8], Token::Number(0.0));
+    }
+
+    #[test]
+    fn numbers_with_signs_and_exponents() {
+        let toks = tokenize("-1.5 2e3 .25 1e-2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number(-1.5),
+                Token::Number(2000.0),
+                Token::Number(0.25),
+                Token::Number(0.01),
+            ]
+        );
+        assert!(tokenize("1.2.3").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("x <= 5 AND y >= 2 AND z < 1 AND w > 0 AND v = 3").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Eq));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by orv services.
+#[derive(Debug)]
+pub enum Error {
+    /// A named table/view/chunk/attribute was not found.
+    NotFound(String),
+    /// Schema-level mismatch: wrong type, missing attribute, arity error.
+    Schema(String),
+    /// Malformed chunk bytes or layout description.
+    Format(String),
+    /// A query string failed to parse.
+    Parse(String),
+    /// Logical plan could not be constructed or executed.
+    Plan(String),
+    /// The cluster runtime failed (a node panicked, a channel closed early).
+    Cluster(String),
+    /// Invalid configuration (zero nodes, empty grid, ...).
+    Config(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::Schema(msg) => write!(f, "schema error: {msg}"),
+            Error::Format(msg) => write!(f, "format error: {msg}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Plan(msg) => write!(f, "plan error: {msg}"),
+            Error::Cluster(msg) => write!(f, "cluster error: {msg}"),
+            Error::Config(msg) => write!(f, "config error: {msg}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Shorthand for a [`Error::NotFound`] with a formatted subject.
+    pub fn not_found(what: impl Into<String>) -> Self {
+        Error::NotFound(what.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::Schema("attribute `wp` missing".into());
+        assert_eq!(e.to_string(), "schema error: attribute `wp` missing");
+        let e = Error::not_found("table t9");
+        assert_eq!(e.to_string(), "not found: table t9");
+    }
+
+    #[test]
+    fn io_error_is_wrapped_and_sourced() {
+        use std::error::Error as _;
+        let io = std::io::Error::other("disk on fire");
+        let e: Error = io.into();
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn result_alias_is_usable() {
+        fn f(ok: bool) -> Result<u32> {
+            if ok {
+                Ok(1)
+            } else {
+                Err(Error::Config("no".into()))
+            }
+        }
+        assert_eq!(f(true).unwrap(), 1);
+        assert!(f(false).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared vocabulary for the `orv` workspace.
+//!
+//! This crate defines the types every other layer speaks:
+//!
+//! * [`Value`] / [`DataType`] — the scalar value model of virtual tables.
+//! * [`Schema`] / [`Attribute`] — table shapes, with coordinate vs scalar
+//!   attribute roles (the paper joins tables on coordinate attributes such
+//!   as `(x, y)`).
+//! * [`Record`] — a row of a virtual table.
+//! * [`BoundingBox`] — n-dimensional lower/upper bounds over attributes,
+//!   attached to every chunk and sub-table; drives the page-level join index.
+//! * Identifier newtypes ([`TableId`], [`ChunkId`], [`SubTableId`],
+//!   [`NodeId`]) used across services.
+//! * [`Error`] — the workspace error type.
+
+pub mod bbox;
+pub mod error;
+pub mod ids;
+pub mod record;
+pub mod schema;
+pub mod value;
+
+pub use bbox::{BoundingBox, Interval};
+pub use error::{Error, Result};
+pub use ids::{ChunkId, NodeId, SubTableId, TableId};
+pub use record::Record;
+pub use schema::{AttrRole, Attribute, Schema};
+pub use value::{DataType, Value};

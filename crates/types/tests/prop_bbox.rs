@@ -1,0 +1,95 @@
+//! Property tests for interval / bounding-box algebra.
+
+use orv_types::{BoundingBox, Interval};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    // Mix of ordinary, point, and empty intervals over a modest range.
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(a, b)| Interval::new(a, b))
+}
+
+fn nonempty_interval() -> impl Strategy<Value = Interval> {
+    (-100.0f64..100.0, 0.0f64..50.0).prop_map(|(lo, len)| Interval::new(lo, lo + len))
+}
+
+fn bbox_strategy() -> impl Strategy<Value = BoundingBox> {
+    proptest::collection::vec((0usize..4, nonempty_interval()), 0..4).prop_map(|dims| {
+        let names = ["x", "y", "z", "wp"];
+        BoundingBox::from_dims(dims.into_iter().map(|(i, iv)| (names[i], iv)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(a in interval_strategy(), b in interval_strategy()) {
+        let (ab, ba) = (a.union(b), b.union(a));
+        // Two empty intervals may carry different (lo, hi) representations;
+        // they are the same set.
+        prop_assert!(ab == ba || (ab.is_empty() && ba.is_empty()));
+    }
+
+    #[test]
+    fn union_contains_both(a in nonempty_interval(), b in nonempty_interval()) {
+        let u = a.union(b);
+        prop_assert!(u.lo <= a.lo && u.hi >= a.hi);
+        prop_assert!(u.lo <= b.lo && u.hi >= b.hi);
+    }
+
+    #[test]
+    fn intersect_within_both(a in nonempty_interval(), b in nonempty_interval()) {
+        let i = a.intersect(b);
+        if !i.is_empty() {
+            prop_assert!(i.lo >= a.lo && i.hi <= a.hi);
+            prop_assert!(i.lo >= b.lo && i.hi <= b.hi);
+        }
+    }
+
+    #[test]
+    fn overlap_iff_nonempty_intersection(a in nonempty_interval(), b in nonempty_interval()) {
+        prop_assert_eq!(a.overlaps(b), !a.intersect(b).is_empty());
+    }
+
+    #[test]
+    fn union_is_monotone_in_length(a in nonempty_interval(), b in nonempty_interval()) {
+        let u = a.union(b);
+        prop_assert!(u.length() >= a.length());
+        prop_assert!(u.length() >= b.length());
+    }
+
+    #[test]
+    fn box_overlap_is_symmetric(a in bbox_strategy(), b in bbox_strategy()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn box_union_overlaps_operands(a in bbox_strategy(), b in bbox_strategy()) {
+        let u = a.union(&b);
+        // The union (an upper bound on the pair's extent) must overlap each
+        // operand on every attribute it still bounds.
+        prop_assert!(u.overlaps(&a));
+        prop_assert!(u.overlaps(&b));
+    }
+
+    #[test]
+    fn box_intersection_contained(a in bbox_strategy(), b in bbox_strategy()) {
+        let i = a.intersect(&b);
+        if !i.is_empty() {
+            // Any box contained in the intersection overlaps both operands.
+            prop_assert!(a.overlaps(&i));
+            prop_assert!(b.overlaps(&i));
+        }
+    }
+
+    #[test]
+    fn self_union_is_identity_on_common_attrs(a in bbox_strategy()) {
+        let u = a.union(&a);
+        for (name, iv) in a.bounded_attrs() {
+            prop_assert_eq!(u.get(name), iv);
+        }
+    }
+
+    #[test]
+    fn unbounded_overlaps_everything(a in bbox_strategy()) {
+        prop_assert!(BoundingBox::unbounded().overlaps(&a));
+    }
+}

@@ -1,0 +1,127 @@
+//! Algorithm advisor: sweep dataset shapes and watch the Query Planning
+//! Service switch between Indexed Join and Grace Hash.
+//!
+//! For each partitioning mismatch level the example prints the dataset
+//! parameters of Table 1, both cost-model predictions, the planner's pick,
+//! and — because these datasets are laptop-sized — the *measured* wall
+//! time of both threaded QES implementations, so you can see the picks
+//! being right (or wrong) in real time.
+//!
+//! ```text
+//! cargo run --release --example algorithm_advisor
+//! ```
+
+use orv::bds::{generate_dataset, DatasetSpec, Deployment};
+use orv::costmodel::{calibrate_host, choose_algorithm, CostParams, SystemParams};
+use orv::join::{
+    grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig, JoinAlgorithm,
+};
+use orv::types::Result;
+
+fn main() -> Result<()> {
+    let n_compute = 4;
+    let cal = calibrate_host(500_000);
+    println!(
+        "host calibration: α_build = {:.0} ns, α_lookup = {:.0} ns\n",
+        cal.alpha_build * 1e9,
+        cal.alpha_lookup * 1e9
+    );
+    println!(
+        "{:>3} {:>12} {:>10} {:>10} {:>6} {:>10} {:>10} {:>8}",
+        "i", "n_e·c_S", "IJ meas", "GH meas", "pick", "IJ model", "GH model", "correct"
+    );
+
+    for i in 0..=5u32 {
+        // The Figure-4 family at laptop scale: mismatch doubles per step.
+        let narrow = 64u64 >> i;
+        let (p, q) = ([64, narrow, 1], [narrow, 64, 1]);
+        let deployment = Deployment::in_memory(2);
+        let h1 = generate_dataset(
+            &DatasetSpec::builder("t1")
+                .grid([256, 256, 1])
+                .partition(p)
+                .scalar_attrs(&["oilp"])
+                .seed(1)
+                .build(),
+            &deployment,
+        )?;
+        let h2 = generate_dataset(
+            &DatasetSpec::builder("t2")
+                .grid([256, 256, 1])
+                .partition(q)
+                .scalar_attrs(&["wp"])
+                .seed(2)
+                .build(),
+            &deployment,
+        )?;
+
+        let attrs = ["x", "y", "z"];
+        let ij = indexed_join(
+            &deployment,
+            h1.table,
+            h2.table,
+            &attrs,
+            &IndexedJoinConfig {
+                n_compute,
+                ..Default::default()
+            },
+        )?;
+        let gh = grace_hash_join(
+            &deployment,
+            h1.table,
+            h2.table,
+            &attrs,
+            &GraceHashConfig {
+                n_compute,
+                ..Default::default()
+            },
+        )?;
+
+        // Model the host: in-memory "disks" and "network".
+        let n_e = deployment
+            .metadata()
+            .get_join_index(h1.table, h2.table, &attrs)
+            .map(|p| p.len() as f64)
+            .expect("IJ stored the join index");
+        let d = CostParams {
+            t: h1.total_tuples() as f64,
+            c_r: h1.tuples_per_chunk() as f64,
+            c_s: h2.tuples_per_chunk() as f64,
+            n_e,
+            rs_r: h1.record_size() as f64,
+            rs_s: h2.record_size() as f64,
+        };
+        // GH's bucket "I/O" on the host is per-byte serialization CPU,
+        // which calibration measured.
+        let s = SystemParams {
+            net_bw: 8.0e9,
+            read_io_bw: cal.decode_bw,
+            write_io_bw: cal.encode_bw,
+            n_s: 2.0,
+            n_j: n_compute as f64,
+            alpha_build: cal.alpha_build,
+            alpha_lookup: cal.alpha_lookup,
+        };
+        let choice = choose_algorithm(&d, &s)?;
+        let pick = if choice.indexed_join {
+            JoinAlgorithm::IndexedJoin
+        } else {
+            JoinAlgorithm::GraceHash
+        };
+        let measured_ij_wins = ij.stats.wall_secs < gh.stats.wall_secs;
+        let correct = choice.indexed_join == measured_ij_wins;
+        println!(
+            "{:>3} {:>12.3e} {:>9.3}s {:>9.3}s {:>6} {:>9.3}s {:>9.3}s {:>8}",
+            i,
+            d.ne_cs(),
+            ij.stats.wall_secs,
+            gh.stats.wall_secs,
+            pick.to_string(),
+            choice.ij_total,
+            choice.gh_total,
+            correct
+        );
+    }
+    println!("\n(the planner's job is exactly this table: pick the faster QES per dataset)");
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! Failure injection: malformed chunks, bogus metadata, missing
+//! extractors — errors must surface as typed `Error`s, never panics —
+//! plus edge-shaped datasets (partitions that do not divide the grid).
+
+use orv::bds::{generate_dataset, BdsService, DatasetSpec, Deployment};
+use orv::chunk::{ChunkLocation, ChunkMeta};
+use orv::join::reference::{nested_loop_join, sort_records};
+use orv::join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig};
+use orv::types::{BoundingBox, ChunkId, Interval, NodeId, SubTableId, TableId};
+
+fn demo_deployment() -> (Deployment, TableId) {
+    let d = Deployment::in_memory(2);
+    let h = generate_dataset(
+        &DatasetSpec::builder("t")
+            .grid([8, 8, 1])
+            .partition([4, 4, 1])
+            .scalar_attrs(&["p"])
+            .seed(3)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    (d, h.table)
+}
+
+#[test]
+fn chunk_with_bogus_location_errors_cleanly() {
+    let (d, t) = demo_deployment();
+    // Register an extra chunk whose location overruns the data file.
+    d.metadata()
+        .register_chunk(ChunkMeta {
+            table: t,
+            chunk: ChunkId(4),
+            node: NodeId(0),
+            location: ChunkLocation {
+                file: "t.dat".into(),
+                offset: 1 << 20,
+                len: 4096,
+            },
+            attributes: vec!["x".into()],
+            extractors: vec!["t_layout".into()],
+            bbox: BoundingBox::unbounded(),
+            num_records: 0,
+        })
+        .unwrap();
+    let svc = BdsService::new(&d, NodeId(0)).unwrap();
+    let err = svc.subtable(SubTableId::new(t.0, 4u32)).unwrap_err();
+    assert!(err.to_string().contains("overruns"), "{err}");
+}
+
+#[test]
+fn chunk_with_missing_extractor_errors_cleanly() {
+    let (d, t) = demo_deployment();
+    // A chunk that claims an extractor nobody registered.
+    let loc = d
+        .store(NodeId(0))
+        .unwrap()
+        .lock()
+        .append("t.dat", &[0u8; 64])
+        .unwrap();
+    d.metadata()
+        .register_chunk(ChunkMeta {
+            table: t,
+            chunk: ChunkId(4),
+            node: NodeId(0),
+            location: loc,
+            attributes: vec!["x".into()],
+            extractors: vec!["proprietary_v9".into()],
+            bbox: BoundingBox::unbounded(),
+            num_records: 4,
+        })
+        .unwrap();
+    let svc = BdsService::new(&d, NodeId(0)).unwrap();
+    let err = svc.subtable(SubTableId::new(t.0, 4u32)).unwrap_err();
+    assert!(err.to_string().contains("extractor"), "{err}");
+}
+
+#[test]
+fn corrupt_chunk_bytes_fail_extraction() {
+    let (d, t) = demo_deployment();
+    // Garbage whose length is not a whole number of records.
+    let loc = d
+        .store(NodeId(0))
+        .unwrap()
+        .lock()
+        .append("t.dat", &[0xAB; 37])
+        .unwrap();
+    d.metadata()
+        .register_chunk(ChunkMeta {
+            table: t,
+            chunk: ChunkId(4),
+            node: NodeId(0),
+            location: loc,
+            attributes: vec!["x".into()],
+            extractors: vec!["t_layout".into()],
+            bbox: BoundingBox::unbounded(),
+            num_records: 2,
+        })
+        .unwrap();
+    let svc = BdsService::new(&d, NodeId(0)).unwrap();
+    let err = svc.subtable(SubTableId::new(t.0, 4u32)).unwrap_err();
+    assert!(err.to_string().contains("records"), "{err}");
+}
+
+#[test]
+fn corrupt_chunk_poisons_joins_with_error_not_panic() {
+    let (d, t) = demo_deployment();
+    let h2 = generate_dataset(
+        &DatasetSpec::builder("t2")
+            .grid([8, 8, 1])
+            .partition([4, 4, 1])
+            .scalar_attrs(&["q"])
+            .seed(4)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    // Corrupt chunk injected into t2: bad byte count, overlapping bbox so
+    // joins must touch it.
+    let loc = d
+        .store(NodeId(0))
+        .unwrap()
+        .lock()
+        .append("t2.dat", &[0xCD; 33])
+        .unwrap();
+    d.metadata()
+        .register_chunk(ChunkMeta {
+            table: h2.table,
+            chunk: ChunkId(4),
+            node: NodeId(0),
+            location: loc,
+            attributes: vec!["x".into(), "y".into(), "z".into(), "q".into()],
+            extractors: vec!["t2_layout".into()],
+            bbox: BoundingBox::from_dims([("x", Interval::new(0.0, 7.0))]),
+            num_records: 2,
+        })
+        .unwrap();
+    let attrs = ["x", "y", "z"];
+    assert!(indexed_join(&d, t, h2.table, &attrs, &IndexedJoinConfig::default()).is_err());
+    assert!(grace_hash_join(&d, t, h2.table, &attrs, &GraceHashConfig::default()).is_err());
+}
+
+#[test]
+fn uneven_partitions_still_join_correctly() {
+    // Partitions that do NOT divide the grid: clipped edge chunks.
+    let d = Deployment::in_memory(3);
+    let h1 = generate_dataset(
+        &DatasetSpec::builder("a")
+            .grid([7, 5, 3])
+            .partition([4, 2, 2])
+            .scalar_attrs(&["u"])
+            .seed(9)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    let h2 = generate_dataset(
+        &DatasetSpec::builder("b")
+            .grid([7, 5, 3])
+            .partition([3, 5, 1])
+            .scalar_attrs(&["v"])
+            .seed(10)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    assert_eq!(h1.total_tuples(), 105);
+    let attrs = ["x", "y", "z"];
+    let oracle = sort_records(nested_loop_join(&d, h1.table, h2.table, &attrs, None).unwrap());
+    assert_eq!(oracle.len(), 105);
+    let ij = indexed_join(
+        &d,
+        h1.table,
+        h2.table,
+        &attrs,
+        &IndexedJoinConfig {
+            collect_results: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sort_records(ij.records.unwrap()), oracle);
+    let gh = grace_hash_join(
+        &d,
+        h1.table,
+        h2.table,
+        &attrs,
+        &GraceHashConfig {
+            collect_results: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sort_records(gh.records.unwrap()), oracle);
+}
+
+#[test]
+fn empty_intersection_join_produces_zero_rows() {
+    // Disjoint grids joined on x only — bounding boxes never overlap, so
+    // the connectivity graph is empty and IJ does no work at all.
+    let d = Deployment::in_memory(1);
+    let h1 = generate_dataset(
+        &DatasetSpec::builder("a")
+            .grid([4, 4, 1])
+            .partition([4, 4, 1])
+            .scalar_attrs(&["u"])
+            .seed(1)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    let h2 = generate_dataset(
+        &DatasetSpec::builder("b")
+            .grid([4, 4, 1])
+            .partition([4, 4, 1])
+            .scalar_attrs(&["v"])
+            .seed(2)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    // Constrain to a region that excludes everything.
+    let range = BoundingBox::from_dims([("x", Interval::new(100.0, 200.0))]);
+    let ij = indexed_join(
+        &d,
+        h1.table,
+        h2.table,
+        &["x", "y", "z"],
+        &IndexedJoinConfig {
+            collect_results: true,
+            range: Some(range.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(ij.stats.result_tuples, 0);
+    assert_eq!(ij.stats.cache_misses, 0, "nothing should be fetched");
+    let gh = grace_hash_join(
+        &d,
+        h1.table,
+        h2.table,
+        &["x", "y", "z"],
+        &GraceHashConfig {
+            collect_results: true,
+            range: Some(range),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(gh.stats.result_tuples, 0);
+}
