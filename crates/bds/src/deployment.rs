@@ -1,7 +1,7 @@
 //! A deployed storage cluster: per-node chunk stores + shared services.
 
-use orv_chunk::{ExtractorRegistry, FileChunkStore, MemChunkStore};
 use orv_chunk::format::ChunkStore;
+use orv_chunk::{ExtractorRegistry, FileChunkStore, MemChunkStore};
 use orv_metadata::MetadataService;
 use orv_types::{Error, NodeId, Result};
 use parking_lot::{Mutex, RwLock};
@@ -24,7 +24,9 @@ impl Deployment {
     pub fn in_memory(n: usize) -> Self {
         let stores = (0..n)
             .map(|_| {
-                Arc::new(Mutex::new(Box::new(MemChunkStore::new()) as Box<dyn ChunkStore>))
+                Arc::new(Mutex::new(
+                    Box::new(MemChunkStore::new()) as Box<dyn ChunkStore>
+                ))
             })
             .collect();
         Deployment {

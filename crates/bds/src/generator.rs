@@ -227,8 +227,11 @@ pub fn scalar_value(seed: u64, attr: u64, p: [u64; 3]) -> f32 {
 pub fn plume_value(seed: u64, attr: u64, grid: [u64; 3], p: [u64; 3]) -> f32 {
     let unit = |k: u64| -> f64 {
         // A deterministic value in [0, 1) per (seed, attr, k).
-        scalar_value(seed ^ 0xA5A5_5A5A_DEAD_BEEF, attr.wrapping_mul(31).wrapping_add(k), [k, 0, 0])
-            as f64
+        scalar_value(
+            seed ^ 0xA5A5_5A5A_DEAD_BEEF,
+            attr.wrapping_mul(31).wrapping_add(k),
+            [k, 0, 0],
+        ) as f64
     };
     let (gx, gy, gz) = (grid[0] as f64, grid[1] as f64, grid[2] as f64);
     let (x, y, z) = (p[0] as f64, p[1] as f64, p[2] as f64);
@@ -269,15 +272,18 @@ pub fn generate_dataset(spec: &DatasetSpec, deployment: &Deployment) -> Result<D
         ["x", "y", "z"].iter().map(|s| s.to_string()).collect(),
     );
 
-    let table = deployment.metadata().register_table(spec.name.clone(), Arc::clone(&schema))?;
+    let table = deployment
+        .metadata()
+        .register_table(spec.name.clone(), Arc::clone(&schema))?;
     let coord_names: Vec<String> = vec!["x".into(), "y".into(), "z".into()];
     let n_storage = deployment.num_storage_nodes();
     let file = format!("{}.dat", spec.name);
 
     for (idx, region, node) in partition.chunks(n_storage) {
         let npoints = region.num_points() as usize;
-        let mut cols: Vec<Vec<Value>> =
-            (0..schema.arity()).map(|_| Vec::with_capacity(npoints)).collect();
+        let mut cols: Vec<Vec<Value>> = (0..schema.arity())
+            .map(|_| Vec::with_capacity(npoints))
+            .collect();
         for p in region.points() {
             cols[0].push(Value::I32(p[0] as i32));
             cols[1].push(Value::I32(p[1] as i32));
@@ -381,8 +387,12 @@ mod tests {
         // Extractor registered.
         assert!(d.registry().read().get("t1_layout").is_ok());
         // Chunks spread over both nodes.
-        let meta0 = md.chunk_meta(orv_types::SubTableId::new(h.table.0, 0u32)).unwrap();
-        let meta1 = md.chunk_meta(orv_types::SubTableId::new(h.table.0, 1u32)).unwrap();
+        let meta0 = md
+            .chunk_meta(orv_types::SubTableId::new(h.table.0, 0u32))
+            .unwrap();
+        let meta1 = md
+            .chunk_meta(orv_types::SubTableId::new(h.table.0, 1u32))
+            .unwrap();
         assert_ne!(meta0.node, meta1.node);
     }
 

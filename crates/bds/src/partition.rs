@@ -19,7 +19,9 @@ pub struct Region {
 impl Region {
     /// Number of grid points inside.
     pub fn num_points(&self) -> u64 {
-        (0..3).map(|d| self.hi[d].saturating_sub(self.lo[d])).product()
+        (0..3)
+            .map(|d| self.hi[d].saturating_sub(self.lo[d]))
+            .product()
     }
 
     /// Bounding box over the named coordinate attributes (closed bounds on
@@ -28,7 +30,10 @@ impl Region {
         BoundingBox::from_dims(coords.iter().enumerate().map(|(d, name)| {
             (
                 name.clone(),
-                Interval::new(self.lo[d] as f64, (self.hi[d].max(self.lo[d] + 1) - 1) as f64),
+                Interval::new(
+                    self.lo[d] as f64,
+                    (self.hi[d].max(self.lo[d] + 1) - 1) as f64,
+                ),
             )
         }))
     }
@@ -131,7 +136,8 @@ impl GridPartition {
     /// Iterate `(chunk id, region, node)` for a deployment over
     /// `n_storage` nodes.
     pub fn chunks(&self, n_storage: usize) -> impl Iterator<Item = (u64, Region, NodeId)> + '_ {
-        (0..self.num_chunks()).map(move |i| (i, self.chunk_region(i), self.node_of_chunk(i, n_storage)))
+        (0..self.num_chunks())
+            .map(move |i| (i, self.chunk_region(i), self.node_of_chunk(i, n_storage)))
     }
 }
 
@@ -186,7 +192,9 @@ mod tests {
         let last_x = p.chunk_region(p.chunk_index([2, 0, 0]));
         assert_eq!(last_x.lo[0], 4);
         assert_eq!(last_x.hi[0], 5);
-        let total: u64 = (0..p.num_chunks()).map(|i| p.chunk_region(i).num_points()).sum();
+        let total: u64 = (0..p.num_chunks())
+            .map(|i| p.chunk_region(i).num_points())
+            .sum();
         assert_eq!(total, 15);
     }
 

@@ -11,7 +11,7 @@
 use crate::deployment::Deployment;
 use orv_chunk::format::ChunkStore;
 use orv_chunk::{ExtractorRegistry, SubTable};
-use orv_cluster::ByteCounter;
+use orv_cluster::{ByteCounter, FaultInjector};
 use orv_metadata::MetadataService;
 use orv_types::{Error, NodeId, Result, SubTableId};
 use parking_lot::{Mutex, RwLock};
@@ -24,24 +24,52 @@ pub struct BdsService {
     metadata: Arc<MetadataService>,
     registry: Arc<RwLock<ExtractorRegistry>>,
     bytes_read: ByteCounter,
+    faults: Arc<FaultInjector>,
 }
 
 impl BdsService {
     /// Create the instance for `node` out of a deployment.
     pub fn new(deployment: &Deployment, node: NodeId) -> Result<Self> {
+        BdsService::with_faults(deployment, node, FaultInjector::disabled())
+    }
+
+    /// Create the instance for `node` with a fault injector attached:
+    /// every chunk read first consults the injector, which may slow it
+    /// down or fail it with a transient `Error::Cluster`.
+    pub fn with_faults(
+        deployment: &Deployment,
+        node: NodeId,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Self> {
         Ok(BdsService {
             node,
             store: Arc::clone(deployment.store(node)?),
             metadata: Arc::clone(deployment.metadata()),
             registry: Arc::clone(deployment.registry()),
             bytes_read: ByteCounter::new(),
+            faults,
         })
     }
 
     /// One instance per storage node of the deployment.
     pub fn for_all_nodes(deployment: &Deployment) -> Result<Vec<Arc<BdsService>>> {
+        BdsService::for_all_nodes_with_faults(deployment, FaultInjector::disabled())
+    }
+
+    /// One instance per storage node, all sharing one fault injector (so
+    /// plan budgets apply across the whole execution).
+    pub fn for_all_nodes_with_faults(
+        deployment: &Deployment,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Vec<Arc<BdsService>>> {
         (0..deployment.num_storage_nodes())
-            .map(|k| Ok(Arc::new(BdsService::new(deployment, NodeId(k as u32))?)))
+            .map(|k| {
+                Ok(Arc::new(BdsService::with_faults(
+                    deployment,
+                    NodeId(k as u32),
+                    Arc::clone(&faults),
+                )?))
+            })
             .collect()
     }
 
@@ -60,6 +88,7 @@ impl BdsService {
                 meta.node, self.node
             )));
         }
+        self.faults.before_chunk_read()?;
         let bytes = self.store.lock().read(&meta.location)?;
         self.bytes_read.add(bytes.len() as u64);
         let extractor = self.registry.read().resolve(&meta.extractors)?;
@@ -94,7 +123,9 @@ mod tests {
         let (d, h) = deployed();
         let services = BdsService::for_all_nodes(&d).unwrap();
         // Chunk 0 is on node 0 (block-cyclic).
-        let st = services[0].subtable(SubTableId::new(h.table.0, 0u32)).unwrap();
+        let st = services[0]
+            .subtable(SubTableId::new(h.table.0, 0u32))
+            .unwrap();
         assert_eq!(st.num_rows(), 8);
         // First record is grid point (0,0,0) with its deterministic oilp.
         let r = st.record(0);
@@ -111,9 +142,13 @@ mod tests {
         let (d, h) = deployed();
         let services = BdsService::for_all_nodes(&d).unwrap();
         // Chunk 1 is on node 1; asking node 0 must fail.
-        let err = services[0].subtable(SubTableId::new(h.table.0, 1u32)).unwrap_err();
+        let err = services[0]
+            .subtable(SubTableId::new(h.table.0, 1u32))
+            .unwrap_err();
         assert!(err.to_string().contains("node"));
-        assert!(services[1].subtable(SubTableId::new(h.table.0, 1u32)).is_ok());
+        assert!(services[1]
+            .subtable(SubTableId::new(h.table.0, 1u32))
+            .is_ok());
     }
 
     #[test]
@@ -125,12 +160,35 @@ mod tests {
     }
 
     #[test]
+    fn injected_read_faults_are_transient_under_retry() {
+        use orv_cluster::{FaultPlan, RecoveryPolicy};
+        let (d, h) = deployed();
+        let plan = FaultPlan {
+            seed: 5,
+            read_error_prob: 1.0,
+            max_read_errors: 2,
+            max_faults: 2,
+            ..FaultPlan::none()
+        };
+        let svc = BdsService::with_faults(&d, NodeId(0), plan.injector()).unwrap();
+        let id = SubTableId::new(h.table.0, 0u32);
+        // First two reads are injected failures; the budget then runs dry
+        // and the bounded retry succeeds.
+        let (st, retries) = RecoveryPolicy::default().run(|| svc.subtable(id));
+        assert_eq!(st.unwrap().num_rows(), 8);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
     fn every_chunk_extractable_via_its_home_node() {
         let (d, h) = deployed();
         let services = BdsService::for_all_nodes(&d).unwrap();
         let mut total = 0;
         for c in d.metadata().all_chunks(h.table).unwrap() {
-            let id = SubTableId { table: h.table, chunk: c };
+            let id = SubTableId {
+                table: h.table,
+                chunk: c,
+            };
             let node = d.metadata().chunk_meta(id).unwrap().node;
             let st = services[node.index()].subtable(id).unwrap();
             total += st.num_rows();

@@ -79,8 +79,15 @@ fn a2_cache_size(c: &mut Criterion) {
 fn a3_edge_ratio(c: &mut Criterion) {
     // Orthogonal slab partitions: every left chunk overlaps every right
     // chunk in its row — the OPAS regime where IJ degrades.
-    let (d, t1, t2) =
-        deploy_pair([128, 128, 1], [128, 4, 1], [4, 128, 1], 2, &["oilp"], &["wp"]).unwrap();
+    let (d, t1, t2) = deploy_pair(
+        [128, 128, 1],
+        [128, 4, 1],
+        [4, 128, 1],
+        2,
+        &["oilp"],
+        &["wp"],
+    )
+    .unwrap();
     let mut group = c.benchmark_group("a3_high_edge_ratio");
     group.sample_size(10);
     group.bench_function("IJ", |b| {
@@ -115,7 +122,6 @@ fn a3_edge_ratio(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Fast Criterion profile: these benches exist to show *shapes*
 /// (who wins, how the curve moves), not microsecond-exact numbers.

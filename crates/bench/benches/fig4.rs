@@ -7,11 +7,9 @@
 //! in the middle.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orv_bench::figures::family_partitions;
 use orv_bench::deploy_pair;
-use orv_join::{
-    grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig,
-};
+use orv_bench::figures::family_partitions;
+use orv_join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_ne_cs");
@@ -52,7 +50,6 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Fast Criterion profile: these benches exist to show *shapes*
 /// (who wins, how the curve moves), not microsecond-exact numbers.

@@ -51,7 +51,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Fast Criterion profile: these benches exist to show *shapes*
 /// (who wins, how the curve moves), not microsecond-exact numbers.
 fn quick() -> Criterion {

@@ -15,7 +15,9 @@ use std::sync::Arc;
 fn subtable(rows: usize, seed: u64) -> SubTable {
     let schema = Arc::new(Schema::grid(&["x", "y"], &["wp"]).unwrap());
     let cols = vec![
-        (0..rows).map(|i| Value::I32((i as u64 ^ seed) as i32)).collect(),
+        (0..rows)
+            .map(|i| Value::I32((i as u64 ^ seed) as i32))
+            .collect(),
         (0..rows).map(|i| Value::I32(i as i32)).collect(),
         (0..rows).map(|i| Value::F32(i as f32)).collect(),
     ];
@@ -34,7 +36,11 @@ fn bench_hash_ops(c: &mut Criterion) {
     });
     let joiner = HashJoiner::build(&left, &["x", "y"], &counters, 1).unwrap();
     group.bench_function("alpha_lookup", |b| {
-        b.iter(|| joiner.probe(&right, &["x", "y"], &counters, |_| {}).unwrap())
+        b.iter(|| {
+            joiner
+                .probe(&right, &["x", "y"], &counters, |_| {})
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -48,7 +54,11 @@ fn bench_extractor(c: &mut Criterion) {
     let mut group = c.benchmark_group("extractor");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("decode_64k_rows", |b| {
-        b.iter(|| extractor.extract(SubTableId::new(0u32, 0u32), &bytes).unwrap())
+        b.iter(|| {
+            extractor
+                .extract(SubTableId::new(0u32, 0u32), &bytes)
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -58,7 +68,10 @@ fn bench_rtree(c: &mut Criterion) {
     for x in 0..64 {
         for y in 0..64 {
             tree.insert(
-                Rect::new(vec![x as f64, y as f64], vec![x as f64 + 1.0, y as f64 + 1.0]),
+                Rect::new(
+                    vec![x as f64, y as f64],
+                    vec![x as f64 + 1.0, y as f64 + 1.0],
+                ),
                 x * 64 + y,
             );
         }
@@ -80,7 +93,6 @@ fn bench_lru(c: &mut Criterion) {
         })
     });
 }
-
 
 /// Fast Criterion profile: these benches exist to show *shapes*
 /// (who wins, how the curve moves), not microsecond-exact numbers.

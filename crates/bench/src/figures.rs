@@ -302,14 +302,20 @@ mod tests {
             .points
             .iter()
             .map(|p| p.gh_sim)
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+                (lo.min(v), hi.max(v))
+            });
         assert!(gh_spread.1 / gh_spread.0 < 1.35, "GH spread {gh_spread:?}");
     }
 
     #[test]
     fn fig5_gap_shrinks_with_more_nodes() {
         let f = fig5_series().unwrap();
-        let gap: Vec<f64> = f.points.iter().map(|p| (p.gh_sim - p.ij_sim).abs()).collect();
+        let gap: Vec<f64> = f
+            .points
+            .iter()
+            .map(|p| (p.gh_sim - p.ij_sim).abs())
+            .collect();
         assert!(gap.last().unwrap() < gap.first().unwrap());
         // Both improve with more nodes.
         assert!(f.points.last().unwrap().ij_sim < f.points[0].ij_sim);
@@ -327,7 +333,10 @@ mod tests {
                 (w[0].ij_model, w[1].ij_model),
                 (w[0].gh_model, w[1].gh_model),
             ] {
-                assert!(((b / a) / t_ratio - 1.0).abs() < 0.15, "nonlinear: {a} → {b}");
+                assert!(
+                    ((b / a) / t_ratio - 1.0).abs() < 0.15,
+                    "nonlinear: {a} → {b}"
+                );
             }
         }
         assert!(f.points.last().unwrap().x >= 2.0e9, "reaches 2B tuples");

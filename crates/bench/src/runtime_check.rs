@@ -10,9 +10,7 @@
 use crate::deploy_pair;
 use crate::figures::family_partitions;
 use orv_costmodel::{calibrate_host, choose_algorithm, Calibration, CostParams, SystemParams};
-use orv_join::{
-    grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig, JoinAlgorithm,
-};
+use orv_join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig, JoinAlgorithm};
 use orv_types::Result;
 
 /// One validation row.

@@ -143,10 +143,9 @@ mod tests {
     use orv_types::{AttrRole, Value};
 
     fn extractor() -> LayoutExtractor {
-        let desc = parse_layout(
-            "layout res_v1 { header 4; field x: i32; field y: i32; field wp: f32; }",
-        )
-        .unwrap();
+        let desc =
+            parse_layout("layout res_v1 { header 4; field x: i32; field y: i32; field wp: f32; }")
+                .unwrap();
         LayoutExtractor::generate(&desc, &["x", "y"]).unwrap()
     }
 

@@ -7,8 +7,8 @@
 //! backs tests and the threaded runtime's fast path.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use orv_types::{Error, Result};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -81,7 +81,9 @@ impl ChunkStore for MemChunkStore {
                     buf.len()
                 ))
             })?;
-        Ok(Bytes::copy_from_slice(&buf[loc.offset as usize..end as usize]))
+        Ok(Bytes::copy_from_slice(
+            &buf[loc.offset as usize..end as usize],
+        ))
     }
 
     fn total_bytes(&self) -> u64 {
@@ -118,7 +120,10 @@ impl FileChunkStore {
 impl ChunkStore for FileChunkStore {
     fn append(&mut self, file: &str, data: &[u8]) -> Result<ChunkLocation> {
         let path = self.path_of(file)?;
-        let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         let offset = f.seek(SeekFrom::End(0))?;
         f.write_all(data)?;
         self.written += data.len() as u64;

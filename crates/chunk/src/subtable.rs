@@ -61,8 +61,11 @@ impl SubTable {
 
     /// Build from row records.
     pub fn from_records(id: SubTableId, schema: Arc<Schema>, records: &[Record]) -> Result<Self> {
-        let mut columns: Vec<Vec<Value>> =
-            schema.attrs().iter().map(|_| Vec::with_capacity(records.len())).collect();
+        let mut columns: Vec<Vec<Value>> = schema
+            .attrs()
+            .iter()
+            .map(|_| Vec::with_capacity(records.len()))
+            .collect();
         for (ri, r) in records.iter().enumerate() {
             if !r.conforms_to(&schema) {
                 return Err(Error::Schema(format!(
@@ -252,7 +255,10 @@ mod tests {
         let st = sample();
         let recs: Vec<Record> = st.records().collect();
         assert_eq!(recs.len(), 3);
-        assert_eq!(recs[1].values(), &[Value::I32(1), Value::I32(6), Value::F32(0.25)]);
+        assert_eq!(
+            recs[1].values(),
+            &[Value::I32(1), Value::I32(6), Value::F32(0.25)]
+        );
     }
 
     #[test]
@@ -269,12 +275,18 @@ mod tests {
     fn type_and_shape_validation() {
         let s = schema();
         // Wrong arity.
-        assert!(SubTable::from_columns(SubTableId::new(0u32, 0u32), s.clone(), vec![vec![]]).is_err());
+        assert!(
+            SubTable::from_columns(SubTableId::new(0u32, 0u32), s.clone(), vec![vec![]]).is_err()
+        );
         // Ragged.
         let ragged = vec![vec![Value::I32(0)], vec![], vec![]];
         assert!(SubTable::from_columns(SubTableId::new(0u32, 0u32), s.clone(), ragged).is_err());
         // Wrong type in column.
-        let wrong = vec![vec![Value::F32(0.0)], vec![Value::I32(0)], vec![Value::F32(0.0)]];
+        let wrong = vec![
+            vec![Value::F32(0.0)],
+            vec![Value::I32(0)],
+            vec![Value::F32(0.0)],
+        ];
         assert!(SubTable::from_columns(SubTableId::new(0u32, 0u32), s, wrong).is_err());
     }
 
@@ -284,7 +296,10 @@ mod tests {
         let range = BoundingBox::from_dims([("x", Interval::new(1.0, 2.0))]);
         let f = st.filter_range(&range).unwrap();
         assert_eq!(f.num_rows(), 2);
-        assert_eq!(f.column_by_name("x").unwrap(), &[Value::I32(1), Value::I32(2)]);
+        assert_eq!(
+            f.column_by_name("x").unwrap(),
+            &[Value::I32(1), Value::I32(2)]
+        );
         // Unknown attribute in range → unconstrained.
         let range2 = BoundingBox::from_dims([("zzz", Interval::new(0.0, 0.0))]);
         assert_eq!(st.filter_range(&range2).unwrap().num_rows(), 3);

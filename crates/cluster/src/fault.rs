@@ -1,0 +1,680 @@
+//! Deterministic fault injection and recovery policy for the threaded
+//! runtime.
+//!
+//! The paper's testbed was ten commodity PCs with IDE disks and Fast
+//! Ethernet — hardware that fails. The threaded runtime substitutes OS
+//! threads and channels for that cluster, so this module substitutes for
+//! its failures: a [`FaultPlan`] describes *which* faults occur (transient
+//! chunk-read errors, slow reads, dropped or delayed interconnect
+//! messages, scratch-disk write failures, compute-worker crashes), and a
+//! [`FaultInjector`] realizes the plan deterministically from a single
+//! `u64` seed, so any failing execution can be replayed exactly.
+//!
+//! Determinism model: every injection site keeps its own atomic draw
+//! counter; draw `n` at site `s` is `splitmix64(seed ⊕ salt(s) ⊕ n)`
+//! compared against the site's probability. A retry of the same operation
+//! therefore gets a *fresh* draw — injected faults are transient by
+//! construction. Two budgets bound the chaos: a per-kind cap
+//! (`max_read_errors`, …) and a global [`FaultPlan::max_faults`] cap.
+//! Once a budget is exhausted the injector stops firing, so any execution
+//! with enough retry attempts provably completes. Delays are counted in
+//! the statistics but not against the budgets: they never threaten
+//! correctness, only pacing.
+//!
+//! [`RecoveryPolicy`] is the other half: bounded retries with exponential
+//! backoff and a per-operation deadline, used by the join runtimes around
+//! every fetch, send, and scratch write.
+
+use orv_types::{Error, Result};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Marker every injected worker panic message carries, so test harnesses
+/// can tell deliberate crashes from real bugs (see
+/// [`silence_injected_panics`]).
+pub const INJECTED_PANIC_MARKER: &str = "injected worker panic";
+
+/// Crash one compute worker deterministically: the worker panics at its
+/// checkpoint once it has completed `after_ops` operations (pairs for IJ,
+/// batches/buckets for GH). One-shot — a worker crashes at most once per
+/// spec.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerPanicSpec {
+    /// Compute-worker index (IJ node index / GH compute node index).
+    pub worker: usize,
+    /// Number of completed operations before the panic fires.
+    pub after_ops: u64,
+}
+
+/// A complete, seed-reproducible description of the faults one execution
+/// experiences. Serializable so a failing plan can be attached to a bug
+/// report and replayed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the deterministic draw stream.
+    pub seed: u64,
+    /// Probability a chunk read fails with a transient I/O error.
+    pub read_error_prob: f64,
+    /// Cap on injected read errors.
+    pub max_read_errors: u64,
+    /// Probability a chunk read is slowed by [`FaultPlan::read_delay_ms`].
+    pub read_delay_prob: f64,
+    /// Duration of one injected slow read, milliseconds.
+    pub read_delay_ms: u64,
+    /// Probability an interconnect send is dropped before delivery.
+    pub send_drop_prob: f64,
+    /// Cap on injected send drops.
+    pub max_send_drops: u64,
+    /// Probability an interconnect send is delayed by
+    /// [`FaultPlan::send_delay_ms`].
+    pub send_delay_prob: f64,
+    /// Duration of one injected send delay, milliseconds.
+    pub send_delay_ms: u64,
+    /// Probability a scratch bucket write fails with a transient error.
+    pub scratch_error_prob: f64,
+    /// Cap on injected scratch write errors.
+    pub max_scratch_errors: u64,
+    /// Deterministic compute-worker crashes.
+    pub worker_panics: Vec<WorkerPanicSpec>,
+    /// Global cap across *all* correctness-affecting faults (errors,
+    /// drops, panics — not delays). Guarantees transience.
+    pub max_faults: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            read_error_prob: 0.0,
+            max_read_errors: 0,
+            read_delay_prob: 0.0,
+            read_delay_ms: 0,
+            send_drop_prob: 0.0,
+            max_send_drops: 0,
+            send_delay_prob: 0.0,
+            send_delay_ms: 0,
+            scratch_error_prob: 0.0,
+            max_scratch_errors: 0,
+            worker_panics: Vec::new(),
+            max_faults: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults ever fire.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A representative mixed plan derived entirely from `seed`: moderate
+    /// transient read/send/scratch faults plus one compute-worker crash,
+    /// capped so a runtime with default [`RecoveryPolicy`] retries always
+    /// recovers. Same seed → same plan → same faults.
+    pub fn from_seed(seed: u64) -> Self {
+        let d = splitmix64(seed);
+        FaultPlan {
+            seed,
+            read_error_prob: 0.25,
+            max_read_errors: 2,
+            read_delay_prob: 0.10,
+            read_delay_ms: 1 + d % 3,
+            send_drop_prob: 0.20,
+            max_send_drops: 2,
+            send_delay_prob: 0.10,
+            send_delay_ms: 1 + (d >> 8) % 3,
+            scratch_error_prob: 0.15,
+            max_scratch_errors: 2,
+            worker_panics: vec![WorkerPanicSpec {
+                worker: (d >> 16) as usize % 2,
+                after_ops: (d >> 24) % 3,
+            }],
+            max_faults: 7,
+        }
+    }
+
+    /// Build the injector realizing this plan.
+    pub fn injector(self) -> Arc<FaultInjector> {
+        FaultInjector::new(self)
+    }
+}
+
+/// What the injector decides about one interconnect send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Deliver normally.
+    Deliver,
+    /// The message is lost; the sender must retry (a fresh draw) or give
+    /// up with a typed error.
+    Drop,
+    /// Deliver after sleeping this long.
+    Delay(Duration),
+}
+
+/// Counts of faults actually injected, for assertions and reports.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient chunk-read errors injected.
+    pub read_errors: u64,
+    /// Slow reads injected.
+    pub read_delays: u64,
+    /// Interconnect sends dropped.
+    pub send_drops: u64,
+    /// Interconnect sends delayed.
+    pub send_delays: u64,
+    /// Scratch write errors injected.
+    pub scratch_errors: u64,
+    /// Worker panics fired.
+    pub worker_panics: u64,
+}
+
+/// splitmix64 — the one-instruction-wide PRNG the rest of the workspace
+/// already uses for deterministic hashing.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Per-site salts keeping the draw streams independent.
+const SITE_READ: u64 = 0x52_45_41_44; // "READ"
+const SITE_SEND: u64 = 0x53_45_4E_44; // "SEND"
+const SITE_SCRATCH: u64 = 0x53_43_52_54; // "SCRT"
+
+/// Realizes a [`FaultPlan`] with deterministic draws, per-kind caps and a
+/// global budget. One injector is shared (via `Arc`) by every thread of
+/// one execution; create a fresh injector per execution so budgets reset.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    read_draws: AtomicU64,
+    send_draws: AtomicU64,
+    scratch_draws: AtomicU64,
+    budget: AtomicU64,
+    read_errors_left: AtomicU64,
+    send_drops_left: AtomicU64,
+    scratch_errors_left: AtomicU64,
+    panic_fired: Vec<AtomicBool>,
+    worker_ops: Mutex<HashMap<usize, u64>>,
+    stats: Mutex<FaultStats>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        let panic_fired = plan
+            .worker_panics
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        Arc::new(FaultInjector {
+            budget: AtomicU64::new(plan.max_faults),
+            read_errors_left: AtomicU64::new(plan.max_read_errors),
+            send_drops_left: AtomicU64::new(plan.max_send_drops),
+            scratch_errors_left: AtomicU64::new(plan.max_scratch_errors),
+            panic_fired,
+            read_draws: AtomicU64::new(0),
+            send_draws: AtomicU64::new(0),
+            scratch_draws: AtomicU64::new(0),
+            worker_ops: Mutex::new(HashMap::new()),
+            stats: Mutex::new(FaultStats::default()),
+            plan,
+        })
+    }
+
+    /// A no-op injector (the empty plan); the default everywhere.
+    pub fn disabled() -> Arc<Self> {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// The plan this injector realizes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.lock()
+    }
+
+    /// Deterministic Bernoulli draw at a site: draw `n` of site `salt` is
+    /// `splitmix64(seed ⊕ salt ⊕ n·φ) < prob`.
+    fn chance(&self, salt: u64, counter: &AtomicU64, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        let n = counter.fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(
+            self.plan.seed
+                ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ n.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        // 53 uniform mantissa bits → [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < prob
+    }
+
+    /// Take one unit from a per-kind cap and the global budget; both must
+    /// be available for a fault to fire.
+    fn take(&self, kind_left: &AtomicU64) -> bool {
+        if !take_one(kind_left) {
+            return false;
+        }
+        if take_one(&self.budget) {
+            true
+        } else {
+            // Give the per-kind unit back: the global budget is dry.
+            kind_left.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Call at the top of every chunk read. Sleeps for an injected slow
+    /// read; returns a typed transient error for an injected read fault.
+    pub fn before_chunk_read(&self) -> Result<()> {
+        if self.plan.read_delay_prob > 0.0
+            && self.chance(SITE_READ ^ 1, &self.read_draws, self.plan.read_delay_prob)
+        {
+            self.stats.lock().read_delays += 1;
+            std::thread::sleep(Duration::from_millis(self.plan.read_delay_ms));
+        }
+        if self.chance(SITE_READ, &self.read_draws, self.plan.read_error_prob)
+            && self.take(&self.read_errors_left)
+        {
+            self.stats.lock().read_errors += 1;
+            return Err(Error::Cluster("injected transient chunk-read fault".into()));
+        }
+        Ok(())
+    }
+
+    /// Ask before every interconnect send; a `Drop` verdict means the
+    /// message was lost and the caller should retry with a fresh draw.
+    pub fn send_verdict(&self) -> SendVerdict {
+        if self.chance(SITE_SEND, &self.send_draws, self.plan.send_drop_prob)
+            && self.take(&self.send_drops_left)
+        {
+            self.stats.lock().send_drops += 1;
+            return SendVerdict::Drop;
+        }
+        if self.plan.send_delay_prob > 0.0
+            && self.chance(SITE_SEND ^ 1, &self.send_draws, self.plan.send_delay_prob)
+        {
+            self.stats.lock().send_delays += 1;
+            return SendVerdict::Delay(Duration::from_millis(self.plan.send_delay_ms));
+        }
+        SendVerdict::Deliver
+    }
+
+    /// Call before every scratch bucket write; errors fire *before* any
+    /// bytes land, so a retry never duplicates data.
+    pub fn before_scratch_write(&self) -> Result<()> {
+        if self.chance(
+            SITE_SCRATCH,
+            &self.scratch_draws,
+            self.plan.scratch_error_prob,
+        ) && self.take(&self.scratch_errors_left)
+        {
+            self.stats.lock().scratch_errors += 1;
+            return Err(Error::Cluster(
+                "injected transient scratch-write fault".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Compute-worker checkpoint: call once per completed unit of work.
+    /// Panics (deliberately) when a [`WorkerPanicSpec`] for this worker is
+    /// due — the runtimes contain the panic with `catch_unwind` and turn
+    /// it into recovery or a typed error.
+    pub fn worker_checkpoint(&self, worker: usize) {
+        if self.plan.worker_panics.is_empty() {
+            return;
+        }
+        let ops = {
+            let mut map = self.worker_ops.lock();
+            let e = map.entry(worker).or_insert(0);
+            let prev = *e;
+            *e += 1;
+            prev
+        };
+        for (i, spec) in self.plan.worker_panics.iter().enumerate() {
+            if spec.worker == worker
+                && ops >= spec.after_ops
+                && !self.panic_fired[i].swap(true, Ordering::Relaxed)
+            {
+                if !take_one(&self.budget) {
+                    return;
+                }
+                self.stats.lock().worker_panics += 1;
+                panic!("{INJECTED_PANIC_MARKER}: worker {worker} after {ops} ops");
+            }
+        }
+    }
+}
+
+/// Decrement `n` if positive; false when exhausted.
+fn take_one(n: &AtomicU64) -> bool {
+    n.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+/// Bounded-retry policy the join runtimes wrap around every fetch, send
+/// and scratch write: up to `max_attempts` tries with exponential backoff
+/// (capped at 250 ms per sleep) under an overall per-operation deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Total attempts per operation (1 = no retry).
+    pub max_attempts: u32,
+    /// First backoff sleep, milliseconds; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Per-operation deadline, milliseconds; exceeding it fails the
+    /// operation with `Error::Cluster` even if attempts remain.
+    pub op_deadline_ms: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 2,
+            op_deadline_ms: 5_000,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff before retry number `retry` (0-based), capped at 250 ms.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let ms = self.base_backoff_ms.saturating_mul(1u64 << retry.min(16));
+        Duration::from_millis(ms.min(250))
+    }
+
+    /// Run `op` under this policy. Returns the final result plus the
+    /// number of retries performed (0 when the first attempt succeeds).
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> (Result<T>, u64) {
+        let start = Instant::now();
+        let attempts = self.max_attempts.max(1);
+        let mut retries: u64 = 0;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), retries),
+                Err(e) => {
+                    if retries + 1 >= attempts as u64 {
+                        return (Err(e), retries);
+                    }
+                    if start.elapsed() >= Duration::from_millis(self.op_deadline_ms) {
+                        let err = Error::Cluster(format!(
+                            "operation exceeded {} ms deadline after {} attempts: {e}",
+                            self.op_deadline_ms,
+                            retries + 1
+                        ));
+                        return (Err(err), retries);
+                    }
+                    std::thread::sleep(self.backoff(retries as u32));
+                    retries += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Render a panic payload (from `catch_unwind` / `JoinHandle::join`) as a
+/// message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` containing any panic: a panic becomes
+/// `Error::Cluster("<label> panicked: …")` instead of unwinding into the
+/// coordinator. Worker-thread bodies wrap themselves in this so a dead
+/// worker always produces a typed error, never a hung join.
+pub fn contain_panic<T>(label: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(p) => Err(Error::Cluster(format!(
+            "{label} panicked: {}",
+            panic_message(p.as_ref())
+        ))),
+    }
+}
+
+/// Install (once, process-wide) a panic hook that swallows the default
+/// report for *injected* worker panics — they are part of the test plan,
+/// not bugs — while leaving every other panic's output untouched.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains(INJECTED_PANIC_MARKER))
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let a = FaultPlan {
+            seed: 42,
+            read_error_prob: 0.5,
+            max_read_errors: 100,
+            max_faults: 100,
+            ..FaultPlan::none()
+        };
+        let i1 = a.clone().injector();
+        let i2 = a.injector();
+        let s1: Vec<bool> = (0..64).map(|_| i1.before_chunk_read().is_err()).collect();
+        let s2: Vec<bool> = (0..64).map(|_| i2.before_chunk_read().is_err()).collect();
+        assert_eq!(s1, s2);
+        assert!(s1.iter().any(|&b| b), "p=0.5 over 64 draws must fire");
+        assert!(!s1.iter().all(|&b| b), "p=0.5 over 64 draws must also pass");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| FaultPlan {
+            seed,
+            read_error_prob: 0.5,
+            max_read_errors: 100,
+            max_faults: 100,
+            ..FaultPlan::none()
+        };
+        let i1 = mk(1).injector();
+        let i2 = mk(2).injector();
+        let s1: Vec<bool> = (0..64).map(|_| i1.before_chunk_read().is_err()).collect();
+        let s2: Vec<bool> = (0..64).map(|_| i2.before_chunk_read().is_err()).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn budgets_bound_total_faults() {
+        let plan = FaultPlan {
+            seed: 7,
+            read_error_prob: 1.0,
+            max_read_errors: 100,
+            send_drop_prob: 1.0,
+            max_send_drops: 100,
+            max_faults: 3,
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector();
+        let mut fired = 0;
+        for _ in 0..10 {
+            fired += inj.before_chunk_read().is_err() as u32;
+            fired += (inj.send_verdict() == SendVerdict::Drop) as u32;
+        }
+        assert_eq!(fired, 3, "global budget caps faults");
+        assert_eq!(inj.stats().read_errors + inj.stats().send_drops, 3);
+    }
+
+    #[test]
+    fn per_kind_caps_apply() {
+        let plan = FaultPlan {
+            seed: 9,
+            read_error_prob: 1.0,
+            max_read_errors: 2,
+            scratch_error_prob: 1.0,
+            max_scratch_errors: 1,
+            max_faults: 100,
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector();
+        let reads = (0..10).filter(|_| inj.before_chunk_read().is_err()).count();
+        let scratches = (0..10)
+            .filter(|_| inj.before_scratch_write().is_err())
+            .count();
+        assert_eq!(reads, 2);
+        assert_eq!(scratches, 1);
+    }
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let inj = FaultInjector::disabled();
+        for w in 0..4 {
+            inj.worker_checkpoint(w);
+            assert!(inj.before_chunk_read().is_ok());
+            assert!(inj.before_scratch_write().is_ok());
+            assert_eq!(inj.send_verdict(), SendVerdict::Deliver);
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn worker_panic_fires_once_after_ops() {
+        silence_injected_panics();
+        let plan = FaultPlan {
+            seed: 3,
+            worker_panics: vec![WorkerPanicSpec {
+                worker: 1,
+                after_ops: 2,
+            }],
+            max_faults: 5,
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector();
+        // Worker 0 never panics.
+        for _ in 0..5 {
+            inj.worker_checkpoint(0);
+        }
+        // Worker 1 survives 2 checkpoints, dies on the 3rd, then stays up.
+        inj.worker_checkpoint(1);
+        inj.worker_checkpoint(1);
+        let r = std::panic::catch_unwind(|| inj.worker_checkpoint(1));
+        assert!(r.is_err(), "third checkpoint must panic");
+        inj.worker_checkpoint(1); // one-shot: no second panic
+        assert_eq!(inj.stats().worker_panics, 1);
+    }
+
+    #[test]
+    fn contain_panic_yields_typed_error() {
+        let ok: Result<u32> = contain_panic("w", || Ok(5));
+        assert_eq!(ok.unwrap(), 5);
+        let err = contain_panic::<u32>("worker 3", || panic!("boom"));
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("worker 3 panicked"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn recovery_retries_then_succeeds() {
+        let policy = RecoveryPolicy {
+            max_attempts: 5,
+            base_backoff_ms: 1,
+            op_deadline_ms: 5_000,
+        };
+        let mut failures_left = 3;
+        let (out, retries) = policy.run(|| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(Error::Cluster("transient".into()))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn recovery_gives_up_after_max_attempts() {
+        let policy = RecoveryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 1,
+            op_deadline_ms: 5_000,
+        };
+        let mut calls = 0;
+        let (out, retries) = policy.run(|| -> Result<()> {
+            calls += 1;
+            Err(Error::Cluster("always".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn recovery_respects_deadline() {
+        let policy = RecoveryPolicy {
+            max_attempts: 1_000,
+            base_backoff_ms: 5,
+            op_deadline_ms: 20,
+        };
+        let start = Instant::now();
+        let (out, _) = policy.run(|| -> Result<()> { Err(Error::Cluster("slow".into())) });
+        let msg = out.unwrap_err().to_string();
+        assert!(msg.contains("deadline"), "{msg}");
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn from_seed_is_reproducible_and_bounded() {
+        assert_eq!(FaultPlan::from_seed(11), FaultPlan::from_seed(11));
+        assert_ne!(FaultPlan::from_seed(11), FaultPlan::from_seed(12));
+        let p = FaultPlan::from_seed(11);
+        assert!(
+            p.max_faults > 0 && p.max_faults < 100,
+            "transience requires a finite budget"
+        );
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RecoveryPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 2,
+            op_deadline_ms: 1_000,
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(2));
+        assert_eq!(p.backoff(1), Duration::from_millis(4));
+        assert_eq!(p.backoff(2), Duration::from_millis(8));
+        assert_eq!(p.backoff(30), Duration::from_millis(250), "capped");
+    }
+}

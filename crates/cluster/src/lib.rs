@@ -21,11 +21,16 @@
 //! [`spec::ClusterSpec`] describes a cluster once; both substrates consume
 //! it.
 
+pub mod fault;
 pub mod resource;
 pub mod runtime;
 pub mod sim;
 pub mod spec;
 
+pub use fault::{
+    contain_panic, panic_message, silence_injected_panics, FaultInjector, FaultPlan, FaultStats,
+    RecoveryPolicy, SendVerdict, WorkerPanicSpec,
+};
 pub use resource::Resource;
 pub use runtime::{ByteCounter, RunStats, Scratch, ScratchKind, Throttle};
 pub use sim::{NodeClocks, SimCluster};

@@ -26,8 +26,14 @@ impl Resource {
     /// A server that additionally charges `overhead` seconds per request —
     /// a disk seek, an NFS RPC round trip, a per-message network cost.
     pub fn with_overhead(rate: f64, overhead: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "resource rate must be positive");
-        assert!(overhead >= 0.0 && overhead.is_finite(), "overhead must be non-negative");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "resource rate must be positive"
+        );
+        assert!(
+            overhead >= 0.0 && overhead.is_finite(),
+            "overhead must be non-negative"
+        );
         Resource {
             rate,
             overhead,

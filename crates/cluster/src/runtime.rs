@@ -65,14 +65,21 @@ impl Throttle {
         }
     }
 
+    /// Longest single sleep `consume` will issue; larger surpluses are
+    /// paid off in slices so one call never parks its thread unboundedly
+    /// (and re-checks real elapsed time between slices).
+    const MAX_SLEEP_SLICE: Duration = Duration::from_millis(250);
+
     /// Account `n` bytes, sleeping if ahead of the allowed rate.
     pub fn consume(&self, n: u64) {
         let total = self.bytes.fetch_add(n, Ordering::Relaxed) + n;
         let Some(rate) = self.rate else { return };
         let due = total as f64 / rate;
-        let elapsed = self.start.elapsed().as_secs_f64();
-        if due > elapsed {
-            std::thread::sleep(Duration::from_secs_f64(due - elapsed));
+        let mut elapsed = self.start.elapsed().as_secs_f64();
+        while due > elapsed {
+            let wait = Duration::from_secs_f64(due - elapsed).min(Self::MAX_SLEEP_SLICE);
+            std::thread::sleep(wait);
+            elapsed = self.start.elapsed().as_secs_f64();
         }
     }
 
@@ -91,18 +98,40 @@ pub enum ScratchKind {
     TempFile,
 }
 
+/// RAII owner of a scratch temp directory: the directory is removed when
+/// the guard drops, which happens on *every* exit path — normal drop,
+/// early `?` returns during setup, and unwinds out of panicking worker
+/// threads — so failed executions never leak temp files.
+struct TempDirGuard {
+    path: PathBuf,
+}
+
+impl TempDirGuard {
+    fn create(path: PathBuf) -> Result<Self> {
+        fs::create_dir_all(&path)?;
+        Ok(TempDirGuard { path })
+    }
+}
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
 /// Per-compute-node scratch space: named append-only buckets.
 pub struct Scratch {
     kind: ScratchKind,
     mem: Mutex<HashMap<String, Vec<u8>>>,
-    dir: Option<PathBuf>,
+    dir: Option<TempDirGuard>,
     written: ByteCounter,
     read: ByteCounter,
 }
 
 impl Scratch {
     /// Create scratch space; `TempFile` scratch creates a unique directory
-    /// under the system temp dir.
+    /// under the system temp dir (removed again when the `Scratch` drops,
+    /// on success and error paths alike).
     pub fn new(kind: ScratchKind, label: &str) -> Result<Self> {
         let dir = match kind {
             ScratchKind::Memory => None,
@@ -112,8 +141,7 @@ impl Scratch {
                     std::process::id(),
                     &*Box::new(0u8) as *const u8 as usize
                 ));
-                fs::create_dir_all(&dir)?;
-                Some(dir)
+                Some(TempDirGuard::create(dir)?)
             }
         };
         Ok(Scratch {
@@ -130,12 +158,19 @@ impl Scratch {
         self.written.add(data.len() as u64);
         match self.kind {
             ScratchKind::Memory => {
-                self.mem.lock().entry(name.to_string()).or_default().extend_from_slice(data);
+                self.mem
+                    .lock()
+                    .entry(name.to_string())
+                    .or_default()
+                    .extend_from_slice(data);
                 Ok(())
             }
             ScratchKind::TempFile => {
                 let path = self.bucket_path(name)?;
-                let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+                let mut f = fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?;
                 f.write_all(data)?;
                 Ok(())
             }
@@ -167,15 +202,21 @@ impl Scratch {
         if name.contains('/') || name.contains("..") {
             return Err(Error::Config(format!("invalid bucket name `{name}`")));
         }
-        Ok(self.dir.as_ref().expect("tempfile scratch has a dir").join(name))
+        match &self.dir {
+            Some(guard) => Ok(guard.path.join(name)),
+            None => Err(Error::Config("memory scratch has no bucket files".into())),
+        }
     }
 
     /// Size of one bucket in bytes (0 if never written).
     pub fn bucket_size(&self, name: &str) -> Result<u64> {
         match self.kind {
-            ScratchKind::Memory => {
-                Ok(self.mem.lock().get(name).map(|b| b.len() as u64).unwrap_or(0))
-            }
+            ScratchKind::Memory => Ok(self
+                .mem
+                .lock()
+                .get(name)
+                .map(|b| b.len() as u64)
+                .unwrap_or(0)),
             ScratchKind::TempFile => {
                 let path = self.bucket_path(name)?;
                 match std::fs::metadata(path) {
@@ -195,14 +236,6 @@ impl Scratch {
     /// Total bytes read back.
     pub fn bytes_read(&self) -> u64 {
         self.read.get()
-    }
-}
-
-impl Drop for Scratch {
-    fn drop(&mut self) {
-        if let Some(dir) = &self.dir {
-            let _ = fs::remove_dir_all(dir);
-        }
     }
 }
 
@@ -229,6 +262,16 @@ pub struct RunStats {
     pub cache_hits: u64,
     /// Sub-table fetches that went to storage.
     pub cache_misses: u64,
+    /// Chunk-fetch attempts repeated after a transient read failure.
+    pub read_retries: u64,
+    /// Interconnect sends repeated after a dropped message (GH only).
+    pub send_retries: u64,
+    /// Scratch bucket writes repeated after a transient failure (GH only).
+    pub scratch_retries: u64,
+    /// Compute workers that died (panicked) and were contained.
+    pub worker_panics: u64,
+    /// Sub-table pairs reassigned from dead workers to survivors (IJ only).
+    pub pairs_reassigned: u64,
 }
 
 impl RunStats {
@@ -255,6 +298,11 @@ impl RunStats {
         self.result_tuples += other.result_tuples;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.read_retries += other.read_retries;
+        self.send_retries += other.send_retries;
+        self.scratch_retries += other.scratch_retries;
+        self.worker_panics += other.worker_panics;
+        self.pairs_reassigned += other.pairs_reassigned;
     }
 }
 
@@ -328,7 +376,7 @@ mod tests {
         let dir;
         {
             let s = Scratch::new(ScratchKind::TempFile, "t").unwrap();
-            dir = s.dir.clone().unwrap();
+            dir = s.dir.as_ref().unwrap().path.clone();
             s.append("b0", b"hello ").unwrap();
             s.append("b0", b"world").unwrap();
             assert_eq!(s.read_bucket("b0").unwrap(), b"hello world");
@@ -337,6 +385,33 @@ mod tests {
             assert!(dir.exists());
         }
         assert!(!dir.exists(), "scratch dir must be removed on drop");
+    }
+
+    #[test]
+    fn file_scratch_cleaned_up_on_unwind() {
+        // The temp dir must disappear even when the owning worker panics
+        // mid-write: the RAII guard drops during the unwind.
+        let dir = std::sync::Mutex::new(None::<std::path::PathBuf>);
+        let r = std::panic::catch_unwind(|| {
+            let s = Scratch::new(ScratchKind::TempFile, "unwind").unwrap();
+            *dir.lock().unwrap() = Some(s.dir.as_ref().unwrap().path.clone());
+            s.append("b0", b"partial").unwrap();
+            panic!("worker died mid-append");
+        });
+        assert!(r.is_err());
+        let dir = dir.into_inner().unwrap().unwrap();
+        assert!(!dir.exists(), "scratch dir must be removed on unwind");
+    }
+
+    #[test]
+    fn throttle_sleeps_in_bounded_slices() {
+        // A huge surplus is paid in ≤250 ms slices; pacing still holds.
+        let t = Throttle::new(Some(1_000_000.0)); // 1 MB/s
+        let start = Instant::now();
+        t.consume(300_000); // 0.3 s due → needs at least two slices
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.28, "elapsed {elapsed}");
+        assert!(elapsed < 1.0, "elapsed {elapsed}");
     }
 
     #[test]
@@ -353,12 +428,18 @@ mod tests {
             hash_builds: 5,
             cache_hits: 1,
             cache_misses: 3,
+            read_retries: 2,
+            worker_panics: 1,
+            pairs_reassigned: 4,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.wall_secs, 2.0);
         assert_eq!(a.hash_builds, 15);
         assert_eq!(a.cache_hit_rate(), 0.5);
+        assert_eq!(a.read_retries, 2);
+        assert_eq!(a.worker_panics, 1);
+        assert_eq!(a.pairs_reassigned, 4);
         assert_eq!(RunStats::default().cache_hit_rate(), 0.0);
     }
 }

@@ -45,7 +45,11 @@ impl SimCluster {
         // The shared NFS server pays a full RPC + random seek per request
         // (its clients interleave); dedicated storage disks stream
         // contiguous chunks and amortize seeks.
-        let disk_overhead = if spec.shared_fs { spec.nfs_rpc_s } else { spec.disk_seek_s };
+        let disk_overhead = if spec.shared_fs {
+            spec.nfs_rpc_s
+        } else {
+            spec.disk_seek_s
+        };
         let storage_disks =
             vec![Resource::with_overhead(spec.disk_read_bw, disk_overhead); storage_count];
         let storage_nics =
@@ -98,7 +102,13 @@ impl SimCluster {
     /// storage NIC, the fabric and the compute NIC *concurrently*; the
     /// completion time is the latest stage's, not their sum. Streams of
     /// chunks therefore run at the bottleneck stage's bandwidth.
-    pub fn transfer(&mut self, storage_node: usize, compute_node: usize, bytes: f64, t: f64) -> f64 {
+    pub fn transfer(
+        &mut self,
+        storage_node: usize,
+        compute_node: usize,
+        bytes: f64,
+        t: f64,
+    ) -> f64 {
         let si = self.storage_index(storage_node);
         let mut done = self.storage_nics[si].request(t, bytes);
         if let Some(fabric) = &mut self.fabric {

@@ -101,7 +101,9 @@ impl ClusterSpec {
             self.cpu_work_factor,
         ];
         if rates.iter().any(|r| !(r.is_finite() && *r > 0.0)) {
-            return Err(Error::Config("all bandwidths/rates must be positive".into()));
+            return Err(Error::Config(
+                "all bandwidths/rates must be positive".into(),
+            ));
         }
         if let Some(f) = self.fabric_bw {
             if !(f.is_finite() && f > 0.0) {
@@ -109,7 +111,9 @@ impl ClusterSpec {
             }
         }
         if !(self.disk_seek_s >= 0.0 && self.net_overhead_s >= 0.0 && self.nfs_rpc_s >= 0.0) {
-            return Err(Error::Config("per-request overheads must be non-negative".into()));
+            return Err(Error::Config(
+                "per-request overheads must be non-negative".into(),
+            ));
         }
         Ok(())
     }
@@ -181,7 +185,10 @@ mod tests {
         let mut s = ClusterSpec::paper_testbed(5, 3);
         // Network limited by the 3 compute NICs: 3 * 11.9 MB/s < 5 disks.
         assert_eq!(s.aggregate_net_bw(), 3.0 * 11.9e6);
-        assert_eq!(s.aggregate_transfer_bw(), (3.0 * 11.9e6f64).min(5.0 * 25.0e6));
+        assert_eq!(
+            s.aggregate_transfer_bw(),
+            (3.0 * 11.9e6f64).min(5.0 * 25.0e6)
+        );
         // Fabric cap dominates when small.
         s.fabric_bw = Some(10.0e6);
         assert_eq!(s.aggregate_transfer_bw(), 10.0e6);

@@ -113,14 +113,8 @@ mod tests {
 
     #[test]
     fn more_compute_nodes_shrink_cpu_only() {
-        let few = SystemParams {
-            n_j: 2.0,
-            ..s()
-        };
-        let many = SystemParams {
-            n_j: 8.0,
-            ..s()
-        };
+        let few = SystemParams { n_j: 2.0, ..s() };
+        let many = SystemParams { n_j: 8.0, ..s() };
         let m2 = IndexedJoinModel::evaluate(&d(), &few).unwrap();
         let m8 = IndexedJoinModel::evaluate(&d(), &many).unwrap();
         assert!((m2.cpu() / m8.cpu() - 4.0).abs() < 1e-9);

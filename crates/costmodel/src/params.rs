@@ -87,7 +87,11 @@ impl SystemParams {
             net_bw: spec.aggregate_net_bw(),
             read_io_bw: spec.disk_read_bw,
             write_io_bw: spec.disk_write_bw,
-            n_s: if spec.shared_fs { 1.0 } else { spec.n_storage as f64 },
+            n_s: if spec.shared_fs {
+                1.0
+            } else {
+                spec.n_storage as f64
+            },
             n_j: spec.n_compute as f64,
             alpha_build: gamma_build / f,
             alpha_lookup: gamma_lookup / f,
@@ -111,7 +115,9 @@ impl SystemParams {
             self.alpha_lookup,
         ];
         if fields.iter().any(|v| !(v.is_finite() && *v > 0.0)) {
-            return Err(Error::Config("all system parameters must be positive".into()));
+            return Err(Error::Config(
+                "all system parameters must be positive".into(),
+            ));
         }
         Ok(())
     }

@@ -10,12 +10,12 @@ use proptest::prelude::*;
 
 fn dataset() -> impl Strategy<Value = CostParams> {
     (
-        1.0e4..1.0e9f64,  // t
-        1.0e2..1.0e6f64,  // c_r
-        1.0e2..1.0e6f64,  // c_s
-        1.0..1.0e6f64,    // n_e
-        4.0..128.0f64,    // rs_r
-        4.0..128.0f64,    // rs_s
+        1.0e4..1.0e9f64, // t
+        1.0e2..1.0e6f64, // c_r
+        1.0e2..1.0e6f64, // c_s
+        1.0..1.0e6f64,   // n_e
+        4.0..128.0f64,   // rs_r
+        4.0..128.0f64,   // rs_s
     )
         .prop_map(|(t, c_r, c_s, n_e, rs_r, rs_s)| CostParams {
             t,
@@ -29,22 +29,24 @@ fn dataset() -> impl Strategy<Value = CostParams> {
 
 fn system() -> impl Strategy<Value = SystemParams> {
     (
-        1.0e6..1.0e10f64, // net
-        1.0e6..1.0e9f64,  // io
-        1.0..16.0f64,     // n_s
-        1.0..16.0f64,     // n_j
+        1.0e6..1.0e10f64,  // net
+        1.0e6..1.0e9f64,   // io
+        1.0..16.0f64,      // n_s
+        1.0..16.0f64,      // n_j
         1.0e-9..1.0e-5f64, // alpha_build
         1.0e-9..1.0e-5f64, // alpha_lookup
     )
-        .prop_map(|(net_bw, io, n_s, n_j, alpha_build, alpha_lookup)| SystemParams {
-            net_bw,
-            read_io_bw: io,
-            write_io_bw: io, // §6.2's uniform-IO assumption
-            n_s: n_s.floor(),
-            n_j: n_j.floor(),
-            alpha_build,
-            alpha_lookup,
-        })
+        .prop_map(
+            |(net_bw, io, n_s, n_j, alpha_build, alpha_lookup)| SystemParams {
+                net_bw,
+                read_io_bw: io,
+                write_io_bw: io, // §6.2's uniform-IO assumption
+                n_s: n_s.floor(),
+                n_j: n_j.floor(),
+                alpha_build,
+                alpha_lookup,
+            },
+        )
 }
 
 proptest! {

@@ -82,10 +82,11 @@ mod tests {
     #[test]
     fn shards_are_independent() {
         let svc = CacheService::new(2, 1024);
-        svc.shard(0)
-            .unwrap()
-            .lock()
-            .put(SubTableId::new(0u32, 0u32), CachedEntry::Right(st(4)), 32);
+        svc.shard(0).unwrap().lock().put(
+            SubTableId::new(0u32, 0u32),
+            CachedEntry::Right(st(4)),
+            32,
+        );
         assert!(svc
             .shard(1)
             .unwrap()

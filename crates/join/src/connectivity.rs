@@ -159,7 +159,11 @@ impl ConnectivityGraph {
             num_components: self.num_components() as u64,
             avg_a: avg(self.components.iter().map(Component::a)),
             avg_b: avg(self.components.iter().map(Component::b)),
-            avg_right_degree: if m_s == 0 { 0.0 } else { n_e as f64 / m_s as f64 },
+            avg_right_degree: if m_s == 0 {
+                0.0
+            } else {
+                n_e as f64 / m_s as f64
+            },
             edge_ratio: if total_tuples == 0 {
                 0.0
             } else {

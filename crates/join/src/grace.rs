@@ -20,10 +20,26 @@
 //! `(destination, bucket)` byte buffers, so no row objects are
 //! materialized on the partition path.
 
+//! ## Fault tolerance
+//!
+//! Chunk reads and scratch writes run under the configured
+//! [`RecoveryPolicy`]; dropped interconnect messages (from an attached
+//! [`FaultInjector`]) are retried with fresh draws and backoff. Worker
+//! threads — storage and compute alike — run inside `catch_unwind`, so a
+//! crash becomes a typed `Error::Cluster`. Unlike IJ, a dead compute node
+//! cannot be replaced: its scratch buckets (and any in-flight records
+//! routed to it by `h1`) die with it, so Grace Hash *fails fast* — the
+//! dropped receiver unblocks every storage sender, all join handles are
+//! harvested, and the panic surfaces as the join's error within a bounded
+//! deadline rather than a hang.
+
 use crate::hash_join::{HashJoiner, JoinCounters};
 use orv_bds::{BdsService, Deployment};
 use orv_chunk::SubTable;
-use orv_cluster::{RunStats, Scratch, ScratchKind};
+use orv_cluster::{
+    fault::panic_message, FaultInjector, RecoveryPolicy, RunStats, Scratch, ScratchKind,
+    SendVerdict,
+};
 use orv_types::{BoundingBox, Error, Record, Result, Schema, SubTableId, TableId, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -46,6 +62,10 @@ pub struct GraceHashConfig {
     pub collect_results: bool,
     /// Optional range constraint applied to scanned sub-tables.
     pub range: Option<BoundingBox>,
+    /// Optional fault injector exercising the execution (tests/chaos).
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Retry/backoff/deadline policy for reads, sends and scratch writes.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for GraceHashConfig {
@@ -57,6 +77,8 @@ impl Default for GraceHashConfig {
             work_factor: 1,
             collect_results: false,
             range: None,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -84,7 +106,9 @@ fn hash_key(values: &[Value]) -> u64 {
     let mut h = 0x243F_6A88_85A3_08D3u64;
     for v in values {
         let family = matches!(v, Value::F32(_) | Value::F64(_)) as u64;
-        h ^= v.key_bits().wrapping_add(family.wrapping_mul(0x1F83_D9AB_FB41_BD6B));
+        h ^= v
+            .key_bits()
+            .wrapping_add(family.wrapping_mul(0x1F83_D9AB_FB41_BD6B));
         h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         h ^= h >> 29;
     }
@@ -128,8 +152,11 @@ fn decode_columns(schema: &Schema, bytes: &[u8]) -> Result<Vec<Vec<Value>>> {
         )));
     }
     let nrows = bytes.len() / rs;
-    let mut cols: Vec<Vec<Value>> =
-        schema.attrs().iter().map(|_| Vec::with_capacity(nrows)).collect();
+    let mut cols: Vec<Vec<Value>> = schema
+        .attrs()
+        .iter()
+        .map(|_| Vec::with_capacity(nrows))
+        .collect();
     for rec in bytes.chunks_exact(rs) {
         let mut off = 0;
         for (ci, attr) in schema.attrs().iter().enumerate() {
@@ -263,9 +290,7 @@ fn route_subtable(
     n_compute: usize,
     n_buckets: usize,
 ) -> Vec<Vec<(u32, Vec<u8>)>> {
-    let mut out: Vec<Vec<(u32, Vec<u8>)>> = (0..n_compute)
-        .map(|_| Vec::new())
-        .collect();
+    let mut out: Vec<Vec<(u32, Vec<u8>)>> = (0..n_compute).map(|_| Vec::new()).collect();
     // Dense (dest, bucket) → buffer map would waste memory for large
     // bucket counts; use a per-dest sparse assoc list (bucket counts per
     // message are small in practice).
@@ -278,18 +303,87 @@ fn route_subtable(
         let dest = (h % n_compute as u64) as usize;
         let bucket = ((h >> 32) % n_buckets as u64) as u32;
         let dest_buckets = &mut out[dest];
-        let buf = match dest_buckets.iter_mut().find(|(b, _)| *b == bucket) {
-            Some((_, buf)) => buf,
+        let pos = match dest_buckets.iter().position(|(b, _)| *b == bucket) {
+            Some(p) => p,
             None => {
                 dest_buckets.push((bucket, Vec::new()));
-                &mut dest_buckets.last_mut().unwrap().1
+                dest_buckets.len() - 1
             }
         };
+        let buf = &mut dest_buckets[pos].1;
         for c in 0..arity {
             st.value(r, c).encode_le(buf);
         }
     }
     out
+}
+
+/// Send one batch, retrying injected drops with fresh draws under the
+/// recovery policy. Returns the number of retries. A *real* send error
+/// (receiver gone — its compute node died) is not retryable: the channel
+/// never comes back, so fail fast with a typed error.
+fn send_with_recovery(
+    sender: &crossbeam::channel::Sender<Batch>,
+    batch: Batch,
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+) -> Result<u64> {
+    let start = Instant::now();
+    let mut retries = 0u64;
+    loop {
+        match injector.send_verdict() {
+            SendVerdict::Drop => {
+                if retries + 1 >= policy.max_attempts.max(1) as u64
+                    || start.elapsed().as_millis() as u64 >= policy.op_deadline_ms
+                {
+                    return Err(Error::Cluster(format!(
+                        "interconnect message dropped {} times; giving up",
+                        retries + 1
+                    )));
+                }
+                std::thread::sleep(policy.backoff(retries as u32));
+                retries += 1;
+                continue;
+            }
+            SendVerdict::Delay(d) => std::thread::sleep(d),
+            SendVerdict::Deliver => {}
+        }
+        return sender
+            .send(batch)
+            .map(|()| retries)
+            .map_err(|_| Error::Cluster("compute node hung up".into()));
+    }
+}
+
+/// Append to a scratch bucket, retrying injected transient write faults.
+/// Injected faults fire *before* any bytes land, so retries never
+/// duplicate data; a real I/O error from the append itself is returned
+/// as-is.
+fn scratch_append_with_recovery(
+    scratch: &Scratch,
+    name: &str,
+    bytes: &[u8],
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+) -> Result<u64> {
+    let start = Instant::now();
+    let mut retries = 0u64;
+    loop {
+        match injector.before_scratch_write() {
+            Ok(()) => break,
+            Err(e) => {
+                if retries + 1 >= policy.max_attempts.max(1) as u64
+                    || start.elapsed().as_millis() as u64 >= policy.op_deadline_ms
+                {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.backoff(retries as u32));
+                retries += 1;
+            }
+        }
+    }
+    scratch.append(name, bytes)?;
+    Ok(retries)
 }
 
 /// Execute `left ⊕ right` on `join_attrs` with the Grace Hash QES.
@@ -301,7 +395,9 @@ pub fn grace_hash_join(
     cfg: &GraceHashConfig,
 ) -> Result<JoinOutput> {
     if cfg.n_compute == 0 {
-        return Err(Error::Config("grace hash needs at least one compute node".into()));
+        return Err(Error::Config(
+            "grace hash needs at least one compute node".into(),
+        ));
     }
     let md = deployment.metadata();
     let lschema = md.schema(left)?;
@@ -319,7 +415,8 @@ pub fn grace_hash_join(
         + md.total_records(right)? * rschema.record_size() as u64;
     let n_buckets = bucket_count(total_bytes, cfg.n_compute, cfg.mem_per_node);
 
-    let services = BdsService::for_all_nodes(deployment)?;
+    let injector = cfg.faults.clone().unwrap_or_else(FaultInjector::disabled);
+    let services = BdsService::for_all_nodes_with_faults(deployment, Arc::clone(&injector))?;
     let counters = JoinCounters::new();
     let results: Mutex<Vec<Record>> = Mutex::new(Vec::new());
     let scratches: Vec<Scratch> = (0..cfg.n_compute)
@@ -344,42 +441,54 @@ pub fn grace_hash_join(
             let senders = senders.clone();
             let lkeys = &lkeys;
             let rkeys = &rkeys;
+            let injector = &injector;
             storage_handles.push(scope.spawn(move || -> Result<RunStats> {
-                let mut stats = RunStats::default();
-                for (table, keys, side) in
-                    [(left, lkeys, Side::Left), (right, rkeys, Side::Right)]
-                {
-                    let chunks = md.all_chunks(table)?;
-                    for chunk in chunks {
-                        let id = SubTableId { table, chunk };
-                        let meta = md.chunk_meta(id)?;
-                        if meta.node != svc.node() {
-                            continue;
-                        }
-                        if let Some(rg) = &cfg.range {
-                            if !meta.bbox.overlaps(rg) {
+                let node = svc.node();
+                orv_cluster::contain_panic(&format!("storage node {node}"), || {
+                    let mut stats = RunStats::default();
+                    for (table, keys, side) in
+                        [(left, lkeys, Side::Left), (right, rkeys, Side::Right)]
+                    {
+                        let chunks = md.all_chunks(table)?;
+                        for chunk in chunks {
+                            let id = SubTableId { table, chunk };
+                            let meta = md.chunk_meta(id)?;
+                            if meta.node != node {
                                 continue;
                             }
-                        }
-                        let mut st: SubTable = svc.subtable(id)?;
-                        if let Some(rg) = &cfg.range {
-                            st = st.filter_range(rg)?;
-                        }
-                        stats.bytes_read_storage += meta.size_bytes();
-                        let routed = route_subtable(&st, keys, cfg.n_compute, n_buckets);
-                        for (dest, buckets) in routed.into_iter().enumerate() {
-                            if buckets.is_empty() {
-                                continue;
+                            if let Some(rg) = &cfg.range {
+                                if !meta.bbox.overlaps(rg) {
+                                    continue;
+                                }
                             }
-                            stats.bytes_transferred +=
-                                buckets.iter().map(|(_, b)| b.len()).sum::<usize>() as u64;
-                            senders[dest]
-                                .send(Batch { side, buckets })
-                                .map_err(|_| Error::Cluster("compute node hung up".into()))?;
+                            let (st, retries) = cfg.recovery.run(|| {
+                                let mut st: SubTable = svc.subtable(id)?;
+                                if let Some(rg) = &cfg.range {
+                                    st = st.filter_range(rg)?;
+                                }
+                                Ok(st)
+                            });
+                            stats.read_retries += retries;
+                            let st = st?;
+                            stats.bytes_read_storage += meta.size_bytes();
+                            let routed = route_subtable(&st, keys, cfg.n_compute, n_buckets);
+                            for (dest, buckets) in routed.into_iter().enumerate() {
+                                if buckets.is_empty() {
+                                    continue;
+                                }
+                                stats.bytes_transferred +=
+                                    buckets.iter().map(|(_, b)| b.len()).sum::<usize>() as u64;
+                                stats.send_retries += send_with_recovery(
+                                    &senders[dest],
+                                    Batch { side, buckets },
+                                    injector,
+                                    &cfg.recovery,
+                                )?;
+                            }
                         }
                     }
-                }
-                Ok(stats)
+                    Ok(stats)
+                })
             }));
         }
         drop(senders); // compute receivers see EOF once storage finishes
@@ -394,52 +503,89 @@ pub fn grace_hash_join(
             let rschema = &rschema;
             let lkeys = &lkeys;
             let rkeys = &rkeys;
+            let injector = &injector;
             compute_handles.push(scope.spawn(move || -> Result<RunStats> {
-                let mut stats = RunStats::default();
-                // Phase 1: append incoming bucket fragments to scratch.
-                for batch in rx {
-                    let prefix = match batch.side {
-                        Side::Left => "L",
-                        Side::Right => "R",
-                    };
-                    for (b, bytes) in batch.buckets {
-                        scratch.append(&format!("{prefix}{b}"), &bytes)?;
+                // contain_panic: a dying compute worker drops `rx`, which
+                // unblocks every storage sender, and surfaces here as a
+                // typed error instead of unwinding into the coordinator.
+                orv_cluster::contain_panic(&format!("compute node {j}"), || {
+                    let mut stats = RunStats::default();
+                    // Phase 1: append incoming bucket fragments to scratch.
+                    for batch in &rx {
+                        injector.worker_checkpoint(j);
+                        let prefix = match batch.side {
+                            Side::Left => "L",
+                            Side::Right => "R",
+                        };
+                        for (b, bytes) in batch.buckets {
+                            stats.scratch_retries += scratch_append_with_recovery(
+                                scratch,
+                                &format!("{prefix}{b}"),
+                                &bytes,
+                                injector,
+                                &cfg.recovery,
+                            )?;
+                        }
                     }
-                }
-                // Phase 2: join bucket pairs independently, recursively
-                // repartitioning any bucket that outgrew the memory budget.
-                let mut local_results = Vec::new();
-                for b in 0..n_buckets {
-                    stats.result_tuples += join_bucket_pair(
-                        scratch,
-                        &format!("L{b}"),
-                        &format!("R{b}"),
-                        lschema,
-                        rschema,
-                        lkeys,
-                        rkeys,
-                        join_attrs,
-                        counters,
-                        cfg,
-                        0,
-                        &mut local_results,
-                    )?;
-                }
-                stats.bytes_scratch_written = scratch.bytes_written();
-                stats.bytes_scratch_read = scratch.bytes_read();
-                if cfg.collect_results {
-                    results.lock().append(&mut local_results);
-                }
-                Ok(stats)
+                    // Phase 2: join bucket pairs independently, recursively
+                    // repartitioning any bucket that outgrew the memory
+                    // budget.
+                    let mut local_results = Vec::new();
+                    for b in 0..n_buckets {
+                        injector.worker_checkpoint(j);
+                        stats.result_tuples += join_bucket_pair(
+                            scratch,
+                            &format!("L{b}"),
+                            &format!("R{b}"),
+                            lschema,
+                            rschema,
+                            lkeys,
+                            rkeys,
+                            join_attrs,
+                            counters,
+                            cfg,
+                            0,
+                            &mut local_results,
+                        )?;
+                    }
+                    stats.bytes_scratch_written = scratch.bytes_written();
+                    stats.bytes_scratch_read = scratch.bytes_read();
+                    if cfg.collect_results {
+                        results.lock().append(&mut local_results);
+                    }
+                    Ok(stats)
+                })
             }));
         }
 
+        // Harvest EVERY handle before deciding the outcome, so a dead
+        // worker never leaves the coordinator blocked, then report the
+        // root cause: a panic outranks the secondary "hung up" errors it
+        // causes in its peers.
         let mut all = Vec::new();
+        let mut panic_err: Option<Error> = None;
+        let mut first_err: Option<Error> = None;
         for h in storage_handles.into_iter().chain(compute_handles) {
-            all.push(
-                h.join()
-                    .map_err(|_| Error::Cluster("grace hash thread panicked".into()))??,
-            );
+            match h.join() {
+                Ok(Ok(s)) => all.push(s),
+                Ok(Err(e)) => {
+                    if e.to_string().contains("panicked") && panic_err.is_none() {
+                        panic_err = Some(e);
+                    } else if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                // Unreachable: bodies are wrapped in contain_panic.
+                Err(p) => {
+                    panic_err = Some(Error::Cluster(format!(
+                        "grace hash thread panicked: {}",
+                        panic_message(p.as_ref())
+                    )));
+                }
+            }
+        }
+        if let Some(e) = panic_err.or(first_err) {
+            return Err(e);
         }
         Ok(all)
     })?;
@@ -554,7 +700,10 @@ mod tests {
         let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
         assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
         assert!(out.stats.bytes_scratch_written > 0);
-        assert_eq!(out.stats.bytes_scratch_written, out.stats.bytes_scratch_read);
+        assert_eq!(
+            out.stats.bytes_scratch_written,
+            out.stats.bytes_scratch_read
+        );
     }
 
     #[test]
@@ -632,6 +781,61 @@ mod tests {
         // Everything moves exactly once: T·(RS_R + RS_S).
         assert_eq!(out.stats.bytes_transferred, 64 * 16 + 64 * 16);
         assert_eq!(out.stats.result_tuples, 64);
+    }
+
+    #[test]
+    fn transient_faults_all_recovered_and_counted() {
+        use orv_cluster::FaultPlan;
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 2], 2);
+        let plan = FaultPlan {
+            seed: 33,
+            read_error_prob: 1.0,
+            max_read_errors: 2,
+            send_drop_prob: 1.0,
+            max_send_drops: 2,
+            scratch_error_prob: 1.0,
+            max_scratch_errors: 2,
+            max_faults: 6,
+            ..FaultPlan::none()
+        };
+        let cfg = GraceHashConfig {
+            collect_results: true,
+            faults: Some(plan.injector()),
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+        assert!(out.stats.read_retries > 0, "{:?}", out.stats);
+        assert!(out.stats.send_retries > 0, "{:?}", out.stats);
+        assert!(out.stats.scratch_retries > 0, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn compute_worker_panic_fails_fast_with_typed_error() {
+        use orv_cluster::{silence_injected_panics, FaultPlan, WorkerPanicSpec};
+        silence_injected_panics();
+        let (d, t1, t2) = deploy([8, 8, 1], [4, 4, 1], [2, 2, 1], 2);
+        let plan = FaultPlan {
+            seed: 9,
+            worker_panics: vec![WorkerPanicSpec {
+                worker: 0,
+                after_ops: 0,
+            }],
+            max_faults: 1,
+            ..FaultPlan::none()
+        };
+        let cfg = GraceHashConfig {
+            n_compute: 2,
+            faults: Some(plan.injector()),
+            ..Default::default()
+        };
+        let err = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap_err();
+        assert!(matches!(err, Error::Cluster(_)), "{err}");
+        assert!(
+            err.to_string().contains("panicked"),
+            "root cause, not 'hung up': {err}"
+        );
     }
 
     #[test]

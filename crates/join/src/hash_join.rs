@@ -215,11 +215,21 @@ mod tests {
         out.sort_by_key(|r| (r.values()[0], r.values()[1]));
         assert_eq!(
             out[0].values(),
-            &[Value::I32(0), Value::I32(0), Value::F32(0.1), Value::F32(0.6)]
+            &[
+                Value::I32(0),
+                Value::I32(0),
+                Value::F32(0.1),
+                Value::F32(0.6)
+            ]
         );
         assert_eq!(
             out[1].values(),
-            &[Value::I32(1), Value::I32(0), Value::F32(0.2), Value::F32(0.5)]
+            &[
+                Value::I32(1),
+                Value::I32(0),
+                Value::F32(0.2),
+                Value::F32(0.5)
+            ]
         );
         assert_eq!(counters.builds(), 3);
         assert_eq!(counters.probes(), 3);

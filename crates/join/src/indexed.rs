@@ -11,6 +11,19 @@
 //! are cached alongside the sub-tables themselves, so "a hash-table is
 //! created only once for every left sub-table" as long as the §5.1 memory
 //! assumption holds.
+//!
+//! ## Fault tolerance
+//!
+//! Every sub-table fetch runs under the configured [`RecoveryPolicy`]
+//! (bounded retries, exponential backoff, per-operation deadline), so
+//! transient storage faults are retried rather than fatal. Every worker
+//! body runs inside `catch_unwind`: a panicking worker is *contained* —
+//! its join handle is still harvested, its completed pairs stay committed
+//! exactly once, and its remaining pairs are re-scheduled (via the same
+//! [`schedule`] used for the initial assignment) over the surviving
+//! workers. Only when every worker has died does the join fail, with a
+//! typed `Error::Cluster`. Results and statistics are committed per
+//! completed pair, so reassignment never duplicates or loses output.
 
 use crate::cache::{CacheService, CachedEntry};
 use crate::connectivity::ConnectivityGraph;
@@ -18,9 +31,12 @@ use crate::hash_join::{HashJoiner, JoinCounters};
 use crate::schedule::{schedule, SchedulePolicy};
 use orv_bds::{BdsService, Deployment};
 use orv_chunk::SubTable;
-use orv_cluster::{ByteCounter, RunStats};
+use orv_cluster::{fault::panic_message, ByteCounter, FaultInjector, RecoveryPolicy, RunStats};
 use orv_types::{BoundingBox, Error, Record, Result, SubTableId, TableId};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of one Indexed Join execution.
@@ -39,6 +55,10 @@ pub struct IndexedJoinConfig {
     /// Optional range constraint pushed into the connectivity graph and
     /// applied to fetched sub-tables.
     pub range: Option<BoundingBox>,
+    /// Optional fault injector exercising the execution (tests/chaos).
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Retry/backoff/deadline policy for storage fetches.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for IndexedJoinConfig {
@@ -50,6 +70,8 @@ impl Default for IndexedJoinConfig {
             work_factor: 1,
             collect_results: false,
             range: None,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -92,7 +114,9 @@ pub fn indexed_join_cached(
     cache: &CacheService,
 ) -> Result<JoinOutput> {
     if cfg.n_compute == 0 {
-        return Err(Error::Config("indexed join needs at least one compute node".into()));
+        return Err(Error::Config(
+            "indexed join needs at least one compute node".into(),
+        ));
     }
     if cache.n_compute() != cfg.n_compute {
         return Err(Error::Config(format!(
@@ -118,99 +142,216 @@ pub fn indexed_join_cached(
         }
     };
 
-    let plans = schedule(&graph, cfg.n_compute, cfg.policy);
-    let services = BdsService::for_all_nodes(deployment)?;
+    let mut pending = schedule(&graph, cfg.n_compute, cfg.policy);
+    let injector = cfg.faults.clone().unwrap_or_else(FaultInjector::disabled);
+    let services = BdsService::for_all_nodes_with_faults(deployment, Arc::clone(&injector))?;
     let counters = JoinCounters::new();
     let transfer = ByteCounter::new();
-    let results: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+    // Exactly-once commit point: a pair's records and stats deltas land
+    // here only after the pair fully completes, so a worker dying mid-pair
+    // neither loses nor duplicates output when the pair is reassigned.
+    let committed: Mutex<(Vec<Record>, RunStats)> = Mutex::new((Vec::new(), RunStats::default()));
     let start = Instant::now();
 
-    let per_node: Vec<RunStats> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (node_idx, plan) in plans.iter().enumerate() {
-            let services = &services;
-            let counters = &counters;
-            let transfer = &transfer;
-            let results = &results;
-            handles.push(scope.spawn(move || -> Result<RunStats> {
-                let mut stats = RunStats::default();
-                let shard = cache.shard(node_idx)?;
-                let mut cache = shard.lock();
-                let mut local_results = Vec::new();
+    let mut alive = vec![true; cfg.n_compute];
+    let mut worker_panics = 0u64;
+    let mut pairs_reassigned = 0u64;
+    let mut last_panic = String::new();
+    let mut rounds = 0usize;
 
-                let fetch = |id: SubTableId,
-                             stats: &mut RunStats|
-                 -> Result<SubTable> {
-                    let meta = md.chunk_meta(id)?;
-                    let mut st = services[meta.node.index()].subtable(id)?;
-                    if let Some(rg) = &cfg.range {
-                        st = st.filter_range(rg)?;
-                    }
-                    stats.bytes_read_storage += meta.size_bytes();
-                    stats.bytes_transferred += st.encoded_size() as u64;
-                    transfer.add(st.encoded_size() as u64);
-                    Ok(st)
-                };
-
-                for &(lid, rid) in plan {
-                    // Left side: cached hash table or fetch + build.
-                    let joiner = match cache.get(&lid) {
-                        Some(CachedEntry::Left(j)) => {
-                            stats.cache_hits += 1;
-                            j.clone()
-                        }
-                        _ => {
-                            stats.cache_misses += 1;
-                            let st = fetch(lid, &mut stats)?;
-                            let size = st.encoded_size() as u64;
-                            let j = HashJoiner::build(&st, join_attrs, counters, cfg.work_factor)?;
-                            cache.put(lid, CachedEntry::Left(j.clone()), size);
-                            j
-                        }
-                    };
-                    // Right side: cached sub-table or fetch.
-                    let rst = match cache.get(&rid) {
-                        Some(CachedEntry::Right(st)) => {
-                            stats.cache_hits += 1;
-                            st.clone()
-                        }
-                        _ => {
-                            stats.cache_misses += 1;
-                            let st = fetch(rid, &mut stats)?;
-                            cache.put(rid, CachedEntry::Right(st.clone()), st.encoded_size() as u64);
-                            st
-                        }
-                    };
-                    let produced = if cfg.collect_results {
-                        joiner.probe(&rst, join_attrs, counters, |r| local_results.push(r))?
-                    } else {
-                        joiner.probe(&rst, join_attrs, counters, |_| {})?
-                    };
-                    stats.result_tuples += produced;
-                }
-                if cfg.collect_results {
-                    results.lock().append(&mut local_results);
-                }
-                Ok(stats)
-            }));
+    loop {
+        rounds += 1;
+        if rounds > cfg.n_compute + 1 {
+            // Unreachable in practice: each extra round requires a fresh
+            // worker death, and workers are finite.
+            return Err(Error::Cluster(
+                "indexed join exceeded its recovery-round bound".into(),
+            ));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().map_err(|_| Error::Cluster("compute thread panicked".into()))?)
-            .collect::<Result<Vec<_>>>()
-    })?;
 
-    let mut stats = RunStats::default();
-    for s in &per_node {
-        stats.merge(s);
+        // Per-worker count of *committed* pairs this round, read by the
+        // coordinator only after the worker thread has terminated.
+        let completed: Vec<AtomicU64> = (0..cfg.n_compute).map(|_| AtomicU64::new(0)).collect();
+        let ends: Vec<(usize, WorkerEnd)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for node_idx in 0..cfg.n_compute {
+                if !alive[node_idx] || pending[node_idx].is_empty() {
+                    continue;
+                }
+                let plan = &pending[node_idx];
+                let completed = &completed[node_idx];
+                let services = &services;
+                let counters = &counters;
+                let transfer = &transfer;
+                let committed = &committed;
+                let injector = &injector;
+                handles.push((
+                    node_idx,
+                    scope.spawn(move || -> WorkerEnd {
+                        let body = || -> Result<()> {
+                            let shard = cache.shard(node_idx)?;
+                            let mut cache = shard.lock();
+
+                            let fetch =
+                                |id: SubTableId, delta: &mut RunStats| -> Result<SubTable> {
+                                    let meta = md.chunk_meta(id)?;
+                                    let svc = &services[meta.node.index()];
+                                    let (st, retries) = cfg.recovery.run(|| {
+                                        let mut st = svc.subtable(id)?;
+                                        if let Some(rg) = &cfg.range {
+                                            st = st.filter_range(rg)?;
+                                        }
+                                        Ok(st)
+                                    });
+                                    delta.read_retries += retries;
+                                    let st = st?;
+                                    delta.bytes_read_storage += meta.size_bytes();
+                                    delta.bytes_transferred += st.encoded_size() as u64;
+                                    transfer.add(st.encoded_size() as u64);
+                                    Ok(st)
+                                };
+
+                            for (i, &(lid, rid)) in plan.iter().enumerate() {
+                                injector.worker_checkpoint(node_idx);
+                                let mut delta = RunStats::default();
+                                let mut local = Vec::new();
+                                // Left side: cached hash table or fetch + build.
+                                let joiner = match cache.get(&lid) {
+                                    Some(CachedEntry::Left(j)) => {
+                                        delta.cache_hits += 1;
+                                        j.clone()
+                                    }
+                                    _ => {
+                                        delta.cache_misses += 1;
+                                        let st = fetch(lid, &mut delta)?;
+                                        let size = st.encoded_size() as u64;
+                                        let j = HashJoiner::build(
+                                            &st,
+                                            join_attrs,
+                                            counters,
+                                            cfg.work_factor,
+                                        )?;
+                                        cache.put(lid, CachedEntry::Left(j.clone()), size);
+                                        j
+                                    }
+                                };
+                                // Right side: cached sub-table or fetch.
+                                let rst = match cache.get(&rid) {
+                                    Some(CachedEntry::Right(st)) => {
+                                        delta.cache_hits += 1;
+                                        st.clone()
+                                    }
+                                    _ => {
+                                        delta.cache_misses += 1;
+                                        let st = fetch(rid, &mut delta)?;
+                                        cache.put(
+                                            rid,
+                                            CachedEntry::Right(st.clone()),
+                                            st.encoded_size() as u64,
+                                        );
+                                        st
+                                    }
+                                };
+                                let produced = if cfg.collect_results {
+                                    joiner.probe(&rst, join_attrs, counters, |r| local.push(r))?
+                                } else {
+                                    joiner.probe(&rst, join_attrs, counters, |_| {})?
+                                };
+                                delta.result_tuples += produced;
+
+                                // Commit the completed pair, then publish
+                                // progress — nothing fallible in between.
+                                let mut c = committed.lock();
+                                if cfg.collect_results {
+                                    c.0.append(&mut local);
+                                }
+                                c.1.merge(&delta);
+                                drop(c);
+                                completed.store(i as u64 + 1, Ordering::Release);
+                            }
+                            Ok(())
+                        };
+                        match catch_unwind(AssertUnwindSafe(body)) {
+                            Ok(Ok(())) => WorkerEnd::Done,
+                            Ok(Err(e)) => WorkerEnd::Failed(e),
+                            Err(p) => WorkerEnd::Panicked(panic_message(p.as_ref())),
+                        }
+                    }),
+                ));
+            }
+            // Harvest every handle — a dead worker must never leave the
+            // coordinator waiting on an unjoined thread.
+            handles
+                .into_iter()
+                .map(|(idx, h)| {
+                    let end = h
+                        .join()
+                        .unwrap_or_else(|p| WorkerEnd::Panicked(panic_message(p.as_ref())));
+                    (idx, end)
+                })
+                .collect()
+        });
+
+        let mut orphaned: Vec<(SubTableId, SubTableId)> = Vec::new();
+        for (node_idx, end) in ends {
+            match end {
+                WorkerEnd::Done => {}
+                // Typed worker errors (fetch failed after all retries,
+                // corrupt data, …) abort the join — they would recur on
+                // any node.
+                WorkerEnd::Failed(e) => return Err(e),
+                WorkerEnd::Panicked(msg) => {
+                    worker_panics += 1;
+                    alive[node_idx] = false;
+                    last_panic = msg;
+                    let done = completed[node_idx].load(Ordering::Acquire) as usize;
+                    orphaned.extend_from_slice(&pending[node_idx][done..]);
+                }
+            }
+        }
+        if orphaned.is_empty() {
+            break;
+        }
+
+        // Reassign the dead workers' remaining pairs over the survivors
+        // with the same scheduler that produced the original assignment.
+        let survivors: Vec<usize> = (0..cfg.n_compute).filter(|&k| alive[k]).collect();
+        if survivors.is_empty() {
+            return Err(Error::Cluster(format!(
+                "all {} compute workers died; last panic: {last_panic}",
+                cfg.n_compute
+            )));
+        }
+        pairs_reassigned += orphaned.len() as u64;
+        let regraph = ConnectivityGraph::from_edges(left, right, join_attrs, orphaned);
+        let replans = schedule(&regraph, survivors.len(), cfg.policy);
+        let mut next = vec![Vec::new(); cfg.n_compute];
+        for (slot, pairs) in replans.into_iter().enumerate() {
+            next[survivors[slot]] = pairs;
+        }
+        pending = next;
     }
+
+    let (records, mut stats) = committed.into_inner();
     stats.wall_secs = start.elapsed().as_secs_f64();
     stats.hash_builds = counters.builds();
     stats.hash_probes = counters.probes();
+    stats.worker_panics = worker_panics;
+    stats.pairs_reassigned = pairs_reassigned;
     Ok(JoinOutput {
         stats,
-        records: cfg.collect_results.then(|| results.into_inner()),
+        records: cfg.collect_results.then_some(records),
     })
+}
+
+/// How one IJ worker thread ended its round.
+enum WorkerEnd {
+    /// Completed its whole pair list.
+    Done,
+    /// Returned a typed error (aborts the join).
+    Failed(Error),
+    /// Died; its uncommitted pairs are reassigned to survivors.
+    Panicked(String),
 }
 
 #[cfg(test)]
@@ -261,16 +402,14 @@ mod tests {
         let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
         let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
         assert_eq!(out.stats.result_tuples as usize, expected.len());
-        assert_eq!(
-            sort_records(out.records.unwrap()),
-            sort_records(expected)
-        );
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
     }
 
     #[test]
     fn selectivity_one_produces_t_tuples() {
         let (d, t1, t2) = deploy([8, 4, 2], [4, 4, 2], [4, 2, 2], 2);
-        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
+        let out =
+            indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
         assert_eq!(out.stats.result_tuples, 64);
         assert!(out.records.is_none());
     }
@@ -350,7 +489,8 @@ mod tests {
     #[test]
     fn work_factor_changes_ops_not_output() {
         let (d, t1, t2) = deploy([4, 4, 1], [2, 2, 1], [2, 2, 1], 1);
-        let base = indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
+        let base =
+            indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
         let cfg = IndexedJoinConfig {
             work_factor: 3,
             ..Default::default()
@@ -364,13 +504,103 @@ mod tests {
     #[test]
     fn join_index_is_persisted_and_reused() {
         let (d, t1, t2) = deploy([4, 4, 1], [2, 2, 1], [2, 2, 1], 1);
-        assert!(d.metadata().get_join_index(t1, t2, &["x", "y", "z"]).is_none());
+        assert!(d
+            .metadata()
+            .get_join_index(t1, t2, &["x", "y", "z"])
+            .is_none());
         indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
-        let idx = d.metadata().get_join_index(t1, t2, &["x", "y", "z"]).unwrap();
+        let idx = d
+            .metadata()
+            .get_join_index(t1, t2, &["x", "y", "z"])
+            .unwrap();
         assert_eq!(idx.len(), 4); // identical partitions → 1:1 pairs
-        // Second run consumes the stored index (still correct).
-        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
+                                  // Second run consumes the stored index (still correct).
+        let out =
+            indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default()).unwrap();
         assert_eq!(out.stats.result_tuples, 16);
+    }
+
+    #[test]
+    fn transient_read_faults_recovered_and_counted() {
+        use orv_cluster::FaultPlan;
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 2], 2);
+        let plan = FaultPlan {
+            seed: 21,
+            read_error_prob: 1.0,
+            max_read_errors: 3,
+            max_faults: 3,
+            ..FaultPlan::none()
+        };
+        let cfg = IndexedJoinConfig {
+            collect_results: true,
+            faults: Some(plan.injector()),
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+        assert_eq!(
+            out.stats.read_retries, 3,
+            "every injected failure costs one retry"
+        );
+        assert_eq!(out.stats.worker_panics, 0);
+    }
+
+    #[test]
+    fn worker_panic_reassigns_remaining_pairs() {
+        use orv_cluster::{silence_injected_panics, FaultPlan, WorkerPanicSpec};
+        silence_injected_panics();
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 2], 2);
+        let plan = FaultPlan {
+            seed: 5,
+            worker_panics: vec![WorkerPanicSpec {
+                worker: 0,
+                after_ops: 1,
+            }],
+            max_faults: 1,
+            ..FaultPlan::none()
+        };
+        let cfg = IndexedJoinConfig {
+            n_compute: 2,
+            collect_results: true,
+            faults: Some(plan.injector()),
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+        assert_eq!(out.stats.worker_panics, 1);
+        assert!(out.stats.pairs_reassigned > 0, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn all_workers_dead_is_a_typed_error() {
+        use orv_cluster::{silence_injected_panics, FaultPlan, WorkerPanicSpec};
+        silence_injected_panics();
+        let (d, t1, t2) = deploy([8, 8, 1], [4, 4, 1], [4, 4, 1], 2);
+        let plan = FaultPlan {
+            seed: 5,
+            worker_panics: vec![
+                WorkerPanicSpec {
+                    worker: 0,
+                    after_ops: 0,
+                },
+                WorkerPanicSpec {
+                    worker: 1,
+                    after_ops: 0,
+                },
+            ],
+            max_faults: 2,
+            ..FaultPlan::none()
+        };
+        let cfg = IndexedJoinConfig {
+            n_compute: 2,
+            faults: Some(plan.injector()),
+            ..Default::default()
+        };
+        let err = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap_err();
+        assert!(matches!(err, Error::Cluster(_)), "{err}");
+        assert!(err.to_string().contains("died"), "{err}");
     }
 
     #[test]

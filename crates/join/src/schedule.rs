@@ -119,8 +119,7 @@ fn opas_greedy(
             .iter()
             .enumerate()
             .map(|(i, &(l, r))| {
-                let score =
-                    buffer.contains(&l) as u32 + buffer.contains(&r) as u32;
+                let score = buffer.contains(&l) as u32 + buffer.contains(&r) as u32;
                 (i, score)
             })
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
@@ -269,7 +268,13 @@ mod tests {
     #[test]
     fn opas_schedules_every_edge_once() {
         let g = tangled();
-        let plans = schedule(&g, 2, SchedulePolicy::OpasGreedy { buffer_subtables: 3 });
+        let plans = schedule(
+            &g,
+            2,
+            SchedulePolicy::OpasGreedy {
+                buffer_subtables: 3,
+            },
+        );
         let mut all: Vec<_> = plans.into_iter().flatten().collect();
         all.sort();
         let mut expected: Vec<_> = g.edges().collect();
@@ -281,7 +286,13 @@ mod tests {
     fn opas_beats_random_order_under_tight_buffer() {
         let g = tangled();
         let cap = 3u64;
-        let opas = schedule(&g, 1, SchedulePolicy::OpasGreedy { buffer_subtables: cap as usize });
+        let opas = schedule(
+            &g,
+            1,
+            SchedulePolicy::OpasGreedy {
+                buffer_subtables: cap as usize,
+            },
+        );
         let random = schedule(&g, 1, SchedulePolicy::RandomPairOrder(1234));
         let opas_fetches = replay_fetches(&opas[0], cap);
         let random_fetches = replay_fetches(&random[0], cap);
@@ -297,15 +308,33 @@ mod tests {
     #[test]
     fn opas_with_zero_buffer_degenerates_but_terminates() {
         let g = graph();
-        let plans = schedule(&g, 2, SchedulePolicy::OpasGreedy { buffer_subtables: 0 });
+        let plans = schedule(
+            &g,
+            2,
+            SchedulePolicy::OpasGreedy {
+                buffer_subtables: 0,
+            },
+        );
         assert_eq!(plans.iter().map(Vec::len).sum::<usize>(), g.num_edges());
     }
 
     #[test]
     fn opas_is_deterministic() {
         let g = tangled();
-        let a = schedule(&g, 2, SchedulePolicy::OpasGreedy { buffer_subtables: 4 });
-        let b = schedule(&g, 2, SchedulePolicy::OpasGreedy { buffer_subtables: 4 });
+        let a = schedule(
+            &g,
+            2,
+            SchedulePolicy::OpasGreedy {
+                buffer_subtables: 4,
+            },
+        );
+        let b = schedule(
+            &g,
+            2,
+            SchedulePolicy::OpasGreedy {
+                buffer_subtables: 4,
+            },
+        );
         assert_eq!(a, b);
     }
 }

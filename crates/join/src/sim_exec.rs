@@ -74,11 +74,22 @@ impl SimProblem {
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<()> {
         let positive = [
-            self.t, self.c_r, self.c_s, self.rs_r, self.rs_s, self.n_c, self.a, self.b, self.e_c,
-            self.gamma_build, self.gamma_lookup,
+            self.t,
+            self.c_r,
+            self.c_s,
+            self.rs_r,
+            self.rs_s,
+            self.n_c,
+            self.a,
+            self.b,
+            self.e_c,
+            self.gamma_build,
+            self.gamma_lookup,
         ];
         if positive.iter().any(|v| !(v.is_finite() && *v > 0.0)) {
-            return Err(Error::Config("all SimProblem fields must be positive".into()));
+            return Err(Error::Config(
+                "all SimProblem fields must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -197,7 +208,11 @@ pub fn simulate_indexed_join_with_cache(
                             bytes: right_bytes,
                             cpu_ops: probe_ops,
                         });
-                        let fetches = if i == 0 { lefts_per_right } else { refetch_per_right };
+                        let fetches = if i == 0 {
+                            lefts_per_right
+                        } else {
+                            refetch_per_right
+                        };
                         for k in 0..fetches {
                             steps.push(IjStep {
                                 storage_node: ((global * a + i + k) % ns) as usize,
@@ -217,7 +232,7 @@ pub fn simulate_indexed_join_with_cache(
     // Earliest node that still has steps, one step at a time.
     while let Some(j) = (0..nj)
         .filter(|&k| remaining[k])
-        .min_by(|&x, &y| clocks.get(x).partial_cmp(&clocks.get(y)).unwrap())
+        .min_by(|&x, &y| clocks.get(x).total_cmp(&clocks.get(y)))
     {
         match schedules[j].next() {
             Some(step) => {
@@ -260,8 +275,14 @@ pub fn simulate_grace_hash(problem: &SimProblem, spec: &ClusterSpec) -> Result<S
     // (cut-through): it advances once it has read and sent a chunk; the
     // downstream bucket writes complete asynchronously.
     for (chunks, bytes) in [
-        ((problem.t / problem.c_r).round() as u64, problem.c_r * problem.rs_r),
-        ((problem.t / problem.c_s).round() as u64, problem.c_s * problem.rs_s),
+        (
+            (problem.t / problem.c_r).round() as u64,
+            problem.c_r * problem.rs_r,
+        ),
+        (
+            (problem.t / problem.c_s).round() as u64,
+            problem.c_s * problem.rs_s,
+        ),
     ] {
         let fragment = bytes / nj as f64;
         for i in 0..chunks {
@@ -278,8 +299,7 @@ pub fn simulate_grace_hash(problem: &SimProblem, spec: &ClusterSpec) -> Result<S
                 let start = t0.max(*dest_start);
                 let net_done = cluster.transfer(s, dest, fragment, start);
                 send_done = send_done.max(net_done);
-                let write_done =
-                    cluster.scratch_write(dest, fragment, net_done.max(read_done));
+                let write_done = cluster.scratch_write(dest, fragment, net_done.max(read_done));
                 *dest_start = dest_start.max(write_done);
             }
             storage_clocks.set(s, send_done);
@@ -386,23 +406,40 @@ mod tests {
     #[test]
     fn more_compute_nodes_speed_both_up() {
         let pr = problem([256, 256, 8], [16, 16, 8], [8, 32, 8]);
-        let t2 = simulate_indexed_join(&pr, &ClusterSpec::paper_testbed(5, 2)).unwrap().total_secs;
-        let t8 = simulate_indexed_join(&pr, &ClusterSpec::paper_testbed(5, 8)).unwrap().total_secs;
+        let t2 = simulate_indexed_join(&pr, &ClusterSpec::paper_testbed(5, 2))
+            .unwrap()
+            .total_secs;
+        let t8 = simulate_indexed_join(&pr, &ClusterSpec::paper_testbed(5, 8))
+            .unwrap()
+            .total_secs;
         assert!(t8 < t2);
-        let g2 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed(5, 2)).unwrap().total_secs;
-        let g8 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed(5, 8)).unwrap().total_secs;
+        let g2 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed(5, 2))
+            .unwrap()
+            .total_secs;
+        let g8 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed(5, 8))
+            .unwrap()
+            .total_secs;
         assert!(g8 < g2);
     }
 
     #[test]
-    fn nfs_punishes_grace_hash_more(){
+    fn nfs_punishes_grace_hash_more() {
         // Figure 9: under a single shared file server, GH's bucket I/O
         // contends with chunk reads; adding compute nodes must not help GH.
         let pr = problem([128, 128, 8], [16, 16, 8], [16, 16, 8]);
-        let gh2 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed_nfs(2)).unwrap().total_secs;
-        let gh8 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed_nfs(8)).unwrap().total_secs;
-        assert!(gh8 >= gh2 * 0.95, "GH must not improve under NFS: {gh2} → {gh8}");
-        let ij2 = simulate_indexed_join(&pr, &ClusterSpec::paper_testbed_nfs(2)).unwrap().total_secs;
+        let gh2 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed_nfs(2))
+            .unwrap()
+            .total_secs;
+        let gh8 = simulate_grace_hash(&pr, &ClusterSpec::paper_testbed_nfs(8))
+            .unwrap()
+            .total_secs;
+        assert!(
+            gh8 >= gh2 * 0.95,
+            "GH must not improve under NFS: {gh2} → {gh8}"
+        );
+        let ij2 = simulate_indexed_join(&pr, &ClusterSpec::paper_testbed_nfs(2))
+            .unwrap()
+            .total_secs;
         assert!(ij2 < gh2, "IJ is the better choice under NFS");
     }
 
@@ -438,10 +475,17 @@ mod tests {
         let big = simulate_indexed_join_with_cache(&pr, &spec, (64u64 << 20) as f64)
             .unwrap()
             .total_secs;
-        assert!((big - ideal).abs() < 1e-9, "ideal {ideal} vs big-cache {big}");
+        assert!(
+            (big - ideal).abs() < 1e-9,
+            "ideal {ideal} vs big-cache {big}"
+        );
         // Shrinking the cache below a·c_R + c_S bytes forces refetches.
-        let half = simulate_indexed_join_with_cache(&pr, &spec, 9.0 * 65536.0).unwrap().total_secs;
-        let tiny = simulate_indexed_join_with_cache(&pr, &spec, 2.0 * 65536.0).unwrap().total_secs;
+        let half = simulate_indexed_join_with_cache(&pr, &spec, 9.0 * 65536.0)
+            .unwrap()
+            .total_secs;
+        let tiny = simulate_indexed_join_with_cache(&pr, &spec, 2.0 * 65536.0)
+            .unwrap()
+            .total_secs;
         assert!(ideal < half, "ideal {ideal} < half {half}");
         assert!(half < tiny, "half {half} < tiny {tiny}");
     }

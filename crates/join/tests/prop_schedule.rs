@@ -25,7 +25,9 @@ fn policies() -> impl Strategy<Value = SchedulePolicy> {
         Just(SchedulePolicy::TwoStageLexicographic),
         (0u64..100).prop_map(SchedulePolicy::RandomPairOrder),
         Just(SchedulePolicy::PairRoundRobin),
-        (0usize..6).prop_map(|b| SchedulePolicy::OpasGreedy { buffer_subtables: b }),
+        (0usize..6).prop_map(|b| SchedulePolicy::OpasGreedy {
+            buffer_subtables: b
+        }),
     ]
 }
 

@@ -78,7 +78,10 @@ impl LayoutDesc {
     /// Check structural invariants: at least one field, unique names.
     pub fn validate(&self) -> Result<()> {
         if self.num_fields() == 0 {
-            return Err(Error::Format(format!("layout `{}` declares no fields", self.name)));
+            return Err(Error::Format(format!(
+                "layout `{}` declares no fields",
+                self.name
+            )));
         }
         let mut seen: Vec<&str> = Vec::new();
         for (name, _) in self.fields() {
@@ -155,9 +158,15 @@ mod tests {
             order: RecordOrder::RowMajor,
             header_len: 0,
             items: vec![
-                Item::Field { name: "x".into(), dtype: DataType::I32 },
+                Item::Field {
+                    name: "x".into(),
+                    dtype: DataType::I32,
+                },
                 Item::Pad(4),
-                Item::Field { name: "p".into(), dtype: DataType::F64 },
+                Item::Field {
+                    name: "p".into(),
+                    dtype: DataType::F64,
+                },
             ],
         };
         assert_eq!(d.record_stride(), 16);
@@ -182,9 +191,15 @@ mod tests {
             order: RecordOrder::ColumnMajor,
             header_len: 24,
             items: vec![
-                Item::Field { name: "x".into(), dtype: DataType::I64 },
+                Item::Field {
+                    name: "x".into(),
+                    dtype: DataType::I64,
+                },
                 Item::Pad(3),
-                Item::Field { name: "wp".into(), dtype: DataType::F32 },
+                Item::Field {
+                    name: "wp".into(),
+                    dtype: DataType::F32,
+                },
             ],
         };
         let src = d.to_source();

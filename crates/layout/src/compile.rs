@@ -85,7 +85,10 @@ impl CompiledLayout {
 
     /// Field `(name, dtype)` pairs in on-disk order.
     pub fn fields(&self) -> Vec<(&str, DataType)> {
-        self.fields.iter().map(|f| (f.name.as_str(), f.dtype)).collect()
+        self.fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.dtype))
+            .collect()
     }
 
     /// Number of records a chunk of `len` bytes holds, or an error if the
@@ -98,7 +101,10 @@ impl CompiledLayout {
             ))
         })?;
         if self.stride == 0 {
-            return Err(Error::Format(format!("layout `{}` has zero stride", self.name)));
+            return Err(Error::Format(format!(
+                "layout `{}` has zero stride",
+                self.name
+            )));
         }
         if body % self.stride != 0 {
             return Err(Error::Format(format!(
@@ -113,8 +119,11 @@ impl CompiledLayout {
     pub fn decode(&self, bytes: &[u8]) -> Result<Vec<Vec<Value>>> {
         let nrows = self.row_count(bytes.len())?;
         let body = &bytes[self.header_len..];
-        let mut cols: Vec<Vec<Value>> =
-            self.fields.iter().map(|_| Vec::with_capacity(nrows)).collect();
+        let mut cols: Vec<Vec<Value>> = self
+            .fields
+            .iter()
+            .map(|_| Vec::with_capacity(nrows))
+            .collect();
         match self.order {
             RecordOrder::RowMajor => {
                 for r in 0..nrows {

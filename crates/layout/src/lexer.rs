@@ -70,19 +70,31 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             }
             '{' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::LBrace, line });
+                out.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
             }
             '}' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::RBrace, line });
+                out.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
             }
             ':' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Colon, line });
+                out.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
             }
             ';' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Semi, line });
+                out.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut n: u64 = 0;
@@ -99,7 +111,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                out.push(Token { kind: TokenKind::Int(n), line });
+                out.push(Token {
+                    kind: TokenKind::Int(n),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -111,7 +126,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                out.push(Token { kind: TokenKind::Ident(s), line });
+                out.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
             }
             other => {
                 return Err(Error::Parse(format!(
@@ -153,13 +171,23 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_skipped() {
         let toks = kinds("# a comment\n\n  pad 16; # trailing\n");
-        assert_eq!(toks, vec![TokenKind::Ident("pad".into()), TokenKind::Int(16), TokenKind::Semi]);
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("pad".into()),
+                TokenKind::Int(16),
+                TokenKind::Semi
+            ]
+        );
     }
 
     #[test]
     fn line_numbers_tracked() {
         let toks = tokenize("a\nb\n  c").unwrap();
-        assert_eq!(toks.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl Parser {
         if &t.kind == kind {
             Ok(())
         } else {
-            Err(Error::Parse(format!("line {line}: expected {kind}, found {}", t.kind)))
+            Err(Error::Parse(format!(
+                "line {line}: expected {kind}, found {}",
+                t.kind
+            )))
         }
     }
 
@@ -70,7 +73,9 @@ impl Parser {
         let t = self.next()?;
         match &t.kind {
             TokenKind::Ident(s) => Ok(s.clone()),
-            other => Err(Error::Parse(format!("line {line}: expected identifier, found {other}"))),
+            other => Err(Error::Parse(format!(
+                "line {line}: expected identifier, found {other}"
+            ))),
         }
     }
 
@@ -79,7 +84,9 @@ impl Parser {
         let t = self.next()?;
         match &t.kind {
             TokenKind::Int(n) => Ok(*n),
-            other => Err(Error::Parse(format!("line {line}: expected integer, found {other}"))),
+            other => Err(Error::Parse(format!(
+                "line {line}: expected integer, found {other}"
+            ))),
         }
     }
 
@@ -89,7 +96,9 @@ impl Parser {
         if got == kw {
             Ok(())
         } else {
-            Err(Error::Parse(format!("line {line}: expected keyword `{kw}`, found `{got}`")))
+            Err(Error::Parse(format!(
+                "line {line}: expected keyword `{kw}`, found `{got}`"
+            )))
         }
     }
 
@@ -197,7 +206,9 @@ impl Parser {
 
 fn set_once<T>(slot: &mut Option<T>, value: T, what: &str, line: usize) -> Result<()> {
     if slot.is_some() {
-        return Err(Error::Parse(format!("line {line}: `{what}` specified twice")));
+        return Err(Error::Parse(format!(
+            "line {line}: `{what}` specified twice"
+        )));
     }
     *slot = Some(value);
     Ok(())

@@ -91,7 +91,11 @@ impl Catalog {
     }
 
     /// Register a table; returns its assigned id.
-    pub fn register_table(&mut self, name: impl Into<String>, schema: Arc<Schema>) -> Result<TableId> {
+    pub fn register_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+    ) -> Result<TableId> {
         let name = name.into();
         if self.by_name.contains_key(&name) {
             return Err(Error::Config(format!("table `{name}` already registered")));
@@ -201,10 +205,8 @@ mod tests {
         let found = entry.find_chunks(&q);
         assert_eq!(found, vec![ChunkId(0), ChunkId(1), ChunkId(2), ChunkId(3)]);
         // Point query.
-        let q = BoundingBox::from_dims([
-            ("x", Interval::point(15.0)),
-            ("y", Interval::point(25.0)),
-        ]);
+        let q =
+            BoundingBox::from_dims([("x", Interval::point(15.0)), ("y", Interval::point(25.0))]);
         assert_eq!(entry.find_chunks(&q), vec![ChunkId(6)]);
     }
 

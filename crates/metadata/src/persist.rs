@@ -173,10 +173,7 @@ mod tests {
         svc.save_json(&path).unwrap();
         let restored = MetadataService::load_json(&path).unwrap();
         assert_eq!(restored.num_tables(), 1);
-        assert_eq!(
-            restored.all_chunks(TableId(0)).unwrap().len(),
-            6
-        );
+        assert_eq!(restored.all_chunks(TableId(0)).unwrap().len(), 6);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -194,7 +191,8 @@ mod tests {
 
     #[test]
     fn corrupt_json_rejected() {
-        let path = std::env::temp_dir().join(format!("orv-catalog-bad-{}.json", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("orv-catalog-bad-{}.json", std::process::id()));
         std::fs::write(&path, b"{not json").unwrap();
         assert!(MetadataService::load_json(&path).is_err());
         std::fs::remove_file(&path).unwrap();

@@ -41,7 +41,10 @@ impl Rect {
 
     /// A point rectangle.
     pub fn point(p: Vec<f64>) -> Self {
-        Rect { lo: p.clone(), hi: p }
+        Rect {
+            lo: p.clone(),
+            hi: p,
+        }
     }
 
     /// Dimensionality.
@@ -232,15 +235,13 @@ fn insert_rec<T>(node: &mut Node<T>, rect: Rect, value: T) -> SplitHalves<T> {
                 .min_by(|&a, &b| {
                     let ea = entries[a].0.enlargement(&rect);
                     let eb = entries[b].0.enlargement(&rect);
-                    ea.partial_cmp(&eb)
-                        .unwrap()
-                        .then_with(|| {
-                            entries[a]
-                                .0
-                                .volume()
-                                .partial_cmp(&entries[b].0.volume())
-                                .unwrap()
-                        })
+                    ea.partial_cmp(&eb).unwrap().then_with(|| {
+                        entries[a]
+                            .0
+                            .volume()
+                            .partial_cmp(&entries[b].0.volume())
+                            .unwrap()
+                    })
                 })
                 .expect("inner node has children");
             entries[best].0 = entries[best].0.union(&rect);
@@ -349,7 +350,9 @@ mod tests {
     fn empty_tree_queries_empty() {
         let t: RTree<u32> = RTree::new(2);
         assert!(t.is_empty());
-        assert!(t.query(&Rect::new(vec![0.0, 0.0], vec![9.0, 9.0])).is_empty());
+        assert!(t
+            .query(&Rect::new(vec![0.0, 0.0], vec![9.0, 9.0]))
+            .is_empty());
     }
 
     #[test]

@@ -63,7 +63,12 @@ impl MetadataService {
 
     /// Metadata of one chunk (cloned out of the catalog).
     pub fn chunk_meta(&self, id: SubTableId) -> Result<ChunkMeta> {
-        Ok(self.catalog.read().table(id.table)?.chunk(id.chunk)?.clone())
+        Ok(self
+            .catalog
+            .read()
+            .table(id.table)?
+            .chunk(id.chunk)?
+            .clone())
     }
 
     /// Ids of all chunks of `table` overlapping `range` — the "range part
@@ -96,7 +101,11 @@ impl MetadataService {
 
     /// Names of all registered tables, in id order.
     pub fn table_names(&self) -> Vec<String> {
-        self.catalog.read().tables().map(|t| t.name.clone()).collect()
+        self.catalog
+            .read()
+            .tables()
+            .map(|t| t.name.clone())
+            .collect()
     }
 
     /// Export all stored join indices (for persistence).
@@ -109,7 +118,10 @@ impl MetadataService {
     }
 
     /// Import previously exported join indices (for persistence).
-    pub(crate) fn import_join_indices(&self, indices: Vec<(String, Vec<(SubTableId, SubTableId)>)>) {
+    pub(crate) fn import_join_indices(
+        &self,
+        indices: Vec<(String, Vec<(SubTableId, SubTableId)>)>,
+    ) {
         let mut map = self.join_indices.write();
         for (k, v) in indices {
             map.insert(k, Arc::new(v));
@@ -229,7 +241,10 @@ mod tests {
     fn range_resolution() {
         let (svc, t) = service_with_table();
         let q = BoundingBox::from_dims([("x", Interval::new(12.0, 25.0))]);
-        assert_eq!(svc.find_chunks(t, &q).unwrap(), vec![ChunkId(1), ChunkId(2)]);
+        assert_eq!(
+            svc.find_chunks(t, &q).unwrap(),
+            vec![ChunkId(1), ChunkId(2)]
+        );
     }
 
     #[test]

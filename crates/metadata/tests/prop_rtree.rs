@@ -4,12 +4,7 @@ use orv_metadata::{RTree, Rect};
 use proptest::prelude::*;
 
 fn rect2(max: f64) -> impl Strategy<Value = Rect> {
-    (
-        0.0..max,
-        0.0..max,
-        0.0..(max / 4.0),
-        0.0..(max / 4.0),
-    )
+    (0.0..max, 0.0..max, 0.0..(max / 4.0), 0.0..(max / 4.0))
         .prop_map(|(x, y, w, h)| Rect::new(vec![x, y], vec![x + w, y + h]))
 }
 

@@ -90,6 +90,9 @@ mod tests {
         assert_eq!(Accumulator::new(AggFunc::Count).finish(), Value::I64(0));
         assert_eq!(Accumulator::new(AggFunc::Sum).finish(), Value::F64(0.0));
         // AVG of nothing is NaN (and NaN == NaN under our total order).
-        assert_eq!(Accumulator::new(AggFunc::Avg).finish(), Value::F64(f64::NAN));
+        assert_eq!(
+            Accumulator::new(AggFunc::Avg).finish(),
+            Value::F64(f64::NAN)
+        );
     }
 }

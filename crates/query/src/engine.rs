@@ -28,7 +28,10 @@ impl Catalog {
     /// Register a view (rejects duplicates and name clashes).
     pub fn register(&mut self, view: ViewDef) -> Result<()> {
         if self.views.contains_key(&view.name) {
-            return Err(Error::Config(format!("view `{}` already exists", view.name)));
+            return Err(Error::Config(format!(
+                "view `{}` already exists",
+                view.name
+            )));
         }
         self.views.insert(view.name.clone(), view);
         Ok(())
@@ -245,7 +248,14 @@ impl QueryEngine {
                 if range.is_none() {
                     // Unconstrained scan: keep the working set warm in the
                     // engine's Caching Service across queries.
-                    indexed_join_cached(&self.deployment, left, right, &attrs, &ij_cfg, &self.cache)?
+                    indexed_join_cached(
+                        &self.deployment,
+                        left,
+                        right,
+                        &attrs,
+                        &ij_cfg,
+                        &self.cache,
+                    )?
                 } else {
                     indexed_join(&self.deployment, left, right, &attrs, &ij_cfg)?
                 }
@@ -444,7 +454,9 @@ mod tests {
         assert_eq!(r.rows.len(), 8);
         assert_eq!(r.columns, vec!["x", "AVG(wp)", "COUNT(*)"]);
         // Outer predicates post-filter the view's *output* columns.
-        let r = e.execute("SELECT * FROM profile WHERE x IN [2, 4]").unwrap();
+        let r = e
+            .execute("SELECT * FROM profile WHERE x IN [2, 4]")
+            .unwrap();
         assert_eq!(r.rows.len(), 3);
         for row in &r.rows {
             assert_eq!(row.get(2), Value::I64(8));
@@ -461,7 +473,8 @@ mod tests {
         let mut e = engine();
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
-        e.execute("CREATE VIEW slim AS SELECT x, wp FROM v1").unwrap();
+        e.execute("CREATE VIEW slim AS SELECT x, wp FROM v1")
+            .unwrap();
         let r = e.execute("SELECT * FROM slim WHERE wp >= 0.5").unwrap();
         assert_eq!(r.columns, vec!["x", "wp"]);
         assert!(r.rows.iter().all(|row| row.get(1).as_f64() >= 0.5));
@@ -495,7 +508,9 @@ mod tests {
         assert_eq!(m2, m1, "warm run must not miss again");
         assert!(h2 > h1, "warm run must hit the Caching Service");
         // Constrained queries bypass the shared cache and stay correct.
-        let c = e.execute("SELECT COUNT(*) FROM v1 WHERE x IN [0, 3]").unwrap();
+        let c = e
+            .execute("SELECT COUNT(*) FROM v1 WHERE x IN [0, 3]")
+            .unwrap();
         assert_eq!(c.rows[0].get(0), Value::I64(32));
         let d = e.execute("SELECT COUNT(*) FROM v1").unwrap();
         assert_eq!(d.rows[0].get(0), Value::I64(64));

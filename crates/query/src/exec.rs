@@ -121,11 +121,7 @@ pub fn filter_rows(
 }
 
 /// Apply a select list (no aggregates) to rows.
-pub fn project(
-    columns: &[String],
-    rows: Vec<Record>,
-    items: &[SelectItem],
-) -> Result<RowSet> {
+pub fn project(columns: &[String], rows: Vec<Record>, items: &[SelectItem]) -> Result<RowSet> {
     if items.len() == 1 && items[0] == SelectItem::All {
         return Ok(RowSet {
             columns: columns.to_vec(),
@@ -183,7 +179,7 @@ pub fn aggregate(
     // Resolve the output plan: each item is either a group key or an
     // accumulator spec.
     enum OutCol {
-        Group(usize),           // index into the group key
+        Group(usize),                // index into the group key
         Agg(AggFunc, Option<usize>), // column index to aggregate
     }
     let mut out_cols = Vec::new();
@@ -206,7 +202,9 @@ pub fn aggregate(
                 });
             }
             SelectItem::All => {
-                return Err(Error::Plan("SELECT * cannot be combined with aggregation".into()))
+                return Err(Error::Plan(
+                    "SELECT * cannot be combined with aggregation".into(),
+                ))
             }
         }
     }
@@ -316,7 +314,12 @@ mod tests {
         assert_eq!(rs.rows[0].arity(), 2);
         // Unknown column errors.
         let (schema, rows) = scan(&d, t, None).unwrap();
-        assert!(project(&column_names(&schema), rows, &[SelectItem::Column("zz".into())]).is_err());
+        assert!(project(
+            &column_names(&schema),
+            rows,
+            &[SelectItem::Column("zz".into())]
+        )
+        .is_err());
     }
 
     #[test]

@@ -115,8 +115,8 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 s.push(c);
                 chars.next();
                 while let Some(&d) = chars.peek() {
-                    let exp_sign = (d == '-' || d == '+')
-                        && matches!(s.chars().last(), Some('e') | Some('E'));
+                    let exp_sign =
+                        (d == '-' || d == '+') && matches!(s.chars().last(), Some('e') | Some('E'));
                     if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || exp_sign {
                         s.push(d);
                         chars.next();
@@ -142,7 +142,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 out.push(Token::Ident(s));
             }
             other => {
-                return Err(Error::Parse(format!("unexpected character `{other}` in query")));
+                return Err(Error::Parse(format!(
+                    "unexpected character `{other}` in query"
+                )));
             }
         }
     }

@@ -77,7 +77,9 @@ impl Parser {
         } else {
             Err(Error::Parse(format!(
                 "expected keyword `{kw}`, found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -165,7 +167,9 @@ impl Parser {
         let limit = if self.eat_keyword("LIMIT") {
             let n = self.number()?;
             if n < 0.0 || n.fract() != 0.0 {
-                return Err(Error::Parse(format!("LIMIT must be a non-negative integer, got {n}")));
+                return Err(Error::Parse(format!(
+                    "LIMIT must be a non-negative integer, got {n}"
+                )));
             }
             Some(n as usize)
         } else {
@@ -216,7 +220,10 @@ impl Parser {
                 };
                 self.expect(&Token::RParen)?;
                 if arg.is_none() && f != AggFunc::Count {
-                    return Err(Error::Parse(format!("{}(*) is only valid for COUNT", f.name())));
+                    return Err(Error::Parse(format!(
+                        "{}(*) is only valid for COUNT",
+                        f.name()
+                    )));
                 }
                 Ok(SelectItem::Aggregate(f, arg))
             }
@@ -289,7 +296,9 @@ mod tests {
             "CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y) WHERE x IN [0, 256]",
         )
         .unwrap();
-        let Statement::CreateView(v) = s else { panic!() };
+        let Statement::CreateView(v) = s else {
+            panic!()
+        };
         assert_eq!(v.name, "v1");
         assert_eq!(v.query.from, "t1");
         let join = v.query.join.as_ref().unwrap();
@@ -302,8 +311,11 @@ mod tests {
     #[test]
     fn parses_aggregation_view_and_direct_join_query() {
         // DDS layering: a view defined by an aggregation over another view.
-        let s = parse_statement("CREATE VIEW prof AS SELECT z, AVG(wp) FROM v1 GROUP BY z").unwrap();
-        let Statement::CreateView(v) = s else { panic!() };
+        let s =
+            parse_statement("CREATE VIEW prof AS SELECT z, AVG(wp) FROM v1 GROUP BY z").unwrap();
+        let Statement::CreateView(v) = s else {
+            panic!()
+        };
         assert_eq!(v.name, "prof");
         assert!(v.query.join.is_none());
         assert!(!v.query.is_plain_join());
@@ -321,7 +333,10 @@ mod tests {
         let Statement::Select(q) = s else { panic!() };
         assert_eq!(q.select.len(), 3);
         assert_eq!(q.select[0], SelectItem::Column("z".into()));
-        assert_eq!(q.select[1], SelectItem::Aggregate(AggFunc::Avg, Some("wp".into())));
+        assert_eq!(
+            q.select[1],
+            SelectItem::Aggregate(AggFunc::Avg, Some("wp".into()))
+        );
         assert_eq!(q.select[2], SelectItem::Aggregate(AggFunc::Count, None));
         assert_eq!(q.group_by, vec!["z"]);
     }
@@ -330,8 +345,14 @@ mod tests {
     fn comparison_predicates_normalize_to_ranges() {
         let s = parse_statement("SELECT wp FROM t WHERE wp >= 0.5 AND x <= 10 AND y = 3").unwrap();
         let Statement::Select(q) = s else { panic!() };
-        assert_eq!(q.predicates[0], RangePred::between("wp", 0.5, f64::INFINITY));
-        assert_eq!(q.predicates[1], RangePred::between("x", f64::NEG_INFINITY, 10.0));
+        assert_eq!(
+            q.predicates[0],
+            RangePred::between("wp", 0.5, f64::INFINITY)
+        );
+        assert_eq!(
+            q.predicates[1],
+            RangePred::between("x", f64::NEG_INFINITY, 10.0)
+        );
         assert_eq!(q.predicates[2], RangePred::between("y", 3.0, 3.0));
     }
 

@@ -163,14 +163,19 @@ mod tests {
         assert_eq!(p.n_e, 16.0); // identical partitions → 1:1
         assert_eq!(p.rs_r, 16.0);
         // Index was persisted.
-        assert!(d.metadata().get_join_index(t1, t2, &["x", "y", "z"]).is_some());
+        assert!(d
+            .metadata()
+            .get_join_index(t1, t2, &["x", "y", "z"])
+            .is_some());
     }
 
     #[test]
     fn aligned_partitions_choose_ij() {
         let (d, t1, t2) = deploy([4, 4, 4], [4, 4, 4]);
         let planner = Planner::new(ClusterSpec::paper_testbed(2, 2));
-        let plan = planner.plan_join(d.metadata(), t1, t2, &["x", "y", "z"]).unwrap();
+        let plan = planner
+            .plan_join(d.metadata(), t1, t2, &["x", "y", "z"])
+            .unwrap();
         assert_eq!(plan.algorithm, JoinAlgorithm::IndexedJoin);
         assert!(plan.choice.ij_total < plan.choice.gh_total);
     }
@@ -184,7 +189,9 @@ mod tests {
         let mut spec = ClusterSpec::paper_testbed(2, 2);
         spec.cpu_ops_per_sec = 1.0e6;
         let planner = Planner::new(spec);
-        let plan = planner.plan_join(d.metadata(), t1, t2, &["x", "y", "z"]).unwrap();
+        let plan = planner
+            .plan_join(d.metadata(), t1, t2, &["x", "y", "z"])
+            .unwrap();
         assert_eq!(plan.algorithm, JoinAlgorithm::GraceHash);
     }
 
@@ -200,11 +207,17 @@ mod tests {
         let cheap = base.clone().with_gammas(1e-6, 1e-6);
         let costly = base.with_gammas(1e9, 1e9);
         assert_eq!(
-            cheap.plan_join(md, t1, t2, &["x", "y", "z"]).unwrap().algorithm,
+            cheap
+                .plan_join(md, t1, t2, &["x", "y", "z"])
+                .unwrap()
+                .algorithm,
             JoinAlgorithm::IndexedJoin
         );
         assert_eq!(
-            costly.plan_join(md, t1, t2, &["x", "y", "z"]).unwrap().algorithm,
+            costly
+                .plan_join(md, t1, t2, &["x", "y", "z"])
+                .unwrap()
+                .algorithm,
             JoinAlgorithm::GraceHash
         );
     }

@@ -126,7 +126,10 @@ impl BoundingBox {
 
     /// The interval for `attr`; unbounded if not explicitly set.
     pub fn get(&self, attr: &str) -> Interval {
-        self.dims.get(attr).copied().unwrap_or_else(Interval::unbounded)
+        self.dims
+            .get(attr)
+            .copied()
+            .unwrap_or_else(Interval::unbounded)
     }
 
     /// Attributes with explicit bounds.
@@ -150,9 +153,7 @@ impl BoundingBox {
     /// `attrs` if given, or over all attributes if `attrs` is `None`.
     pub fn overlaps_on(&self, other: &BoundingBox, attrs: Option<&[&str]>) -> bool {
         match attrs {
-            Some(attrs) => attrs
-                .iter()
-                .all(|a| self.get(a).overlaps(other.get(a))),
+            Some(attrs) => attrs.iter().all(|a| self.get(a).overlaps(other.get(a))),
             None => {
                 // Only attributes bounded in at least one box can fail.
                 self.dims
@@ -262,7 +263,12 @@ mod tests {
     fn paper_example_boxes() {
         // Lower-left chunk of T1: [(0,0,0.2,0.3), (64,64,0.8,0.5)] on
         // (x, y, oilp, wp).
-        let t1 = bb(&[("x", 0.0, 64.0), ("y", 0.0, 64.0), ("oilp", 0.2, 0.8), ("wp", 0.3, 0.5)]);
+        let t1 = bb(&[
+            ("x", 0.0, 64.0),
+            ("y", 0.0, 64.0),
+            ("oilp", 0.2, 0.8),
+            ("wp", 0.3, 0.5),
+        ]);
         // A T2 chunk bounded only on x,y — wp unbounded in x/y terms.
         let t2 = bb(&[("x", 32.0, 96.0), ("y", 0.0, 64.0)]);
         assert!(t1.overlaps_on(&t2, Some(&["x", "y"])));

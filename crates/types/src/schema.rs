@@ -61,14 +61,19 @@ impl Schema {
     /// Build a schema; attribute names must be unique and non-empty.
     pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
         if attrs.is_empty() {
-            return Err(Error::Schema("schema must have at least one attribute".into()));
+            return Err(Error::Schema(
+                "schema must have at least one attribute".into(),
+            ));
         }
         for (i, a) in attrs.iter().enumerate() {
             if a.name.is_empty() {
                 return Err(Error::Schema(format!("attribute {i} has an empty name")));
             }
             if attrs[..i].iter().any(|b| b.name == a.name) {
-                return Err(Error::Schema(format!("duplicate attribute name `{}`", a.name)));
+                return Err(Error::Schema(format!(
+                    "duplicate attribute name `{}`",
+                    a.name
+                )));
             }
         }
         Ok(Schema { attrs })

@@ -200,10 +200,12 @@ impl Ord for Value {
         // meaning for joins (schemas type-check first); they only need to be
         // total and consistent with Eq/Hash, which also tag the family.
         let fam = |v: &Value| matches!(v, Value::F32(_) | Value::F64(_)) as u8;
-        fam(self).cmp(&fam(other)).then_with(|| match (self, other) {
-            (a, b) if fam(a) == 0 => a.as_i64().unwrap().cmp(&b.as_i64().unwrap()),
-            (a, b) => total_f64(a.as_f64()).total_cmp(&total_f64(b.as_f64())),
-        })
+        fam(self)
+            .cmp(&fam(other))
+            .then_with(|| match (self, other) {
+                (a, b) if fam(a) == 0 => a.as_i64().unwrap().cmp(&b.as_i64().unwrap()),
+                (a, b) => total_f64(a.as_f64()).total_cmp(&total_f64(b.as_f64())),
+            })
     }
 }
 
@@ -326,11 +328,13 @@ mod tests {
 
     #[test]
     fn sort_is_total_and_stable_under_mixture() {
-        let mut v = [Value::F64(2.5),
+        let mut v = [
+            Value::F64(2.5),
             Value::I32(3),
             Value::F32(f32::NAN),
             Value::I64(-1),
-            Value::F64(-0.0)];
+            Value::F64(-0.0),
+        ];
         v.sort();
         // We only require: no panic, NaN last among float comparisons.
         assert_eq!(*v.last().unwrap(), Value::F32(f32::NAN));

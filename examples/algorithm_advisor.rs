@@ -13,9 +13,7 @@
 
 use orv::bds::{generate_dataset, DatasetSpec, Deployment};
 use orv::costmodel::{calibrate_host, choose_algorithm, CostParams, SystemParams};
-use orv::join::{
-    grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig, JoinAlgorithm,
-};
+use orv::join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig, JoinAlgorithm};
 use orv::types::Result;
 
 fn main() -> Result<()> {

@@ -19,7 +19,11 @@ const GAMMA_LOOKUP: f64 = 230.0;
 fn run(label: &str, pr: &SimProblem, spec: &ClusterSpec) -> Result<()> {
     let ij = simulate_indexed_join(pr, spec)?;
     let gh = simulate_grace_hash(pr, spec)?;
-    let winner = if ij.total_secs < gh.total_secs { "IJ" } else { "GH" };
+    let winner = if ij.total_secs < gh.total_secs {
+        "IJ"
+    } else {
+        "GH"
+    };
     println!(
         "{label:<42} IJ {:>9.1}s   GH {:>9.1}s   → {winner}",
         ij.total_secs, gh.total_secs
@@ -46,7 +50,11 @@ fn main() -> Result<()> {
         pr.n_e() * pr.c_s
     );
 
-    run("paper testbed (5+5, PIII 933)", &pr, &ClusterSpec::paper_testbed(5, 5))?;
+    run(
+        "paper testbed (5+5, PIII 933)",
+        &pr,
+        &ClusterSpec::paper_testbed(5, 5),
+    )?;
 
     let mut fast_cpu = ClusterSpec::paper_testbed(5, 5);
     fast_cpu.cpu_work_factor = 1.0 / 30.0; // a ~30× faster core

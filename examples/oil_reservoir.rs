@@ -71,7 +71,10 @@ fn main() -> orv::types::Result<()> {
     if let Some(explain) = &r.explain {
         println!(
             "planner: {} (IJ {:.2}s vs GH {:.2}s predicted; n_e = {})",
-            explain.algorithm, explain.choice.ij_total, explain.choice.gh_total, explain.dataset.n_e
+            explain.algorithm,
+            explain.choice.ij_total,
+            explain.choice.gh_total,
+            explain.dataset.n_e
         );
     }
 

@@ -59,13 +59,17 @@ fn parse_triple(s: &str, what: &str) -> Result<[u64; 3], String> {
         .collect::<Result<_, _>>()
         .map_err(|e| format!("bad {what} `{s}`: {e}"))?;
     if parts.len() != 3 {
-        return Err(format!("{what} must be three comma-separated integers, got `{s}`"));
+        return Err(format!(
+            "{what} must be three comma-separated integers, got `{s}`"
+        ));
     }
     Ok([parts[0], parts[1], parts[2]])
 }
 
 fn repl(args: &[String]) -> i32 {
-    let nodes: usize = flag(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let nodes: usize = flag(args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
     let grid = flag(args, "--grid")
         .map(|v| parse_triple(v, "--grid"))
         .unwrap_or(Ok([32, 32, 4]));
@@ -93,9 +97,7 @@ fn repl(args: &[String]) -> i32 {
         },
         None => Deployment::in_memory(nodes),
     };
-    for (name, scalar, seed, part) in
-        [("t1", "oilp", 1u64, part1), ("t2", "wp", 2, part2)]
-    {
+    for (name, scalar, seed, part) in [("t1", "oilp", 1u64, part1), ("t2", "wp", 2, part2)] {
         let spec = DatasetSpec::builder(name)
             .grid(grid)
             .partition(part)
@@ -183,9 +185,15 @@ fn repl(args: &[String]) -> i32 {
 
 fn simulate(args: &[String]) -> i32 {
     let (grid, p, q) = match (
-        flag(args, "--grid").ok_or("missing --grid".to_string()).and_then(|v| parse_triple(v, "--grid")),
-        flag(args, "--p").ok_or("missing --p".to_string()).and_then(|v| parse_triple(v, "--p")),
-        flag(args, "--q").ok_or("missing --q".to_string()).and_then(|v| parse_triple(v, "--q")),
+        flag(args, "--grid")
+            .ok_or("missing --grid".to_string())
+            .and_then(|v| parse_triple(v, "--grid")),
+        flag(args, "--p")
+            .ok_or("missing --p".to_string())
+            .and_then(|v| parse_triple(v, "--p")),
+        flag(args, "--q")
+            .ok_or("missing --q".to_string())
+            .and_then(|v| parse_triple(v, "--q")),
     ) {
         (Ok(g), Ok(p), Ok(q)) => (g, p, q),
         (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
@@ -223,9 +231,21 @@ fn simulate(args: &[String]) -> i32 {
         GraceHashModel::evaluate(&d, &s),
     ) {
         (Ok(ij), Ok(gh), Ok(ijm), Ok(ghm)) => {
-            println!("indexed join : sim {:>10.2}s   model {:>10.2}s", ij.total_secs, ijm.total());
-            println!("grace hash   : sim {:>10.2}s   model {:>10.2}s", gh.total_secs, ghm.total());
-            let winner = if ij.total_secs < gh.total_secs { "IJ" } else { "GH" };
+            println!(
+                "indexed join : sim {:>10.2}s   model {:>10.2}s",
+                ij.total_secs,
+                ijm.total()
+            );
+            println!(
+                "grace hash   : sim {:>10.2}s   model {:>10.2}s",
+                gh.total_secs,
+                ghm.total()
+            );
+            let winner = if ij.total_secs < gh.total_secs {
+                "IJ"
+            } else {
+                "GH"
+            };
             println!("recommendation: {winner}");
             0
         }

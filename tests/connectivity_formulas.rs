@@ -19,12 +19,20 @@ fn deploy(
 ) -> (Deployment, orv::types::TableId, orv::types::TableId) {
     let d = Deployment::in_memory(2);
     let h1 = generate_dataset(
-        &DatasetSpec::builder("t1").grid(grid).partition(p).scalar_attrs(&["a"]).build(),
+        &DatasetSpec::builder("t1")
+            .grid(grid)
+            .partition(p)
+            .scalar_attrs(&["a"])
+            .build(),
         &d,
     )
     .unwrap();
     let h2 = generate_dataset(
-        &DatasetSpec::builder("t2").grid(grid).partition(q).scalar_attrs(&["b"]).build(),
+        &DatasetSpec::builder("t2")
+            .grid(grid)
+            .partition(q)
+            .scalar_attrs(&["b"])
+            .build(),
         &d,
     )
     .unwrap();

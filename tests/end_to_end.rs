@@ -3,9 +3,7 @@
 //! Figure 2 stack.
 
 use orv::bds::{generate_dataset, BdsService, DatasetSpec, Deployment};
-use orv::join::{
-    grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig, JoinAlgorithm,
-};
+use orv::join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig, JoinAlgorithm};
 use orv::layout::{Endian, RecordOrder};
 use orv::query::QueryEngine;
 use orv::types::{SubTableId, Value};
@@ -84,7 +82,10 @@ fn bds_serves_each_node_locally_on_disk() {
     let services = BdsService::for_all_nodes(&deployment).unwrap();
     let mut rows = 0;
     for chunk in deployment.metadata().all_chunks(h.table).unwrap() {
-        let id = SubTableId { table: h.table, chunk };
+        let id = SubTableId {
+            table: h.table,
+            chunk,
+        };
         let node = deployment.metadata().chunk_meta(id).unwrap().node;
         rows += services[node.index()].subtable(id).unwrap().num_rows();
     }
@@ -172,8 +173,14 @@ fn reopen_deployment_from_saved_catalog() {
         // Run a join once so the page-level join index gets persisted too.
         let md = deployment.metadata();
         let (t1, t2) = (md.table_id("t1").unwrap(), md.table_id("t2").unwrap());
-        indexed_join(&deployment, t1, t2, &["x", "y", "z"], &IndexedJoinConfig::default())
-            .unwrap();
+        indexed_join(
+            &deployment,
+            t1,
+            t2,
+            &["x", "y", "z"],
+            &IndexedJoinConfig::default(),
+        )
+        .unwrap();
         deployment.save_catalog(&catalog_path).unwrap();
     } // original deployment dropped
 
@@ -181,14 +188,19 @@ fn reopen_deployment_from_saved_catalog() {
     let reopened = Deployment::reopen(&dir, 2, &catalog_path).unwrap();
     let md = reopened.metadata();
     let (t1, t2) = (md.table_id("t1").unwrap(), md.table_id("t2").unwrap());
-    assert!(md.get_join_index(t1, t2, &["x", "y", "z"]).is_some(), "join index persisted");
+    assert!(
+        md.get_join_index(t1, t2, &["x", "y", "z"]).is_some(),
+        "join index persisted"
+    );
     let mut engine = QueryEngine::new(reopened);
     engine
         .execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
         .unwrap();
     let r = engine.execute("SELECT COUNT(*) FROM v1").unwrap();
     assert_eq!(r.rows[0].get(0), Value::I64(128));
-    let r = engine.execute("SELECT * FROM t1 WHERE x IN [0, 1]").unwrap();
+    let r = engine
+        .execute("SELECT * FROM t1 WHERE x IN [0, 1]")
+        .unwrap();
     assert_eq!(r.rows.len(), 32);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -208,8 +220,7 @@ fn engine_respects_forced_algorithm() {
         )
         .unwrap();
     }
-    let mut engine =
-        QueryEngine::new(deployment).force_algorithm(Some(JoinAlgorithm::GraceHash));
+    let mut engine = QueryEngine::new(deployment).force_algorithm(Some(JoinAlgorithm::GraceHash));
     engine
         .execute("CREATE VIEW v AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
         .unwrap();

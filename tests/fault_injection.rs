@@ -1,12 +1,21 @@
 //! Failure injection: malformed chunks, bogus metadata, missing
 //! extractors — errors must surface as typed `Error`s, never panics —
-//! plus edge-shaped datasets (partitions that do not divide the grid).
+//! plus edge-shaped datasets (partitions that do not divide the grid),
+//! plus seeded [`FaultPlan`] chaos: transient read faults, dropped
+//! interconnect messages, scratch-write failures and compute-worker
+//! crashes, driven both deterministically and by proptest. Under any
+//! transient plan both join runtimes must produce oracle-identical output
+//! or a typed `Error::Cluster` within a bounded deadline — never a hang,
+//! never an escaped panic.
 
 use orv::bds::{generate_dataset, BdsService, DatasetSpec, Deployment};
 use orv::chunk::{ChunkLocation, ChunkMeta};
+use orv::cluster::{silence_injected_panics, FaultPlan, RecoveryPolicy, WorkerPanicSpec};
 use orv::join::reference::{nested_loop_join, sort_records};
 use orv::join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig};
-use orv::types::{BoundingBox, ChunkId, Interval, NodeId, SubTableId, TableId};
+use orv::types::{BoundingBox, ChunkId, Error, Interval, NodeId, Record, SubTableId, TableId};
+use proptest::prelude::*;
+use std::time::Duration;
 
 fn demo_deployment() -> (Deployment, TableId) {
     let d = Deployment::in_memory(2);
@@ -192,6 +201,280 @@ fn uneven_partitions_still_join_correctly() {
     )
     .unwrap();
     assert_eq!(sort_records(gh.records.unwrap()), oracle);
+}
+
+/// Two overlapping tables on 2 storage nodes, small enough to run under
+/// many proptest cases.
+fn two_tables() -> (Deployment, TableId, TableId) {
+    let d = Deployment::in_memory(2);
+    let h1 = generate_dataset(
+        &DatasetSpec::builder("fa")
+            .grid([6, 6, 1])
+            .partition([3, 3, 1])
+            .scalar_attrs(&["u"])
+            .seed(21)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    let h2 = generate_dataset(
+        &DatasetSpec::builder("fb")
+            .grid([6, 6, 1])
+            .partition([2, 3, 1])
+            .scalar_attrs(&["v"])
+            .seed(22)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    (d, h1.table, h2.table)
+}
+
+/// Run `f` on its own thread and insist it finishes within `secs` —
+/// the no-hang watchdog for fault scenarios.
+fn within_deadline<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("join under faults must finish within the deadline (no hang)")
+}
+
+/// The acceptance scenario: one seeded plan with transient read errors,
+/// dropped interconnect messages AND a compute-worker crash. IJ must
+/// recover everything (reassigning the dead worker's pairs) and still
+/// match the oracle; GH cannot replace a dead compute node, so it must
+/// fail fast with a typed `Error::Cluster` naming the panic — both within
+/// a bounded deadline.
+#[test]
+fn mixed_fault_plan_recovers_or_fails_typed_within_deadline() {
+    silence_injected_panics();
+    let plan = FaultPlan {
+        seed: 0xFA_07,
+        read_error_prob: 1.0,
+        max_read_errors: 2,
+        send_drop_prob: 1.0,
+        max_send_drops: 2,
+        scratch_error_prob: 0.0,
+        worker_panics: vec![WorkerPanicSpec {
+            worker: 1,
+            after_ops: 1,
+        }],
+        max_faults: 5,
+        ..FaultPlan::none()
+    };
+
+    let ij_plan = plan.clone();
+    let (out, oracle) = within_deadline(30, move || {
+        let (d, t1, t2) = two_tables();
+        let cfg = IndexedJoinConfig {
+            n_compute: 2,
+            collect_results: true,
+            faults: Some(ij_plan.injector()),
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let oracle = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        (out, oracle)
+    });
+    assert_eq!(sort_records(out.records.unwrap()), sort_records(oracle));
+    assert!(
+        out.stats.read_retries > 0,
+        "retry counter must be nonzero: {:?}",
+        out.stats
+    );
+    assert_eq!(out.stats.worker_panics, 1, "{:?}", out.stats);
+    assert!(
+        out.stats.pairs_reassigned > 0,
+        "reassignment counter must be nonzero: {:?}",
+        out.stats
+    );
+
+    let gh_plan = plan.clone();
+    let err = within_deadline(30, move || {
+        let (d, t1, t2) = two_tables();
+        let cfg = GraceHashConfig {
+            n_compute: 2,
+            faults: Some(gh_plan.injector()),
+            ..Default::default()
+        };
+        grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap_err()
+    });
+    assert!(matches!(err, Error::Cluster(_)), "{err}");
+    assert!(err.to_string().contains("panicked"), "{err}");
+
+    // The same plan *without* the crash is fully transient: GH recovers
+    // the dropped messages and read faults and matches the oracle.
+    let mut transient = plan;
+    transient.worker_panics.clear();
+    let (gh, oracle) = within_deadline(30, move || {
+        let (d, t1, t2) = two_tables();
+        let cfg = GraceHashConfig {
+            n_compute: 2,
+            collect_results: true,
+            faults: Some(transient.injector()),
+            ..Default::default()
+        };
+        let gh = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let oracle = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        (gh, oracle)
+    });
+    assert_eq!(sort_records(gh.records.unwrap()), sort_records(oracle));
+    assert!(
+        gh.stats.send_retries > 0,
+        "dropped sends must be retried: {:?}",
+        gh.stats
+    );
+    assert!(gh.stats.read_retries > 0, "{:?}", gh.stats);
+}
+
+#[test]
+fn every_worker_dead_errors_within_deadline() {
+    silence_injected_panics();
+    let err = within_deadline(30, || {
+        let (d, t1, t2) = two_tables();
+        let plan = FaultPlan {
+            seed: 1,
+            worker_panics: vec![
+                WorkerPanicSpec {
+                    worker: 0,
+                    after_ops: 0,
+                },
+                WorkerPanicSpec {
+                    worker: 1,
+                    after_ops: 0,
+                },
+            ],
+            max_faults: 2,
+            ..FaultPlan::none()
+        };
+        let cfg = IndexedJoinConfig {
+            n_compute: 2,
+            faults: Some(plan.injector()),
+            ..Default::default()
+        };
+        indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap_err()
+    });
+    assert!(matches!(err, Error::Cluster(_)), "{err}");
+}
+
+#[test]
+fn seeded_plans_are_reproducible() {
+    assert_eq!(FaultPlan::from_seed(77), FaultPlan::from_seed(77));
+    assert_ne!(FaultPlan::from_seed(77), FaultPlan::from_seed(78));
+    // A from_seed plan is bounded, so the default recovery policy with
+    // generous attempts must always push IJ through to the oracle.
+    silence_injected_panics();
+    let (out, oracle) = within_deadline(30, || {
+        let (d, t1, t2) = two_tables();
+        let plan = FaultPlan::from_seed(77);
+        let cfg = IndexedJoinConfig {
+            n_compute: 2,
+            collect_results: true,
+            faults: Some(plan.injector()),
+            recovery: RecoveryPolicy {
+                max_attempts: 9,
+                base_backoff_ms: 1,
+                op_deadline_ms: 10_000,
+            },
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let oracle = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        (out, oracle)
+    });
+    assert_eq!(sort_records(out.records.unwrap()), sort_records(oracle));
+}
+
+fn sorted(records: Option<Vec<Record>>) -> Vec<Record> {
+    sort_records(records.expect("collect_results was set"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any purely transient plan (caps + budget, no crashes) with enough
+    /// retry attempts MUST leave both runtimes oracle-identical: a worst
+    /// case op sees at most `cap` consecutive faults, and attempts >
+    /// cap, so every operation eventually succeeds.
+    #[test]
+    fn random_transient_plans_always_recover(
+        seed in any::<u64>(),
+        read_p in 0.0f64..1.0,
+        drop_p in 0.0f64..1.0,
+        scratch_p in 0.0f64..1.0,
+        cap in 0u64..4,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            read_error_prob: read_p,
+            max_read_errors: cap,
+            read_delay_prob: 0.1,
+            read_delay_ms: 1,
+            send_drop_prob: drop_p,
+            max_send_drops: cap,
+            send_delay_prob: 0.1,
+            send_delay_ms: 1,
+            scratch_error_prob: scratch_p,
+            max_scratch_errors: cap,
+            worker_panics: vec![],
+            max_faults: cap * 3,
+        };
+        let recovery = RecoveryPolicy {
+            max_attempts: cap as u32 + 2,
+            base_backoff_ms: 1,
+            op_deadline_ms: 10_000,
+        };
+        let (d, t1, t2) = two_tables();
+        let oracle =
+            sort_records(nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap());
+        let ij = indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig {
+            n_compute: 2,
+            collect_results: true,
+            faults: Some(plan.clone().injector()),
+            recovery,
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(sorted(ij.records), oracle.clone());
+        let gh = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &GraceHashConfig {
+            n_compute: 2,
+            collect_results: true,
+            faults: Some(plan.injector()),
+            recovery,
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(sorted(gh.records), oracle);
+    }
+
+    /// A single worker crash anywhere in the schedule never costs IJ
+    /// correctness: either the worker dies (pairs reassigned) or the
+    /// checkpoint is never reached — both match the oracle.
+    #[test]
+    fn random_worker_crashes_never_break_indexed_join(
+        seed in any::<u64>(),
+        worker in 0usize..3,
+        after_ops in 0u64..6,
+    ) {
+        silence_injected_panics();
+        let plan = FaultPlan {
+            seed,
+            worker_panics: vec![WorkerPanicSpec { worker, after_ops }],
+            max_faults: 1,
+            ..FaultPlan::none()
+        };
+        let (d, t1, t2) = two_tables();
+        let oracle =
+            sort_records(nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap());
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig {
+            n_compute: 3,
+            collect_results: true,
+            faults: Some(plan.injector()),
+            ..Default::default()
+        }).unwrap();
+        prop_assert!(out.stats.worker_panics <= 1);
+        prop_assert_eq!(sorted(out.records), oracle);
+    }
 }
 
 #[test]
