@@ -1,0 +1,50 @@
+//! Offline stand-in for `bytes::Bytes` backed by `Arc<Vec<u8>>`.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+#[derive(Clone, Default, Debug, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::new(data.to_vec()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::new(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}

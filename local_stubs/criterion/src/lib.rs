@@ -1,0 +1,124 @@
+//! Offline stand-in for `criterion`: runs each benchmark body a few times
+//! and prints nothing. Enough to compile and smoke-run bench targets.
+
+use std::fmt::Display;
+use std::time::Duration;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, _name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self }
+    }
+
+    pub fn bench_function(&mut self, _name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        f(&mut Bencher {});
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, _name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        f(&mut Bencher {});
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        f(&mut Bencher {}, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+    }
+}
+
+pub struct BenchmarkId {}
+
+impl BenchmarkId {
+    pub fn new(_name: impl Into<String>, _param: impl Display) -> Self {
+        BenchmarkId {}
+    }
+
+    pub fn from_parameter(_param: impl Display) -> Self {
+        BenchmarkId {}
+    }
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

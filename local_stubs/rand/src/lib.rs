@@ -1,0 +1,1 @@
+//! Offline stand-in for `rand` (declared but unused in this workspace).
