@@ -13,6 +13,7 @@ use orv_chunk::format::ChunkStore;
 use orv_chunk::{ExtractorRegistry, SubTable};
 use orv_cluster::{ByteCounter, FaultInjector};
 use orv_metadata::MetadataService;
+use orv_obs::Spans;
 use orv_types::{Error, NodeId, Result, SubTableId};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
@@ -25,6 +26,7 @@ pub struct BdsService {
     registry: Arc<RwLock<ExtractorRegistry>>,
     bytes_read: ByteCounter,
     faults: Arc<FaultInjector>,
+    spans: Spans,
 }
 
 impl BdsService {
@@ -41,6 +43,17 @@ impl BdsService {
         node: NodeId,
         faults: Arc<FaultInjector>,
     ) -> Result<Self> {
+        BdsService::with_instruments(deployment, node, faults, Spans::disabled())
+    }
+
+    /// Fully instrumented instance: faults plus span collection — each
+    /// `subtable` call records `bds{n}/read` and `bds{n}/extract` spans.
+    pub fn with_instruments(
+        deployment: &Deployment,
+        node: NodeId,
+        faults: Arc<FaultInjector>,
+        spans: Spans,
+    ) -> Result<Self> {
         Ok(BdsService {
             node,
             store: Arc::clone(deployment.store(node)?),
@@ -48,6 +61,7 @@ impl BdsService {
             registry: Arc::clone(deployment.registry()),
             bytes_read: ByteCounter::new(),
             faults,
+            spans,
         })
     }
 
@@ -62,12 +76,23 @@ impl BdsService {
         deployment: &Deployment,
         faults: Arc<FaultInjector>,
     ) -> Result<Vec<Arc<BdsService>>> {
+        BdsService::for_all_nodes_with_instruments(deployment, faults, Spans::disabled())
+    }
+
+    /// One instance per storage node, sharing a fault injector and a span
+    /// collector.
+    pub fn for_all_nodes_with_instruments(
+        deployment: &Deployment,
+        faults: Arc<FaultInjector>,
+        spans: Spans,
+    ) -> Result<Vec<Arc<BdsService>>> {
         (0..deployment.num_storage_nodes())
             .map(|k| {
-                Ok(Arc::new(BdsService::with_faults(
+                Ok(Arc::new(BdsService::with_instruments(
                     deployment,
                     NodeId(k as u32),
                     Arc::clone(&faults),
+                    spans.clone(),
                 )?))
             })
             .collect()
@@ -88,9 +113,16 @@ impl BdsService {
                 meta.node, self.node
             )));
         }
-        self.faults.before_chunk_read()?;
-        let bytes = self.store.lock().read(&meta.location)?;
-        self.bytes_read.add(bytes.len() as u64);
+        let bytes = {
+            let _read = self.spans.span_with(|| format!("bds{}/read", self.node.0));
+            self.faults.before_chunk_read()?;
+            let bytes = self.store.lock().read(&meta.location)?;
+            self.bytes_read.add(bytes.len() as u64);
+            bytes
+        };
+        let _extract = self
+            .spans
+            .span_with(|| format!("bds{}/extract", self.node.0));
         let extractor = self.registry.read().resolve(&meta.extractors)?;
         extractor.extract(id, &bytes)
     }
@@ -177,6 +209,21 @@ mod tests {
         let (st, retries) = RecoveryPolicy::default().run(|| svc.subtable(id));
         assert_eq!(st.unwrap().num_rows(), 8);
         assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn instrumented_service_records_read_and_extract_spans() {
+        let (d, h) = deployed();
+        let spans = Spans::enabled();
+        let svc =
+            BdsService::with_instruments(&d, NodeId(0), FaultInjector::disabled(), spans.clone())
+                .unwrap();
+        svc.subtable(SubTableId::new(h.table.0, 0u32)).unwrap();
+        let paths: Vec<String> = spans.records().into_iter().map(|r| r.path).collect();
+        assert_eq!(
+            paths,
+            vec!["bds0/read".to_string(), "bds0/extract".to_string()]
+        );
     }
 
     #[test]

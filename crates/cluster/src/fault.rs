@@ -25,6 +25,7 @@
 //! backoff and a per-operation deadline, used by the join runtimes around
 //! every fetch, send, and scratch write.
 
+use orv_obs::{obj, EventLog, JsonValue};
 use orv_types::{Error, Result};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -141,6 +142,77 @@ impl FaultPlan {
     pub fn injector(self) -> Arc<FaultInjector> {
         FaultInjector::new(self)
     }
+
+    /// Build the injector with an event stream: the plan itself plus
+    /// every injected fault (kind, site, draw index) is logged, making a
+    /// chaos run replayable from the log alone.
+    pub fn injector_with_events(self, events: EventLog) -> Arc<FaultInjector> {
+        FaultInjector::new_with_events(self, events)
+    }
+
+    /// Serialize the plan as a JSON value (the payload of the
+    /// `fault_plan` event).
+    pub fn to_json_value(&self) -> JsonValue {
+        obj([
+            ("seed", self.seed.into()),
+            ("read_error_prob", self.read_error_prob.into()),
+            ("max_read_errors", self.max_read_errors.into()),
+            ("read_delay_prob", self.read_delay_prob.into()),
+            ("read_delay_ms", self.read_delay_ms.into()),
+            ("send_drop_prob", self.send_drop_prob.into()),
+            ("max_send_drops", self.max_send_drops.into()),
+            ("send_delay_prob", self.send_delay_prob.into()),
+            ("send_delay_ms", self.send_delay_ms.into()),
+            ("scratch_error_prob", self.scratch_error_prob.into()),
+            ("max_scratch_errors", self.max_scratch_errors.into()),
+            (
+                "worker_panics",
+                JsonValue::Array(
+                    self.worker_panics
+                        .iter()
+                        .map(|w| {
+                            obj([
+                                ("worker", w.worker.into()),
+                                ("after_ops", w.after_ops.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("max_faults", self.max_faults.into()),
+        ])
+    }
+
+    /// Reconstruct a plan from [`FaultPlan::to_json_value`] output.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self> {
+        let worker_panics = v
+            .req("worker_panics")?
+            .as_array()
+            .ok_or_else(|| Error::Config("`worker_panics` is not an array".into()))?
+            .iter()
+            .map(|w| {
+                Ok(WorkerPanicSpec {
+                    worker: w.req_u64("worker")? as usize,
+                    after_ops: w.req_u64("after_ops")?,
+                })
+            })
+            .collect::<Result<_>>()?;
+        Ok(FaultPlan {
+            seed: v.req_u64("seed")?,
+            read_error_prob: v.req_f64("read_error_prob")?,
+            max_read_errors: v.req_u64("max_read_errors")?,
+            read_delay_prob: v.req_f64("read_delay_prob")?,
+            read_delay_ms: v.req_u64("read_delay_ms")?,
+            send_drop_prob: v.req_f64("send_drop_prob")?,
+            max_send_drops: v.req_u64("max_send_drops")?,
+            send_delay_prob: v.req_f64("send_delay_prob")?,
+            send_delay_ms: v.req_u64("send_delay_ms")?,
+            scratch_error_prob: v.req_f64("scratch_error_prob")?,
+            max_scratch_errors: v.req_u64("max_scratch_errors")?,
+            worker_panics,
+            max_faults: v.req_u64("max_faults")?,
+        })
+    }
 }
 
 /// What the injector decides about one interconnect send.
@@ -201,6 +273,7 @@ pub struct FaultInjector {
     panic_fired: Vec<AtomicBool>,
     worker_ops: Mutex<HashMap<usize, u64>>,
     stats: Mutex<FaultStats>,
+    events: EventLog,
 }
 
 impl std::fmt::Debug for FaultInjector {
@@ -212,13 +285,21 @@ impl std::fmt::Debug for FaultInjector {
 }
 
 impl FaultInjector {
-    /// Injector for `plan`.
+    /// Injector for `plan` (no event logging).
     pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Self::new_with_events(plan, EventLog::disabled())
+    }
+
+    /// Injector for `plan` logging every injected fault into `events`.
+    /// Emits a `fault_plan` event up front so the run is replayable from
+    /// the log alone.
+    pub fn new_with_events(plan: FaultPlan, events: EventLog) -> Arc<Self> {
         let panic_fired = plan
             .worker_panics
             .iter()
             .map(|_| AtomicBool::new(false))
             .collect();
+        events.emit("fault_plan", || vec![("plan", plan.to_json_value())]);
         Arc::new(FaultInjector {
             budget: AtomicU64::new(plan.max_faults),
             read_errors_left: AtomicU64::new(plan.max_read_errors),
@@ -230,8 +311,22 @@ impl FaultInjector {
             scratch_draws: AtomicU64::new(0),
             worker_ops: Mutex::new(HashMap::new()),
             stats: Mutex::new(FaultStats::default()),
+            events,
             plan,
         })
+    }
+
+    /// Log one injected fault: its kind, injection site and the draw
+    /// index that fired, which together with the `fault_plan` event pin
+    /// the exact execution.
+    fn emit_fault(&self, kind: &'static str, site: &'static str, draw: u64) {
+        self.events.emit("fault_injected", || {
+            vec![
+                ("kind", kind.into()),
+                ("site", site.into()),
+                ("draw", draw.into()),
+            ]
+        });
     }
 
     /// A no-op injector (the empty plan); the default everywhere.
@@ -250,10 +345,11 @@ impl FaultInjector {
     }
 
     /// Deterministic Bernoulli draw at a site: draw `n` of site `salt` is
-    /// `splitmix64(seed ⊕ salt ⊕ n·φ) < prob`.
-    fn chance(&self, salt: u64, counter: &AtomicU64, prob: f64) -> bool {
+    /// `splitmix64(seed ⊕ salt ⊕ n·φ) < prob`. Returns the draw index
+    /// when the draw fires (for the event log), `None` otherwise.
+    fn chance(&self, salt: u64, counter: &AtomicU64, prob: f64) -> Option<u64> {
         if prob <= 0.0 {
-            return false;
+            return None;
         }
         let n = counter.fetch_add(1, Ordering::Relaxed);
         let h = splitmix64(
@@ -263,7 +359,7 @@ impl FaultInjector {
         );
         // 53 uniform mantissa bits → [0, 1).
         let u = (h >> 11) as f64 / (1u64 << 53) as f64;
-        u < prob
+        (u < prob).then_some(n)
     }
 
     /// Take one unit from a per-kind cap and the global budget; both must
@@ -284,17 +380,18 @@ impl FaultInjector {
     /// Call at the top of every chunk read. Sleeps for an injected slow
     /// read; returns a typed transient error for an injected read fault.
     pub fn before_chunk_read(&self) -> Result<()> {
-        if self.plan.read_delay_prob > 0.0
-            && self.chance(SITE_READ ^ 1, &self.read_draws, self.plan.read_delay_prob)
+        if let Some(draw) = self.chance(SITE_READ ^ 1, &self.read_draws, self.plan.read_delay_prob)
         {
             self.stats.lock().read_delays += 1;
+            self.emit_fault("read_delay", "chunk_read", draw);
             std::thread::sleep(Duration::from_millis(self.plan.read_delay_ms));
         }
-        if self.chance(SITE_READ, &self.read_draws, self.plan.read_error_prob)
-            && self.take(&self.read_errors_left)
-        {
-            self.stats.lock().read_errors += 1;
-            return Err(Error::Cluster("injected transient chunk-read fault".into()));
+        if let Some(draw) = self.chance(SITE_READ, &self.read_draws, self.plan.read_error_prob) {
+            if self.take(&self.read_errors_left) {
+                self.stats.lock().read_errors += 1;
+                self.emit_fault("read_error", "chunk_read", draw);
+                return Err(Error::Cluster("injected transient chunk-read fault".into()));
+            }
         }
         Ok(())
     }
@@ -302,16 +399,17 @@ impl FaultInjector {
     /// Ask before every interconnect send; a `Drop` verdict means the
     /// message was lost and the caller should retry with a fresh draw.
     pub fn send_verdict(&self) -> SendVerdict {
-        if self.chance(SITE_SEND, &self.send_draws, self.plan.send_drop_prob)
-            && self.take(&self.send_drops_left)
-        {
-            self.stats.lock().send_drops += 1;
-            return SendVerdict::Drop;
+        if let Some(draw) = self.chance(SITE_SEND, &self.send_draws, self.plan.send_drop_prob) {
+            if self.take(&self.send_drops_left) {
+                self.stats.lock().send_drops += 1;
+                self.emit_fault("send_drop", "send", draw);
+                return SendVerdict::Drop;
+            }
         }
-        if self.plan.send_delay_prob > 0.0
-            && self.chance(SITE_SEND ^ 1, &self.send_draws, self.plan.send_delay_prob)
+        if let Some(draw) = self.chance(SITE_SEND ^ 1, &self.send_draws, self.plan.send_delay_prob)
         {
             self.stats.lock().send_delays += 1;
+            self.emit_fault("send_delay", "send", draw);
             return SendVerdict::Delay(Duration::from_millis(self.plan.send_delay_ms));
         }
         SendVerdict::Deliver
@@ -320,16 +418,18 @@ impl FaultInjector {
     /// Call before every scratch bucket write; errors fire *before* any
     /// bytes land, so a retry never duplicates data.
     pub fn before_scratch_write(&self) -> Result<()> {
-        if self.chance(
+        if let Some(draw) = self.chance(
             SITE_SCRATCH,
             &self.scratch_draws,
             self.plan.scratch_error_prob,
-        ) && self.take(&self.scratch_errors_left)
-        {
-            self.stats.lock().scratch_errors += 1;
-            return Err(Error::Cluster(
-                "injected transient scratch-write fault".into(),
-            ));
+        ) {
+            if self.take(&self.scratch_errors_left) {
+                self.stats.lock().scratch_errors += 1;
+                self.emit_fault("scratch_error", "scratch_write", draw);
+                return Err(Error::Cluster(
+                    "injected transient scratch-write fault".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -358,6 +458,14 @@ impl FaultInjector {
                     return;
                 }
                 self.stats.lock().worker_panics += 1;
+                self.events.emit("fault_injected", || {
+                    vec![
+                        ("kind", "worker_panic".into()),
+                        ("site", "worker_checkpoint".into()),
+                        ("draw", ops.into()),
+                        ("worker", worker.into()),
+                    ]
+                });
                 panic!("{INJECTED_PANIC_MARKER}: worker {worker} after {ops} ops");
             }
         }
@@ -663,6 +771,55 @@ mod tests {
             p.max_faults > 0 && p.max_faults < 100,
             "transience requires a finite budget"
         );
+    }
+
+    #[test]
+    fn fault_plan_json_round_trips() {
+        for seed in [0, 11, 99] {
+            let p = FaultPlan::from_seed(seed);
+            let back = FaultPlan::from_json_value(&p.to_json_value()).unwrap();
+            assert_eq!(back, p);
+        }
+        assert_eq!(
+            FaultPlan::from_json_value(&FaultPlan::none().to_json_value()).unwrap(),
+            FaultPlan::none()
+        );
+    }
+
+    #[test]
+    fn injected_faults_are_logged_with_draw_indices() {
+        let events = EventLog::enabled();
+        let plan = FaultPlan {
+            seed: 5,
+            read_error_prob: 1.0,
+            max_read_errors: 2,
+            send_drop_prob: 1.0,
+            max_send_drops: 1,
+            max_faults: 10,
+            ..FaultPlan::none()
+        };
+        let inj = plan.clone().injector_with_events(events.clone());
+        for _ in 0..4 {
+            let _ = inj.before_chunk_read();
+            let _ = inj.send_verdict();
+        }
+        // The plan event pins the run.
+        let plan_events = events.events_of_kind("fault_plan");
+        assert_eq!(plan_events.len(), 1);
+        let logged = FaultPlan::from_json_value(&plan_events[0].fields["plan"]).unwrap();
+        assert_eq!(logged, plan);
+        // One event per injected fault, draw indices strictly increasing
+        // per site.
+        let faults = events.events_of_kind("fault_injected");
+        let s = inj.stats();
+        assert_eq!(faults.len() as u64, s.read_errors + s.send_drops);
+        let read_draws: Vec<u64> = faults
+            .iter()
+            .filter(|e| e.fields["site"].as_str() == Some("chunk_read"))
+            .map(|e| e.fields["draw"].as_u64().unwrap())
+            .collect();
+        assert_eq!(read_draws.len() as u64, s.read_errors);
+        assert!(read_draws.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -285,6 +285,31 @@ impl RunStats {
         }
     }
 
+    /// Publish every field into `metrics` as `{prefix}/{field}`. Counter
+    /// fields add (publishing per-node stats repeatedly merges them the
+    /// same way [`RunStats::merge`] does); wall time goes to a
+    /// microsecond gauge, which merges by max.
+    pub fn record_into(&self, metrics: &orv_obs::MetricsRegistry, prefix: &str) {
+        let c = |name: &str, v: u64| metrics.counter(&format!("{prefix}/{name}")).add(v);
+        c("bytes_read_storage", self.bytes_read_storage);
+        c("bytes_transferred", self.bytes_transferred);
+        c("bytes_scratch_written", self.bytes_scratch_written);
+        c("bytes_scratch_read", self.bytes_scratch_read);
+        c("hash_builds", self.hash_builds);
+        c("hash_probes", self.hash_probes);
+        c("result_tuples", self.result_tuples);
+        c("cache_hits", self.cache_hits);
+        c("cache_misses", self.cache_misses);
+        c("read_retries", self.read_retries);
+        c("send_retries", self.send_retries);
+        c("scratch_retries", self.scratch_retries);
+        c("worker_panics", self.worker_panics);
+        c("pairs_reassigned", self.pairs_reassigned);
+        metrics
+            .gauge(&format!("{prefix}/wall_us"))
+            .raise((self.wall_secs * 1e6) as u64);
+    }
+
     /// Merge another node's stats into this one (wall time maxes, counters
     /// add).
     pub fn merge(&mut self, other: &RunStats) {
@@ -441,5 +466,28 @@ mod tests {
         assert_eq!(a.worker_panics, 1);
         assert_eq!(a.pairs_reassigned, 4);
         assert_eq!(RunStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_publish_into_registry_merges_like_merge() {
+        let metrics = orv_obs::MetricsRegistry::new();
+        let a = RunStats {
+            wall_secs: 1.5,
+            hash_builds: 10,
+            bytes_transferred: 100,
+            ..Default::default()
+        };
+        let b = RunStats {
+            wall_secs: 2.0,
+            hash_builds: 5,
+            bytes_transferred: 50,
+            ..Default::default()
+        };
+        a.record_into(&metrics, "join");
+        b.record_into(&metrics, "join");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["join/hash_builds"], 15);
+        assert_eq!(snap.counters["join/bytes_transferred"], 150);
+        assert_eq!(snap.gauges["join/wall_us"], 2_000_000);
     }
 }

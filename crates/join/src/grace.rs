@@ -40,6 +40,7 @@ use orv_cluster::{
     fault::panic_message, FaultInjector, RecoveryPolicy, RunStats, Scratch, ScratchKind,
     SendVerdict,
 };
+use orv_obs::{Obs, Spans};
 use orv_types::{BoundingBox, Error, Record, Result, Schema, SubTableId, TableId, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -66,6 +67,12 @@ pub struct GraceHashConfig {
     pub faults: Option<Arc<FaultInjector>>,
     /// Retry/backoff/deadline policy for reads, sends and scratch writes.
     pub recovery: RecoveryPolicy,
+    /// Observability handle. Disabled by default; when enabled, storage
+    /// nodes record `s{n}/read|partition|send` spans and compute nodes
+    /// record `c{j}/scratch_write|scratch_read|build|probe` spans (one
+    /// per cost-model term), and the merged [`RunStats`] are published
+    /// into the metrics registry under the `gh/` prefix.
+    pub obs: Obs,
 }
 
 impl Default for GraceHashConfig {
@@ -79,6 +86,7 @@ impl Default for GraceHashConfig {
             range: None,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -197,8 +205,13 @@ fn repartition_bucket(
     schema: &Schema,
     key_indices: &[usize],
     depth: u32,
+    spans: &Spans,
+    tag: &str,
 ) -> Result<()> {
-    let bytes = scratch.read_bucket(name)?;
+    let bytes = {
+        let _read = spans.span_with(|| format!("{tag}/scratch_read"));
+        scratch.read_bucket(name)?
+    };
     let cols = decode_columns(schema, &bytes)?;
     let nrows = cols.first().map(Vec::len).unwrap_or(0);
     let mut outs: Vec<Vec<u8>> = vec![Vec::new(); OVERFLOW_SPLIT];
@@ -213,6 +226,7 @@ fn repartition_bucket(
     }
     for (k, buf) in outs.into_iter().enumerate() {
         if !buf.is_empty() {
+            let _write = spans.span_with(|| format!("{tag}/scratch_write"));
             scratch.append(&format!("{name}.{k}"), &buf)?;
         }
     }
@@ -235,16 +249,18 @@ fn join_bucket_pair(
     counters: &JoinCounters,
     cfg: &GraceHashConfig,
     depth: u32,
+    tag: &str,
     results: &mut Vec<Record>,
 ) -> Result<u64> {
+    let spans = &cfg.obs.spans;
     let lsize = scratch.bucket_size(lname)?;
     let rsize = scratch.bucket_size(rname)?;
     if lsize == 0 || rsize == 0 {
         return Ok(0);
     }
     if depth < MAX_OVERFLOW_DEPTH && lsize.max(rsize) > cfg.mem_per_node {
-        repartition_bucket(scratch, lname, lschema, lkeys, depth)?;
-        repartition_bucket(scratch, rname, rschema, rkeys, depth)?;
+        repartition_bucket(scratch, lname, lschema, lkeys, depth, spans, tag)?;
+        repartition_bucket(scratch, rname, rschema, rkeys, depth, spans, tag)?;
         let mut produced = 0;
         for k in 0..OVERFLOW_SPLIT {
             produced += join_bucket_pair(
@@ -259,22 +275,35 @@ fn join_bucket_pair(
                 counters,
                 cfg,
                 depth + 1,
+                tag,
                 results,
             )?;
         }
         return Ok(produced);
     }
+    let lbytes = {
+        let _read = spans.span_with(|| format!("{tag}/scratch_read"));
+        scratch.read_bucket(lname)?
+    };
+    let rbytes = {
+        let _read = spans.span_with(|| format!("{tag}/scratch_read"));
+        scratch.read_bucket(rname)?
+    };
     let lst = SubTable::from_columns(
         SubTableId::new(0u32, depth),
         Arc::clone(lschema),
-        decode_columns(lschema, &scratch.read_bucket(lname)?)?,
+        decode_columns(lschema, &lbytes)?,
     )?;
     let rst = SubTable::from_columns(
         SubTableId::new(1u32, depth),
         Arc::clone(rschema),
-        decode_columns(rschema, &scratch.read_bucket(rname)?)?,
+        decode_columns(rschema, &rbytes)?,
     )?;
-    let joiner = HashJoiner::build(&lst, join_attrs, counters, cfg.work_factor)?;
+    let joiner = {
+        let _build = spans.span_with(|| format!("{tag}/build"));
+        HashJoiner::build(&lst, join_attrs, counters, cfg.work_factor)?
+    };
+    let _probe = spans.span_with(|| format!("{tag}/probe"));
     if cfg.collect_results {
         joiner.probe(&rst, join_attrs, counters, |r| results.push(r))
     } else {
@@ -416,7 +445,11 @@ pub fn grace_hash_join(
     let n_buckets = bucket_count(total_bytes, cfg.n_compute, cfg.mem_per_node);
 
     let injector = cfg.faults.clone().unwrap_or_else(FaultInjector::disabled);
-    let services = BdsService::for_all_nodes_with_faults(deployment, Arc::clone(&injector))?;
+    let services = BdsService::for_all_nodes_with_instruments(
+        deployment,
+        Arc::clone(&injector),
+        cfg.obs.spans.clone(),
+    )?;
     let counters = JoinCounters::new();
     let results: Mutex<Vec<Record>> = Mutex::new(Vec::new());
     let scratches: Vec<Scratch> = (0..cfg.n_compute)
@@ -461,17 +494,26 @@ pub fn grace_hash_join(
                                     continue;
                                 }
                             }
-                            let (st, retries) = cfg.recovery.run(|| {
-                                let mut st: SubTable = svc.subtable(id)?;
-                                if let Some(rg) = &cfg.range {
-                                    st = st.filter_range(rg)?;
-                                }
-                                Ok(st)
-                            });
+                            let spans = &cfg.obs.spans;
+                            let (st, retries) = {
+                                let _read = spans.span_with(|| format!("s{}/read", node.index()));
+                                cfg.recovery.run(|| {
+                                    let mut st: SubTable = svc.subtable(id)?;
+                                    if let Some(rg) = &cfg.range {
+                                        st = st.filter_range(rg)?;
+                                    }
+                                    Ok(st)
+                                })
+                            };
                             stats.read_retries += retries;
                             let st = st?;
                             stats.bytes_read_storage += meta.size_bytes();
-                            let routed = route_subtable(&st, keys, cfg.n_compute, n_buckets);
+                            let routed = {
+                                let _partition =
+                                    spans.span_with(|| format!("s{}/partition", node.index()));
+                                route_subtable(&st, keys, cfg.n_compute, n_buckets)
+                            };
+                            let _send = spans.span_with(|| format!("s{}/send", node.index()));
                             for (dest, buckets) in routed.into_iter().enumerate() {
                                 if buckets.is_empty() {
                                     continue;
@@ -517,6 +559,7 @@ pub fn grace_hash_join(
                             Side::Left => "L",
                             Side::Right => "R",
                         };
+                        let _write = cfg.obs.spans.span_with(|| format!("c{j}/scratch_write"));
                         for (b, bytes) in batch.buckets {
                             stats.scratch_retries += scratch_append_with_recovery(
                                 scratch,
@@ -531,6 +574,7 @@ pub fn grace_hash_join(
                     // repartitioning any bucket that outgrew the memory
                     // budget.
                     let mut local_results = Vec::new();
+                    let tag = format!("c{j}");
                     for b in 0..n_buckets {
                         injector.worker_checkpoint(j);
                         stats.result_tuples += join_bucket_pair(
@@ -545,11 +589,10 @@ pub fn grace_hash_join(
                             counters,
                             cfg,
                             0,
+                            &tag,
                             &mut local_results,
                         )?;
                     }
-                    stats.bytes_scratch_written = scratch.bytes_written();
-                    stats.bytes_scratch_read = scratch.bytes_read();
                     if cfg.collect_results {
                         results.lock().append(&mut local_results);
                     }
@@ -594,9 +637,18 @@ pub fn grace_hash_join(
     for s in &per_node {
         stats.merge(s);
     }
+    // Scratch traffic is summed from the per-node Scratch handles rather
+    // than per-worker stats snapshots: the handles are the single source
+    // of truth, so bytes are never double-counted if a handle is shared
+    // and never lost when a worker dies after writing.
+    for sc in &scratches {
+        stats.bytes_scratch_written += sc.bytes_written();
+        stats.bytes_scratch_read += sc.bytes_read();
+    }
     stats.wall_secs = start.elapsed().as_secs_f64();
     stats.hash_builds = counters.builds();
     stats.hash_probes = counters.probes();
+    stats.record_into(&cfg.obs.metrics, "gh");
     Ok(JoinOutput {
         stats,
         records: cfg.collect_results.then(|| results.into_inner()),
@@ -835,6 +887,63 @@ mod tests {
         assert!(
             err.to_string().contains("panicked"),
             "root cause, not 'hung up': {err}"
+        );
+    }
+
+    #[test]
+    fn instrumented_run_records_phase_spans_and_metrics() {
+        let (d, t1, t2) = deploy([8, 8, 1], [4, 4, 1], [2, 2, 1], 2);
+        let obs = Obs::enabled();
+        let cfg = GraceHashConfig {
+            n_compute: 2,
+            mem_per_node: 256, // force scratch traffic through every phase
+            obs: obs.clone(),
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let totals = obs.spans.total_secs_by_leaf();
+        for leaf in [
+            "read",
+            "partition",
+            "send",
+            "scratch_write",
+            "scratch_read",
+            "build",
+            "probe",
+        ] {
+            assert!(totals.contains_key(leaf), "missing {leaf}: {totals:?}");
+        }
+        // Storage phases under `s{n}` groups, compute phases under `c{j}`.
+        let by_group = obs.spans.group_leaf_totals();
+        assert!(by_group.keys().any(|g| g.starts_with('s')), "{by_group:?}");
+        assert!(by_group.keys().any(|g| g.starts_with('c')), "{by_group:?}");
+        let snap = obs.metrics.snapshot();
+        assert_eq!(
+            snap.counters.get("gh/result_tuples").copied(),
+            Some(out.stats.result_tuples)
+        );
+        assert_eq!(
+            snap.counters.get("gh/bytes_scratch_written").copied(),
+            Some(out.stats.bytes_scratch_written)
+        );
+    }
+
+    #[test]
+    fn scratch_bytes_survive_counting_once_per_handle() {
+        // The coordinator derives scratch byte totals from the Scratch
+        // handles; merged per-worker stats must agree with the symmetric
+        // write/read invariant even when buckets repartition recursively.
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 1], 2);
+        let cfg = GraceHashConfig {
+            n_compute: 3,
+            mem_per_node: 96,
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        assert!(out.stats.bytes_scratch_written > 0);
+        assert_eq!(
+            out.stats.bytes_scratch_written,
+            out.stats.bytes_scratch_read
         );
     }
 

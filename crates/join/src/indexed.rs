@@ -32,6 +32,7 @@ use crate::schedule::{schedule, SchedulePolicy};
 use orv_bds::{BdsService, Deployment};
 use orv_chunk::SubTable;
 use orv_cluster::{fault::panic_message, ByteCounter, FaultInjector, RecoveryPolicy, RunStats};
+use orv_obs::Obs;
 use orv_types::{BoundingBox, Error, Record, Result, SubTableId, TableId};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -59,6 +60,11 @@ pub struct IndexedJoinConfig {
     pub faults: Option<Arc<FaultInjector>>,
     /// Retry/backoff/deadline policy for storage fetches.
     pub recovery: RecoveryPolicy,
+    /// Observability handle. Disabled by default; when enabled, workers
+    /// record `n{j}/transfer`, `n{j}/build` and `n{j}/probe` spans (one
+    /// per cost-model term) and the merged [`RunStats`] are published
+    /// into the metrics registry under the `ij/` prefix.
+    pub obs: Obs,
 }
 
 impl Default for IndexedJoinConfig {
@@ -72,6 +78,7 @@ impl Default for IndexedJoinConfig {
             range: None,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -144,7 +151,11 @@ pub fn indexed_join_cached(
 
     let mut pending = schedule(&graph, cfg.n_compute, cfg.policy);
     let injector = cfg.faults.clone().unwrap_or_else(FaultInjector::disabled);
-    let services = BdsService::for_all_nodes_with_faults(deployment, Arc::clone(&injector))?;
+    let services = BdsService::for_all_nodes_with_instruments(
+        deployment,
+        Arc::clone(&injector),
+        cfg.obs.spans.clone(),
+    )?;
     let counters = JoinCounters::new();
     let transfer = ByteCounter::new();
     // Exactly-once commit point: a pair's records and stats deltas land
@@ -194,6 +205,8 @@ pub fn indexed_join_cached(
 
                             let fetch =
                                 |id: SubTableId, delta: &mut RunStats| -> Result<SubTable> {
+                                    let _transfer =
+                                        cfg.obs.spans.span_with(|| format!("n{node_idx}/transfer"));
                                     let meta = md.chunk_meta(id)?;
                                     let svc = &services[meta.node.index()];
                                     let (st, retries) = cfg.recovery.run(|| {
@@ -225,6 +238,10 @@ pub fn indexed_join_cached(
                                         delta.cache_misses += 1;
                                         let st = fetch(lid, &mut delta)?;
                                         let size = st.encoded_size() as u64;
+                                        let _build = cfg
+                                            .obs
+                                            .spans
+                                            .span_with(|| format!("n{node_idx}/build"));
                                         let j = HashJoiner::build(
                                             &st,
                                             join_attrs,
@@ -252,10 +269,15 @@ pub fn indexed_join_cached(
                                         st
                                     }
                                 };
-                                let produced = if cfg.collect_results {
-                                    joiner.probe(&rst, join_attrs, counters, |r| local.push(r))?
-                                } else {
-                                    joiner.probe(&rst, join_attrs, counters, |_| {})?
+                                let produced = {
+                                    let _probe =
+                                        cfg.obs.spans.span_with(|| format!("n{node_idx}/probe"));
+                                    if cfg.collect_results {
+                                        joiner
+                                            .probe(&rst, join_attrs, counters, |r| local.push(r))?
+                                    } else {
+                                        joiner.probe(&rst, join_attrs, counters, |_| {})?
+                                    }
                                 };
                                 delta.result_tuples += produced;
 
@@ -338,6 +360,7 @@ pub fn indexed_join_cached(
     stats.hash_probes = counters.probes();
     stats.worker_panics = worker_panics;
     stats.pairs_reassigned = pairs_reassigned;
+    stats.record_into(&cfg.obs.metrics, "ij");
     Ok(JoinOutput {
         stats,
         records: cfg.collect_results.then_some(records),
@@ -601,6 +624,40 @@ mod tests {
         let err = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap_err();
         assert!(matches!(err, Error::Cluster(_)), "{err}");
         assert!(err.to_string().contains("died"), "{err}");
+    }
+
+    #[test]
+    fn instrumented_run_records_phase_spans_and_metrics() {
+        let (d, t1, t2) = deploy([8, 4, 2], [4, 4, 2], [4, 2, 2], 2);
+        let obs = Obs::enabled();
+        let cfg = IndexedJoinConfig {
+            obs: obs.clone(),
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let totals = obs.spans.total_secs_by_leaf();
+        for leaf in ["transfer", "build", "probe"] {
+            assert!(totals.contains_key(leaf), "missing {leaf}: {totals:?}");
+        }
+        // Worker spans live under compute-node groups `n{j}`, BDS spans
+        // under `bds{n}` — both streams land in the one collector.
+        let groups: std::collections::BTreeSet<String> = obs
+            .spans
+            .records()
+            .into_iter()
+            .map(|r| r.group().to_string())
+            .collect();
+        assert!(groups.iter().any(|g| g.starts_with('n')), "{groups:?}");
+        assert!(groups.iter().any(|g| g.starts_with("bds")), "{groups:?}");
+        let snap = obs.metrics.snapshot();
+        assert_eq!(
+            snap.counters.get("ij/result_tuples").copied(),
+            Some(out.stats.result_tuples)
+        );
+        assert_eq!(
+            snap.counters.get("ij/bytes_transferred").copied(),
+            Some(out.stats.bytes_transferred)
+        );
     }
 
     #[test]

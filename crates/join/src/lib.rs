@@ -34,7 +34,7 @@ pub use cache::{CacheService, CachedEntry};
 pub use connectivity::{ConnectivityGraph, ConnectivityStats};
 pub use grace::{grace_hash_join, GraceHashConfig};
 pub use hash_join::{HashJoiner, JoinCounters};
-pub use indexed::{indexed_join, indexed_join_cached, IndexedJoinConfig};
+pub use indexed::{indexed_join, indexed_join_cached, IndexedJoinConfig, JoinOutput};
 pub use lru::LruCache;
 pub use schedule::SchedulePolicy;
 pub use sim_exec::{

@@ -12,10 +12,25 @@ use orv_chunk::ChunkMeta;
 use orv_types::{BoundingBox, ChunkId, Error, Result, Schema, SubTableId, TableId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A stored page-level join index.
 type JoinIndex = Arc<Vec<(SubTableId, SubTableId)>>;
+
+/// Lock-free usage counters for the service; exported to an
+/// observability registry via [`MetadataService::publish_into`].
+#[derive(Default)]
+struct MdCounters {
+    /// R-tree range resolutions ([`MetadataService::find_chunks`]).
+    rtree_probes: AtomicU64,
+    /// Catalog reads (schema/chunk/table lookups).
+    catalog_lookups: AtomicU64,
+    /// Precomputed join-index fetches that hit.
+    join_index_hits: AtomicU64,
+    /// Precomputed join-index fetches that missed.
+    join_index_misses: AtomicU64,
+}
 
 /// Thread-safe MetaData service.
 #[derive(Default)]
@@ -28,6 +43,7 @@ pub struct MetadataService {
     /// coordinate attribute names — enough to regenerate every extractor
     /// when a persisted deployment is reopened.
     layouts: RwLock<HashMap<String, (String, Vec<String>)>>,
+    counters: MdCounters,
 }
 
 impl MetadataService {
@@ -48,21 +64,33 @@ impl MetadataService {
 
     /// Table id by name.
     pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.counters
+            .catalog_lookups
+            .fetch_add(1, Ordering::Relaxed);
         Ok(self.catalog.read().table_by_name(name)?.id)
     }
 
     /// Table name by id.
     pub fn table_name(&self, id: TableId) -> Result<String> {
+        self.counters
+            .catalog_lookups
+            .fetch_add(1, Ordering::Relaxed);
         Ok(self.catalog.read().table(id)?.name.clone())
     }
 
     /// Schema of a table.
     pub fn schema(&self, id: TableId) -> Result<Arc<Schema>> {
+        self.counters
+            .catalog_lookups
+            .fetch_add(1, Ordering::Relaxed);
         Ok(Arc::clone(&self.catalog.read().table(id)?.schema))
     }
 
     /// Metadata of one chunk (cloned out of the catalog).
     pub fn chunk_meta(&self, id: SubTableId) -> Result<ChunkMeta> {
+        self.counters
+            .catalog_lookups
+            .fetch_add(1, Ordering::Relaxed);
         Ok(self
             .catalog
             .read()
@@ -74,6 +102,7 @@ impl MetadataService {
     /// Ids of all chunks of `table` overlapping `range` — the "range part
     /// of the query" resolution, via the R-tree.
     pub fn find_chunks(&self, table: TableId, range: &BoundingBox) -> Result<Vec<ChunkId>> {
+        self.counters.rtree_probes.fetch_add(1, Ordering::Relaxed);
         Ok(self.catalog.read().table(table)?.find_chunks(range))
     }
 
@@ -168,10 +197,32 @@ impl MetadataService {
         right: TableId,
         attrs: &[&str],
     ) -> Option<Arc<Vec<(SubTableId, SubTableId)>>> {
-        self.join_indices
+        let found = self
+            .join_indices
             .read()
             .get(&join_index_key(left, right, attrs))
-            .cloned()
+            .cloned();
+        let counter = match found {
+            Some(_) => &self.counters.join_index_hits,
+            None => &self.counters.join_index_misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Publish the service's usage counters into an observability
+    /// registry under `md/…`. Counters add, so repeated publishes (or
+    /// several services sharing one registry) merge uniformly.
+    pub fn publish_into(&self, metrics: &orv_obs::MetricsRegistry) {
+        let c = |name: &str, v: &AtomicU64| {
+            metrics
+                .counter(&format!("md/{name}"))
+                .add(v.swap(0, Ordering::Relaxed));
+        };
+        c("rtree_probes", &self.counters.rtree_probes);
+        c("catalog_lookups", &self.counters.catalog_lookups);
+        c("join_index_hits", &self.counters.join_index_hits);
+        c("join_index_misses", &self.counters.join_index_misses);
     }
 
     /// Fetch a join index or fail with a descriptive error.
@@ -257,6 +308,28 @@ mod tests {
         assert_eq!(*svc.get_join_index(t, t, &["x"]).unwrap(), pairs);
         // Different attrs → different key.
         assert!(svc.get_join_index(t, t, &["x", "y"]).is_none());
+    }
+
+    #[test]
+    fn usage_counters_published() {
+        let (svc, t) = service_with_table();
+        let q = BoundingBox::from_dims([("x", Interval::new(0.0, 5.0))]);
+        svc.find_chunks(t, &q).unwrap();
+        svc.find_chunks(t, &q).unwrap();
+        svc.schema(t).unwrap();
+        assert!(svc.get_join_index(t, t, &["x"]).is_none());
+        svc.put_join_index(t, t, &["x"], Vec::new());
+        assert!(svc.get_join_index(t, t, &["x"]).is_some());
+        let metrics = orv_obs::MetricsRegistry::new();
+        svc.publish_into(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["md/rtree_probes"], 2);
+        assert_eq!(snap.counters["md/catalog_lookups"], 1);
+        assert_eq!(snap.counters["md/join_index_hits"], 1);
+        assert_eq!(snap.counters["md/join_index_misses"], 1);
+        // publish_into drains: a second publish adds nothing.
+        svc.publish_into(&metrics);
+        assert_eq!(metrics.snapshot().counters["md/rtree_probes"], 2);
     }
 
     #[test]

@@ -10,8 +10,18 @@ use orv_join::{
     grace_hash_join, indexed_join, indexed_join_cached, CacheService, GraceHashConfig,
     IndexedJoinConfig, JoinAlgorithm,
 };
+use orv_obs::Obs;
 use orv_types::{Error, Record, Result};
 use std::collections::HashMap;
+
+/// Canonical lowercase name of a QES algorithm, as used by
+/// [`orv_obs::required_phases`] and the `qes_choice` event stream.
+pub fn algorithm_slug(algorithm: JoinAlgorithm) -> &'static str {
+    match algorithm {
+        JoinAlgorithm::IndexedJoin => "indexed_join",
+        JoinAlgorithm::GraceHash => "grace_hash",
+    }
+}
 
 /// The view registry — the Derived Data Source catalog.
 #[derive(Default)]
@@ -81,6 +91,7 @@ pub struct QueryEngine {
     /// because cached sub-tables are stored post-filter).
     cache: CacheService,
     cache_capacity: u64,
+    obs: Obs,
 }
 
 impl QueryEngine {
@@ -98,7 +109,23 @@ impl QueryEngine {
             force: None,
             cache: CacheService::new(n, cache_capacity),
             cache_capacity,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle: planning and execution record
+    /// `engine/plan` and `engine/exec` spans, every QES decision emits a
+    /// `qes_choice` event carrying the cost-model evidence, the joins
+    /// inherit the handle for their per-node phase spans, and MetaData
+    /// Service usage counters are published after each join.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The engine's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Use a specific cluster description for planning.
@@ -234,8 +261,22 @@ impl QueryEngine {
         let left = md.table_id(left_name)?;
         let right = md.table_id(right_name)?;
         let attrs: Vec<&str> = on.iter().map(|s| s.as_str()).collect();
-        let plan = self.planner.plan_join(md, left, right, &attrs)?;
+        let plan = {
+            let _plan = self.obs.spans.span("engine/plan");
+            self.planner.plan_join(md, left, right, &attrs)?
+        };
         let algorithm = self.force.unwrap_or(plan.algorithm);
+        self.obs.events.emit("qes_choice", || {
+            vec![
+                ("algorithm", algorithm_slug(algorithm).into()),
+                ("forced", self.force.is_some().into()),
+                ("ij_total_secs", plan.choice.ij_total.into()),
+                ("gh_total_secs", plan.choice.gh_total.into()),
+                ("left", left_name.into()),
+                ("right", right_name.into()),
+            ]
+        });
+        let _exec = self.obs.spans.span("engine/exec");
         let output = match algorithm {
             JoinAlgorithm::IndexedJoin => {
                 let ij_cfg = IndexedJoinConfig {
@@ -243,6 +284,7 @@ impl QueryEngine {
                     cache_capacity: self.cache_capacity,
                     collect_results: true,
                     range: range.clone(),
+                    obs: self.obs.clone(),
                     ..Default::default()
                 };
                 if range.is_none() {
@@ -269,10 +311,13 @@ impl QueryEngine {
                     n_compute: self.n_compute,
                     collect_results: true,
                     range,
+                    obs: self.obs.clone(),
                     ..Default::default()
                 },
             )?,
         };
+        drop(_exec);
+        md.publish_into(&self.obs.metrics);
         let joined_schema = md.schema(left)?.join(md.schema(right)?.as_ref(), &attrs)?;
         let mut rows = output.records.expect("collect_results was set");
         rows.sort_by(|a, b| a.values().cmp(b.values()));
@@ -514,6 +559,29 @@ mod tests {
         assert_eq!(c.rows[0].get(0), Value::I64(32));
         let d = e.execute("SELECT COUNT(*) FROM v1").unwrap();
         assert_eq!(d.rows[0].get(0), Value::I64(64));
+    }
+
+    #[test]
+    fn observed_engine_emits_choice_events_and_spans() {
+        let obs = orv_obs::Obs::enabled();
+        let mut e = engine().with_obs(obs.clone());
+        e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let r = e.execute("SELECT * FROM v1").unwrap();
+        assert_eq!(r.rows.len(), 64);
+        let choices = obs.events.events_of_kind("qes_choice");
+        assert_eq!(choices.len(), 1);
+        let ev = &choices[0];
+        let algo = ev.fields["algorithm"].as_str().unwrap();
+        assert_eq!(algo, algorithm_slug(r.explain.unwrap().algorithm));
+        assert!(ev.fields["ij_total_secs"].as_f64().unwrap() > 0.0);
+        assert!(ev.fields["gh_total_secs"].as_f64().unwrap() > 0.0);
+        let totals = obs.spans.total_secs_by_leaf();
+        assert!(totals.contains_key("plan"), "{totals:?}");
+        assert!(totals.contains_key("exec"), "{totals:?}");
+        // MetaData Service usage flows into the registry after the join.
+        let snap = obs.metrics.snapshot();
+        assert!(snap.counters.get("md/catalog_lookups").copied() > Some(0));
     }
 
     #[test]

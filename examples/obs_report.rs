@@ -1,0 +1,25 @@
+//! Run both join QES implementations over a small generated oil-reservoir
+//! dataset pair with full observability enabled, print the predicted-vs-
+//! measured phase breakdown of each, and export the combined report as
+//! `BENCH_obs.json`.
+//!
+//! ```text
+//! cargo run --release --example obs_report
+//! ```
+
+use orv::obs_report::{standard_report, ReportConfig};
+
+fn main() {
+    let cfg = ReportConfig::default();
+    println!(
+        "dataset: {:?} grid, partitions {:?} / {:?}, {} storage + {} compute nodes\n",
+        cfg.grid, cfg.left_partition, cfg.right_partition, cfg.n_storage, cfg.n_compute
+    );
+    let report = standard_report(&cfg).expect("observed run failed");
+    for run in &report.runs {
+        println!("{}", run.render_table());
+    }
+    let json = report.to_json();
+    std::fs::write("BENCH_obs.json", &json).expect("cannot write BENCH_obs.json");
+    println!("wrote BENCH_obs.json ({} bytes)", json.len());
+}

@@ -27,6 +27,9 @@
 //!   SELECT ... JOIN ...`), a small SQL subset, and the Query Planning
 //!   Service.
 //! * [`orv_cluster`] — the cluster substrate (threaded runtime + simulator).
+//! * [`orv_obs`] — the observability layer: metrics registry, span timers
+//!   and structured events threaded through every service, plus the
+//!   predicted-vs-measured report glue in [`obs_report`].
 //!
 //! ## Quickstart
 //!
@@ -51,8 +54,11 @@ pub use orv_costmodel as costmodel;
 pub use orv_join as join;
 pub use orv_layout as layout;
 pub use orv_metadata as metadata;
+pub use orv_obs as obs;
 pub use orv_query as query;
 pub use orv_types as types;
+
+pub mod obs_report;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
@@ -61,6 +67,9 @@ pub mod prelude {
     pub use orv_costmodel::{CostParams, GraceHashModel, IndexedJoinModel, SystemParams};
     pub use orv_join::{GraceHashConfig, IndexedJoinConfig, JoinAlgorithm};
     pub use orv_metadata::MetadataService;
+    pub use orv_obs::{Obs, ObsReport, RunReport};
     pub use orv_query::{Catalog, Planner, QueryEngine};
     pub use orv_types::{BoundingBox, Schema, Value};
+
+    pub use crate::obs_report::{observe_grace_hash, observe_indexed_join, standard_report};
 }

@@ -1,0 +1,153 @@
+//! Chaos runs are replayable from the event log alone: the injector
+//! emits a `fault_plan` event carrying the full seeded plan plus one
+//! `fault_injected` event per fired fault (kind, site, draw index), and
+//! those must agree with the injector's own statistics and survive a
+//! round-trip through the JSON-lines export.
+
+use orv::bds::{generate_dataset, DatasetSpec, Deployment};
+use orv::cluster::FaultPlan;
+use orv::join::reference::{nested_loop_join, sort_records};
+use orv::join::{grace_hash_join, indexed_join, GraceHashConfig, IndexedJoinConfig};
+use orv::obs::{EventLog, Obs};
+use orv::types::TableId;
+
+fn two_tables() -> (Deployment, TableId, TableId) {
+    let d = Deployment::in_memory(2);
+    let h1 = generate_dataset(
+        &DatasetSpec::builder("ca")
+            .grid([6, 6, 2])
+            .partition([3, 3, 2])
+            .scalar_attrs(&["u"])
+            .seed(41)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    let h2 = generate_dataset(
+        &DatasetSpec::builder("cb")
+            .grid([6, 6, 2])
+            .partition([2, 3, 1])
+            .scalar_attrs(&["v"])
+            .seed(42)
+            .build(),
+        &d,
+    )
+    .unwrap();
+    (d, h1.table, h2.table)
+}
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0x0B5,
+        read_error_prob: 0.4,
+        max_read_errors: 3,
+        send_drop_prob: 0.4,
+        max_send_drops: 3,
+        scratch_error_prob: 0.4,
+        max_scratch_errors: 3,
+        max_faults: 9,
+        ..FaultPlan::none()
+    }
+}
+
+/// Re-parse the log and check it pins the run: the plan round-trips, and
+/// the injected-fault events agree with the injector's statistics.
+fn assert_log_replays(events: &EventLog, plan: &FaultPlan, stats: orv::cluster::fault::FaultStats) {
+    // Everything below reads the *parsed* log, not the live one — a chaos
+    // run must be reconstructible from its exported lines alone.
+    let parsed = EventLog::from_json_lines(&events.to_json_lines()).unwrap();
+
+    let plans: Vec<_> = parsed.iter().filter(|e| e.kind == "fault_plan").collect();
+    assert_eq!(plans.len(), 1, "exactly one plan event per injector");
+    let logged = FaultPlan::from_json_value(&plans[0].fields["plan"]).unwrap();
+    assert_eq!(&logged, plan, "the event stream must pin the exact plan");
+
+    let faults: Vec<_> = parsed
+        .iter()
+        .filter(|e| e.kind == "fault_injected")
+        .collect();
+    let by_kind = |k: &str| {
+        faults
+            .iter()
+            .filter(|e| e.fields["kind"].as_str() == Some(k))
+            .count() as u64
+    };
+    assert_eq!(by_kind("read_error"), stats.read_errors);
+    assert_eq!(by_kind("send_drop"), stats.send_drops);
+    assert_eq!(by_kind("scratch_error"), stats.scratch_errors);
+    assert_eq!(
+        faults.len() as u64,
+        stats.read_errors
+            + stats.read_delays
+            + stats.send_drops
+            + stats.send_delays
+            + stats.scratch_errors
+            + stats.worker_panics,
+        "every fired fault must be logged exactly once"
+    );
+
+    // Draw indices are strictly increasing per site — the replay order.
+    for site in ["chunk_read", "send", "scratch_write"] {
+        let draws: Vec<u64> = faults
+            .iter()
+            .filter(|e| e.fields["site"].as_str() == Some(site))
+            .map(|e| e.fields["draw"].as_u64().unwrap())
+            .collect();
+        assert!(
+            draws.windows(2).all(|w| w[0] < w[1]),
+            "draws at {site} must be strictly increasing: {draws:?}"
+        );
+    }
+}
+
+#[test]
+fn grace_hash_chaos_run_is_replayable_from_logs() {
+    let (d, t1, t2) = two_tables();
+    let plan = chaos_plan();
+    let obs = Obs::enabled();
+    let injector = plan.clone().injector_with_events(obs.events.clone());
+    let cfg = GraceHashConfig {
+        n_compute: 2,
+        collect_results: true,
+        faults: Some(injector.clone()),
+        obs: obs.clone(),
+        ..Default::default()
+    };
+    let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+    let oracle = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+    assert_eq!(sort_records(out.records.unwrap()), sort_records(oracle));
+
+    let stats = injector.stats();
+    assert!(
+        stats.read_errors + stats.send_drops + stats.scratch_errors > 0,
+        "the chaos plan must actually fire: {stats:?}"
+    );
+    assert_log_replays(&obs.events, &plan, stats);
+}
+
+#[test]
+fn indexed_join_chaos_run_is_replayable_from_logs() {
+    let (d, t1, t2) = two_tables();
+    let plan = FaultPlan {
+        send_drop_prob: 0.0,
+        scratch_error_prob: 0.0,
+        ..chaos_plan()
+    };
+    let obs = Obs::enabled();
+    let injector = plan.clone().injector_with_events(obs.events.clone());
+    let cfg = IndexedJoinConfig {
+        n_compute: 2,
+        collect_results: true,
+        faults: Some(injector.clone()),
+        obs: obs.clone(),
+        ..Default::default()
+    };
+    let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+    let oracle = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+    assert_eq!(sort_records(out.records.unwrap()), sort_records(oracle));
+
+    let stats = injector.stats();
+    assert!(stats.read_errors > 0, "{stats:?}");
+    assert_eq!(stats.read_errors, out.stats.read_retries);
+    assert_log_replays(&obs.events, &plan, stats);
+}

