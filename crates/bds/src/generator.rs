@@ -324,6 +324,9 @@ pub fn generate_dataset(spec: &DatasetSpec, deployment: &Deployment) -> Result<D
             extractors: vec![layout_desc.name.clone()],
             bbox,
             num_records: npoints as u64,
+            // Sealed before the bytes can be damaged: every read verifies
+            // against this, so a flipped bit anywhere downstream is caught.
+            checksum: Some(orv_cluster::crc32c(&bytes)),
         })?;
     }
 

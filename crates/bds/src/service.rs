@@ -11,9 +11,9 @@
 use crate::deployment::Deployment;
 use orv_chunk::format::ChunkStore;
 use orv_chunk::{ExtractorRegistry, SubTable};
-use orv_cluster::{ByteCounter, FaultInjector};
+use orv_cluster::{checksum, ByteCounter, CancelToken, FaultInjector};
 use orv_metadata::MetadataService;
-use orv_obs::Spans;
+use orv_obs::{EventLog, Spans};
 use orv_types::{Error, NodeId, Result, SubTableId};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
@@ -25,8 +25,11 @@ pub struct BdsService {
     metadata: Arc<MetadataService>,
     registry: Arc<RwLock<ExtractorRegistry>>,
     bytes_read: ByteCounter,
+    corruptions_detected: ByteCounter,
     faults: Arc<FaultInjector>,
     spans: Spans,
+    events: EventLog,
+    cancel: CancelToken,
 }
 
 impl BdsService {
@@ -37,22 +40,34 @@ impl BdsService {
 
     /// Create the instance for `node` with a fault injector attached:
     /// every chunk read first consults the injector, which may slow it
-    /// down or fail it with a transient `Error::Cluster`.
+    /// down, fail it with a transient `Error::Cluster`, or flip a byte of
+    /// a checksummed page so read-side verification has to catch it.
     pub fn with_faults(
         deployment: &Deployment,
         node: NodeId,
         faults: Arc<FaultInjector>,
     ) -> Result<Self> {
-        BdsService::with_instruments(deployment, node, faults, Spans::disabled())
+        BdsService::with_instruments(
+            deployment,
+            node,
+            faults,
+            Spans::disabled(),
+            EventLog::disabled(),
+            CancelToken::none(),
+        )
     }
 
-    /// Fully instrumented instance: faults plus span collection — each
-    /// `subtable` call records `bds{n}/read` and `bds{n}/extract` spans.
+    /// Fully instrumented instance: faults, span collection (each
+    /// `subtable` call records `bds{n}/read` and `bds{n}/extract` spans),
+    /// an event log receiving `corruption_detected` events, and the
+    /// query's cancellation token (checked before every read).
     pub fn with_instruments(
         deployment: &Deployment,
         node: NodeId,
         faults: Arc<FaultInjector>,
         spans: Spans,
+        events: EventLog,
+        cancel: CancelToken,
     ) -> Result<Self> {
         Ok(BdsService {
             node,
@@ -60,8 +75,11 @@ impl BdsService {
             metadata: Arc::clone(deployment.metadata()),
             registry: Arc::clone(deployment.registry()),
             bytes_read: ByteCounter::new(),
+            corruptions_detected: ByteCounter::new(),
             faults,
             spans,
+            events,
+            cancel,
         })
     }
 
@@ -76,15 +94,23 @@ impl BdsService {
         deployment: &Deployment,
         faults: Arc<FaultInjector>,
     ) -> Result<Vec<Arc<BdsService>>> {
-        BdsService::for_all_nodes_with_instruments(deployment, faults, Spans::disabled())
+        BdsService::for_all_nodes_with_instruments(
+            deployment,
+            faults,
+            Spans::disabled(),
+            EventLog::disabled(),
+            CancelToken::none(),
+        )
     }
 
-    /// One instance per storage node, sharing a fault injector and a span
-    /// collector.
+    /// One instance per storage node, sharing a fault injector, a span
+    /// collector, an event log and a cancellation token.
     pub fn for_all_nodes_with_instruments(
         deployment: &Deployment,
         faults: Arc<FaultInjector>,
         spans: Spans,
+        events: EventLog,
+        cancel: CancelToken,
     ) -> Result<Vec<Arc<BdsService>>> {
         (0..deployment.num_storage_nodes())
             .map(|k| {
@@ -93,6 +119,8 @@ impl BdsService {
                     NodeId(k as u32),
                     Arc::clone(&faults),
                     spans.clone(),
+                    events.clone(),
+                    cancel.clone(),
                 )?))
             })
             .collect()
@@ -106,6 +134,7 @@ impl BdsService {
     /// Produce the sub-table for chunk `id`, which must be local to this
     /// node.
     pub fn subtable(&self, id: SubTableId) -> Result<SubTable> {
+        self.cancel.check()?;
         let meta = self.metadata.chunk_meta(id)?;
         if meta.node != self.node {
             return Err(Error::Cluster(format!(
@@ -116,8 +145,30 @@ impl BdsService {
         let bytes = {
             let _read = self.spans.span_with(|| format!("bds{}/read", self.node.0));
             self.faults.before_chunk_read()?;
-            let bytes = self.store.lock().read(&meta.location)?;
+            let mut bytes = self.store.lock().read(&meta.location)?;
             self.bytes_read.add(bytes.len() as u64);
+            // Verify pages that carry a generation-time checksum. The
+            // injector only targets those — it flips the *returned copy*
+            // after checksumming, so verification must catch it and a
+            // retry re-reads the pristine store.
+            if let Some(expected) = meta.checksum {
+                if self.faults.plan().chunk_corrupt_prob > 0.0 {
+                    let mut copy = bytes.to_vec();
+                    self.faults.corrupt_chunk_page(&mut copy);
+                    bytes = copy.into();
+                }
+                if let Err(e) = checksum::verify(expected, &bytes, &format!("chunk {id}")) {
+                    self.corruptions_detected.add(1);
+                    self.events.emit("corruption_detected", || {
+                        vec![
+                            ("site", "chunk_read".into()),
+                            ("what", format!("{id}").into()),
+                            ("node", self.node.0.into()),
+                        ]
+                    });
+                    return Err(e);
+                }
+            }
             bytes
         };
         let _extract = self
@@ -130,6 +181,12 @@ impl BdsService {
     /// Total chunk bytes read from this node's store.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read.get()
+    }
+
+    /// Checksum mismatches this instance caught (each one surfaced as a
+    /// retryable `Error::Integrity`).
+    pub fn corruptions_detected(&self) -> u64 {
+        self.corruptions_detected.get()
     }
 }
 
@@ -215,15 +272,77 @@ mod tests {
     fn instrumented_service_records_read_and_extract_spans() {
         let (d, h) = deployed();
         let spans = Spans::enabled();
-        let svc =
-            BdsService::with_instruments(&d, NodeId(0), FaultInjector::disabled(), spans.clone())
-                .unwrap();
+        let svc = BdsService::with_instruments(
+            &d,
+            NodeId(0),
+            FaultInjector::disabled(),
+            spans.clone(),
+            EventLog::disabled(),
+            CancelToken::none(),
+        )
+        .unwrap();
         svc.subtable(SubTableId::new(h.table.0, 0u32)).unwrap();
         let paths: Vec<String> = spans.records().into_iter().map(|r| r.path).collect();
         assert_eq!(
             paths,
             vec!["bds0/read".to_string(), "bds0/extract".to_string()]
         );
+    }
+
+    #[test]
+    fn corrupted_page_is_detected_and_recovers_under_retry() {
+        use orv_cluster::{FaultPlan, RecoveryPolicy};
+        let (d, h) = deployed();
+        let plan = FaultPlan {
+            seed: 17,
+            chunk_corrupt_prob: 1.0,
+            max_chunk_corruptions: 2,
+            max_faults: 2,
+            ..FaultPlan::none()
+        };
+        let events = EventLog::enabled();
+        let injector = plan.injector_with_events(events.clone());
+        let svc = BdsService::with_instruments(
+            &d,
+            NodeId(0),
+            injector.clone(),
+            Spans::disabled(),
+            events.clone(),
+            CancelToken::none(),
+        )
+        .unwrap();
+        let id = SubTableId::new(h.table.0, 0u32);
+        // First attempt: injected flip, verification must catch it.
+        let err = svc.subtable(id).unwrap_err();
+        assert!(matches!(err, Error::Integrity(_)), "{err}");
+        // Under the standard policy the corruption budget drains and the
+        // re-read returns verified clean data.
+        let (st, retries) = RecoveryPolicy::default().run(|| svc.subtable(id));
+        assert_eq!(st.unwrap().num_rows(), 8);
+        assert_eq!(retries, 1, "one more injected corruption, then clean");
+        assert_eq!(svc.corruptions_detected(), 2);
+        assert_eq!(injector.stats().chunk_corruptions, 2);
+        // Every injected corruption was detected and logged.
+        assert_eq!(events.events_of_kind("corruption_detected").len(), 2);
+    }
+
+    #[test]
+    fn cancelled_token_stops_reads() {
+        let (d, h) = deployed();
+        let cancel = CancelToken::new();
+        let svc = BdsService::with_instruments(
+            &d,
+            NodeId(0),
+            FaultInjector::disabled(),
+            Spans::disabled(),
+            EventLog::disabled(),
+            cancel.clone(),
+        )
+        .unwrap();
+        let id = SubTableId::new(h.table.0, 0u32);
+        assert!(svc.subtable(id).is_ok());
+        cancel.cancel();
+        assert!(matches!(svc.subtable(id), Err(Error::Cancelled)));
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub struct ChunkMeta {
     pub bbox: BoundingBox,
     /// Number of records (known at generation time for regular grids).
     pub num_records: u64,
+    /// CRC32C of the chunk's raw bytes, computed when the chunk was
+    /// written. `None` for chunks registered without one (hand-built test
+    /// fixtures); reads of such chunks skip integrity verification.
+    #[serde(default)]
+    pub checksum: Option<u32>,
 }
 
 impl ChunkMeta {
@@ -73,6 +78,7 @@ mod tests {
                 ("y", Interval::new(0.0, 63.0)),
             ]),
             num_records: 64,
+            checksum: None,
         }
     }
 

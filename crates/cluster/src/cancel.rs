@@ -1,0 +1,183 @@
+//! Cooperative cancellation with an optional deadline.
+//!
+//! A [`CancelToken`] is threaded from `QueryEngine::execute` down through
+//! BDS reads, both join runtimes, throttle sleeps and recovery backoff
+//! waits. Cancellation is *cooperative*: nothing is killed, every loop and
+//! every sleep checks the token, so a cancelled or over-deadline query
+//! unwinds promptly (bounded by one [`SLEEP_SLICE`]) through the normal
+//! error path — scratch RAII guards drop, worker threads are joined, and
+//! the caller sees a typed [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
+
+use orv_types::{Error, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Longest uninterruptible sleep anywhere in the runtime. Every throttle
+/// wait and recovery backoff sleeps in slices of at most this, checking
+/// the token between slices.
+pub const SLEEP_SLICE: Duration = Duration::from_millis(250);
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cancellation flag plus optional deadline, shared by every worker of
+/// one query.
+///
+/// The default token ([`CancelToken::none`]) can never fire and costs one
+/// branch per check, so fault-free paths stay hot. Clones share state:
+/// cancelling any clone cancels them all.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (the default for standalone runs).
+    pub fn none() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A cancellable token with no deadline.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A cancellable token that also fires once `timeout` has elapsed.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+            })),
+        }
+    }
+
+    /// Cancel the query; every clone observes it at its next check.
+    /// Cancelling a [`CancelToken::none`] token is a no-op.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called (deadline aside).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancelled.load(Ordering::Acquire))
+    }
+
+    /// The instant after which [`check`](Self::check) fails, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+
+    /// Fail fast if the query was cancelled or ran past its deadline.
+    ///
+    /// This is the single cancellation propagation point: sprinkle it at
+    /// the top of every per-chunk / per-batch / per-bucket loop body.
+    pub fn check(&self) -> Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.cancelled.load(Ordering::Acquire) {
+            return Err(Error::Cancelled);
+        }
+        if inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(Error::DeadlineExceeded);
+        }
+        Ok(())
+    }
+
+    /// Sleep for `duration`, waking early (with the cancellation error)
+    /// if the token fires. Sleeps in [`SLEEP_SLICE`] chunks so the wait
+    /// never outlives a cancellation by more than one slice; a deadline
+    /// inside the requested window shortens the final slice to hit it.
+    pub fn sleep(&self, duration: Duration) -> Result<()> {
+        let until = Instant::now() + duration;
+        loop {
+            self.check()?;
+            let now = Instant::now();
+            if now >= until {
+                return Ok(());
+            }
+            let mut slice = (until - now).min(SLEEP_SLICE);
+            if let Some(deadline) = self.deadline() {
+                slice = slice.min(deadline.saturating_duration_since(now));
+            }
+            std::thread::sleep(slice.max(Duration::from_millis(1)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_token_never_fires() {
+        let t = CancelToken::none();
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.deadline().is_none());
+        t.sleep(Duration::from_millis(1)).unwrap();
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(t.check().is_ok());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(matches!(t.check(), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn deadline_fires_as_deadline_exceeded() {
+        let t = CancelToken::with_deadline(Duration::from_millis(10));
+        assert!(t.check().is_ok());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(t.check(), Err(Error::DeadlineExceeded)));
+        // An explicit cancel takes precedence in the report.
+        t.cancel();
+        assert!(matches!(t.check(), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn sleep_wakes_within_one_slice_of_cancel() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            c.cancel();
+        });
+        let start = Instant::now();
+        let err = t.sleep(Duration::from_secs(60)).unwrap_err();
+        h.join().unwrap();
+        assert!(matches!(err, Error::Cancelled));
+        assert!(
+            start.elapsed() < SLEEP_SLICE + Duration::from_millis(100),
+            "woke after {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn sleep_completes_when_not_cancelled() {
+        let t = CancelToken::new();
+        let start = Instant::now();
+        t.sleep(Duration::from_millis(20)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(19));
+    }
+}

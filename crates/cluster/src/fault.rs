@@ -24,7 +24,17 @@
 //! [`RecoveryPolicy`] is the other half: bounded retries with exponential
 //! backoff and a per-operation deadline, used by the join runtimes around
 //! every fetch, send, and scratch write.
+//!
+//! Silent corruption is injected the same way but detected differently:
+//! the corruption kinds ([`FaultPlan::chunk_corrupt_prob`],
+//! [`FaultPlan::frame_corrupt_prob`], [`FaultPlan::scratch_corrupt_prob`])
+//! flip one payload byte *after* the producer checksummed it, so only the
+//! [`crate::checksum`] verification at the consumer can catch the damage.
+//! Corruptions only target payloads that carry a checksum — an undetectable
+//! flip would silently corrupt results, which is exactly what the
+//! chaos suite asserts cannot happen.
 
+use crate::cancel::CancelToken;
 use orv_obs::{obj, EventLog, JsonValue};
 use orv_types::{Error, Result};
 use parking_lot::Mutex;
@@ -79,6 +89,21 @@ pub struct FaultPlan {
     pub scratch_error_prob: f64,
     /// Cap on injected scratch write errors.
     pub max_scratch_errors: u64,
+    /// Probability one byte of a chunk page is flipped after the page was
+    /// checksummed; only read-side verification can catch it.
+    pub chunk_corrupt_prob: f64,
+    /// Cap on injected chunk corruptions.
+    pub max_chunk_corruptions: u64,
+    /// Probability one byte of an interconnect frame is flipped in
+    /// flight, after the sender sealed the frame checksum.
+    pub frame_corrupt_prob: f64,
+    /// Cap on injected frame corruptions.
+    pub max_frame_corruptions: u64,
+    /// Probability one byte of a scratch bucket read is flipped between
+    /// the scratch disk and the consumer.
+    pub scratch_corrupt_prob: f64,
+    /// Cap on injected scratch corruptions.
+    pub max_scratch_corruptions: u64,
     /// Deterministic compute-worker crashes.
     pub worker_panics: Vec<WorkerPanicSpec>,
     /// Global cap across *all* correctness-affecting faults (errors,
@@ -100,6 +125,12 @@ impl Default for FaultPlan {
             send_delay_ms: 0,
             scratch_error_prob: 0.0,
             max_scratch_errors: 0,
+            chunk_corrupt_prob: 0.0,
+            max_chunk_corruptions: 0,
+            frame_corrupt_prob: 0.0,
+            max_frame_corruptions: 0,
+            scratch_corrupt_prob: 0.0,
+            max_scratch_corruptions: 0,
             worker_panics: Vec::new(),
             max_faults: 0,
         }
@@ -135,6 +166,26 @@ impl FaultPlan {
                 after_ops: (d >> 24) % 3,
             }],
             max_faults: 7,
+            ..Self::none()
+        }
+    }
+
+    /// [`FaultPlan::from_seed`] plus silent corruption on every checksummed
+    /// boundary (chunk pages, interconnect frames, scratch reads) — the
+    /// corruption-heavy plan the chaos CI matrix runs. Pair it with a
+    /// [`RecoveryPolicy`] whose `max_attempts` exceeds the sum of the
+    /// per-kind caps that can hit one operation (errors + corruptions),
+    /// e.g. 8, so recovery provably outlasts the budgets.
+    pub fn corrupting(seed: u64) -> Self {
+        FaultPlan {
+            chunk_corrupt_prob: 0.25,
+            max_chunk_corruptions: 2,
+            frame_corrupt_prob: 0.20,
+            max_frame_corruptions: 2,
+            scratch_corrupt_prob: 0.20,
+            max_scratch_corruptions: 2,
+            max_faults: 13,
+            ..Self::from_seed(seed)
         }
     }
 
@@ -165,6 +216,15 @@ impl FaultPlan {
             ("send_delay_ms", self.send_delay_ms.into()),
             ("scratch_error_prob", self.scratch_error_prob.into()),
             ("max_scratch_errors", self.max_scratch_errors.into()),
+            ("chunk_corrupt_prob", self.chunk_corrupt_prob.into()),
+            ("max_chunk_corruptions", self.max_chunk_corruptions.into()),
+            ("frame_corrupt_prob", self.frame_corrupt_prob.into()),
+            ("max_frame_corruptions", self.max_frame_corruptions.into()),
+            ("scratch_corrupt_prob", self.scratch_corrupt_prob.into()),
+            (
+                "max_scratch_corruptions",
+                self.max_scratch_corruptions.into(),
+            ),
             (
                 "worker_panics",
                 JsonValue::Array(
@@ -209,10 +269,25 @@ impl FaultPlan {
             send_delay_ms: v.req_u64("send_delay_ms")?,
             scratch_error_prob: v.req_f64("scratch_error_prob")?,
             max_scratch_errors: v.req_u64("max_scratch_errors")?,
+            // Absent in logs exported before the corruption kinds existed.
+            chunk_corrupt_prob: opt_f64(v, "chunk_corrupt_prob"),
+            max_chunk_corruptions: opt_u64(v, "max_chunk_corruptions"),
+            frame_corrupt_prob: opt_f64(v, "frame_corrupt_prob"),
+            max_frame_corruptions: opt_u64(v, "max_frame_corruptions"),
+            scratch_corrupt_prob: opt_f64(v, "scratch_corrupt_prob"),
+            max_scratch_corruptions: opt_u64(v, "max_scratch_corruptions"),
             worker_panics,
             max_faults: v.req_u64("max_faults")?,
         })
     }
+}
+
+fn opt_f64(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0)
+}
+
+fn opt_u64(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(|x| x.as_u64()).unwrap_or(0)
 }
 
 /// What the injector decides about one interconnect send.
@@ -240,8 +315,21 @@ pub struct FaultStats {
     pub send_delays: u64,
     /// Scratch write errors injected.
     pub scratch_errors: u64,
+    /// Chunk-page bytes flipped after checksumming.
+    pub chunk_corruptions: u64,
+    /// Interconnect-frame bytes flipped in flight.
+    pub frame_corruptions: u64,
+    /// Scratch-read bytes flipped after the bucket checksum.
+    pub scratch_corruptions: u64,
     /// Worker panics fired.
     pub worker_panics: u64,
+}
+
+impl FaultStats {
+    /// Total injected corruptions across all three boundaries.
+    pub fn corruptions(&self) -> u64 {
+        self.chunk_corruptions + self.frame_corruptions + self.scratch_corruptions
+    }
 }
 
 /// splitmix64 — the one-instruction-wide PRNG the rest of the workspace
@@ -257,6 +345,9 @@ fn splitmix64(mut x: u64) -> u64 {
 const SITE_READ: u64 = 0x52_45_41_44; // "READ"
 const SITE_SEND: u64 = 0x53_45_4E_44; // "SEND"
 const SITE_SCRATCH: u64 = 0x53_43_52_54; // "SCRT"
+const SITE_CHUNK_CORRUPT: u64 = 0x43_43_4F_52; // "CCOR"
+const SITE_FRAME_CORRUPT: u64 = 0x46_43_4F_52; // "FCOR"
+const SITE_SCRATCH_CORRUPT: u64 = 0x53_43_4F_52; // "SCOR"
 
 /// Realizes a [`FaultPlan`] with deterministic draws, per-kind caps and a
 /// global budget. One injector is shared (via `Arc`) by every thread of
@@ -266,10 +357,16 @@ pub struct FaultInjector {
     read_draws: AtomicU64,
     send_draws: AtomicU64,
     scratch_draws: AtomicU64,
+    chunk_corrupt_draws: AtomicU64,
+    frame_corrupt_draws: AtomicU64,
+    scratch_corrupt_draws: AtomicU64,
     budget: AtomicU64,
     read_errors_left: AtomicU64,
     send_drops_left: AtomicU64,
     scratch_errors_left: AtomicU64,
+    chunk_corruptions_left: AtomicU64,
+    frame_corruptions_left: AtomicU64,
+    scratch_corruptions_left: AtomicU64,
     panic_fired: Vec<AtomicBool>,
     worker_ops: Mutex<HashMap<usize, u64>>,
     stats: Mutex<FaultStats>,
@@ -282,6 +379,18 @@ impl std::fmt::Debug for FaultInjector {
             .field("plan", &self.plan)
             .finish()
     }
+}
+
+/// One corruption injection site: its event labels, draw state, cap and
+/// stats slot, bundled so [`FaultInjector::corrupt`] reads as one unit.
+struct CorruptSite<'a> {
+    kind: &'static str,
+    site: &'static str,
+    salt: u64,
+    counter: &'a AtomicU64,
+    prob: f64,
+    left: &'a AtomicU64,
+    bump: fn(&mut FaultStats),
 }
 
 impl FaultInjector {
@@ -305,10 +414,16 @@ impl FaultInjector {
             read_errors_left: AtomicU64::new(plan.max_read_errors),
             send_drops_left: AtomicU64::new(plan.max_send_drops),
             scratch_errors_left: AtomicU64::new(plan.max_scratch_errors),
+            chunk_corruptions_left: AtomicU64::new(plan.max_chunk_corruptions),
+            frame_corruptions_left: AtomicU64::new(plan.max_frame_corruptions),
+            scratch_corruptions_left: AtomicU64::new(plan.max_scratch_corruptions),
             panic_fired,
             read_draws: AtomicU64::new(0),
             send_draws: AtomicU64::new(0),
             scratch_draws: AtomicU64::new(0),
+            chunk_corrupt_draws: AtomicU64::new(0),
+            frame_corrupt_draws: AtomicU64::new(0),
+            scratch_corrupt_draws: AtomicU64::new(0),
             worker_ops: Mutex::new(HashMap::new()),
             stats: Mutex::new(FaultStats::default()),
             events,
@@ -342,6 +457,13 @@ impl FaultInjector {
     /// Faults injected so far.
     pub fn stats(&self) -> FaultStats {
         *self.stats.lock()
+    }
+
+    /// The event log injected faults are recorded into. Runtimes emit
+    /// their `corruption_detected` events here so detections land beside
+    /// the injections they answer.
+    pub fn events(&self) -> &EventLog {
+        &self.events
     }
 
     /// Deterministic Bernoulli draw at a site: draw `n` of site `salt` is
@@ -434,6 +556,91 @@ impl FaultInjector {
         Ok(())
     }
 
+    /// Flip one byte of `bytes` if the site's draw fires and budget
+    /// remains. The flip position and a guaranteed-nonzero xor mask are
+    /// derived from the draw hash, so the damage is deterministic per
+    /// seed; both are returned so wire-level callers can model a
+    /// retransmission from the sender's pristine copy (`bytes[off] ^=
+    /// mask` restores it exactly).
+    fn corrupt(&self, site: CorruptSite<'_>, bytes: &mut [u8]) -> Option<(usize, u8)> {
+        if bytes.is_empty() {
+            return None;
+        }
+        let draw = self.chance(site.salt, site.counter, site.prob)?;
+        if !self.take(site.left) {
+            return None;
+        }
+        let h = splitmix64(self.plan.seed ^ site.salt ^ draw.wrapping_mul(0xA076_1D64_78BD_642F));
+        let offset = (h % bytes.len() as u64) as usize;
+        let mask = ((h >> 32) as u8) | 1; // nonzero: the byte really flips
+        bytes[offset] ^= mask;
+        (site.bump)(&mut self.stats.lock());
+        self.events.emit("fault_injected", || {
+            vec![
+                ("kind", site.kind.into()),
+                ("site", site.site.into()),
+                ("draw", draw.into()),
+                ("offset", offset.into()),
+            ]
+        });
+        Some((offset, mask))
+    }
+
+    /// Maybe flip one byte of a chunk page *after* its checksum was
+    /// computed at generation time. Call only on pages that carry a
+    /// checksum — an unverifiable flip would silently corrupt results.
+    pub fn corrupt_chunk_page(&self, bytes: &mut [u8]) -> Option<(usize, u8)> {
+        self.corrupt(
+            CorruptSite {
+                kind: "chunk_corrupt",
+                site: "chunk_page",
+                salt: SITE_CHUNK_CORRUPT,
+                counter: &self.chunk_corrupt_draws,
+                prob: self.plan.chunk_corrupt_prob,
+                left: &self.chunk_corruptions_left,
+                bump: |s| s.chunk_corruptions += 1,
+            },
+            bytes,
+        )
+    }
+
+    /// Maybe flip one byte of an interconnect frame in flight, after the
+    /// sender sealed the frame checksum. Returns the flip so the sender
+    /// can retransmit from its pristine copy once verification catches
+    /// the damage.
+    pub fn corrupt_frame(&self, bytes: &mut [u8]) -> Option<(usize, u8)> {
+        self.corrupt(
+            CorruptSite {
+                kind: "frame_corrupt",
+                site: "frame",
+                salt: SITE_FRAME_CORRUPT,
+                counter: &self.frame_corrupt_draws,
+                prob: self.plan.frame_corrupt_prob,
+                left: &self.frame_corruptions_left,
+                bump: |s| s.frame_corruptions += 1,
+            },
+            bytes,
+        )
+    }
+
+    /// Maybe flip one byte of a scratch bucket on its way back from the
+    /// scratch disk (the durable bucket stays pristine, so a re-read
+    /// after verification fails recovers).
+    pub fn corrupt_scratch_read(&self, bytes: &mut [u8]) -> Option<(usize, u8)> {
+        self.corrupt(
+            CorruptSite {
+                kind: "scratch_corrupt",
+                site: "scratch_read",
+                salt: SITE_SCRATCH_CORRUPT,
+                counter: &self.scratch_corrupt_draws,
+                prob: self.plan.scratch_corrupt_prob,
+                left: &self.scratch_corruptions_left,
+                bump: |s| s.scratch_corruptions += 1,
+            },
+            bytes,
+        )
+    }
+
     /// Compute-worker checkpoint: call once per completed unit of work.
     /// Panics (deliberately) when a [`WorkerPanicSpec`] for this worker is
     /// due — the runtimes contain the panic with `catch_unwind` and turn
@@ -509,20 +716,48 @@ impl RecoveryPolicy {
         Duration::from_millis(ms.min(250))
     }
 
+    /// Whether the per-operation deadline has passed for an operation
+    /// started at `start`. Both join runtimes consult this instead of
+    /// hand-rolling the comparison.
+    pub fn deadline_exceeded(&self, start: Instant) -> bool {
+        start.elapsed() >= Duration::from_millis(self.op_deadline_ms)
+    }
+
+    /// True once `retries` has used up the attempt budget (attempt count
+    /// is `retries + 1`; a policy always grants at least one attempt).
+    pub fn attempts_exhausted(&self, retries: u64) -> bool {
+        retries + 1 >= self.max_attempts.max(1) as u64
+    }
+
     /// Run `op` under this policy. Returns the final result plus the
     /// number of retries performed (0 when the first attempt succeeds).
-    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> (Result<T>, u64) {
+    pub fn run<T>(&self, op: impl FnMut() -> Result<T>) -> (Result<T>, u64) {
+        self.run_cancellable(&CancelToken::none(), op)
+    }
+
+    /// [`RecoveryPolicy::run`] observing a [`CancelToken`]: cancellation
+    /// is checked before every attempt, backoff sleeps wake within one
+    /// slice of a cancel, and a cancellation error from `op` itself is
+    /// returned immediately — retrying cannot un-cancel a query.
+    pub fn run_cancellable<T>(
+        &self,
+        cancel: &CancelToken,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> (Result<T>, u64) {
         let start = Instant::now();
-        let attempts = self.max_attempts.max(1);
         let mut retries: u64 = 0;
         loop {
+            if let Err(c) = cancel.check() {
+                return (Err(c), retries);
+            }
             match op() {
                 Ok(v) => return (Ok(v), retries),
+                Err(e) if e.is_cancellation() => return (Err(e), retries),
                 Err(e) => {
-                    if retries + 1 >= attempts as u64 {
+                    if self.attempts_exhausted(retries) {
                         return (Err(e), retries);
                     }
-                    if start.elapsed() >= Duration::from_millis(self.op_deadline_ms) {
+                    if self.deadline_exceeded(start) {
                         let err = Error::Cluster(format!(
                             "operation exceeded {} ms deadline after {} attempts: {e}",
                             self.op_deadline_ms,
@@ -530,7 +765,9 @@ impl RecoveryPolicy {
                         ));
                         return (Err(err), retries);
                     }
-                    std::thread::sleep(self.backoff(retries as u32));
+                    if let Err(c) = cancel.sleep(self.backoff(retries as u32)) {
+                        return (Err(c), retries);
+                    }
                     retries += 1;
                 }
             }
@@ -820,6 +1057,153 @@ mod tests {
             .collect();
         assert_eq!(read_draws.len() as u64, s.read_errors);
         assert!(read_draws.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte_and_is_deterministic() {
+        let plan = FaultPlan {
+            seed: 21,
+            chunk_corrupt_prob: 1.0,
+            max_chunk_corruptions: 1,
+            frame_corrupt_prob: 1.0,
+            max_frame_corruptions: 1,
+            scratch_corrupt_prob: 1.0,
+            max_scratch_corruptions: 1,
+            max_faults: 10,
+            ..FaultPlan::none()
+        };
+        let clean: Vec<u8> = (0..64).collect();
+        let run = |plan: FaultPlan| {
+            let inj = plan.injector();
+            let mut page = clean.clone();
+            let flip = inj.corrupt_chunk_page(&mut page).expect("p=1 must fire");
+            (page, flip)
+        };
+        let (page_a, flip_a) = run(plan.clone());
+        let (page_b, flip_b) = run(plan.clone());
+        assert_eq!(page_a, page_b, "same seed, same damage");
+        assert_eq!(flip_a, flip_b);
+        let diffs: Vec<usize> = (0..clean.len())
+            .filter(|&i| page_a[i] != clean[i])
+            .collect();
+        assert_eq!(diffs, vec![flip_a.0], "exactly one byte flipped");
+        assert_ne!(flip_a.1, 0, "mask must actually flip");
+
+        // The returned flip restores the pristine payload (retransmit).
+        let inj = plan.injector();
+        let mut frame = clean.clone();
+        let (off, mask) = inj.corrupt_frame(&mut frame).unwrap();
+        assert_ne!(frame, clean);
+        frame[off] ^= mask;
+        assert_eq!(frame, clean);
+
+        // Caps are per kind, budget is honoured, empty payloads skipped.
+        assert!(inj.corrupt_frame(&mut frame.clone()).is_none(), "cap 1");
+        assert!(inj.corrupt_scratch_read(&mut []).is_none());
+        let mut s = clean.clone();
+        assert!(inj.corrupt_scratch_read(&mut s).is_some());
+        let stats = inj.stats();
+        assert_eq!(stats.frame_corruptions, 1);
+        assert_eq!(stats.scratch_corruptions, 1);
+        assert_eq!(stats.corruptions(), 2);
+    }
+
+    #[test]
+    fn corruptions_are_logged_like_other_faults() {
+        let events = EventLog::enabled();
+        let plan = FaultPlan {
+            seed: 5,
+            chunk_corrupt_prob: 1.0,
+            max_chunk_corruptions: 2,
+            max_faults: 10,
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector_with_events(events.clone());
+        let mut page = vec![1u8, 2, 3, 4];
+        for _ in 0..4 {
+            let _ = inj.corrupt_chunk_page(&mut page);
+        }
+        let faults = events.events_of_kind("fault_injected");
+        assert_eq!(faults.len(), 2, "cap bounds logged corruptions");
+        for e in &faults {
+            assert_eq!(e.fields["kind"].as_str(), Some("chunk_corrupt"));
+            assert_eq!(e.fields["site"].as_str(), Some("chunk_page"));
+            assert!(e.fields["offset"].as_u64().unwrap() < 4);
+        }
+    }
+
+    #[test]
+    fn corrupting_plan_round_trips_and_old_logs_still_parse() {
+        let p = FaultPlan::corrupting(33);
+        assert!(p.chunk_corrupt_prob > 0.0 && p.max_faults > FaultPlan::from_seed(33).max_faults);
+        let back = FaultPlan::from_json_value(&p.to_json_value()).unwrap();
+        assert_eq!(back, p);
+
+        // A plan serialized before the corruption kinds existed parses
+        // with all corruption knobs at zero.
+        let mut old = FaultPlan::from_seed(4).to_json_value();
+        if let JsonValue::Object(m) = &mut old {
+            for k in [
+                "chunk_corrupt_prob",
+                "max_chunk_corruptions",
+                "frame_corrupt_prob",
+                "max_frame_corruptions",
+                "scratch_corrupt_prob",
+                "max_scratch_corruptions",
+            ] {
+                m.remove(k);
+            }
+        }
+        let parsed = FaultPlan::from_json_value(&old).unwrap();
+        assert_eq!(parsed, FaultPlan::from_seed(4));
+    }
+
+    #[test]
+    fn cancelled_token_stops_recovery_immediately() {
+        let policy = RecoveryPolicy {
+            max_attempts: 1_000,
+            base_backoff_ms: 60_000,
+            op_deadline_ms: 600_000,
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let start = Instant::now();
+        let (out, retries) = policy.run_cancellable(&cancel, || -> Result<()> {
+            Err(Error::Cluster("transient".into()))
+        });
+        assert!(matches!(out, Err(Error::Cancelled)));
+        assert_eq!(retries, 0);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn cancellation_error_from_op_is_not_retried() {
+        let policy = RecoveryPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 1,
+            op_deadline_ms: 5_000,
+        };
+        let mut calls = 0;
+        let (out, _) = policy.run(|| -> Result<()> {
+            calls += 1;
+            Err(Error::DeadlineExceeded)
+        });
+        assert!(matches!(out, Err(Error::DeadlineExceeded)));
+        assert_eq!(calls, 1, "cancellation must short-circuit retries");
+    }
+
+    #[test]
+    fn deadline_helper_matches_policy() {
+        let p = RecoveryPolicy {
+            op_deadline_ms: 10,
+            ..RecoveryPolicy::default()
+        };
+        let start = Instant::now();
+        assert!(!p.deadline_exceeded(start));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(p.deadline_exceeded(start));
+        assert!(!p.attempts_exhausted(0));
+        assert!(p.attempts_exhausted(3));
     }
 
     #[test]

@@ -21,12 +21,16 @@
 //! [`spec::ClusterSpec`] describes a cluster once; both substrates consume
 //! it.
 
+pub mod cancel;
+pub mod checksum;
 pub mod fault;
 pub mod resource;
 pub mod runtime;
 pub mod sim;
 pub mod spec;
 
+pub use cancel::{CancelToken, SLEEP_SLICE};
+pub use checksum::crc32c;
 pub use fault::{
     contain_panic, panic_message, silence_injected_panics, FaultInjector, FaultPlan, FaultStats,
     RecoveryPolicy, SendVerdict, WorkerPanicSpec,

@@ -12,6 +12,8 @@
 //! * [`RunStats`] — the full accounting of one join execution, used both
 //!   for reporting and for validating cost-model *inputs* exactly.
 
+use crate::cancel::CancelToken;
+use crate::checksum;
 use orv_types::{Error, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -72,15 +74,28 @@ impl Throttle {
 
     /// Account `n` bytes, sleeping if ahead of the allowed rate.
     pub fn consume(&self, n: u64) {
+        // An inert token cannot fire, so the error arm is unreachable.
+        let _ = self.consume_cancellable(n, &CancelToken::none());
+    }
+
+    /// [`Throttle::consume`] observing a [`CancelToken`]: the pacing
+    /// sleep is checked every [`Self::MAX_SLEEP_SLICE`], so a cancelled
+    /// query stops paying bandwidth debt within one slice. The bytes are
+    /// accounted either way — they did move.
+    pub fn consume_cancellable(&self, n: u64, cancel: &CancelToken) -> Result<()> {
         let total = self.bytes.fetch_add(n, Ordering::Relaxed) + n;
-        let Some(rate) = self.rate else { return };
+        let Some(rate) = self.rate else {
+            return cancel.check();
+        };
         let due = total as f64 / rate;
         let mut elapsed = self.start.elapsed().as_secs_f64();
         while due > elapsed {
+            cancel.check()?;
             let wait = Duration::from_secs_f64(due - elapsed).min(Self::MAX_SLEEP_SLICE);
             std::thread::sleep(wait);
             elapsed = self.start.elapsed().as_secs_f64();
         }
+        cancel.check()
     }
 
     /// Bytes consumed so far.
@@ -120,10 +135,16 @@ impl Drop for TempDirGuard {
 }
 
 /// Per-compute-node scratch space: named append-only buckets.
+///
+/// Every bucket keeps a running CRC32C updated on append (the
+/// write-boundary checksum), so [`Scratch::verify_bucket`] can check a
+/// read-back bucket without ever re-reading it from the store.
 pub struct Scratch {
     kind: ScratchKind,
     mem: Mutex<HashMap<String, Vec<u8>>>,
     dir: Option<TempDirGuard>,
+    /// Incremental CRC32C state per bucket (absent = empty bucket).
+    crcs: Mutex<HashMap<String, u32>>,
     written: ByteCounter,
     read: ByteCounter,
 }
@@ -148,6 +169,7 @@ impl Scratch {
             kind,
             mem: Mutex::new(HashMap::new()),
             dir,
+            crcs: Mutex::new(HashMap::new()),
             written: ByteCounter::new(),
             read: ByteCounter::new(),
         })
@@ -156,6 +178,11 @@ impl Scratch {
     /// Append bytes to bucket `name`.
     pub fn append(&self, name: &str, data: &[u8]) -> Result<()> {
         self.written.add(data.len() as u64);
+        {
+            let mut crcs = self.crcs.lock();
+            let state = crcs.entry(name.to_string()).or_insert_with(checksum::begin);
+            *state = checksum::update(*state, data);
+        }
         match self.kind {
             ScratchKind::Memory => {
                 self.mem
@@ -228,6 +255,28 @@ impl Scratch {
         }
     }
 
+    /// CRC32C of bucket `name`'s full contents, maintained incrementally
+    /// across appends (0 for a never-written bucket, matching the CRC of
+    /// the empty payload).
+    pub fn bucket_crc(&self, name: &str) -> u32 {
+        self.crcs
+            .lock()
+            .get(name)
+            .map(|&state| checksum::finish(state))
+            .unwrap_or_else(|| checksum::crc32c(&[]))
+    }
+
+    /// Verify bytes read back from bucket `name` against its running
+    /// write-side checksum; a mismatch is a typed `Error::Integrity` and
+    /// the caller should re-read (the durable bucket itself is intact).
+    pub fn verify_bucket(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        checksum::verify(
+            self.bucket_crc(name),
+            bytes,
+            &format!("scratch bucket {name}"),
+        )
+    }
+
     /// Total bytes appended.
     pub fn bytes_written(&self) -> u64 {
         self.written.get()
@@ -268,6 +317,9 @@ pub struct RunStats {
     pub send_retries: u64,
     /// Scratch bucket writes repeated after a transient failure (GH only).
     pub scratch_retries: u64,
+    /// Checksum mismatches caught at a verification boundary (chunk read,
+    /// interconnect frame, scratch read) and recovered by retry.
+    pub corruptions_detected: u64,
     /// Compute workers that died (panicked) and were contained.
     pub worker_panics: u64,
     /// Sub-table pairs reassigned from dead workers to survivors (IJ only).
@@ -303,6 +355,7 @@ impl RunStats {
         c("read_retries", self.read_retries);
         c("send_retries", self.send_retries);
         c("scratch_retries", self.scratch_retries);
+        c("corruptions_detected", self.corruptions_detected);
         c("worker_panics", self.worker_panics);
         c("pairs_reassigned", self.pairs_reassigned);
         metrics
@@ -326,6 +379,7 @@ impl RunStats {
         self.read_retries += other.read_retries;
         self.send_retries += other.send_retries;
         self.scratch_retries += other.scratch_retries;
+        self.corruptions_detected += other.corruptions_detected;
         self.worker_panics += other.worker_panics;
         self.pairs_reassigned += other.pairs_reassigned;
     }
@@ -437,6 +491,55 @@ mod tests {
         let elapsed = start.elapsed().as_secs_f64();
         assert!(elapsed >= 0.28, "elapsed {elapsed}");
         assert!(elapsed < 1.0, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn scratch_running_crc_matches_contents() {
+        for kind in [ScratchKind::Memory, ScratchKind::TempFile] {
+            let s = Scratch::new(kind, "crc").unwrap();
+            // Empty bucket: CRC of the empty payload, verify passes.
+            assert_eq!(s.bucket_crc("b0"), crate::checksum::crc32c(&[]));
+            s.verify_bucket("b0", b"").unwrap();
+            s.append("b0", b"hello ").unwrap();
+            s.append("b0", b"world").unwrap();
+            assert_eq!(
+                s.bucket_crc("b0"),
+                crate::checksum::crc32c(b"hello world"),
+                "{kind:?}"
+            );
+            let bytes = s.read_bucket("b0").unwrap();
+            s.verify_bucket("b0", &bytes).unwrap();
+            // A flipped byte in the read-back copy is caught.
+            let mut bad = bytes.clone();
+            bad[3] ^= 0x40;
+            let err = s.verify_bucket("b0", &bad).unwrap_err();
+            assert!(matches!(err, Error::Integrity(_)), "{err}");
+            assert!(err.to_string().contains("b0"), "{err}");
+        }
+    }
+
+    #[test]
+    fn throttle_cancel_stops_sleep_within_one_slice() {
+        use crate::cancel::CancelToken;
+        // 100 KB at 1 KB/s would owe 100 s of sleep; cancelling after
+        // 50 ms must end the wait within one 250 ms slice.
+        let t = Throttle::new(Some(1_000.0));
+        let cancel = CancelToken::new();
+        let c = cancel.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            c.cancel();
+        });
+        let start = Instant::now();
+        let err = t.consume_cancellable(100_000, &cancel).unwrap_err();
+        h.join().unwrap();
+        assert!(matches!(err, Error::Cancelled));
+        assert!(
+            start.elapsed() < Duration::from_millis(600),
+            "cancelled throttle slept {:?}",
+            start.elapsed()
+        );
+        assert_eq!(t.total(), 100_000, "bytes accounted despite cancel");
     }
 
     #[test]

@@ -37,10 +37,10 @@ use crate::hash_join::{HashJoiner, JoinCounters};
 use orv_bds::{BdsService, Deployment};
 use orv_chunk::SubTable;
 use orv_cluster::{
-    fault::panic_message, FaultInjector, RecoveryPolicy, RunStats, Scratch, ScratchKind,
-    SendVerdict,
+    checksum, fault::panic_message, CancelToken, FaultInjector, RecoveryPolicy, RunStats, Scratch,
+    ScratchKind, SendVerdict,
 };
-use orv_obs::{Obs, Spans};
+use orv_obs::Obs;
 use orv_types::{BoundingBox, Error, Record, Result, Schema, SubTableId, TableId, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -67,6 +67,10 @@ pub struct GraceHashConfig {
     pub faults: Option<Arc<FaultInjector>>,
     /// Retry/backoff/deadline policy for reads, sends and scratch writes.
     pub recovery: RecoveryPolicy,
+    /// Cooperative cancellation: every worker loop and every recovery
+    /// sleep observes this token, so a cancel (or deadline) unwinds the
+    /// whole join within one sleep slice.
+    pub cancel: CancelToken,
     /// Observability handle. Disabled by default; when enabled, storage
     /// nodes record `s{n}/read|partition|send` spans and compute nodes
     /// record `c{j}/scratch_write|scratch_read|build|probe` spans (one
@@ -86,6 +90,7 @@ impl Default for GraceHashConfig {
             range: None,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            cancel: CancelToken::none(),
             obs: Obs::disabled(),
         }
     }
@@ -98,8 +103,11 @@ pub type JoinOutput = crate::indexed::JoinOutput;
 /// destined for one compute node.
 struct Batch {
     side: Side,
-    /// `(bucket index, packed records)` pairs.
-    buckets: Vec<(u32, Vec<u8>)>,
+    /// `(bucket index, packed records, CRC32C)` triples. The checksum is
+    /// sealed when the frame is encoded; the link layer verifies it after
+    /// any in-flight corruption and the receiver re-verifies before
+    /// spilling to scratch.
+    buckets: Vec<(u32, Vec<u8>, u32)>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -197,21 +205,79 @@ fn hash_key_salted(values: &[Value], salt: u64) -> u64 {
     h ^ (h >> 31)
 }
 
+/// Everything one compute node's bucket-join phase needs; bundled so the
+/// recursive helpers stay readable.
+struct BucketJoinCtx<'a> {
+    scratch: &'a Scratch,
+    lschema: &'a Arc<Schema>,
+    rschema: &'a Arc<Schema>,
+    lkeys: &'a [usize],
+    rkeys: &'a [usize],
+    join_attrs: &'a [&'a str],
+    counters: &'a JoinCounters,
+    cfg: &'a GraceHashConfig,
+    injector: &'a FaultInjector,
+    /// Compute node index (for `corruption_detected` events).
+    node: usize,
+    /// Span group tag, `c{node}`.
+    tag: String,
+}
+
+/// Read a scratch bucket and verify it against the store's running CRC,
+/// retrying under the recovery policy when an (injected) corruption is
+/// detected. The durable bytes stay pristine — only the returned copy is
+/// damaged — so a retry with a fresh draw succeeds once the fault budget
+/// drains.
+fn read_bucket_verified(ctx: &BucketJoinCtx, name: &str, stats: &mut RunStats) -> Result<Vec<u8>> {
+    let policy = &ctx.cfg.recovery;
+    let cancel = &ctx.cfg.cancel;
+    let start = Instant::now();
+    let mut retries = 0u64;
+    loop {
+        cancel.check()?;
+        let bytes = {
+            let _read = ctx
+                .cfg
+                .obs
+                .spans
+                .span_with(|| format!("{}/scratch_read", ctx.tag));
+            let mut bytes = ctx.scratch.read_bucket(name)?;
+            ctx.injector.corrupt_scratch_read(&mut bytes);
+            bytes
+        };
+        match ctx.scratch.verify_bucket(name, &bytes) {
+            Ok(()) => return Ok(bytes),
+            Err(e) => {
+                stats.corruptions_detected += 1;
+                ctx.injector.events().emit("corruption_detected", || {
+                    vec![
+                        ("site", "scratch_read".into()),
+                        ("what", name.to_string().into()),
+                        ("node", ctx.node.into()),
+                    ]
+                });
+                if policy.attempts_exhausted(retries) || policy.deadline_exceeded(start) {
+                    return Err(e);
+                }
+                cancel.sleep(policy.backoff(retries as u32))?;
+                stats.scratch_retries += 1;
+                retries += 1;
+            }
+        }
+    }
+}
+
 /// Repartition an oversized bucket into `OVERFLOW_SPLIT` sub-buckets on
 /// scratch, re-hashing each record with a depth salt.
 fn repartition_bucket(
-    scratch: &Scratch,
+    ctx: &BucketJoinCtx,
     name: &str,
     schema: &Schema,
     key_indices: &[usize],
     depth: u32,
-    spans: &Spans,
-    tag: &str,
+    stats: &mut RunStats,
 ) -> Result<()> {
-    let bytes = {
-        let _read = spans.span_with(|| format!("{tag}/scratch_read"));
-        scratch.read_bucket(name)?
-    };
+    let bytes = read_bucket_verified(ctx, name, stats)?;
     let cols = decode_columns(schema, &bytes)?;
     let nrows = cols.first().map(Vec::len).unwrap_or(0);
     let mut outs: Vec<Vec<u8>> = vec![Vec::new(); OVERFLOW_SPLIT];
@@ -226,8 +292,12 @@ fn repartition_bucket(
     }
     for (k, buf) in outs.into_iter().enumerate() {
         if !buf.is_empty() {
-            let _write = spans.span_with(|| format!("{tag}/scratch_write"));
-            scratch.append(&format!("{name}.{k}"), &buf)?;
+            let _write = ctx
+                .cfg
+                .obs
+                .spans
+                .span_with(|| format!("{}/scratch_write", ctx.tag));
+            ctx.scratch.append(&format!("{name}.{k}"), &buf)?;
         }
     }
     Ok(())
@@ -236,78 +306,59 @@ fn repartition_bucket(
 /// Join one `(left, right)` bucket pair, recursively repartitioning when
 /// either side exceeds the memory budget (Grace Hash overflow handling —
 /// "bucket tuning" in its simplest recursive form).
-#[allow(clippy::too_many_arguments)]
 fn join_bucket_pair(
-    scratch: &Scratch,
+    ctx: &BucketJoinCtx,
     lname: &str,
     rname: &str,
-    lschema: &Arc<Schema>,
-    rschema: &Arc<Schema>,
-    lkeys: &[usize],
-    rkeys: &[usize],
-    join_attrs: &[&str],
-    counters: &JoinCounters,
-    cfg: &GraceHashConfig,
     depth: u32,
-    tag: &str,
+    stats: &mut RunStats,
     results: &mut Vec<Record>,
 ) -> Result<u64> {
+    let cfg = ctx.cfg;
+    cfg.cancel.check()?;
     let spans = &cfg.obs.spans;
-    let lsize = scratch.bucket_size(lname)?;
-    let rsize = scratch.bucket_size(rname)?;
+    let lsize = ctx.scratch.bucket_size(lname)?;
+    let rsize = ctx.scratch.bucket_size(rname)?;
     if lsize == 0 || rsize == 0 {
         return Ok(0);
     }
     if depth < MAX_OVERFLOW_DEPTH && lsize.max(rsize) > cfg.mem_per_node {
-        repartition_bucket(scratch, lname, lschema, lkeys, depth, spans, tag)?;
-        repartition_bucket(scratch, rname, rschema, rkeys, depth, spans, tag)?;
+        repartition_bucket(ctx, lname, ctx.lschema, ctx.lkeys, depth, stats)?;
+        repartition_bucket(ctx, rname, ctx.rschema, ctx.rkeys, depth, stats)?;
         let mut produced = 0;
         for k in 0..OVERFLOW_SPLIT {
             produced += join_bucket_pair(
-                scratch,
+                ctx,
                 &format!("{lname}.{k}"),
                 &format!("{rname}.{k}"),
-                lschema,
-                rschema,
-                lkeys,
-                rkeys,
-                join_attrs,
-                counters,
-                cfg,
                 depth + 1,
-                tag,
+                stats,
                 results,
             )?;
         }
         return Ok(produced);
     }
-    let lbytes = {
-        let _read = spans.span_with(|| format!("{tag}/scratch_read"));
-        scratch.read_bucket(lname)?
-    };
-    let rbytes = {
-        let _read = spans.span_with(|| format!("{tag}/scratch_read"));
-        scratch.read_bucket(rname)?
-    };
+    let lbytes = read_bucket_verified(ctx, lname, stats)?;
+    let rbytes = read_bucket_verified(ctx, rname, stats)?;
     let lst = SubTable::from_columns(
         SubTableId::new(0u32, depth),
-        Arc::clone(lschema),
-        decode_columns(lschema, &lbytes)?,
+        Arc::clone(ctx.lschema),
+        decode_columns(ctx.lschema, &lbytes)?,
     )?;
     let rst = SubTable::from_columns(
         SubTableId::new(1u32, depth),
-        Arc::clone(rschema),
-        decode_columns(rschema, &rbytes)?,
+        Arc::clone(ctx.rschema),
+        decode_columns(ctx.rschema, &rbytes)?,
     )?;
     let joiner = {
-        let _build = spans.span_with(|| format!("{tag}/build"));
-        HashJoiner::build(&lst, join_attrs, counters, cfg.work_factor)?
+        let _build = spans.span_with(|| format!("{}/build", ctx.tag));
+        HashJoiner::build(&lst, ctx.join_attrs, ctx.counters, cfg.work_factor)?
     };
-    let _probe = spans.span_with(|| format!("{tag}/probe"));
+    let _probe = spans.span_with(|| format!("{}/probe", ctx.tag));
     if cfg.collect_results {
-        joiner.probe(&rst, join_attrs, counters, |r| results.push(r))
+        joiner.probe(&rst, ctx.join_attrs, ctx.counters, |r| results.push(r))
     } else {
-        joiner.probe(&rst, join_attrs, counters, |_| {})
+        joiner.probe(&rst, ctx.join_attrs, ctx.counters, |_| {})
     }
 }
 
@@ -347,39 +398,72 @@ fn route_subtable(
     out
 }
 
-/// Send one batch, retrying injected drops with fresh draws under the
-/// recovery policy. Returns the number of retries. A *real* send error
-/// (receiver gone — its compute node died) is not retryable: the channel
-/// never comes back, so fail fast with a typed error.
+/// Send one batch, retrying injected drops and detected frame
+/// corruptions with fresh draws under the recovery policy. Returns
+/// `(retries, corruptions detected)`. A *real* send error (receiver gone
+/// — its compute node died) is not retryable: the channel never comes
+/// back, so fail fast with a typed error.
+///
+/// Integrity works like a link layer: each bucket's CRC32C was sealed at
+/// encode time; an injected in-flight corruption flips one payload byte,
+/// verification catches it, and the "retransmission" restores the
+/// pristine frame (xor is involutive) before backing off and retrying.
 fn send_with_recovery(
     sender: &crossbeam::channel::Sender<Batch>,
-    batch: Batch,
+    mut batch: Batch,
     injector: &FaultInjector,
     policy: &RecoveryPolicy,
-) -> Result<u64> {
+    cancel: &CancelToken,
+) -> Result<(u64, u64)> {
     let start = Instant::now();
     let mut retries = 0u64;
+    let mut corruptions = 0u64;
     loop {
+        cancel.check()?;
         match injector.send_verdict() {
             SendVerdict::Drop => {
-                if retries + 1 >= policy.max_attempts.max(1) as u64
-                    || start.elapsed().as_millis() as u64 >= policy.op_deadline_ms
-                {
+                if policy.attempts_exhausted(retries) || policy.deadline_exceeded(start) {
                     return Err(Error::Cluster(format!(
                         "interconnect message dropped {} times; giving up",
                         retries + 1
                     )));
                 }
-                std::thread::sleep(policy.backoff(retries as u32));
+                cancel.sleep(policy.backoff(retries as u32))?;
                 retries += 1;
                 continue;
             }
-            SendVerdict::Delay(d) => std::thread::sleep(d),
+            SendVerdict::Delay(d) => cancel.sleep(d)?,
             SendVerdict::Deliver => {}
+        }
+        let mut damage = None;
+        for (i, (b, bytes, _)) in batch.buckets.iter_mut().enumerate() {
+            if let Some(hit) = injector.corrupt_frame(bytes) {
+                damage = Some((i, *b, hit));
+                break; // at most one corrupted frame per attempt
+            }
+        }
+        if let Some((i, b, (off, mask))) = damage {
+            let (_, bytes, crc) = &mut batch.buckets[i];
+            if let Err(e) = checksum::verify(*crc, bytes, &format!("frame bucket {b}")) {
+                corruptions += 1;
+                injector.events().emit("corruption_detected", || {
+                    vec![
+                        ("site", "frame".into()),
+                        ("what", format!("bucket {b}").into()),
+                    ]
+                });
+                bytes[off] ^= mask; // retransmit the pristine frame
+                if policy.attempts_exhausted(retries) || policy.deadline_exceeded(start) {
+                    return Err(e);
+                }
+                cancel.sleep(policy.backoff(retries as u32))?;
+                retries += 1;
+                continue;
+            }
         }
         return sender
             .send(batch)
-            .map(|()| retries)
+            .map(|()| (retries, corruptions))
             .map_err(|_| Error::Cluster("compute node hung up".into()));
     }
 }
@@ -394,19 +478,19 @@ fn scratch_append_with_recovery(
     bytes: &[u8],
     injector: &FaultInjector,
     policy: &RecoveryPolicy,
+    cancel: &CancelToken,
 ) -> Result<u64> {
     let start = Instant::now();
     let mut retries = 0u64;
     loop {
+        cancel.check()?;
         match injector.before_scratch_write() {
             Ok(()) => break,
             Err(e) => {
-                if retries + 1 >= policy.max_attempts.max(1) as u64
-                    || start.elapsed().as_millis() as u64 >= policy.op_deadline_ms
-                {
+                if policy.attempts_exhausted(retries) || policy.deadline_exceeded(start) {
                     return Err(e);
                 }
-                std::thread::sleep(policy.backoff(retries as u32));
+                cancel.sleep(policy.backoff(retries as u32))?;
                 retries += 1;
             }
         }
@@ -449,6 +533,8 @@ pub fn grace_hash_join(
         deployment,
         Arc::clone(&injector),
         cfg.obs.spans.clone(),
+        injector.events().clone(),
+        cfg.cancel.clone(),
     )?;
     let counters = JoinCounters::new();
     let results: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -484,6 +570,7 @@ pub fn grace_hash_join(
                     {
                         let chunks = md.all_chunks(table)?;
                         for chunk in chunks {
+                            cfg.cancel.check()?;
                             let id = SubTableId { table, chunk };
                             let meta = md.chunk_meta(id)?;
                             if meta.node != node {
@@ -497,7 +584,7 @@ pub fn grace_hash_join(
                             let spans = &cfg.obs.spans;
                             let (st, retries) = {
                                 let _read = spans.span_with(|| format!("s{}/read", node.index()));
-                                cfg.recovery.run(|| {
+                                cfg.recovery.run_cancellable(&cfg.cancel, || {
                                     let mut st: SubTable = svc.subtable(id)?;
                                     if let Some(rg) = &cfg.range {
                                         st = st.filter_range(rg)?;
@@ -520,12 +607,23 @@ pub fn grace_hash_join(
                                 }
                                 stats.bytes_transferred +=
                                     buckets.iter().map(|(_, b)| b.len()).sum::<usize>() as u64;
-                                stats.send_retries += send_with_recovery(
+                                // Seal each frame's CRC as it is encoded.
+                                let buckets = buckets
+                                    .into_iter()
+                                    .map(|(b, bytes)| {
+                                        let crc = checksum::crc32c(&bytes);
+                                        (b, bytes, crc)
+                                    })
+                                    .collect();
+                                let (retries, corruptions) = send_with_recovery(
                                     &senders[dest],
                                     Batch { side, buckets },
                                     injector,
                                     &cfg.recovery,
+                                    &cfg.cancel,
                                 )?;
+                                stats.send_retries += retries;
+                                stats.corruptions_detected += corruptions;
                             }
                         }
                     }
@@ -554,19 +652,25 @@ pub fn grace_hash_join(
                     let mut stats = RunStats::default();
                     // Phase 1: append incoming bucket fragments to scratch.
                     for batch in &rx {
+                        cfg.cancel.check()?;
                         injector.worker_checkpoint(j);
                         let prefix = match batch.side {
                             Side::Left => "L",
                             Side::Right => "R",
                         };
                         let _write = cfg.obs.spans.span_with(|| format!("c{j}/scratch_write"));
-                        for (b, bytes) in batch.buckets {
+                        for (b, bytes, crc) in batch.buckets {
+                            // Defense in depth: the sender's link layer
+                            // already verified the frame, so a mismatch
+                            // here is a real bug, not a transient.
+                            checksum::verify(crc, &bytes, &format!("received bucket {prefix}{b}"))?;
                             stats.scratch_retries += scratch_append_with_recovery(
                                 scratch,
                                 &format!("{prefix}{b}"),
                                 &bytes,
                                 injector,
                                 &cfg.recovery,
+                                &cfg.cancel,
                             )?;
                         }
                     }
@@ -574,24 +678,30 @@ pub fn grace_hash_join(
                     // repartitioning any bucket that outgrew the memory
                     // budget.
                     let mut local_results = Vec::new();
-                    let tag = format!("c{j}");
+                    let ctx = BucketJoinCtx {
+                        scratch,
+                        lschema,
+                        rschema,
+                        lkeys,
+                        rkeys,
+                        join_attrs,
+                        counters,
+                        cfg,
+                        injector,
+                        node: j,
+                        tag: format!("c{j}"),
+                    };
                     for b in 0..n_buckets {
                         injector.worker_checkpoint(j);
-                        stats.result_tuples += join_bucket_pair(
-                            scratch,
+                        let produced = join_bucket_pair(
+                            &ctx,
                             &format!("L{b}"),
                             &format!("R{b}"),
-                            lschema,
-                            rschema,
-                            lkeys,
-                            rkeys,
-                            join_attrs,
-                            counters,
-                            cfg,
                             0,
-                            &tag,
+                            &mut stats,
                             &mut local_results,
                         )?;
+                        stats.result_tuples += produced;
                     }
                     if cfg.collect_results {
                         results.lock().append(&mut local_results);
@@ -603,10 +713,11 @@ pub fn grace_hash_join(
 
         // Harvest EVERY handle before deciding the outcome, so a dead
         // worker never leaves the coordinator blocked, then report the
-        // root cause: a panic outranks the secondary "hung up" errors it
-        // causes in its peers.
+        // root cause: a panic outranks everything; a cancellation outranks
+        // the secondary "hung up" errors either one causes in its peers.
         let mut all = Vec::new();
         let mut panic_err: Option<Error> = None;
+        let mut cancel_err: Option<Error> = None;
         let mut first_err: Option<Error> = None;
         for h in storage_handles.into_iter().chain(compute_handles) {
             match h.join() {
@@ -614,6 +725,8 @@ pub fn grace_hash_join(
                 Ok(Err(e)) => {
                     if e.to_string().contains("panicked") && panic_err.is_none() {
                         panic_err = Some(e);
+                    } else if e.is_cancellation() && cancel_err.is_none() {
+                        cancel_err = Some(e);
                     } else if first_err.is_none() {
                         first_err = Some(e);
                     }
@@ -627,7 +740,7 @@ pub fn grace_hash_join(
                 }
             }
         }
-        if let Some(e) = panic_err.or(first_err) {
+        if let Some(e) = panic_err.or(cancel_err).or(first_err) {
             return Err(e);
         }
         Ok(all)
@@ -644,6 +757,11 @@ pub fn grace_hash_join(
     for sc in &scratches {
         stats.bytes_scratch_written += sc.bytes_written();
         stats.bytes_scratch_read += sc.bytes_read();
+    }
+    // Chunk-page corruptions are detected (and counted) inside the BDS
+    // instances; fold them into the run totals.
+    for svc in &services {
+        stats.corruptions_detected += svc.corruptions_detected();
     }
     stats.wall_secs = start.elapsed().as_secs_f64();
     stats.hash_builds = counters.builds();
@@ -861,6 +979,60 @@ mod tests {
         assert!(out.stats.read_retries > 0, "{:?}", out.stats);
         assert!(out.stats.send_retries > 0, "{:?}", out.stats);
         assert!(out.stats.scratch_retries > 0, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn injected_corruptions_detected_recovered_and_logged() {
+        use orv_cluster::FaultPlan;
+        use orv_obs::EventLog;
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 2], 2);
+        let events = EventLog::enabled();
+        let plan = FaultPlan {
+            seed: 77,
+            chunk_corrupt_prob: 1.0,
+            max_chunk_corruptions: 2,
+            frame_corrupt_prob: 1.0,
+            max_frame_corruptions: 2,
+            scratch_corrupt_prob: 1.0,
+            max_scratch_corruptions: 2,
+            max_faults: 6,
+            ..FaultPlan::none()
+        };
+        let injector = plan.injector_with_events(events.clone());
+        let cfg = GraceHashConfig {
+            collect_results: true,
+            faults: Some(Arc::clone(&injector)),
+            ..Default::default()
+        };
+        let out = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+        // Every single injected corruption was caught by a checksum —
+        // chunk pages at the BDS, frames at the link layer, scratch
+        // buckets at read-back.
+        let fstats = injector.stats();
+        assert!(fstats.chunk_corruptions > 0, "{fstats:?}");
+        assert!(fstats.frame_corruptions > 0, "{fstats:?}");
+        assert!(fstats.scratch_corruptions > 0, "{fstats:?}");
+        assert_eq!(out.stats.corruptions_detected, fstats.corruptions());
+        assert_eq!(
+            events.events_of_kind("corruption_detected").len() as u64,
+            fstats.corruptions(),
+            "one detection event per injected corruption"
+        );
+    }
+
+    #[test]
+    fn cancelled_join_returns_cancelled_error() {
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 2], 2);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let cfg = GraceHashConfig {
+            cancel,
+            ..Default::default()
+        };
+        let err = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap_err();
+        assert!(matches!(err, Error::Cancelled), "{err}");
     }
 
     #[test]

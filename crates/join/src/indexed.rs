@@ -31,7 +31,9 @@ use crate::hash_join::{HashJoiner, JoinCounters};
 use crate::schedule::{schedule, SchedulePolicy};
 use orv_bds::{BdsService, Deployment};
 use orv_chunk::SubTable;
-use orv_cluster::{fault::panic_message, ByteCounter, FaultInjector, RecoveryPolicy, RunStats};
+use orv_cluster::{
+    fault::panic_message, ByteCounter, CancelToken, FaultInjector, RecoveryPolicy, RunStats,
+};
 use orv_obs::Obs;
 use orv_types::{BoundingBox, Error, Record, Result, SubTableId, TableId};
 use parking_lot::Mutex;
@@ -60,6 +62,10 @@ pub struct IndexedJoinConfig {
     pub faults: Option<Arc<FaultInjector>>,
     /// Retry/backoff/deadline policy for storage fetches.
     pub recovery: RecoveryPolicy,
+    /// Cooperative cancellation: checked before every pair and observed by
+    /// fetch retries/backoff, so a cancel (or deadline) unwinds the join
+    /// within one sleep slice.
+    pub cancel: CancelToken,
     /// Observability handle. Disabled by default; when enabled, workers
     /// record `n{j}/transfer`, `n{j}/build` and `n{j}/probe` spans (one
     /// per cost-model term) and the merged [`RunStats`] are published
@@ -78,6 +84,7 @@ impl Default for IndexedJoinConfig {
             range: None,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            cancel: CancelToken::none(),
             obs: Obs::disabled(),
         }
     }
@@ -155,6 +162,8 @@ pub fn indexed_join_cached(
         deployment,
         Arc::clone(&injector),
         cfg.obs.spans.clone(),
+        injector.events().clone(),
+        cfg.cancel.clone(),
     )?;
     let counters = JoinCounters::new();
     let transfer = ByteCounter::new();
@@ -209,13 +218,14 @@ pub fn indexed_join_cached(
                                         cfg.obs.spans.span_with(|| format!("n{node_idx}/transfer"));
                                     let meta = md.chunk_meta(id)?;
                                     let svc = &services[meta.node.index()];
-                                    let (st, retries) = cfg.recovery.run(|| {
-                                        let mut st = svc.subtable(id)?;
-                                        if let Some(rg) = &cfg.range {
-                                            st = st.filter_range(rg)?;
-                                        }
-                                        Ok(st)
-                                    });
+                                    let (st, retries) =
+                                        cfg.recovery.run_cancellable(&cfg.cancel, || {
+                                            let mut st = svc.subtable(id)?;
+                                            if let Some(rg) = &cfg.range {
+                                                st = st.filter_range(rg)?;
+                                            }
+                                            Ok(st)
+                                        });
                                     delta.read_retries += retries;
                                     let st = st?;
                                     delta.bytes_read_storage += meta.size_bytes();
@@ -225,6 +235,7 @@ pub fn indexed_join_cached(
                                 };
 
                             for (i, &(lid, rid)) in plan.iter().enumerate() {
+                                cfg.cancel.check()?;
                                 injector.worker_checkpoint(node_idx);
                                 let mut delta = RunStats::default();
                                 let mut local = Vec::new();
@@ -315,13 +326,19 @@ pub fn indexed_join_cached(
         });
 
         let mut orphaned: Vec<(SubTableId, SubTableId)> = Vec::new();
+        let mut failed: Option<Error> = None;
         for (node_idx, end) in ends {
             match end {
                 WorkerEnd::Done => {}
                 // Typed worker errors (fetch failed after all retries,
                 // corrupt data, …) abort the join — they would recur on
-                // any node.
-                WorkerEnd::Failed(e) => return Err(e),
+                // any node. A cancellation is reported as such even when
+                // some other worker failed with a secondary error first.
+                WorkerEnd::Failed(e) => {
+                    if e.is_cancellation() || failed.is_none() {
+                        failed = Some(e);
+                    }
+                }
                 WorkerEnd::Panicked(msg) => {
                     worker_panics += 1;
                     alive[node_idx] = false;
@@ -330,6 +347,9 @@ pub fn indexed_join_cached(
                     orphaned.extend_from_slice(&pending[node_idx][done..]);
                 }
             }
+        }
+        if let Some(e) = failed {
+            return Err(e);
         }
         if orphaned.is_empty() {
             break;
@@ -355,6 +375,11 @@ pub fn indexed_join_cached(
     }
 
     let (records, mut stats) = committed.into_inner();
+    // Chunk-page corruptions are detected (and counted) inside the BDS
+    // instances; fold them into the run totals.
+    for svc in &services {
+        stats.corruptions_detected += svc.corruptions_detected();
+    }
     stats.wall_secs = start.elapsed().as_secs_f64();
     stats.hash_builds = counters.builds();
     stats.hash_probes = counters.probes();
@@ -567,6 +592,51 @@ mod tests {
             "every injected failure costs one retry"
         );
         assert_eq!(out.stats.worker_panics, 0);
+    }
+
+    #[test]
+    fn corrupted_chunk_pages_detected_and_recovered() {
+        use orv_cluster::FaultPlan;
+        use orv_obs::EventLog;
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 2], 2);
+        let events = EventLog::enabled();
+        let plan = FaultPlan {
+            seed: 13,
+            chunk_corrupt_prob: 1.0,
+            max_chunk_corruptions: 3,
+            max_faults: 3,
+            ..FaultPlan::none()
+        };
+        let injector = plan.injector_with_events(events.clone());
+        let cfg = IndexedJoinConfig {
+            collect_results: true,
+            faults: Some(Arc::clone(&injector)),
+            ..Default::default()
+        };
+        let out = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap();
+        let expected = nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap();
+        assert_eq!(sort_records(out.records.unwrap()), sort_records(expected));
+        let fstats = injector.stats();
+        assert_eq!(fstats.chunk_corruptions, 3, "{fstats:?}");
+        assert_eq!(out.stats.corruptions_detected, fstats.corruptions());
+        assert_eq!(
+            events.events_of_kind("corruption_detected").len() as u64,
+            fstats.corruptions()
+        );
+        assert_eq!(out.stats.worker_panics, 0);
+    }
+
+    #[test]
+    fn cancelled_join_returns_cancelled_error() {
+        let (d, t1, t2) = deploy([8, 8, 2], [4, 4, 2], [2, 8, 2], 2);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let cfg = IndexedJoinConfig {
+            cancel,
+            ..Default::default()
+        };
+        let err = indexed_join(&d, t1, t2, &["x", "y", "z"], &cfg).unwrap_err();
+        assert!(matches!(err, Error::Cancelled), "{err}");
     }
 
     #[test]

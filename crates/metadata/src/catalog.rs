@@ -181,6 +181,7 @@ mod tests {
                 ("y", Interval::new(y0, y0 + side)),
             ]),
             num_records: 16,
+            checksum: None,
         }
     }
 

@@ -269,6 +269,7 @@ mod tests {
                     Interval::new(i as f64 * 10.0, i as f64 * 10.0 + 9.0),
                 )]),
                 num_records: 8,
+                checksum: None,
             })
             .unwrap();
         }

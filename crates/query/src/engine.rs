@@ -1,18 +1,22 @@
 //! The query engine: DDS registry + statement execution.
 
 use crate::ast::{predicates_to_bbox, Query, SelectItem, Statement, ViewDef};
-use crate::exec::{aggregate, column_names, filter_rows, order_and_limit, project, scan, RowSet};
+use crate::exec::{
+    aggregate, column_names, filter_rows, order_and_limit, project, scan_cancellable, RowSet,
+};
 use crate::parser::parse_statement;
 use crate::plan::{PlanExplain, Planner};
 use orv_bds::Deployment;
-use orv_cluster::ClusterSpec;
+use orv_cluster::{CancelToken, ClusterSpec, FaultInjector};
 use orv_join::{
     grace_hash_join, indexed_join, indexed_join_cached, CacheService, GraceHashConfig,
-    IndexedJoinConfig, JoinAlgorithm,
+    IndexedJoinConfig, JoinAlgorithm, JoinOutput,
 };
 use orv_obs::Obs;
 use orv_types::{Error, Record, Result};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Canonical lowercase name of a QES algorithm, as used by
 /// [`orv_obs::required_phases`] and the `qes_choice` event stream.
@@ -92,6 +96,12 @@ pub struct QueryEngine {
     cache: CacheService,
     cache_capacity: u64,
     obs: Obs,
+    /// Optional fault injector handed down to every join execution
+    /// (chaos tests drive the whole engine through one plan).
+    faults: Option<Arc<FaultInjector>>,
+    /// Per-query wall-clock budget; [`QueryEngine::execute`] derives a
+    /// deadline-bearing [`CancelToken`] from it for each statement.
+    query_deadline: Option<Duration>,
 }
 
 impl QueryEngine {
@@ -110,6 +120,8 @@ impl QueryEngine {
             cache: CacheService::new(n, cache_capacity),
             cache_capacity,
             obs: Obs::disabled(),
+            faults: None,
+            query_deadline: None,
         }
     }
 
@@ -154,6 +166,22 @@ impl QueryEngine {
         self
     }
 
+    /// Attach a fault injector: every join this engine runs draws faults
+    /// (and corruptions) from the one shared plan, so budget caps apply
+    /// across the whole query — and across a failover re-execution.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Give every statement a wall-clock budget. [`QueryEngine::execute`]
+    /// derives a fresh deadline-bearing [`CancelToken`] per statement; a
+    /// query that runs past it returns [`Error::DeadlineExceeded`].
+    pub fn with_query_deadline(mut self, deadline: Duration) -> Self {
+        self.query_deadline = Some(deadline);
+        self
+    }
+
     /// Force one algorithm regardless of the cost models (for experiments).
     pub fn force_algorithm(mut self, algorithm: Option<JoinAlgorithm>) -> Self {
         self.force = algorithm;
@@ -170,14 +198,29 @@ impl QueryEngine {
         &self.catalog
     }
 
-    /// Parse and execute one statement.
+    /// Parse and execute one statement. When a query deadline is set, a
+    /// fresh deadline-bearing token covers this statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let cancel = match self.query_deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::none(),
+        };
+        self.execute_cancellable(sql, &cancel)
+    }
+
+    /// [`QueryEngine::execute`] observing a caller-owned [`CancelToken`]:
+    /// the token is threaded through scans, both QES runtimes, retry
+    /// backoff and throttle sleeps, so cancelling it (or passing its
+    /// deadline) unwinds the statement within one sleep slice with a
+    /// typed [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
+    pub fn execute_cancellable(&mut self, sql: &str, cancel: &CancelToken) -> Result<QueryResult> {
+        cancel.check()?;
         match parse_statement(sql)? {
             Statement::CreateView(view) => {
                 self.create_view(view)?;
                 Ok(QueryResult::empty())
             }
-            Statement::Select(query) => self.select(&query),
+            Statement::Select(query) => self.select(&query, cancel),
         }
     }
 
@@ -213,10 +256,11 @@ impl QueryEngine {
     fn resolve_source(
         &mut self,
         query: &Query,
+        cancel: &CancelToken,
     ) -> Result<(Vec<String>, Vec<Record>, Option<PlanExplain>)> {
         let range = predicates_to_bbox(&query.predicates);
         if let Some(join) = &query.join {
-            return self.run_join(&query.from, &join.table, &join.on, range);
+            return self.run_join(&query.from, &join.table, &join.on, range, cancel);
         }
         if let Some(view) = self.catalog.get(&query.from).cloned() {
             if view.query.is_plain_join() {
@@ -228,18 +272,18 @@ impl QueryEngine {
                     (a, b) => a.or(b),
                 };
                 let join = view.query.join.as_ref().expect("plain join has a join");
-                return self.run_join(&view.query.from, &join.table, &join.on, combined);
+                return self.run_join(&view.query.from, &join.table, &join.on, combined, cancel);
             }
             // General DDS (projection/aggregation view, possibly over
             // another DDS): materialize it, then post-filter by the outer
             // predicates on its *output* columns.
-            let inner = self.select(&view.query)?;
+            let inner = self.select(&view.query, cancel)?;
             let rows = filter_rows(&inner.columns, inner.rows, &query.predicates)?;
             return Ok((inner.columns, rows, inner.explain));
         }
         // Basic Data Source scan with R-tree range pushdown.
         let table = self.deployment.metadata().table_id(&query.from)?;
-        let (schema, rows) = scan(&self.deployment, table, range.as_ref())?;
+        let (schema, rows) = scan_cancellable(&self.deployment, table, range.as_ref(), cancel)?;
         Ok((column_names(&schema), rows, None))
     }
 
@@ -251,6 +295,7 @@ impl QueryEngine {
         right_name: &str,
         on: &[String],
         range: Option<orv_types::BoundingBox>,
+        cancel: &CancelToken,
     ) -> Result<(Vec<String>, Vec<Record>, Option<PlanExplain>)> {
         if self.catalog.get(left_name).is_some() || self.catalog.get(right_name).is_some() {
             return Err(Error::Plan(
@@ -277,44 +322,81 @@ impl QueryEngine {
             ]
         });
         let _exec = self.obs.spans.span("engine/exec");
-        let output = match algorithm {
-            JoinAlgorithm::IndexedJoin => {
-                let ij_cfg = IndexedJoinConfig {
-                    n_compute: self.n_compute,
-                    cache_capacity: self.cache_capacity,
-                    collect_results: true,
-                    range: range.clone(),
-                    obs: self.obs.clone(),
-                    ..Default::default()
-                };
-                if range.is_none() {
-                    // Unconstrained scan: keep the working set warm in the
-                    // engine's Caching Service across queries.
-                    indexed_join_cached(
-                        &self.deployment,
-                        left,
-                        right,
-                        &attrs,
-                        &ij_cfg,
-                        &self.cache,
-                    )?
-                } else {
-                    indexed_join(&self.deployment, left, right, &attrs, &ij_cfg)?
+        let exec_one = |engine: &Self, algorithm: JoinAlgorithm| -> Result<JoinOutput> {
+            match algorithm {
+                JoinAlgorithm::IndexedJoin => {
+                    let ij_cfg = IndexedJoinConfig {
+                        n_compute: engine.n_compute,
+                        cache_capacity: engine.cache_capacity,
+                        collect_results: true,
+                        range: range.clone(),
+                        obs: engine.obs.clone(),
+                        faults: engine.faults.clone(),
+                        cancel: cancel.clone(),
+                        ..Default::default()
+                    };
+                    if range.is_none() {
+                        // Unconstrained scan: keep the working set warm in
+                        // the engine's Caching Service across queries.
+                        indexed_join_cached(
+                            &engine.deployment,
+                            left,
+                            right,
+                            &attrs,
+                            &ij_cfg,
+                            &engine.cache,
+                        )
+                    } else {
+                        indexed_join(&engine.deployment, left, right, &attrs, &ij_cfg)
+                    }
                 }
+                JoinAlgorithm::GraceHash => grace_hash_join(
+                    &engine.deployment,
+                    left,
+                    right,
+                    &attrs,
+                    &GraceHashConfig {
+                        n_compute: engine.n_compute,
+                        collect_results: true,
+                        range: range.clone(),
+                        obs: engine.obs.clone(),
+                        faults: engine.faults.clone(),
+                        cancel: cancel.clone(),
+                        ..Default::default()
+                    },
+                ),
             }
-            JoinAlgorithm::GraceHash => grace_hash_join(
-                &self.deployment,
-                left,
-                right,
-                &attrs,
-                &GraceHashConfig {
-                    n_compute: self.n_compute,
-                    collect_results: true,
-                    range,
-                    obs: self.obs.clone(),
-                    ..Default::default()
-                },
-            )?,
+        };
+        let output = match exec_one(self, algorithm) {
+            Ok(out) => out,
+            // Plan-level QES failover: a terminal runtime fault (retries
+            // exhausted, lost node, corrupted state) on the chosen engine
+            // does not doom the query — re-execute the same plan on the
+            // alternate QES. Cancellation is the user's verdict and planner
+            // errors would recur, so neither triggers failover; a forced
+            // algorithm pins the choice for benchmarking.
+            Err(e)
+                if self.force.is_none()
+                    && !e.is_cancellation()
+                    && matches!(
+                        e,
+                        Error::Cluster(_) | Error::Integrity(_) | Error::Io(_) | Error::Format(_)
+                    ) =>
+            {
+                let fallback = match algorithm {
+                    JoinAlgorithm::IndexedJoin => JoinAlgorithm::GraceHash,
+                    JoinAlgorithm::GraceHash => JoinAlgorithm::IndexedJoin,
+                };
+                self.obs.events.emit("qes_failover", || {
+                    vec![
+                        ("from", algorithm_slug(algorithm).into()),
+                        ("to", algorithm_slug(fallback).into()),
+                        ("error", e.to_string().into()),
+                    ]
+                });
+                exec_one(self, fallback)?
+            }
+            Err(e) => return Err(e),
         };
         drop(_exec);
         md.publish_into(&self.obs.metrics);
@@ -324,12 +406,12 @@ impl QueryEngine {
         Ok((column_names(&joined_schema), rows, Some(plan)))
     }
 
-    fn select(&mut self, query: &Query) -> Result<QueryResult> {
+    fn select(&mut self, query: &Query, cancel: &CancelToken) -> Result<QueryResult> {
         let has_agg = query
             .select
             .iter()
             .any(|i| matches!(i, SelectItem::Aggregate(..)));
-        let (columns, rows, explain) = self.resolve_source(query)?;
+        let (columns, rows, explain) = self.resolve_source(query, cancel)?;
         let rowset: RowSet = if has_agg || !query.group_by.is_empty() {
             aggregate(&columns, rows, &query.select, &query.group_by)?
         } else {
@@ -593,5 +675,107 @@ mod tests {
         assert_eq!(r.columns, vec!["wp", "oilp"]);
         assert_eq!(r.rows.len(), 8);
         assert_eq!(r.rows[0].arity(), 2);
+    }
+
+    #[test]
+    fn terminal_qes_failure_fails_over_to_alternate_algorithm() {
+        use orv_cluster::{silence_injected_panics, FaultPlan, WorkerPanicSpec};
+        silence_injected_panics();
+
+        // Oracle: a clean engine, and the algorithm its planner picks.
+        let mut clean = engine();
+        let oracle = clean
+            .execute("SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let chosen = oracle.explain.as_ref().unwrap().algorithm;
+
+        // Chaos engine: every compute worker dies mid-query on the first
+        // execution (panic specs are one-shot, so the failover run is
+        // clean). The planner is NOT forced — failover must kick in.
+        let plan = FaultPlan {
+            seed: 9,
+            worker_panics: (0..2)
+                .map(|w| WorkerPanicSpec {
+                    worker: w,
+                    after_ops: 0,
+                })
+                .collect(),
+            max_faults: 64,
+            ..Default::default()
+        };
+        let obs = orv_obs::Obs::enabled();
+        let mut chaotic = engine()
+            .with_obs(obs.clone())
+            .with_faults(FaultInjector::new(plan));
+        let r = chaotic
+            .execute("SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        assert_eq!(r.rows, oracle.rows, "failover must be oracle-identical");
+
+        let failovers = obs.events.events_of_kind("qes_failover");
+        assert_eq!(failovers.len(), 1, "exactly one failover");
+        let ev = &failovers[0];
+        assert_eq!(
+            ev.fields["from"].as_str().unwrap(),
+            algorithm_slug(chosen),
+            "failed away from the planner's choice"
+        );
+        let fallback = match chosen {
+            JoinAlgorithm::IndexedJoin => JoinAlgorithm::GraceHash,
+            JoinAlgorithm::GraceHash => JoinAlgorithm::IndexedJoin,
+        };
+        assert_eq!(ev.fields["to"].as_str().unwrap(), algorithm_slug(fallback));
+        assert!(
+            !ev.fields["error"].as_str().unwrap().is_empty(),
+            "failover event carries the triggering error"
+        );
+    }
+
+    #[test]
+    fn forced_algorithm_disables_failover() {
+        use orv_cluster::{silence_injected_panics, FaultPlan, WorkerPanicSpec};
+        silence_injected_panics();
+        let plan = FaultPlan {
+            seed: 9,
+            worker_panics: (0..2)
+                .map(|w| WorkerPanicSpec {
+                    worker: w,
+                    after_ops: 0,
+                })
+                .collect(),
+            max_faults: 64,
+            ..Default::default()
+        };
+        let mut e = engine()
+            .force_algorithm(Some(JoinAlgorithm::IndexedJoin))
+            .with_faults(FaultInjector::new(plan));
+        let err = e
+            .execute("SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap_err();
+        assert!(matches!(err, Error::Cluster(_)), "{err}");
+    }
+
+    #[test]
+    fn cancelled_statement_returns_cancelled() {
+        let mut e = engine();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = e
+            .execute_cancellable("SELECT * FROM t1 JOIN t2 ON (x, y, z)", &cancel)
+            .unwrap_err();
+        assert!(matches!(err, Error::Cancelled), "{err}");
+    }
+
+    #[test]
+    fn expired_query_deadline_returns_deadline_exceeded() {
+        let mut e = engine().with_query_deadline(Duration::ZERO);
+        let err = e
+            .execute("SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded), "{err}");
+        // A generous deadline leaves execution untouched.
+        let mut e = engine().with_query_deadline(Duration::from_secs(300));
+        let r = e.execute("SELECT COUNT(*) FROM t1").unwrap();
+        assert_eq!(r.rows.len(), 1);
     }
 }

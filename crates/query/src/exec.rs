@@ -8,6 +8,8 @@
 use crate::agg::Accumulator;
 use crate::ast::{AggFunc, RangePred, SelectItem};
 use orv_bds::{BdsService, Deployment};
+use orv_cluster::{CancelToken, FaultInjector};
+use orv_obs::{EventLog, Spans};
 use orv_types::{BoundingBox, Error, Record, Result, Schema, SubTableId, TableId, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,15 +29,34 @@ pub fn scan(
     table: TableId,
     range: Option<&BoundingBox>,
 ) -> Result<(Arc<Schema>, Vec<Record>)> {
+    scan_cancellable(deployment, table, range, &CancelToken::none())
+}
+
+/// [`scan`] observing a [`CancelToken`]: the token is checked between
+/// chunks and inside every BDS read, so a cancelled query stops within
+/// one chunk fetch.
+pub fn scan_cancellable(
+    deployment: &Deployment,
+    table: TableId,
+    range: Option<&BoundingBox>,
+    cancel: &CancelToken,
+) -> Result<(Arc<Schema>, Vec<Record>)> {
     let md = deployment.metadata();
     let schema = md.schema(table)?;
     let chunk_ids = match range {
         Some(rg) => md.find_chunks(table, rg)?,
         None => md.all_chunks(table)?,
     };
-    let services = BdsService::for_all_nodes(deployment)?;
+    let services = BdsService::for_all_nodes_with_instruments(
+        deployment,
+        FaultInjector::disabled(),
+        Spans::disabled(),
+        EventLog::disabled(),
+        cancel.clone(),
+    )?;
     let mut rows = Vec::new();
     for chunk in chunk_ids {
+        cancel.check()?;
         let id = SubTableId { table, chunk };
         let node = md.chunk_meta(id)?.node;
         let mut st = services[node.index()].subtable(id)?;

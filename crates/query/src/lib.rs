@@ -39,6 +39,6 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{AggFunc, JoinClause, Query, RangePred, SelectItem, Statement, ViewDef};
-pub use engine::{Catalog, QueryEngine, QueryResult};
+pub use engine::{algorithm_slug, Catalog, QueryEngine, QueryResult};
 pub use parser::parse_statement;
 pub use plan::{PlanExplain, Planner};

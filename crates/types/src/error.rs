@@ -24,6 +24,12 @@ pub enum Error {
     Config(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// A checksum mismatch: stored/transmitted bytes failed verification.
+    Integrity(String),
+    /// The query was cancelled by its caller.
+    Cancelled,
+    /// The query ran past its deadline.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for Error {
@@ -37,6 +43,9 @@ impl fmt::Display for Error {
             Error::Cluster(msg) => write!(f, "cluster error: {msg}"),
             Error::Config(msg) => write!(f, "config error: {msg}"),
             Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Integrity(msg) => write!(f, "integrity error: {msg}"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -61,6 +70,13 @@ impl Error {
     pub fn not_found(what: impl Into<String>) -> Self {
         Error::NotFound(what.into())
     }
+
+    /// True for [`Error::Cancelled`] and [`Error::DeadlineExceeded`]:
+    /// the caller asked for the unwind, so retries and plan-level
+    /// failover must not fight it.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, Error::Cancelled | Error::DeadlineExceeded)
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +98,21 @@ mod tests {
         let e: Error = io.into();
         assert!(e.to_string().contains("disk on fire"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn cancellation_classification() {
+        assert!(Error::Cancelled.is_cancellation());
+        assert!(Error::DeadlineExceeded.is_cancellation());
+        assert!(!Error::Integrity("crc mismatch".into()).is_cancellation());
+        assert_eq!(Error::Cancelled.to_string(), "query cancelled");
+        assert_eq!(
+            Error::DeadlineExceeded.to_string(),
+            "query deadline exceeded"
+        );
+        assert!(Error::Integrity("x".into())
+            .to_string()
+            .contains("integrity"));
     }
 
     #[test]

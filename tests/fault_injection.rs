@@ -50,6 +50,7 @@ fn chunk_with_bogus_location_errors_cleanly() {
             extractors: vec!["t_layout".into()],
             bbox: BoundingBox::unbounded(),
             num_records: 0,
+            checksum: None,
         })
         .unwrap();
     let svc = BdsService::new(&d, NodeId(0)).unwrap();
@@ -77,6 +78,7 @@ fn chunk_with_missing_extractor_errors_cleanly() {
             extractors: vec!["proprietary_v9".into()],
             bbox: BoundingBox::unbounded(),
             num_records: 4,
+            checksum: None,
         })
         .unwrap();
     let svc = BdsService::new(&d, NodeId(0)).unwrap();
@@ -104,6 +106,7 @@ fn corrupt_chunk_bytes_fail_extraction() {
             extractors: vec!["t_layout".into()],
             bbox: BoundingBox::unbounded(),
             num_records: 2,
+            checksum: None,
         })
         .unwrap();
     let svc = BdsService::new(&d, NodeId(0)).unwrap();
@@ -142,6 +145,7 @@ fn corrupt_chunk_poisons_joins_with_error_not_panic() {
             extractors: vec!["t2_layout".into()],
             bbox: BoundingBox::from_dims([("x", Interval::new(0.0, 7.0))]),
             num_records: 2,
+            checksum: None,
         })
         .unwrap();
     let attrs = ["x", "y", "z"];
@@ -396,14 +400,18 @@ proptest! {
 
     /// Any purely transient plan (caps + budget, no crashes) with enough
     /// retry attempts MUST leave both runtimes oracle-identical: a worst
-    /// case op sees at most `cap` consecutive faults, and attempts >
-    /// cap, so every operation eventually succeeds.
+    /// case op sees at most `2 * cap` consecutive faults (a reported
+    /// error plus a detected corruption share one retry loop), and
+    /// attempts > 2 * cap, so every operation eventually succeeds. Every
+    /// injected corruption must also be *detected* — checksums catch
+    /// 100% of the silent flips.
     #[test]
     fn random_transient_plans_always_recover(
         seed in any::<u64>(),
         read_p in 0.0f64..1.0,
         drop_p in 0.0f64..1.0,
         scratch_p in 0.0f64..1.0,
+        corrupt_p in 0.0f64..1.0,
         cap in 0u64..4,
     ) {
         let plan = FaultPlan {
@@ -418,33 +426,43 @@ proptest! {
             send_delay_ms: 1,
             scratch_error_prob: scratch_p,
             max_scratch_errors: cap,
+            chunk_corrupt_prob: corrupt_p,
+            max_chunk_corruptions: cap,
+            frame_corrupt_prob: corrupt_p,
+            max_frame_corruptions: cap,
+            scratch_corrupt_prob: corrupt_p,
+            max_scratch_corruptions: cap,
             worker_panics: vec![],
-            max_faults: cap * 3,
+            max_faults: cap * 6,
         };
         let recovery = RecoveryPolicy {
-            max_attempts: cap as u32 + 2,
+            max_attempts: 2 * cap as u32 + 2,
             base_backoff_ms: 1,
             op_deadline_ms: 10_000,
         };
         let (d, t1, t2) = two_tables();
         let oracle =
             sort_records(nested_loop_join(&d, t1, t2, &["x", "y", "z"], None).unwrap());
+        let ij_faults = plan.clone().injector();
         let ij = indexed_join(&d, t1, t2, &["x", "y", "z"], &IndexedJoinConfig {
             n_compute: 2,
             collect_results: true,
-            faults: Some(plan.clone().injector()),
+            faults: Some(ij_faults.clone()),
             recovery,
             ..Default::default()
         }).unwrap();
         prop_assert_eq!(sorted(ij.records), oracle.clone());
+        prop_assert_eq!(ij.stats.corruptions_detected, ij_faults.stats().corruptions());
+        let gh_faults = plan.injector();
         let gh = grace_hash_join(&d, t1, t2, &["x", "y", "z"], &GraceHashConfig {
             n_compute: 2,
             collect_results: true,
-            faults: Some(plan.injector()),
+            faults: Some(gh_faults.clone()),
             recovery,
             ..Default::default()
         }).unwrap();
         prop_assert_eq!(sorted(gh.records), oracle);
+        prop_assert_eq!(gh.stats.corruptions_detected, gh_faults.stats().corruptions());
     }
 
     /// A single worker crash anywhere in the schedule never costs IJ

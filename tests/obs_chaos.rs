@@ -45,7 +45,13 @@ fn chaos_plan() -> FaultPlan {
         max_send_drops: 3,
         scratch_error_prob: 0.4,
         max_scratch_errors: 3,
-        max_faults: 9,
+        chunk_corrupt_prob: 0.4,
+        max_chunk_corruptions: 2,
+        frame_corrupt_prob: 0.4,
+        max_frame_corruptions: 2,
+        scratch_corrupt_prob: 0.4,
+        max_scratch_corruptions: 2,
+        max_faults: 15,
         ..FaultPlan::none()
     }
 }
@@ -75,6 +81,9 @@ fn assert_log_replays(events: &EventLog, plan: &FaultPlan, stats: orv::cluster::
     assert_eq!(by_kind("read_error"), stats.read_errors);
     assert_eq!(by_kind("send_drop"), stats.send_drops);
     assert_eq!(by_kind("scratch_error"), stats.scratch_errors);
+    assert_eq!(by_kind("chunk_corrupt"), stats.chunk_corruptions);
+    assert_eq!(by_kind("frame_corrupt"), stats.frame_corruptions);
+    assert_eq!(by_kind("scratch_corrupt"), stats.scratch_corruptions);
     assert_eq!(
         faults.len() as u64,
         stats.read_errors
@@ -82,12 +91,32 @@ fn assert_log_replays(events: &EventLog, plan: &FaultPlan, stats: orv::cluster::
             + stats.send_drops
             + stats.send_delays
             + stats.scratch_errors
+            + stats.corruptions()
             + stats.worker_panics,
         "every fired fault must be logged exactly once"
     );
 
+    // Silent corruption is only tolerable because it is *never* silent:
+    // every injected flip must surface as a `corruption_detected` event.
+    let detected = parsed
+        .iter()
+        .filter(|e| e.kind == "corruption_detected")
+        .count() as u64;
+    assert_eq!(
+        detected,
+        stats.corruptions(),
+        "checksums must catch 100% of injected corruptions"
+    );
+
     // Draw indices are strictly increasing per site — the replay order.
-    for site in ["chunk_read", "send", "scratch_write"] {
+    for site in [
+        "chunk_read",
+        "send",
+        "scratch_write",
+        "chunk_page",
+        "frame",
+        "scratch_read",
+    ] {
         let draws: Vec<u64> = faults
             .iter()
             .filter(|e| e.fields["site"].as_str() == Some(site))
@@ -122,6 +151,15 @@ fn grace_hash_chaos_run_is_replayable_from_logs() {
         stats.read_errors + stats.send_drops + stats.scratch_errors > 0,
         "the chaos plan must actually fire: {stats:?}"
     );
+    assert!(
+        stats.corruptions() > 0,
+        "the corruption kinds must actually fire: {stats:?}"
+    );
+    assert_eq!(
+        out.stats.corruptions_detected,
+        stats.corruptions(),
+        "every injected corruption must be detected: {stats:?}"
+    );
     assert_log_replays(&obs.events, &plan, stats);
 }
 
@@ -148,6 +186,12 @@ fn indexed_join_chaos_run_is_replayable_from_logs() {
 
     let stats = injector.stats();
     assert!(stats.read_errors > 0, "{stats:?}");
-    assert_eq!(stats.read_errors, out.stats.read_retries);
+    // Reported read errors and detected chunk corruptions share the
+    // fetch retry loop, so both surface as read retries.
+    assert_eq!(
+        stats.read_errors + stats.chunk_corruptions,
+        out.stats.read_retries
+    );
+    assert_eq!(out.stats.corruptions_detected, stats.corruptions());
     assert_log_replays(&obs.events, &plan, stats);
 }
