@@ -13,7 +13,7 @@ use orv_chunk::format::ChunkStore;
 use orv_chunk::{ExtractorRegistry, SubTable};
 use orv_cluster::{checksum, ByteCounter, CancelToken, FaultInjector};
 use orv_metadata::MetadataService;
-use orv_obs::{EventLog, Spans};
+use orv_obs::{names, EventLog, Spans};
 use orv_types::{Error, NodeId, Result, SubTableId};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
@@ -143,8 +143,8 @@ impl BdsService {
             )));
         }
         let bytes = {
-            let _read = self.spans.span_with(|| format!("bds{}/read", self.node.0));
-            self.faults.before_chunk_read()?;
+            let _read = self.spans.span_with(|| names::span_bds_read(self.node.0));
+            self.faults.before_chunk_read(&self.cancel)?;
             let mut bytes = self.store.lock().read(&meta.location)?;
             self.bytes_read.add(bytes.len() as u64);
             // Verify pages that carry a generation-time checksum. The
@@ -159,7 +159,7 @@ impl BdsService {
                 }
                 if let Err(e) = checksum::verify(expected, &bytes, &format!("chunk {id}")) {
                     self.corruptions_detected.add(1);
-                    self.events.emit("corruption_detected", || {
+                    self.events.emit(names::CORRUPTION_DETECTED, || {
                         vec![
                             ("site", "chunk_read".into()),
                             ("what", format!("{id}").into()),
@@ -173,7 +173,7 @@ impl BdsService {
         };
         let _extract = self
             .spans
-            .span_with(|| format!("bds{}/extract", self.node.0));
+            .span_with(|| names::span_bds_extract(self.node.0));
         let extractor = self.registry.read().resolve(&meta.extractors)?;
         extractor.extract(id, &bytes)
     }

@@ -120,6 +120,7 @@ impl FileChunkStore {
 impl ChunkStore for FileChunkStore {
     fn append(&mut self, file: &str, data: &[u8]) -> Result<ChunkLocation> {
         let path = self.path_of(file)?;
+        // orv-lint: allow(L004) -- chunk pages are sealed with ChunkMeta.checksum at generation and verified on every read
         let mut f = fs::OpenOptions::new()
             .create(true)
             .append(true)

@@ -189,8 +189,13 @@ impl SubTable {
         let schema = Arc::new(self.schema.project(names)?);
         let columns: Vec<Vec<Value>> = names
             .iter()
-            .map(|n| self.columns[self.schema.index_of(n).unwrap()].clone())
-            .collect();
+            .map(|n| {
+                self.schema
+                    .index_of(n)
+                    .map(|i| self.columns[i].clone())
+                    .ok_or_else(|| Error::Schema(format!("attribute `{n}` missing in projection")))
+            })
+            .collect::<Result<_>>()?;
         SubTable::from_columns(self.id, schema, columns)
     }
 

@@ -35,7 +35,7 @@
 //! chaos suite asserts cannot happen.
 
 use crate::cancel::CancelToken;
-use orv_obs::{obj, EventLog, JsonValue};
+use orv_obs::{names, obj, EventLog, JsonValue};
 use orv_types::{Error, Result};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -408,7 +408,7 @@ impl FaultInjector {
             .iter()
             .map(|_| AtomicBool::new(false))
             .collect();
-        events.emit("fault_plan", || vec![("plan", plan.to_json_value())]);
+        events.emit(names::FAULT_PLAN, || vec![("plan", plan.to_json_value())]);
         Arc::new(FaultInjector {
             budget: AtomicU64::new(plan.max_faults),
             read_errors_left: AtomicU64::new(plan.max_read_errors),
@@ -435,7 +435,7 @@ impl FaultInjector {
     /// index that fired, which together with the `fault_plan` event pin
     /// the exact execution.
     fn emit_fault(&self, kind: &'static str, site: &'static str, draw: u64) {
-        self.events.emit("fault_injected", || {
+        self.events.emit(names::FAULT_INJECTED, || {
             vec![
                 ("kind", kind.into()),
                 ("site", site.into()),
@@ -500,13 +500,15 @@ impl FaultInjector {
     }
 
     /// Call at the top of every chunk read. Sleeps for an injected slow
-    /// read; returns a typed transient error for an injected read fault.
-    pub fn before_chunk_read(&self) -> Result<()> {
+    /// read (cancellably — a cancelled query must not pay the injected
+    /// latency); returns a typed transient error for an injected read
+    /// fault.
+    pub fn before_chunk_read(&self, cancel: &CancelToken) -> Result<()> {
         if let Some(draw) = self.chance(SITE_READ ^ 1, &self.read_draws, self.plan.read_delay_prob)
         {
             self.stats.lock().read_delays += 1;
             self.emit_fault("read_delay", "chunk_read", draw);
-            std::thread::sleep(Duration::from_millis(self.plan.read_delay_ms));
+            cancel.sleep(Duration::from_millis(self.plan.read_delay_ms))?;
         }
         if let Some(draw) = self.chance(SITE_READ, &self.read_draws, self.plan.read_error_prob) {
             if self.take(&self.read_errors_left) {
@@ -575,7 +577,7 @@ impl FaultInjector {
         let mask = ((h >> 32) as u8) | 1; // nonzero: the byte really flips
         bytes[offset] ^= mask;
         (site.bump)(&mut self.stats.lock());
-        self.events.emit("fault_injected", || {
+        self.events.emit(names::FAULT_INJECTED, || {
             vec![
                 ("kind", site.kind.into()),
                 ("site", site.site.into()),
@@ -665,7 +667,7 @@ impl FaultInjector {
                     return;
                 }
                 self.stats.lock().worker_panics += 1;
-                self.events.emit("fault_injected", || {
+                self.events.emit(names::FAULT_INJECTED, || {
                     vec![
                         ("kind", "worker_panic".into()),
                         ("site", "worker_checkpoint".into()),
@@ -673,6 +675,7 @@ impl FaultInjector {
                         ("worker", worker.into()),
                     ]
                 });
+                // orv-lint: allow(L001) -- the injected crash IS the fault: contain_panic catches it and the marker identifies it
                 panic!("{INJECTED_PANIC_MARKER}: worker {worker} after {ops} ops");
             }
         }
@@ -744,6 +747,7 @@ impl RecoveryPolicy {
         cancel: &CancelToken,
         mut op: impl FnMut() -> Result<T>,
     ) -> (Result<T>, u64) {
+        // orv-lint: allow(L006) -- deadline accounting must use real elapsed time; backoff draws stay seed-deterministic
         let start = Instant::now();
         let mut retries: u64 = 0;
         loop {
@@ -836,8 +840,12 @@ mod tests {
         };
         let i1 = a.clone().injector();
         let i2 = a.injector();
-        let s1: Vec<bool> = (0..64).map(|_| i1.before_chunk_read().is_err()).collect();
-        let s2: Vec<bool> = (0..64).map(|_| i2.before_chunk_read().is_err()).collect();
+        let s1: Vec<bool> = (0..64)
+            .map(|_| i1.before_chunk_read(&CancelToken::none()).is_err())
+            .collect();
+        let s2: Vec<bool> = (0..64)
+            .map(|_| i2.before_chunk_read(&CancelToken::none()).is_err())
+            .collect();
         assert_eq!(s1, s2);
         assert!(s1.iter().any(|&b| b), "p=0.5 over 64 draws must fire");
         assert!(!s1.iter().all(|&b| b), "p=0.5 over 64 draws must also pass");
@@ -854,8 +862,12 @@ mod tests {
         };
         let i1 = mk(1).injector();
         let i2 = mk(2).injector();
-        let s1: Vec<bool> = (0..64).map(|_| i1.before_chunk_read().is_err()).collect();
-        let s2: Vec<bool> = (0..64).map(|_| i2.before_chunk_read().is_err()).collect();
+        let s1: Vec<bool> = (0..64)
+            .map(|_| i1.before_chunk_read(&CancelToken::none()).is_err())
+            .collect();
+        let s2: Vec<bool> = (0..64)
+            .map(|_| i2.before_chunk_read(&CancelToken::none()).is_err())
+            .collect();
         assert_ne!(s1, s2);
     }
 
@@ -873,7 +885,7 @@ mod tests {
         let inj = plan.injector();
         let mut fired = 0;
         for _ in 0..10 {
-            fired += inj.before_chunk_read().is_err() as u32;
+            fired += inj.before_chunk_read(&CancelToken::none()).is_err() as u32;
             fired += (inj.send_verdict() == SendVerdict::Drop) as u32;
         }
         assert_eq!(fired, 3, "global budget caps faults");
@@ -892,7 +904,9 @@ mod tests {
             ..FaultPlan::none()
         };
         let inj = plan.injector();
-        let reads = (0..10).filter(|_| inj.before_chunk_read().is_err()).count();
+        let reads = (0..10)
+            .filter(|_| inj.before_chunk_read(&CancelToken::none()).is_err())
+            .count();
         let scratches = (0..10)
             .filter(|_| inj.before_scratch_write().is_err())
             .count();
@@ -905,7 +919,7 @@ mod tests {
         let inj = FaultInjector::disabled();
         for w in 0..4 {
             inj.worker_checkpoint(w);
-            assert!(inj.before_chunk_read().is_ok());
+            assert!(inj.before_chunk_read(&CancelToken::none()).is_ok());
             assert!(inj.before_scratch_write().is_ok());
             assert_eq!(inj.send_verdict(), SendVerdict::Deliver);
         }
@@ -1037,17 +1051,17 @@ mod tests {
         };
         let inj = plan.clone().injector_with_events(events.clone());
         for _ in 0..4 {
-            let _ = inj.before_chunk_read();
+            let _ = inj.before_chunk_read(&CancelToken::none());
             let _ = inj.send_verdict();
         }
         // The plan event pins the run.
-        let plan_events = events.events_of_kind("fault_plan");
+        let plan_events = events.events_of_kind(names::FAULT_PLAN);
         assert_eq!(plan_events.len(), 1);
         let logged = FaultPlan::from_json_value(&plan_events[0].fields["plan"]).unwrap();
         assert_eq!(logged, plan);
         // One event per injected fault, draw indices strictly increasing
         // per site.
-        let faults = events.events_of_kind("fault_injected");
+        let faults = events.events_of_kind(names::FAULT_INJECTED);
         let s = inj.stats();
         assert_eq!(faults.len() as u64, s.read_errors + s.send_drops);
         let read_draws: Vec<u64> = faults
@@ -1123,7 +1137,7 @@ mod tests {
         for _ in 0..4 {
             let _ = inj.corrupt_chunk_page(&mut page);
         }
-        let faults = events.events_of_kind("fault_injected");
+        let faults = events.events_of_kind(names::FAULT_INJECTED);
         assert_eq!(faults.len(), 2, "cap bounds logged corruptions");
         for e in &faults {
             assert_eq!(e.fields["kind"].as_str(), Some("chunk_corrupt"));

@@ -92,7 +92,7 @@ impl Throttle {
         while due > elapsed {
             cancel.check()?;
             let wait = Duration::from_secs_f64(due - elapsed).min(Self::MAX_SLEEP_SLICE);
-            std::thread::sleep(wait);
+            cancel.sleep(wait)?;
             elapsed = self.start.elapsed().as_secs_f64();
         }
         cancel.check()

@@ -205,14 +205,15 @@ impl NodeClocks {
         }
     }
 
-    /// The node with the smallest clock (ties to the lowest index).
+    /// The node with the smallest clock (ties to the lowest index);
+    /// node 0 for an empty clock set.
     pub fn earliest(&self) -> usize {
         self.clocks
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .unwrap()
+            .unwrap_or(0)
     }
 
     /// Current clock of `node`.

@@ -40,7 +40,7 @@ use orv_cluster::{
     checksum, fault::panic_message, CancelToken, FaultInjector, RecoveryPolicy, RunStats, Scratch,
     ScratchKind, SendVerdict,
 };
-use orv_obs::Obs;
+use orv_obs::{names, Obs};
 use orv_types::{BoundingBox, Error, Record, Result, Schema, SubTableId, TableId, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -231,6 +231,7 @@ struct BucketJoinCtx<'a> {
 fn read_bucket_verified(ctx: &BucketJoinCtx, name: &str, stats: &mut RunStats) -> Result<Vec<u8>> {
     let policy = &ctx.cfg.recovery;
     let cancel = &ctx.cfg.cancel;
+    // orv-lint: allow(L006) -- wall-clock measurement feeding RunStats only; never drives control flow
     let start = Instant::now();
     let mut retries = 0u64;
     loop {
@@ -240,7 +241,7 @@ fn read_bucket_verified(ctx: &BucketJoinCtx, name: &str, stats: &mut RunStats) -
                 .cfg
                 .obs
                 .spans
-                .span_with(|| format!("{}/scratch_read", ctx.tag));
+                .span_with(|| names::span_tagged(&ctx.tag, names::PHASE_SCRATCH_READ));
             let mut bytes = ctx.scratch.read_bucket(name)?;
             ctx.injector.corrupt_scratch_read(&mut bytes);
             bytes
@@ -249,7 +250,7 @@ fn read_bucket_verified(ctx: &BucketJoinCtx, name: &str, stats: &mut RunStats) -
             Ok(()) => return Ok(bytes),
             Err(e) => {
                 stats.corruptions_detected += 1;
-                ctx.injector.events().emit("corruption_detected", || {
+                ctx.injector.events().emit(names::CORRUPTION_DETECTED, || {
                     vec![
                         ("site", "scratch_read".into()),
                         ("what", name.to_string().into()),
@@ -296,7 +297,7 @@ fn repartition_bucket(
                 .cfg
                 .obs
                 .spans
-                .span_with(|| format!("{}/scratch_write", ctx.tag));
+                .span_with(|| names::span_tagged(&ctx.tag, names::PHASE_SCRATCH_WRITE));
             ctx.scratch.append(&format!("{name}.{k}"), &buf)?;
         }
     }
@@ -351,10 +352,10 @@ fn join_bucket_pair(
         decode_columns(ctx.rschema, &rbytes)?,
     )?;
     let joiner = {
-        let _build = spans.span_with(|| format!("{}/build", ctx.tag));
+        let _build = spans.span_with(|| names::span_tagged(&ctx.tag, names::PHASE_BUILD));
         HashJoiner::build(&lst, ctx.join_attrs, ctx.counters, cfg.work_factor)?
     };
-    let _probe = spans.span_with(|| format!("{}/probe", ctx.tag));
+    let _probe = spans.span_with(|| names::span_tagged(&ctx.tag, names::PHASE_PROBE));
     if cfg.collect_results {
         joiner.probe(&rst, ctx.join_attrs, ctx.counters, |r| results.push(r))
     } else {
@@ -415,6 +416,7 @@ fn send_with_recovery(
     policy: &RecoveryPolicy,
     cancel: &CancelToken,
 ) -> Result<(u64, u64)> {
+    // orv-lint: allow(L006) -- wall-clock measurement feeding RunStats only; never drives control flow
     let start = Instant::now();
     let mut retries = 0u64;
     let mut corruptions = 0u64;
@@ -446,7 +448,7 @@ fn send_with_recovery(
             let (_, bytes, crc) = &mut batch.buckets[i];
             if let Err(e) = checksum::verify(*crc, bytes, &format!("frame bucket {b}")) {
                 corruptions += 1;
-                injector.events().emit("corruption_detected", || {
+                injector.events().emit(names::CORRUPTION_DETECTED, || {
                     vec![
                         ("site", "frame".into()),
                         ("what", format!("bucket {b}").into()),
@@ -480,6 +482,7 @@ fn scratch_append_with_recovery(
     policy: &RecoveryPolicy,
     cancel: &CancelToken,
 ) -> Result<u64> {
+    // orv-lint: allow(L006) -- wall-clock measurement feeding RunStats only; never drives control flow
     let start = Instant::now();
     let mut retries = 0u64;
     loop {
@@ -541,6 +544,7 @@ pub fn grace_hash_join(
     let scratches: Vec<Scratch> = (0..cfg.n_compute)
         .map(|j| Scratch::new(cfg.scratch, &format!("gh{j}")))
         .collect::<Result<_>>()?;
+    // orv-lint: allow(L006) -- wall-clock measurement feeding RunStats only; never drives control flow
     let start = Instant::now();
 
     // Channels: one receiver per compute node, every storage node holds a
@@ -583,7 +587,9 @@ pub fn grace_hash_join(
                             }
                             let spans = &cfg.obs.spans;
                             let (st, retries) = {
-                                let _read = spans.span_with(|| format!("s{}/read", node.index()));
+                                let _read = spans.span_with(|| {
+                                    names::span_gh_sender(node.index(), names::PHASE_READ)
+                                });
                                 cfg.recovery.run_cancellable(&cfg.cancel, || {
                                     let mut st: SubTable = svc.subtable(id)?;
                                     if let Some(rg) = &cfg.range {
@@ -596,11 +602,14 @@ pub fn grace_hash_join(
                             let st = st?;
                             stats.bytes_read_storage += meta.size_bytes();
                             let routed = {
-                                let _partition =
-                                    spans.span_with(|| format!("s{}/partition", node.index()));
+                                let _partition = spans.span_with(|| {
+                                    names::span_gh_sender(node.index(), names::PHASE_PARTITION)
+                                });
                                 route_subtable(&st, keys, cfg.n_compute, n_buckets)
                             };
-                            let _send = spans.span_with(|| format!("s{}/send", node.index()));
+                            let _send = spans.span_with(|| {
+                                names::span_gh_sender(node.index(), names::PHASE_SEND)
+                            });
                             for (dest, buckets) in routed.into_iter().enumerate() {
                                 if buckets.is_empty() {
                                     continue;
@@ -658,7 +667,12 @@ pub fn grace_hash_join(
                             Side::Left => "L",
                             Side::Right => "R",
                         };
-                        let _write = cfg.obs.spans.span_with(|| format!("c{j}/scratch_write"));
+                        let _write = cfg.obs.spans.span_with(|| {
+                            names::span_tagged(
+                                &names::gh_consumer_tag(j),
+                                names::PHASE_SCRATCH_WRITE,
+                            )
+                        });
                         for (b, bytes, crc) in batch.buckets {
                             // Defense in depth: the sender's link layer
                             // already verified the frame, so a mismatch
@@ -689,7 +703,7 @@ pub fn grace_hash_join(
                         cfg,
                         injector,
                         node: j,
-                        tag: format!("c{j}"),
+                        tag: names::gh_consumer_tag(j),
                     };
                     for b in 0..n_buckets {
                         injector.worker_checkpoint(j);

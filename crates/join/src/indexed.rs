@@ -34,7 +34,7 @@ use orv_chunk::SubTable;
 use orv_cluster::{
     fault::panic_message, ByteCounter, CancelToken, FaultInjector, RecoveryPolicy, RunStats,
 };
-use orv_obs::Obs;
+use orv_obs::{names, Obs};
 use orv_types::{BoundingBox, Error, Record, Result, SubTableId, TableId};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -171,6 +171,7 @@ pub fn indexed_join_cached(
     // here only after the pair fully completes, so a worker dying mid-pair
     // neither loses nor duplicates output when the pair is reassigned.
     let committed: Mutex<(Vec<Record>, RunStats)> = Mutex::new((Vec::new(), RunStats::default()));
+    // orv-lint: allow(L006) -- wall-clock measurement feeding RunStats only; never drives control flow
     let start = Instant::now();
 
     let mut alive = vec![true; cfg.n_compute];
@@ -214,8 +215,9 @@ pub fn indexed_join_cached(
 
                             let fetch =
                                 |id: SubTableId, delta: &mut RunStats| -> Result<SubTable> {
-                                    let _transfer =
-                                        cfg.obs.spans.span_with(|| format!("n{node_idx}/transfer"));
+                                    let _transfer = cfg.obs.spans.span_with(|| {
+                                        names::span_ij(node_idx, names::PHASE_TRANSFER)
+                                    });
                                     let meta = md.chunk_meta(id)?;
                                     let svc = &services[meta.node.index()];
                                     let (st, retries) =
@@ -249,10 +251,9 @@ pub fn indexed_join_cached(
                                         delta.cache_misses += 1;
                                         let st = fetch(lid, &mut delta)?;
                                         let size = st.encoded_size() as u64;
-                                        let _build = cfg
-                                            .obs
-                                            .spans
-                                            .span_with(|| format!("n{node_idx}/build"));
+                                        let _build = cfg.obs.spans.span_with(|| {
+                                            names::span_ij(node_idx, names::PHASE_BUILD)
+                                        });
                                         let j = HashJoiner::build(
                                             &st,
                                             join_attrs,
@@ -281,8 +282,10 @@ pub fn indexed_join_cached(
                                     }
                                 };
                                 let produced = {
-                                    let _probe =
-                                        cfg.obs.spans.span_with(|| format!("n{node_idx}/probe"));
+                                    let _probe = cfg
+                                        .obs
+                                        .spans
+                                        .span_with(|| names::span_ij(node_idx, names::PHASE_PROBE));
                                     if cfg.collect_results {
                                         joiner
                                             .probe(&rst, join_attrs, counters, |r| local.push(r))?
@@ -620,7 +623,7 @@ mod tests {
         assert_eq!(fstats.chunk_corruptions, 3, "{fstats:?}");
         assert_eq!(out.stats.corruptions_detected, fstats.corruptions());
         assert_eq!(
-            events.events_of_kind("corruption_detected").len() as u64,
+            events.events_of_kind(names::CORRUPTION_DETECTED).len() as u64,
             fstats.corruptions()
         );
         assert_eq!(out.stats.worker_panics, 0);

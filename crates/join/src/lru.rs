@@ -83,8 +83,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             let Some((&oldest, _)) = self.recency.iter().next() else {
                 break;
             };
-            let victim = self.recency.remove(&oldest).expect("recency entry");
-            let (_, vsize, _) = self.entries.remove(&victim).expect("cache entry");
+            let Some(victim) = self.recency.remove(&oldest) else {
+                break;
+            };
+            let Some((_, vsize, _)) = self.entries.remove(&victim) else {
+                break;
+            };
             self.used -= vsize;
             self.evictions += 1;
         }

@@ -115,7 +115,7 @@ fn opas_greedy(
     };
     while !remaining.is_empty() {
         // Score = resident members (0..=2); first max wins (lex order).
-        let (best, _) = remaining
+        let Some((best, _)) = remaining
             .iter()
             .enumerate()
             .map(|(i, &(l, r))| {
@@ -123,7 +123,9 @@ fn opas_greedy(
                 (i, score)
             })
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-            .expect("non-empty remaining");
+        else {
+            break;
+        };
         let (l, r) = remaining.remove(best);
         touch(&mut buffer, l);
         touch(&mut buffer, r);

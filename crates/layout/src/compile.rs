@@ -129,7 +129,7 @@ impl CompiledLayout {
                 for r in 0..nrows {
                     let rec = &body[r * self.stride..(r + 1) * self.stride];
                     for (ci, f) in self.fields.iter().enumerate() {
-                        cols[ci].push(read_value(&rec[f.offset..], f.dtype, self.endian));
+                        cols[ci].push(read_value(&rec[f.offset..], f.dtype, self.endian)?);
                     }
                 }
             }
@@ -140,7 +140,7 @@ impl CompiledLayout {
                         let dtype = self.fields[ci].dtype;
                         for r in 0..nrows {
                             let at = block_start + r * size;
-                            cols[ci].push(read_value(&body[at..], dtype, self.endian));
+                            cols[ci].push(read_value(&body[at..], dtype, self.endian)?);
                         }
                     }
                     block_start += size * nrows;
@@ -208,33 +208,31 @@ impl CompiledLayout {
     }
 }
 
-fn read_value(bytes: &[u8], dtype: DataType, endian: Endian) -> Value {
-    match (dtype, endian) {
-        (DataType::I32, Endian::Little) => {
-            Value::I32(i32::from_le_bytes(bytes[..4].try_into().unwrap()))
-        }
-        (DataType::I32, Endian::Big) => {
-            Value::I32(i32::from_be_bytes(bytes[..4].try_into().unwrap()))
-        }
-        (DataType::I64, Endian::Little) => {
-            Value::I64(i64::from_le_bytes(bytes[..8].try_into().unwrap()))
-        }
-        (DataType::I64, Endian::Big) => {
-            Value::I64(i64::from_be_bytes(bytes[..8].try_into().unwrap()))
-        }
-        (DataType::F32, Endian::Little) => {
-            Value::F32(f32::from_le_bytes(bytes[..4].try_into().unwrap()))
-        }
-        (DataType::F32, Endian::Big) => {
-            Value::F32(f32::from_be_bytes(bytes[..4].try_into().unwrap()))
-        }
-        (DataType::F64, Endian::Little) => {
-            Value::F64(f64::from_le_bytes(bytes[..8].try_into().unwrap()))
-        }
-        (DataType::F64, Endian::Big) => {
-            Value::F64(f64::from_be_bytes(bytes[..8].try_into().unwrap()))
-        }
+fn read_value(bytes: &[u8], dtype: DataType, endian: Endian) -> Result<Value> {
+    // Fixed-width prefix of the record, as a typed format error rather
+    // than a slice panic when the chunk body is shorter than the layout
+    // promised.
+    fn arr<const N: usize>(bytes: &[u8], dtype: DataType) -> Result<[u8; N]> {
+        bytes
+            .get(..N)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| {
+                Error::Format(format!(
+                    "record truncated: need {N} bytes for a {dtype:?} value, have {}",
+                    bytes.len()
+                ))
+            })
     }
+    Ok(match (dtype, endian) {
+        (DataType::I32, Endian::Little) => Value::I32(i32::from_le_bytes(arr(bytes, dtype)?)),
+        (DataType::I32, Endian::Big) => Value::I32(i32::from_be_bytes(arr(bytes, dtype)?)),
+        (DataType::I64, Endian::Little) => Value::I64(i64::from_le_bytes(arr(bytes, dtype)?)),
+        (DataType::I64, Endian::Big) => Value::I64(i64::from_be_bytes(arr(bytes, dtype)?)),
+        (DataType::F32, Endian::Little) => Value::F32(f32::from_le_bytes(arr(bytes, dtype)?)),
+        (DataType::F32, Endian::Big) => Value::F32(f32::from_be_bytes(arr(bytes, dtype)?)),
+        (DataType::F64, Endian::Little) => Value::F64(f64::from_le_bytes(arr(bytes, dtype)?)),
+        (DataType::F64, Endian::Big) => Value::F64(f64::from_be_bytes(arr(bytes, dtype)?)),
+    })
 }
 
 fn write_value(v: Value, out: &mut [u8], endian: Endian) {

@@ -1,0 +1,174 @@
+//! `orv-lint` — the workspace invariant checker.
+//!
+//! PRs 1–3 built the resilience story (typed-error recovery, cancellable
+//! 250 ms sleep slices, sealed-then-verified checksums, replayable event
+//! logs); this crate turns the conventions they rely on into
+//! machine-checked gates. It is a project-specific static-analysis pass:
+//! a hand-rolled Rust token scanner (same pattern as the layout/query DSL
+//! lexers) feeding six token-pattern rules, with per-site suppression
+//! comments and both human and JSON-lines output.
+//!
+//! Run it locally with:
+//!
+//! ```text
+//! cargo run --release --bin orv-lint
+//! ```
+//!
+//! See [`rules`] for the rule table and `DESIGN.md` §10 for the invariant
+//! each rule protects.
+
+pub mod classify;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+pub use rules::{Diagnostic, RULE_IDS};
+
+use rules::FileCtx;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one file's source text. `rel_path` must be workspace-relative
+/// with `/` separators — rules use it for scoping and allowlists.
+///
+/// The pipeline: scan → classify test/runtime lines → collect
+/// suppressions → run rules → filter. Test code is exempt from `L001`..
+/// `L006`; well-formed suppressions waive findings on their own and the
+/// following line; malformed suppressions surface as `L000` and cannot
+/// themselves be waived.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let toks = lexer::scan(src);
+    let class = classify::classify(rel_path, &toks);
+    let sup = suppress::collect(&toks);
+    let ctx = FileCtx::new(rel_path, &toks);
+    let mut out: Vec<Diagnostic> = rules::run_rules(&ctx)
+        .into_iter()
+        .filter(|d| !class.is_test(d.line))
+        .filter(|d| !sup.allows(d.rule, d.line))
+        .collect();
+    for bad in &sup.bad {
+        out.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: bad.line,
+            rule: "L000",
+            message: format!("malformed suppression: {}", bad.problem),
+        });
+    }
+    out.sort();
+    out
+}
+
+/// Directories never descended into: build output, the offline stand-ins
+/// for external crates (not our invariant surface), and VCS metadata.
+const SKIP_DIRS: &[&str] = &["target", "local_stubs", ".git"];
+
+/// Recursively collect every workspace `.rs` file under `root`, sorted by
+/// relative path for deterministic output.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`. Findings are sorted by
+/// (file, line, rule) so output is stable across runs and platforms.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, &src));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The process exit code the driver should return for a set of findings:
+/// 0 when clean, 1 when anything (including `L000`) fired.
+pub fn exit_code(diags: &[Diagnostic]) -> u8 {
+    u8::from(!diags.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_filters_test_code_and_suppressions() {
+        let src = "\
+fn runtime() {
+    x.unwrap(); // orv-lint: allow(L001) -- infallible: checked above
+    y.unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        z.unwrap();
+    }
+}
+";
+        let diags = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "L001");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn malformed_suppression_is_l000_and_does_not_waive() {
+        let src = "fn f() {\n    x.unwrap(); // orv-lint: allow(L001)\n}\n";
+        let diags = lint_source("crates/x/src/lib.rs", src);
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"L000"), "{diags:?}");
+        assert!(
+            rules.contains(&"L001"),
+            "missing reason must not waive: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn exit_codes() {
+        assert_eq!(exit_code(&[]), 0);
+        assert_eq!(
+            exit_code(&lint_source(
+                "crates/x/src/lib.rs",
+                "fn f() { panic!(\"boom\") }"
+            )),
+            1
+        );
+    }
+
+    #[test]
+    fn findings_sorted_by_file_line_rule() {
+        let src = "fn f() {\n    panic!(\"b\");\n    x.unwrap();\n}\n";
+        let diags = lint_source("crates/x/src/lib.rs", src);
+        let lines: Vec<_> = diags.iter().map(|d| d.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

@@ -1,0 +1,586 @@
+//! The six workspace invariant rules.
+//!
+//! Each rule is a token-pattern pass over the comment-free token stream of
+//! one file. Rules are deliberately heuristic — they run on tokens, not on
+//! a parsed AST — but every pattern is chosen so that the *sanctioned*
+//! idiom in this workspace cannot trip it, and anything it does flag is
+//! either a real invariant break or a site that deserves a written
+//! suppression reason.
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | L001 | runtime paths return typed `Error`, never `unwrap`/`expect`/`panic!` |
+//! | L002 | every sleep goes through the cancellable 250 ms slice helper |
+//! | L003 | no Mutex guard held across a send/sleep/file-I/O in join+cluster |
+//! | L004 | file writes only on checksummed paths (persist/scratch/obs) |
+//! | L005 | obs event/span names come from `orv-obs::names`, not literals |
+//! | L006 | no ambient clock/randomness outside obs + pacing + deadlines |
+//!
+//! `L000` is the meta-rule: malformed suppression comments (missing
+//! reason, unknown rule id) are themselves findings and cannot be waived.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Every rule id the engine knows, in report order. `L000` is the
+/// suppression-hygiene meta-rule; `L001`..`L006` are the invariants.
+pub const RULE_IDS: &[&str] = &["L000", "L001", "L002", "L003", "L004", "L005", "L006"];
+
+/// One finding, pointing at a file:line.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Rule id (`L001`, ...).
+    pub rule: &'static str,
+    /// Human explanation of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: RULE message` — the clickable terminal form.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+
+    /// One stable JSON object per finding (JSON-lines output). Key order
+    /// is fixed so diffs and golden tests stay byte-stable.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"rule":"{}","file":"{}","line":{},"message":"{}"}}"#,
+            self.rule,
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A comment-free view of one file's tokens plus its path, handed to each
+/// rule pass.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: &'a str,
+    /// Tokens with comments stripped.
+    pub code: Vec<&'a Tok>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Build the comment-free view.
+    pub fn new(rel_path: &'a str, toks: &'a [Tok]) -> Self {
+        FileCtx {
+            rel_path,
+            code: toks.iter().filter(|t| !t.kind.is_comment()).collect(),
+        }
+    }
+
+    fn ident_at(&self, i: usize, name: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind.ident() == Some(name))
+    }
+
+    fn punct_at(&self, i: usize, c: char) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct(c))
+    }
+
+    /// Does `path::seg` (two colons) start at `i`?
+    fn path_sep_at(&self, i: usize) -> bool {
+        self.punct_at(i, ':') && self.punct_at(i + 1, ':')
+    }
+
+    fn in_dir(&self, prefix: &str) -> bool {
+        self.rel_path.starts_with(prefix)
+    }
+}
+
+/// Run every rule over one file; returns unfiltered findings (the engine
+/// applies test-code exemption and suppressions afterwards).
+pub fn run_rules(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    l001_no_panics(ctx, &mut out);
+    l002_no_bare_sleep(ctx, &mut out);
+    l003_no_guard_across_blocking(ctx, &mut out);
+    l004_no_unchecked_file_writes(ctx, &mut out);
+    l005_obs_names_from_registry(ctx, &mut out);
+    l006_no_ambient_clock_or_rng(ctx, &mut out);
+    out
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    ctx: &FileCtx<'_>,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) {
+    out.push(Diagnostic {
+        file: ctx.rel_path.to_string(),
+        line,
+        rule,
+        message,
+    });
+}
+
+/// L001 — no `unwrap()` / `expect(...)` / `panic!` in runtime paths.
+///
+/// PR 1's recovery story depends on workers failing with typed [`Error`]
+/// values the scheduler can catch, retry, and reassign; a stray panic in
+/// a QES worker bypasses containment and kills the whole query.
+fn l001_no_panics(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.code.len() {
+        let line = ctx.code[i].line;
+        if ctx.punct_at(i, '.') && ctx.ident_at(i + 1, "unwrap") && ctx.punct_at(i + 2, '(') {
+            push(
+                out,
+                ctx,
+                line,
+                "L001",
+                "`unwrap()` in a runtime path; return a typed `orv_types::Error` instead".into(),
+            );
+        }
+        // Only `.expect("...")` with a literal message: that is the
+        // Option/Result panic form. Domain methods named `expect` (the
+        // DSL parsers' token matcher) take non-string arguments.
+        if ctx.punct_at(i, '.')
+            && ctx.ident_at(i + 1, "expect")
+            && ctx.punct_at(i + 2, '(')
+            && matches!(ctx.code.get(i + 3), Some(t) if matches!(t.kind, TokKind::Str(_)))
+        {
+            push(
+                out,
+                ctx,
+                line,
+                "L001",
+                "`expect()` in a runtime path; return a typed `orv_types::Error` instead".into(),
+            );
+        }
+        for mac in ["panic", "todo", "unimplemented"] {
+            if ctx.ident_at(i, mac) && ctx.punct_at(i + 1, '!') {
+                push(out, ctx, line, "L001", format!(
+                    "`{mac}!` in a runtime path; workers must fail with typed errors so recovery can contain them"));
+            }
+        }
+    }
+}
+
+/// Files allowed to call `std::thread::sleep` directly: the cancellable
+/// slice primitive itself. Everything else must sleep via
+/// `CancelToken::sleep` / `Throttle::consume_cancellable`, which slice at
+/// 250 ms and observe cancellation between slices.
+const L002_ALLOWED: &[&str] = &["crates/cluster/src/cancel.rs"];
+
+/// L002 — no bare `thread::sleep` outside the slice primitive.
+fn l002_no_bare_sleep(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if L002_ALLOWED.contains(&ctx.rel_path) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if ctx.ident_at(i, "thread") && ctx.path_sep_at(i + 1) && ctx.ident_at(i + 3, "sleep") {
+            push(out, ctx, ctx.code[i].line, "L002",
+                "bare `thread::sleep`; use `CancelToken::sleep` (250 ms slices, cancellable) so queries unwind promptly".into());
+        }
+    }
+}
+
+/// L003 — in `crates/join` and `crates/cluster`, a `let`-bound Mutex
+/// guard must not stay live across a channel send, a sleep, or file I/O.
+///
+/// The GH interconnect and the IJ LRU cache both run under worker-shared
+/// locks; holding one across a blocking call turns a slow peer into a
+/// stalled cluster. Heuristic: a guard is born at
+/// `let [mut] NAME = <brace-free expr containing .lock()>;` and dies at
+/// `drop(NAME)` or when its enclosing brace scope closes.
+fn l003_no_guard_across_blocking(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !(ctx.in_dir("crates/join/src/") || ctx.in_dir("crates/cluster/src/")) {
+        return;
+    }
+    struct Guard {
+        name: String,
+        depth: usize,
+        line: usize,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < ctx.code.len() {
+        match &ctx.code[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            TokKind::Ident(kw) if kw == "let" => {
+                // Brace-free statement lookahead for a `.lock()` call.
+                let mut j = i + 1;
+                let mut name = None;
+                if ctx.ident_at(j, "mut") {
+                    j += 1;
+                }
+                if let Some(TokKind::Ident(n)) = ctx.code.get(j).map(|t| &t.kind) {
+                    name = Some(n.clone());
+                }
+                let mut k = i + 1;
+                let mut has_lock = false;
+                while k < ctx.code.len() {
+                    match ctx.code[k].kind {
+                        TokKind::Punct(';') | TokKind::Punct('{') => break,
+                        TokKind::Punct('.')
+                            if ctx.ident_at(k + 1, "lock")
+                                && ctx.punct_at(k + 2, '(')
+                                && ctx.punct_at(k + 3, ')') =>
+                        {
+                            has_lock = true;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if let (true, Some(name)) = (has_lock, name) {
+                    guards.push(Guard {
+                        name,
+                        depth,
+                        line: ctx.code[i].line,
+                    });
+                }
+                i = k;
+                continue;
+            }
+            TokKind::Ident(kw) if kw == "drop" && ctx.punct_at(i + 1, '(') => {
+                if let Some(TokKind::Ident(n)) = ctx.code.get(i + 2).map(|t| &t.kind) {
+                    guards.retain(|g| &g.name != n);
+                }
+            }
+            _ => {}
+        }
+        if !guards.is_empty() {
+            let hazard = blocking_hazard(ctx, i);
+            if let Some(what) = hazard {
+                let held: Vec<&str> = guards.iter().map(|g| g.name.as_str()).collect();
+                let born = guards
+                    .iter()
+                    .map(|g| g.line)
+                    .min()
+                    .unwrap_or(ctx.code[i].line);
+                push(out, ctx, ctx.code[i].line, "L003", format!(
+                    "{what} while Mutex guard `{}` (taken line {born}) is live; drop or scope the guard first — a blocked holder stalls every peer on the interconnect",
+                    held.join("`, `")));
+                // One finding per hazard site is enough; clear to avoid
+                // cascading duplicates for the same held guard.
+                guards.clear();
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Is the token at `i` the start of a blocking call (send, sleep, file
+/// I/O)? Returns a short description when it is.
+fn blocking_hazard(ctx: &FileCtx<'_>, i: usize) -> Option<&'static str> {
+    if ctx.punct_at(i, '.') && ctx.punct_at(i + 2, '(') {
+        match ctx.code.get(i + 1).and_then(|t| t.kind.ident()) {
+            Some("send") => return Some("channel `send`"),
+            Some("recv") => return Some("channel `recv`"),
+            Some("sleep") => return Some("`sleep`"),
+            Some("write_all") | Some("read_to_end") | Some("sync_all") | Some("read_exact") => {
+                return Some("file I/O")
+            }
+            _ => {}
+        }
+    }
+    if ctx.ident_at(i, "sleep") && ctx.punct_at(i + 1, '(') && !ctx.punct_at(i.wrapping_sub(1), '.')
+    {
+        return Some("`sleep`");
+    }
+    if (ctx.ident_at(i, "File") || ctx.ident_at(i, "OpenOptions")) && ctx.path_sep_at(i + 1) {
+        return Some("file I/O");
+    }
+    if ctx.ident_at(i, "fs") && ctx.path_sep_at(i + 1) {
+        return Some("file I/O");
+    }
+    None
+}
+
+/// Files allowed to open files for writing: the crash-safe catalog
+/// writer, cluster scratch (running CRC maintained on append), and the
+/// observability sinks. Everything else must go through them so every
+/// durable byte is covered by a checksum.
+const L004_ALLOWED: &[&str] = &[
+    "crates/metadata/src/persist.rs",
+    "crates/cluster/src/runtime.rs",
+];
+const L004_ALLOWED_DIRS: &[&str] = &["crates/obs/src/"];
+
+/// L004 — no direct file creation/write outside the checksummed paths.
+fn l004_no_unchecked_file_writes(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if L004_ALLOWED.contains(&ctx.rel_path) || L004_ALLOWED_DIRS.iter().any(|d| ctx.in_dir(d)) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let line = ctx.code[i].line;
+        if ctx.ident_at(i, "File")
+            && ctx.path_sep_at(i + 1)
+            && (ctx.ident_at(i + 3, "create") || ctx.ident_at(i + 3, "options"))
+        {
+            push(out, ctx, line, "L004",
+                "direct `File::create`/`File::options`; durable writes must go through metadata::persist, cluster scratch, or an obs sink (checksummed paths)".into());
+        }
+        if ctx.ident_at(i, "OpenOptions") {
+            push(out, ctx, line, "L004",
+                "direct `OpenOptions`; durable writes must go through metadata::persist, cluster scratch, or an obs sink (checksummed paths)".into());
+        }
+        if ctx.ident_at(i, "fs") && ctx.path_sep_at(i + 1) && ctx.ident_at(i + 3, "write") {
+            push(out, ctx, line, "L004",
+                "direct `fs::write`; durable writes must go through metadata::persist, cluster scratch, or an obs sink (checksummed paths)".into());
+        }
+    }
+}
+
+/// The registry module itself defines the canonical strings.
+const L005_ALLOWED: &[&str] = &["crates/obs/src/names.rs"];
+
+/// Obs call sites whose *first argument* is the event/span name.
+const L005_SINKS: &[&str] = &["emit", "span", "span_with", "events_of_kind"];
+
+/// L005 — event/span names must be `orv_obs::names` constants, not
+/// inline string literals. A typo'd literal name silently breaks
+/// replay-from-log and the predicted-vs-measured phase mapping.
+fn l005_obs_names_from_registry(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if L005_ALLOWED.contains(&ctx.rel_path) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if !ctx.punct_at(i, '.') || !ctx.punct_at(i + 2, '(') {
+            continue;
+        }
+        let Some(callee) = ctx.code.get(i + 1).and_then(|t| t.kind.ident()) else {
+            continue;
+        };
+        if !L005_SINKS.contains(&callee) {
+            continue;
+        }
+        // Scan the first argument: from after `(` to the first top-level
+        // `,` or the matching `)`.
+        let mut depth = 0usize;
+        let mut j = i + 3;
+        while j < ctx.code.len() {
+            match ctx.code[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokKind::Punct(',') if depth == 0 => break,
+                TokKind::Str(ref s) => {
+                    push(out, ctx, ctx.code[j].line, "L005", format!(
+                        "inline name literal \"{s}\" passed to `{callee}`; use a constant or builder from `orv_obs::names` so replay and phase mapping cannot drift"));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// The sanctioned clock users: observability timing, Throttle pacing,
+/// and CancelToken deadlines.
+const L006_ALLOWED: &[&str] = &[
+    "crates/cluster/src/runtime.rs",
+    "crates/cluster/src/cancel.rs",
+];
+const L006_ALLOWED_DIRS: &[&str] = &["crates/obs/src/"];
+
+/// L006 — no ambient time or randomness in runtime paths.
+///
+/// Seeded chaos replay (PR 2) reconstructs a run from its event log; any
+/// `Instant::now`-driven branch or unseeded RNG in a QES path makes the
+/// replay diverge from the original run.
+fn l006_no_ambient_clock_or_rng(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if L006_ALLOWED.contains(&ctx.rel_path) || L006_ALLOWED_DIRS.iter().any(|d| ctx.in_dir(d)) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let line = ctx.code[i].line;
+        for clock in ["Instant", "SystemTime"] {
+            if ctx.ident_at(i, clock) && ctx.path_sep_at(i + 1) && ctx.ident_at(i + 3, "now") {
+                push(out, ctx, line, "L006", format!(
+                    "`{clock}::now()` outside obs/Throttle/CancelToken; ambient time in a runtime path breaks seeded chaos replay"));
+            }
+        }
+        if ctx.ident_at(i, "rand") && ctx.path_sep_at(i + 1) {
+            push(out, ctx, line, "L006",
+                "`rand::` in a runtime path; all randomness must come from the seeded FaultPlan/splitmix64 draws for replayability".into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn findings(path: &str, src: &str) -> Vec<Diagnostic> {
+        let toks = scan(src);
+        run_rules(&FileCtx::new(path, &toks))
+    }
+
+    #[test]
+    fn diagnostic_json_is_stable_and_escaped() {
+        let d = Diagnostic {
+            file: "a/b.rs".into(),
+            line: 3,
+            rule: "L001",
+            message: "say \"no\"\\".into(),
+        };
+        assert_eq!(
+            d.to_json(),
+            r#"{"rule":"L001","file":"a/b.rs","line":3,"message":"say \"no\"\\"}"#
+        );
+        assert_eq!(d.human(), r#"a/b.rs:3: L001 say "no"\"#);
+    }
+
+    #[test]
+    fn l001_expect_needs_string_message() {
+        // Parser-combinator `expect(&Token::LBrace)` is not Option::expect.
+        let clean = findings(
+            "crates/query/src/parser.rs",
+            "fn f() { self.expect(&Token::LBrace)?; }",
+        );
+        assert!(clean.iter().all(|d| d.rule != "L001"), "{clean:?}");
+        let hit = findings(
+            "crates/query/src/parser.rs",
+            "fn f() { x.expect(\"msg\"); }",
+        );
+        assert_eq!(hit.iter().filter(|d| d.rule == "L001").count(), 1);
+    }
+
+    #[test]
+    fn l003_guard_scoped_out_is_clean() {
+        let src = "fn f() {\n    {\n        let mut g = self.crcs.lock();\n        g.insert(1);\n    }\n    file.write_all(data);\n}\n";
+        let hits = findings("crates/cluster/src/x.rs", src);
+        assert!(hits.iter().all(|d| d.rule != "L003"), "{hits:?}");
+    }
+
+    #[test]
+    fn l003_guard_across_send_fires() {
+        let src = "fn f() {\n    let g = state.lock();\n    tx.send(msg);\n}\n";
+        let hits = findings("crates/join/src/x.rs", src);
+        assert_eq!(hits.iter().filter(|d| d.rule == "L003").count(), 1);
+        assert!(hits[0].message.contains('g'));
+    }
+
+    #[test]
+    fn l003_drop_releases_guard() {
+        let src = "fn f() {\n    let g = state.lock();\n    drop(g);\n    tx.send(msg);\n}\n";
+        let hits = findings("crates/join/src/x.rs", src);
+        assert!(hits.iter().all(|d| d.rule != "L003"));
+    }
+
+    #[test]
+    fn l003_let_with_braces_is_not_a_guard() {
+        // `let x = match ... { ... .lock() ... };` must not register `x`
+        // as a guard (the temporary dies inside the statement).
+        let src = "fn f() {\n    let data = match kind {\n        K::M => mem.lock().get(n).cloned(),\n        K::F => { file.read_to_end(&mut buf); buf }\n    };\n}\n";
+        let hits = findings("crates/cluster/src/x.rs", src);
+        assert!(hits.iter().all(|d| d.rule != "L003"), "{hits:?}");
+    }
+
+    #[test]
+    fn l003_only_in_join_and_cluster() {
+        let src = "fn f() {\n    let g = state.lock();\n    tx.send(msg);\n}\n";
+        assert!(findings("crates/query/src/x.rs", src)
+            .iter()
+            .all(|d| d.rule != "L003"));
+    }
+
+    #[test]
+    fn l005_first_arg_literal_fires_but_payload_does_not() {
+        let hit = findings(
+            "crates/query/src/engine.rs",
+            "fn f() { obs.events.emit(\"qes_choice\", || vec![(\"algorithm\", x)]); }",
+        );
+        assert_eq!(hit.iter().filter(|d| d.rule == "L005").count(), 1);
+        let clean = findings(
+            "crates/query/src/engine.rs",
+            "fn f() { obs.events.emit(names::QES_CHOICE, || vec![(\"algorithm\", x)]); }",
+        );
+        assert!(clean.iter().all(|d| d.rule != "L005"), "{clean:?}");
+    }
+
+    #[test]
+    fn l005_span_with_format_literal_fires() {
+        let hit = findings(
+            "crates/bds/src/service.rs",
+            "fn f() { spans.span_with(|| format!(\"bds{}/read\", n)); }",
+        );
+        assert_eq!(hit.iter().filter(|d| d.rule == "L005").count(), 1);
+        let clean = findings(
+            "crates/bds/src/service.rs",
+            "fn f() { spans.span_with(|| names::span_bds_read(n)); }",
+        );
+        assert!(clean.iter().all(|d| d.rule != "L005"));
+    }
+
+    #[test]
+    fn allowlisted_files_skip_their_rule() {
+        let sleep = "fn f() { std::thread::sleep(d); }";
+        assert!(findings("crates/cluster/src/cancel.rs", sleep)
+            .iter()
+            .all(|d| d.rule != "L002"));
+        assert_eq!(
+            findings("crates/join/src/grace.rs", sleep)
+                .iter()
+                .filter(|d| d.rule == "L002")
+                .count(),
+            1
+        );
+
+        let io = "fn f() { let f = File::create(p); }";
+        assert!(findings("crates/metadata/src/persist.rs", io)
+            .iter()
+            .all(|d| d.rule != "L004"));
+        assert_eq!(
+            findings("crates/chunk/src/format.rs", io)
+                .iter()
+                .filter(|d| d.rule == "L004")
+                .count(),
+            1
+        );
+
+        let clock = "fn f() { let t = Instant::now(); }";
+        assert!(findings("crates/obs/src/span.rs", clock)
+            .iter()
+            .all(|d| d.rule != "L006"));
+        assert_eq!(
+            findings("crates/join/src/grace.rs", clock)
+                .iter()
+                .filter(|d| d.rule == "L006")
+                .count(),
+            1
+        );
+    }
+}

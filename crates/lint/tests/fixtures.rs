@@ -1,0 +1,274 @@
+//! Fixture-driven integration coverage: one positive (fires), one
+//! negative (clean), and one suppressed variant per rule, plus the
+//! classification, suppression-grammar, JSON-stability and exit-code
+//! contracts the CI gate depends on.
+
+use orv_lint::{exit_code, lint_source, Diagnostic, RULE_IDS};
+
+/// Rules that fired for `src` at `path`, in output order.
+fn fired(path: &str, src: &str) -> Vec<&'static str> {
+    lint_source(path, src).iter().map(|d| d.rule).collect()
+}
+
+fn assert_clean(path: &str, src: &str) {
+    let diags = lint_source(path, src);
+    assert!(diags.is_empty(), "expected clean, got: {diags:?}");
+}
+
+// A runtime path no rule allowlists, in a crate L003 watches.
+const JOIN_PATH: &str = "crates/join/src/fixture.rs";
+
+#[test]
+fn l001_panics_positive_negative_suppressed() {
+    assert_eq!(
+        fired(JOIN_PATH, "fn f(x: Option<u32>) -> u32 { x.unwrap() }"),
+        ["L001"]
+    );
+    assert_eq!(
+        fired(
+            JOIN_PATH,
+            "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }"
+        ),
+        ["L001"]
+    );
+    assert_eq!(fired(JOIN_PATH, "fn f() { panic!(\"boom\"); }"), ["L001"]);
+    // Parser-combinator style `expect(&token)` is not Option::expect.
+    assert_clean(JOIN_PATH, "fn f(p: &mut P) { p.expect(&Token::LBrace); }");
+    assert_clean(
+        JOIN_PATH,
+        "fn f(x: Option<u32>) -> Option<u32> { x.map(|v| v + 1) }",
+    );
+    assert_clean(
+        JOIN_PATH,
+        "fn f(x: Option<u32>) -> u32 {\n    // orv-lint: allow(L001) -- fixture: invariant documented here\n    x.unwrap()\n}",
+    );
+}
+
+#[test]
+fn l002_bare_sleep_positive_negative_suppressed() {
+    assert_eq!(
+        fired(
+            JOIN_PATH,
+            "fn f() { std::thread::sleep(Duration::from_millis(5)); }"
+        ),
+        ["L002"]
+    );
+    assert_eq!(fired(JOIN_PATH, "fn f() { thread::sleep(D); }"), ["L002"]);
+    // The cancellable slice helper is the sanctioned spelling…
+    assert_clean(
+        JOIN_PATH,
+        "fn f(c: &CancelToken) { c.sleep(D).unwrap_or(()); }",
+    );
+    // …and the primitive itself lives on the allowlist.
+    assert_clean(
+        "crates/cluster/src/cancel.rs",
+        "fn f() { std::thread::sleep(slice); }",
+    );
+    assert_clean(
+        JOIN_PATH,
+        "fn f() {\n    // orv-lint: allow(L002) -- fixture: fixed pacing independent of cancellation\n    std::thread::sleep(D);\n}",
+    );
+}
+
+#[test]
+fn l003_guard_across_blocking_positive_negative_suppressed() {
+    let hold =
+        "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n    let g = m.lock();\n    tx.send(*g);\n}";
+    assert_eq!(fired(JOIN_PATH, hold), ["L003"]);
+    // Dropping the guard before the send is the fix.
+    assert_clean(
+        JOIN_PATH,
+        "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n    let v = { let g = m.lock(); *g };\n    tx.send(v);\n}",
+    );
+    assert_clean(
+        JOIN_PATH,
+        "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n    let g = m.lock();\n    let v = *g;\n    drop(g);\n    tx.send(v);\n}",
+    );
+    // The rule only watches the concurrency crates.
+    assert_clean("crates/layout/src/fixture.rs", hold);
+    assert_clean(
+        JOIN_PATH,
+        "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n    let g = m.lock();\n    // orv-lint: allow(L003) -- fixture: bounded channel is never full here\n    tx.send(*g);\n}",
+    );
+}
+
+#[test]
+fn l004_file_writes_positive_negative_suppressed() {
+    assert_eq!(
+        fired(JOIN_PATH, "fn f() { let _ = File::create(\"x\"); }"),
+        ["L004"]
+    );
+    assert_eq!(
+        fired(JOIN_PATH, "fn f() { fs::write(\"x\", b\"y\").ok(); }"),
+        ["L004"]
+    );
+    // Reads are fine; and the checksummed sinks are allowlisted.
+    assert_clean(JOIN_PATH, "fn f() { let _ = File::open(\"x\"); }");
+    assert_clean(
+        "crates/metadata/src/persist.rs",
+        "fn f() { let _ = File::create(\"x\"); }",
+    );
+    assert_clean(
+        "crates/obs/src/export.rs",
+        "fn f() { fs::write(\"x\", b\"y\").ok(); }",
+    );
+    assert_clean(
+        JOIN_PATH,
+        "fn f() {\n    // orv-lint: allow(L004) -- fixture: bytes are sealed with a checksum upstream\n    let _ = File::create(\"x\");\n}",
+    );
+}
+
+#[test]
+fn l005_literal_obs_names_positive_negative_suppressed() {
+    assert_eq!(
+        fired(
+            JOIN_PATH,
+            "fn f(o: &Obs) { o.events.emit(\"qes_choice\", Vec::new); }"
+        ),
+        ["L005"]
+    );
+    assert_eq!(
+        fired(
+            JOIN_PATH,
+            "fn f(o: &Obs) { let _s = o.spans.span(\"n0/build\"); }"
+        ),
+        ["L005"]
+    );
+    // Registry constants and builders are the sanctioned spelling; later
+    // arguments (payload keys) may stay literal.
+    assert_clean(
+        JOIN_PATH,
+        "fn f(o: &Obs) { o.events.emit(names::QES_CHOICE, || vec![(\"algo\", v)]); }",
+    );
+    assert_clean(
+        JOIN_PATH,
+        "fn f(o: &Obs) { let _s = o.spans.span(names::span_ij(0, names::PHASE_BUILD)); }",
+    );
+    // The registry itself defines the strings.
+    assert_clean(
+        "crates/obs/src/names.rs",
+        "pub fn f(o: &Obs) { o.events.emit(\"qes_choice\", Vec::new); }",
+    );
+    assert_clean(
+        JOIN_PATH,
+        "fn f(o: &Obs) {\n    // orv-lint: allow(L005) -- fixture: ad-hoc diagnostic event, not replayed\n    o.events.emit(\"one_off\", Vec::new);\n}",
+    );
+}
+
+#[test]
+fn l006_ambient_clock_rng_positive_negative_suppressed() {
+    assert_eq!(
+        fired(JOIN_PATH, "fn f() { let t = Instant::now(); }"),
+        ["L006"]
+    );
+    assert_eq!(
+        fired(JOIN_PATH, "fn f() { let t = SystemTime::now(); }"),
+        ["L006"]
+    );
+    assert_eq!(
+        fired(JOIN_PATH, "fn f() { let x = rand::random::<u64>(); }"),
+        ["L006"]
+    );
+    // Seeded draws and the allowlisted time owners are fine.
+    assert_clean(JOIN_PATH, "fn f(s: u64) { let x = splitmix64(s); }");
+    assert_clean(
+        "crates/cluster/src/cancel.rs",
+        "fn f() { let t = Instant::now(); }",
+    );
+    assert_clean(
+        "crates/obs/src/span.rs",
+        "fn f() { let t = Instant::now(); }",
+    );
+    assert_clean(
+        JOIN_PATH,
+        "fn f() {\n    // orv-lint: allow(L006) -- fixture: wall-clock stats only, never control flow\n    let t = Instant::now();\n}",
+    );
+}
+
+#[test]
+fn test_code_is_exempt_everywhere() {
+    let nasty = "fn f() { x.unwrap(); std::thread::sleep(D); let t = Instant::now(); }";
+    // Path-classified test/dev files.
+    for p in [
+        "crates/join/tests/chaos.rs",
+        "examples/demo.rs",
+        "crates/bench/src/bin/figures.rs",
+    ] {
+        assert_clean(p, nasty);
+    }
+    // Item-classified test code inside a runtime file.
+    let src = "fn runtime() -> u32 { 1 }\n#[cfg(test)]\nmod tests {\n    fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+    assert_clean(JOIN_PATH, src);
+    // …while the runtime part of the same file still gets linted.
+    let mixed = "fn runtime(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+    let diags = lint_source(JOIN_PATH, mixed);
+    assert_eq!(diags.len(), 1);
+    assert_eq!((diags[0].rule, diags[0].line), ("L001", 1));
+}
+
+#[test]
+fn malformed_suppressions_become_l000() {
+    // Missing reason.
+    let no_reason =
+        "fn f(x: Option<u32>) -> u32 {\n    // orv-lint: allow(L001)\n    x.unwrap()\n}";
+    let diags = lint_source(JOIN_PATH, no_reason);
+    assert!(diags.iter().any(|d| d.rule == "L000"), "{diags:?}");
+    // Unknown rule id.
+    let unknown = "fn f() {\n    // orv-lint: allow(L099) -- nope\n    g();\n}";
+    let diags = lint_source(JOIN_PATH, unknown);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "L000");
+    // A malformed suppression cannot waive the finding it sits on, and
+    // L000 itself cannot be suppressed away.
+    assert!(lint_source(JOIN_PATH, no_reason)
+        .iter()
+        .any(|d| d.rule == "L001"));
+    // Doc comments that merely *quote* the syntax are inert.
+    assert_clean(
+        JOIN_PATH,
+        "/// Write `// orv-lint: allow(L001)` to waive.\nfn f() {}\n",
+    );
+}
+
+#[test]
+fn trailing_suppression_covers_only_its_own_line() {
+    let src = "fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    let a = x.unwrap(); // orv-lint: allow(L001) -- fixture: this line only\n    let b = y.unwrap();\n    a + b\n}";
+    let diags = lint_source(JOIN_PATH, src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!((diags[0].rule, diags[0].line), ("L001", 3));
+}
+
+#[test]
+fn json_lines_output_is_stable() {
+    let d = Diagnostic {
+        file: "crates/x/src/a.rs".into(),
+        line: 7,
+        rule: "L001",
+        message: "`unwrap()` has a \"quote\"".into(),
+    };
+    assert_eq!(
+        d.to_json(),
+        r#"{"rule":"L001","file":"crates/x/src/a.rs","line":7,"message":"`unwrap()` has a \"quote\""}"#
+    );
+    assert_eq!(
+        d.human(),
+        "crates/x/src/a.rs:7: L001 `unwrap()` has a \"quote\""
+    );
+}
+
+#[test]
+fn findings_sort_stably_and_drive_exit_code() {
+    let src =
+        "fn f() {\n    let t = Instant::now();\n    x.unwrap();\n    std::thread::sleep(D);\n}";
+    let diags = lint_source(JOIN_PATH, src);
+    let mut sorted = diags.clone();
+    sorted.sort();
+    assert_eq!(diags, sorted, "lint_source must return sorted findings");
+    assert_eq!(
+        diags.iter().map(|d| (d.line, d.rule)).collect::<Vec<_>>(),
+        [(2, "L006"), (3, "L001"), (4, "L002")]
+    );
+    assert_eq!(exit_code(&diags), 1);
+    assert_eq!(exit_code(&[]), 0);
+    assert_eq!(RULE_IDS.len(), 7, "L000 + six substantive rules");
+}

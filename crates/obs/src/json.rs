@@ -295,7 +295,8 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 bytes in number"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| self.err(&format!("bad number `{text}`")))
@@ -344,7 +345,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

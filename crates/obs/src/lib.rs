@@ -18,6 +18,7 @@
 mod event;
 mod json;
 mod metrics;
+pub mod names;
 mod report;
 mod span;
 

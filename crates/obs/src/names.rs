@@ -1,0 +1,122 @@
+//! The canonical registry of event and span names.
+//!
+//! Replay-from-log (PR 2) and the predicted-vs-measured phase mapping
+//! (`report.rs`) both match on *strings*: a typo'd inline literal at an
+//! emit site doesn't fail — it silently produces events no replay or
+//! report ever finds. Every runtime emit/span site therefore takes its
+//! name from here (`orv-lint` rule L005 enforces it); tests and examples
+//! are encouraged to do the same so assertions can't drift either.
+//!
+//! Span paths are `group/phase`: the group identifies a node's role
+//! (`n3`, `s0`, `c2`, `bds1`) and the phase must be one of the
+//! cost-model phase constants below for the §5 mapping to see it.
+
+/// Event: the engine picked a query-execution strategy.
+pub const QES_CHOICE: &str = "qes_choice";
+/// Event: plan-level failover re-ran the join on the alternate QES.
+pub const QES_FAILOVER: &str = "qes_failover";
+/// Event: a seeded fault plan was armed (one per chaos run).
+pub const FAULT_PLAN: &str = "fault_plan";
+/// Event: the injector fired one fault (kind/site/draw payload).
+pub const FAULT_INJECTED: &str = "fault_injected";
+/// Event: a checksum boundary caught corrupted bytes.
+pub const CORRUPTION_DETECTED: &str = "corruption_detected";
+
+/// Span: query planning inside the engine.
+pub const ENGINE_PLAN: &str = "engine/plan";
+/// Span: end-to-end plan execution inside the engine.
+pub const ENGINE_EXEC: &str = "engine/exec";
+
+/// Phase: storage→compute sub-table transfer (IJ cost-model term).
+pub const PHASE_TRANSFER: &str = "transfer";
+/// Phase: hash-table build.
+pub const PHASE_BUILD: &str = "build";
+/// Phase: hash-table probe.
+pub const PHASE_PROBE: &str = "probe";
+/// Phase: Grace Hash bucket write to scratch.
+pub const PHASE_SCRATCH_WRITE: &str = "scratch_write";
+/// Phase: Grace Hash bucket read back from scratch.
+pub const PHASE_SCRATCH_READ: &str = "scratch_read";
+/// Phase: storage-node chunk read.
+pub const PHASE_READ: &str = "read";
+/// Phase: storage-node bucket partitioning (GH senders).
+pub const PHASE_PARTITION: &str = "partition";
+/// Phase: interconnect send (GH senders).
+pub const PHASE_SEND: &str = "send";
+/// Phase: sub-table extraction on a storage node.
+pub const PHASE_EXTRACT: &str = "extract";
+/// Phase: aggregate CPU time (build + probe) in the GH cost model.
+pub const PHASE_CPU: &str = "cpu";
+
+/// `bds{node}/read` — BDS chunk read on a storage node.
+pub fn span_bds_read(node: u32) -> String {
+    format!("bds{node}/{PHASE_READ}")
+}
+
+/// `bds{node}/extract` — sub-table extraction on a storage node.
+pub fn span_bds_extract(node: u32) -> String {
+    format!("bds{node}/{PHASE_EXTRACT}")
+}
+
+/// `n{idx}/{phase}` — an Indexed-Join compute node phase.
+pub fn span_ij(node_idx: usize, phase: &str) -> String {
+    format!("n{node_idx}/{phase}")
+}
+
+/// `s{idx}/{phase}` — a Grace Hash storage-side sender phase.
+pub fn span_gh_sender(node_idx: usize, phase: &str) -> String {
+    format!("s{node_idx}/{phase}")
+}
+
+/// `c{idx}` — the span group tag of a Grace Hash consumer node; join
+/// phases under it are `{tag}/{phase}` via [`span_tagged`].
+pub fn gh_consumer_tag(node_idx: usize) -> String {
+    format!("c{node_idx}")
+}
+
+/// `{tag}/{phase}` — a phase under an existing group tag.
+pub fn span_tagged(tag: &str, phase: &str) -> String {
+    format!("{tag}/{phase}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose_group_and_phase() {
+        assert_eq!(span_bds_read(3), "bds3/read");
+        assert_eq!(span_bds_extract(0), "bds0/extract");
+        assert_eq!(span_ij(7, PHASE_TRANSFER), "n7/transfer");
+        assert_eq!(span_gh_sender(2, PHASE_PARTITION), "s2/partition");
+        assert_eq!(
+            span_tagged(&gh_consumer_tag(4), PHASE_SCRATCH_READ),
+            "c4/scratch_read"
+        );
+    }
+
+    #[test]
+    fn phases_match_the_cost_model_registry() {
+        // The report's required-phase lists must be expressible from the
+        // constants here, so the §5 mapping and the emit sites cannot
+        // drift apart.
+        for p in crate::IJ_PHASES {
+            assert!(
+                [PHASE_TRANSFER, PHASE_BUILD, PHASE_PROBE].contains(p),
+                "IJ phase {p} missing from names registry"
+            );
+        }
+        for p in crate::GH_PHASES {
+            assert!(
+                [
+                    PHASE_TRANSFER,
+                    PHASE_SCRATCH_WRITE,
+                    PHASE_SCRATCH_READ,
+                    PHASE_CPU
+                ]
+                .contains(p),
+                "GH phase {p} missing from names registry"
+            );
+        }
+    }
+}

@@ -11,16 +11,26 @@ use std::collections::BTreeMap;
 
 use crate::json::{obj, JsonValue};
 use crate::metrics::MetricsSnapshot;
+use crate::names;
 
 /// Canonical phase names for the Indexed Join, in report order. They map
 /// one-to-one onto the Section 5 IJ cost terms: `transfer` ↔ Transfer_IJ,
 /// `build` ↔ BuildHT_IJ, `probe` ↔ Lookup_IJ.
-pub const IJ_PHASES: &[&str] = &["transfer", "build", "probe"];
+pub const IJ_PHASES: &[&str] = &[
+    names::PHASE_TRANSFER,
+    names::PHASE_BUILD,
+    names::PHASE_PROBE,
+];
 
 /// Canonical phase names for Grace Hash, in report order:
 /// `transfer` ↔ Transfer_GH, `scratch_write` ↔ Write_GH,
 /// `scratch_read` ↔ Read_GH, `cpu` ↔ Cpu_GH.
-pub const GH_PHASES: &[&str] = &["transfer", "scratch_write", "scratch_read", "cpu"];
+pub const GH_PHASES: &[&str] = &[
+    names::PHASE_TRANSFER,
+    names::PHASE_SCRATCH_WRITE,
+    names::PHASE_SCRATCH_READ,
+    names::PHASE_CPU,
+];
 
 /// The required phase list for an algorithm name, if known.
 pub fn required_phases(algorithm: &str) -> Option<&'static [&'static str]> {

@@ -12,7 +12,7 @@ use orv_join::{
     grace_hash_join, indexed_join, indexed_join_cached, CacheService, GraceHashConfig,
     IndexedJoinConfig, JoinAlgorithm, JoinOutput,
 };
-use orv_obs::Obs;
+use orv_obs::{names, Obs};
 use orv_types::{Error, Record, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -271,7 +271,11 @@ impl QueryEngine {
                     (Some(a), Some(b)) => Some(a.intersect(&b)),
                     (a, b) => a.or(b),
                 };
-                let join = view.query.join.as_ref().expect("plain join has a join");
+                let Some(join) = view.query.join.as_ref() else {
+                    return Err(Error::Plan(
+                        "view classified as plain join has no join clause".into(),
+                    ));
+                };
                 return self.run_join(&view.query.from, &join.table, &join.on, combined, cancel);
             }
             // General DDS (projection/aggregation view, possibly over
@@ -307,11 +311,11 @@ impl QueryEngine {
         let right = md.table_id(right_name)?;
         let attrs: Vec<&str> = on.iter().map(|s| s.as_str()).collect();
         let plan = {
-            let _plan = self.obs.spans.span("engine/plan");
+            let _plan = self.obs.spans.span(names::ENGINE_PLAN);
             self.planner.plan_join(md, left, right, &attrs)?
         };
         let algorithm = self.force.unwrap_or(plan.algorithm);
-        self.obs.events.emit("qes_choice", || {
+        self.obs.events.emit(names::QES_CHOICE, || {
             vec![
                 ("algorithm", algorithm_slug(algorithm).into()),
                 ("forced", self.force.is_some().into()),
@@ -321,7 +325,7 @@ impl QueryEngine {
                 ("right", right_name.into()),
             ]
         });
-        let _exec = self.obs.spans.span("engine/exec");
+        let _exec = self.obs.spans.span(names::ENGINE_EXEC);
         let exec_one = |engine: &Self, algorithm: JoinAlgorithm| -> Result<JoinOutput> {
             match algorithm {
                 JoinAlgorithm::IndexedJoin => {
@@ -387,7 +391,7 @@ impl QueryEngine {
                     JoinAlgorithm::IndexedJoin => JoinAlgorithm::GraceHash,
                     JoinAlgorithm::GraceHash => JoinAlgorithm::IndexedJoin,
                 };
-                self.obs.events.emit("qes_failover", || {
+                self.obs.events.emit(names::QES_FAILOVER, || {
                     vec![
                         ("from", algorithm_slug(algorithm).into()),
                         ("to", algorithm_slug(fallback).into()),
@@ -401,7 +405,9 @@ impl QueryEngine {
         drop(_exec);
         md.publish_into(&self.obs.metrics);
         let joined_schema = md.schema(left)?.join(md.schema(right)?.as_ref(), &attrs)?;
-        let mut rows = output.records.expect("collect_results was set");
+        let mut rows = output.records.ok_or_else(|| {
+            Error::Plan("join output missing records despite collect_results".into())
+        })?;
         rows.sort_by(|a, b| a.values().cmp(b.values()));
         Ok((column_names(&joined_schema), rows, Some(plan)))
     }
@@ -651,7 +657,7 @@ mod tests {
             .unwrap();
         let r = e.execute("SELECT * FROM v1").unwrap();
         assert_eq!(r.rows.len(), 64);
-        let choices = obs.events.events_of_kind("qes_choice");
+        let choices = obs.events.events_of_kind(names::QES_CHOICE);
         assert_eq!(choices.len(), 1);
         let ev = &choices[0];
         let algo = ev.fields["algorithm"].as_str().unwrap();
@@ -712,7 +718,7 @@ mod tests {
             .unwrap();
         assert_eq!(r.rows, oracle.rows, "failover must be oracle-identical");
 
-        let failovers = obs.events.events_of_kind("qes_failover");
+        let failovers = obs.events.events_of_kind(names::QES_FAILOVER);
         assert_eq!(failovers.len(), 1, "exactly one failover");
         let ev = &failovers[0];
         assert_eq!(

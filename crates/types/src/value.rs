@@ -146,10 +146,10 @@ impl Value {
             return None;
         }
         Some(match ty {
-            DataType::I32 => Value::I32(i32::from_le_bytes(bytes[..4].try_into().unwrap())),
-            DataType::I64 => Value::I64(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
-            DataType::F32 => Value::F32(f32::from_le_bytes(bytes[..4].try_into().unwrap())),
-            DataType::F64 => Value::F64(f64::from_le_bytes(bytes[..8].try_into().unwrap())),
+            DataType::I32 => Value::I32(i32::from_le_bytes(bytes[..4].try_into().ok()?)),
+            DataType::I64 => Value::I64(i64::from_le_bytes(bytes[..8].try_into().ok()?)),
+            DataType::F32 => Value::F32(f32::from_le_bytes(bytes[..4].try_into().ok()?)),
+            DataType::F64 => Value::F64(f64::from_le_bytes(bytes[..8].try_into().ok()?)),
         })
     }
 }
@@ -203,6 +203,7 @@ impl Ord for Value {
         fam(self)
             .cmp(&fam(other))
             .then_with(|| match (self, other) {
+                // orv-lint: allow(L001) -- fam(a)==fam(b)==0 here, so both are integer variants and as_i64 is total
                 (a, b) if fam(a) == 0 => a.as_i64().unwrap().cmp(&b.as_i64().unwrap()),
                 (a, b) => total_f64(a.as_f64()).total_cmp(&total_f64(b.as_f64())),
             })

@@ -1,0 +1,72 @@
+//! Workspace invariant checker driver.
+//!
+//! ```text
+//! cargo run --release --bin orv-lint            # human output, exit 1 on findings
+//! cargo run --release --bin orv-lint -- --json  # one JSON object per finding
+//! cargo run --release --bin orv-lint -- path/   # lint a different root
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (including malformed suppressions),
+//! 2 I/O failure while walking or reading sources.
+
+use orv_lint::{exit_code, lint_workspace, RULE_IDS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+orv-lint — workspace invariant checker (rules L001..L006, see DESIGN.md §10)
+
+USAGE: orv-lint [--json] [ROOT]
+
+  --json   one JSON object per finding (JSON lines), no summary
+  ROOT     workspace root to lint (default: current directory)
+
+Suppress a finding at its site with a justified comment:
+  // orv-lint: allow(L001) -- <why this site is provably fine>
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let diags = match lint_workspace(&root) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("orv-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        for d in &diags {
+            println!("{}", d.to_json());
+        }
+    } else {
+        for d in &diags {
+            println!("{}", d.human());
+        }
+        if diags.is_empty() {
+            println!(
+                "orv-lint: clean ({} rules: {})",
+                RULE_IDS.len() - 1,
+                RULE_IDS[1..].join(", ")
+            );
+        } else {
+            println!("orv-lint: {} finding(s)", diags.len());
+        }
+    }
+    ExitCode::from(exit_code(&diags))
+}
