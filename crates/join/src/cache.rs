@@ -2,29 +2,122 @@
 //!
 //! "The Caching Service can be used by the QES to store and access
 //! frequently accessed objects." One [`CacheService`] instance outlives
-//! individual query executions: each compute node owns an LRU shard
-//! holding left sub-tables *with their built hash tables* and right
-//! sub-tables, so a repeated or overlapping view query finds its working
-//! set warm.
+//! individual query executions — and, since the `QueryService` layer,
+//! individual *clients*: each compute node owns an LRU shard holding left
+//! sub-tables *with their built hash tables* and right sub-tables, so a
+//! repeated or overlapping view query finds its working set warm whether
+//! it comes from the same client or a concurrent one.
+//!
+//! ## Cross-query sharing
+//!
+//! Entries are keyed by [`CacheKey`]: the sub-table id plus the *role* the
+//! entry plays (left-with-hash-table vs right) plus, for left entries, a
+//! fingerprint of the join attributes and work factor the hash table was
+//! built with. Two views joining the same tables on different attributes
+//! therefore never alias each other's hash tables.
+//!
+//! ## Single-flight fetches
+//!
+//! [`CacheService::get_or_build`] deduplicates concurrent misses: the
+//! first requester of a key becomes its *builder* (fetch + hash-table
+//! build run with the shard lock released), every concurrent requester
+//! waits on the shard's condvar and is answered from the cache when the
+//! builder publishes. This is what preserves the §5.1 zero-refetch bound
+//! (`cache_misses == N_C·(a+b)`) under concurrency: N simultaneous
+//! queries over the same view still fetch each sub-table exactly once.
+//! Waits are sliced at [`SLEEP_SLICE`] and observe the caller's
+//! [`CancelToken`], so a cancelled query stops waiting promptly even if
+//! the builder is slow.
 
 use crate::hash_join::HashJoiner;
-use crate::lru::LruCache;
+use crate::lru::{CacheStats, LruCache};
 use orv_chunk::SubTable;
+use orv_cluster::{CancelToken, SLEEP_SLICE};
+use orv_obs::names;
 use orv_types::{Error, Result, SubTableId};
-use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-/// What a compute node caches per sub-table.
+/// What a compute node caches per sub-table. Both variants are behind an
+/// `Arc`, so handing a cached value to a worker is a pointer clone — the
+/// shard lock is never held across a build or a probe.
+#[derive(Clone)]
 pub enum CachedEntry {
     /// A left sub-table with its built hash table (built once per left
     /// sub-table, as §5.1 requires).
-    Left(HashJoiner),
+    Left(Arc<HashJoiner>),
     /// A right sub-table.
-    Right(SubTable),
+    Right(Arc<SubTable>),
 }
 
-/// Per-compute-node LRU shards, shared across join executions.
+impl std::fmt::Debug for CachedEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CachedEntry::Left(j) => write!(f, "Left(hash table, {} rows)", j.num_rows()),
+            CachedEntry::Right(st) => write!(f, "Right({} rows)", st.num_rows()),
+        }
+    }
+}
+
+/// Cache key: sub-table id + the role of the cached value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// Left sub-table: the hash table depends on the join attributes and
+    /// work factor, so those are part of the key (as a fingerprint).
+    Left(SubTableId, u64),
+    /// Right sub-table: raw post-filter rows, attribute-independent.
+    Right(SubTableId),
+}
+
+/// Fingerprint of the parameters a left-side hash table was built with.
+/// FNV-1a over the attribute names plus the work factor — collisions are
+/// astronomically unlikely for the handful of attribute sets one
+/// deployment ever joins on.
+pub fn left_key_tag(join_attrs: &[&str], work_factor: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for attr in join_attrs {
+        eat(attr.as_bytes());
+        eat(&[0xff]); // separator so ["ab","c"] != ["a","bc"]
+    }
+    eat(&work_factor.to_le_bytes());
+    h
+}
+
+/// One compute node's shard: the LRU plus the in-flight key set of the
+/// single-flight protocol.
+struct Shard {
+    state: Mutex<ShardState>,
+    cond: Condvar,
+}
+
+struct ShardState {
+    lru: LruCache<CacheKey, CachedEntry>,
+    in_flight: HashSet<CacheKey>,
+}
+
+fn relock<T>(r: std::result::Result<T, PoisonError<T>>) -> T {
+    // A builder panic unwinds with the shard lock released (build runs
+    // outside it), so poisoning can only come from a panic inside the
+    // LRU itself; the map stays structurally valid either way.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-compute-node LRU shards, shared across join executions *and*
+/// across concurrent queries.
 pub struct CacheService {
-    shards: Vec<Mutex<LruCache<SubTableId, CachedEntry>>>,
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Watermark of counters already published into a metrics registry,
+    /// so repeated [`CacheService::publish_into`] calls add only deltas.
+    published: Mutex<CacheStats>,
 }
 
 impl CacheService {
@@ -32,8 +125,17 @@ impl CacheService {
     pub fn new(n_compute: usize, capacity_bytes: u64) -> Self {
         CacheService {
             shards: (0..n_compute)
-                .map(|_| Mutex::new(LruCache::new(capacity_bytes)))
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        lru: LruCache::new(capacity_bytes),
+                        in_flight: HashSet::new(),
+                    }),
+                    cond: Condvar::new(),
+                })
                 .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            published: Mutex::new(CacheStats::default()),
         }
     }
 
@@ -42,25 +144,166 @@ impl CacheService {
         self.shards.len()
     }
 
-    /// The shard of compute node `j`.
-    pub fn shard(&self, j: usize) -> Result<&Mutex<LruCache<SubTableId, CachedEntry>>> {
+    fn shard(&self, j: usize) -> Result<&Shard> {
         self.shards
             .get(j)
             .ok_or_else(|| Error::Config(format!("cache service has no shard {j}")))
     }
 
-    /// Aggregate `(hits, misses, evictions)` across shards (cumulative
-    /// over the service's lifetime).
-    pub fn stats(&self) -> (u64, u64, u64) {
-        self.shards.iter().fold((0, 0, 0), |acc, s| {
-            let (h, m, e) = s.lock().stats();
-            (acc.0 + h, acc.1 + m, acc.2 + e)
-        })
+    fn lock(shard: &Shard) -> MutexGuard<'_, ShardState> {
+        relock(shard.state.lock())
+    }
+
+    /// Look up `key` in shard `j`, counting a hit or miss.
+    pub fn lookup(&self, j: usize, key: &CacheKey) -> Result<Option<CachedEntry>> {
+        let shard = self.shard(j)?;
+        let mut state = Self::lock(shard);
+        let found = state.lru.touch(key).cloned();
+        match found {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(entry))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Insert `key → entry` of `size` bytes into shard `j`.
+    pub fn insert(&self, j: usize, key: CacheKey, entry: CachedEntry, size: u64) -> Result<()> {
+        let shard = self.shard(j)?;
+        Self::lock(shard).lru.put(key, entry, size);
+        Ok(())
+    }
+
+    /// Fetch `key` from shard `j`, building it with `build` on a miss.
+    ///
+    /// Returns the entry plus `true` when it came from the cache. Misses
+    /// are single-flight: exactly one concurrent caller runs `build` (with
+    /// the shard lock *released*); the rest wait, cancellably, and are
+    /// answered from the cache — counted as hits, because they caused no
+    /// fetch. If the builder fails, its error propagates to it alone and
+    /// one waiter takes over as the next builder.
+    pub fn get_or_build(
+        &self,
+        j: usize,
+        key: CacheKey,
+        cancel: &CancelToken,
+        build: impl FnOnce() -> Result<(CachedEntry, u64)>,
+    ) -> Result<(CachedEntry, bool)> {
+        let shard = self.shard(j)?;
+        let mut state = Self::lock(shard);
+        loop {
+            if let Some(entry) = state.lru.touch(&key) {
+                let entry = entry.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((entry, true));
+            }
+            if state.in_flight.insert(key.clone()) {
+                break; // we are the builder for this key
+            }
+            // A peer is fetching this key: wait a slice, then re-check.
+            let (guard, _) = relock(shard.cond.wait_timeout(state, SLEEP_SLICE));
+            state = guard;
+            cancel.check()?;
+        }
+        drop(state);
+        // Build with the lock released: the fetch may retry, back off,
+        // sleep, or take a while hashing — none of which may stall peers
+        // on this shard. The guard unregisters the key even if `build`
+        // panics, so waiters never wedge on a dead builder.
+        let mut in_flight = InFlightGuard {
+            shard,
+            key: Some(key),
+        };
+        let built = build();
+        let mut state = Self::lock(shard);
+        let key = in_flight.disarm();
+        match built {
+            Ok((entry, size)) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                state.in_flight.remove(&key);
+                state.lru.put(key, entry.clone(), size);
+                shard.cond.notify_all();
+                Ok((entry, false))
+            }
+            Err(e) => {
+                state.in_flight.remove(&key);
+                shard.cond.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Aggregate named counters (cumulative over the service's lifetime).
+    /// Hits and misses follow single-flight semantics: a waiter answered
+    /// by its builder's fetch counts as a hit; only builders count misses.
+    pub fn stats(&self) -> CacheStats {
+        let evictions = self
+            .shards
+            .iter()
+            .map(|s| Self::lock(s).lru.stats().evictions)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions,
+        }
     }
 
     /// Total bytes currently cached across shards.
     pub fn used_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().used()).sum()
+        self.shards.iter().map(|s| Self::lock(s).lru.used()).sum()
+    }
+
+    /// Publish the counters into an observability registry under the
+    /// [`orv_obs::names`] cache names. Deltas only: repeated publishes
+    /// (e.g. once per completed query) never double-count.
+    pub fn publish_into(&self, metrics: &orv_obs::MetricsRegistry) {
+        let now = self.stats();
+        let mut last = relock(self.published.lock());
+        metrics
+            .counter(names::CACHE_HITS)
+            .add(now.hits.saturating_sub(last.hits));
+        metrics
+            .counter(names::CACHE_MISSES)
+            .add(now.misses.saturating_sub(last.misses));
+        metrics
+            .counter(names::CACHE_EVICTIONS)
+            .add(now.evictions.saturating_sub(last.evictions));
+        metrics
+            .counter(names::CACHE_LOOKUPS)
+            .add(now.lookups().saturating_sub(last.lookups()));
+        *last = now;
+    }
+}
+
+/// Removes an in-flight key on drop unless disarmed — the panic-safety
+/// net of the single-flight protocol.
+struct InFlightGuard<'a> {
+    shard: &'a Shard,
+    key: Option<CacheKey>,
+}
+
+impl InFlightGuard<'_> {
+    fn disarm(&mut self) -> CacheKey {
+        // Only called with the key still armed; the panic-drop path is
+        // the alternative consumer.
+        self.key
+            .take()
+            .unwrap_or(CacheKey::Right(SubTableId::new(u32::MAX, u32::MAX)))
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            let mut state = relock(self.shard.state.lock());
+            state.in_flight.remove(&key);
+            self.shard.cond.notify_all();
+        }
     }
 }
 
@@ -68,47 +311,173 @@ impl CacheService {
 mod tests {
     use super::*;
     use orv_types::{Schema, Value};
-    use std::sync::Arc;
+    use std::sync::mpsc;
+    use std::sync::Barrier;
 
-    fn st(rows: usize) -> SubTable {
+    fn st(rows: usize) -> Arc<SubTable> {
         let schema = Arc::new(Schema::grid(&["x"], &["p"]).unwrap());
         let cols = vec![
             (0..rows).map(|i| Value::I32(i as i32)).collect(),
             (0..rows).map(|i| Value::F32(i as f32)).collect(),
         ];
-        SubTable::from_columns(SubTableId::new(0u32, 0u32), schema, cols).unwrap()
+        Arc::new(SubTable::from_columns(SubTableId::new(0u32, 0u32), schema, cols).unwrap())
+    }
+
+    fn rkey(c: u32) -> CacheKey {
+        CacheKey::Right(SubTableId::new(0u32, c))
     }
 
     #[test]
     fn shards_are_independent() {
         let svc = CacheService::new(2, 1024);
-        svc.shard(0).unwrap().lock().put(
-            SubTableId::new(0u32, 0u32),
-            CachedEntry::Right(st(4)),
-            32,
-        );
-        assert!(svc
-            .shard(1)
-            .unwrap()
-            .lock()
-            .peek(&SubTableId::new(0u32, 0u32))
-            .is_none());
+        svc.insert(0, rkey(0), CachedEntry::Right(st(4)), 32)
+            .unwrap();
+        assert!(svc.lookup(1, &rkey(0)).unwrap().is_none());
         assert_eq!(svc.used_bytes(), 32);
-        assert!(svc.shard(2).is_err());
+        assert!(svc.lookup(2, &rkey(0)).is_err());
         assert_eq!(svc.n_compute(), 2);
     }
 
     #[test]
     fn aggregate_stats() {
         let svc = CacheService::new(2, 1024);
-        let id = SubTableId::new(0u32, 1u32);
-        assert!(svc.shard(0).unwrap().lock().get(&id).is_none()); // miss
-        svc.shard(0)
-            .unwrap()
-            .lock()
-            .put(id, CachedEntry::Right(st(1)), 16);
-        assert!(svc.shard(0).unwrap().lock().get(&id).is_some()); // hit
-        let (h, m, _) = svc.stats();
-        assert_eq!((h, m), (1, 1));
+        assert!(svc.lookup(0, &rkey(1)).unwrap().is_none()); // miss
+        svc.insert(0, rkey(1), CachedEntry::Right(st(1)), 16)
+            .unwrap();
+        assert!(svc.lookup(0, &rkey(1)).unwrap().is_some()); // hit
+        let s = svc.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.lookups(), 2);
+    }
+
+    #[test]
+    fn left_key_tag_separates_attribute_sets() {
+        assert_ne!(left_key_tag(&["x", "y"], 1), left_key_tag(&["x"], 1));
+        assert_ne!(left_key_tag(&["ab", "c"], 1), left_key_tag(&["a", "bc"], 1));
+        assert_ne!(left_key_tag(&["x"], 1), left_key_tag(&["x"], 2));
+        assert_eq!(left_key_tag(&["x", "y"], 3), left_key_tag(&["x", "y"], 3));
+    }
+
+    #[test]
+    fn get_or_build_builds_once_then_hits() {
+        let svc = CacheService::new(1, 1024);
+        let cancel = CancelToken::none();
+        let (_, hit) = svc
+            .get_or_build(0, rkey(7), &cancel, || Ok((CachedEntry::Right(st(2)), 16)))
+            .unwrap();
+        assert!(!hit);
+        let (_, hit) = svc
+            .get_or_build(0, rkey(7), &cancel, || {
+                panic!("must not rebuild a cached key")
+            })
+            .unwrap();
+        assert!(hit);
+        let s = svc.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn builder_error_propagates_and_unblocks_the_key() {
+        let svc = CacheService::new(1, 1024);
+        let cancel = CancelToken::none();
+        let err = svc
+            .get_or_build(0, rkey(3), &cancel, || {
+                Err(Error::Cluster("fetch died".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::Cluster(_)), "{err}");
+        // The key is no longer in flight: the next caller becomes the
+        // builder and can succeed.
+        let (_, hit) = svc
+            .get_or_build(0, rkey(3), &cancel, || Ok((CachedEntry::Right(st(1)), 8)))
+            .unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn concurrent_misses_are_single_flight() {
+        let svc = Arc::new(CacheService::new(1, 1024));
+        let builds = Arc::new(AtomicU64::new(0));
+        let n = 4;
+        let barrier = Arc::new(Barrier::new(n));
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let svc = Arc::clone(&svc);
+            let builds = Arc::clone(&builds);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let (_, hit) = svc
+                    .get_or_build(0, rkey(9), &CancelToken::none(), || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        Ok((CachedEntry::Right(st(4)), 32))
+                    })
+                    .unwrap();
+                hit
+            }));
+        }
+        let hits = handles
+            .into_iter()
+            .filter(|_| true)
+            .map(|h| h.join().unwrap())
+            .filter(|&h| h)
+            .count();
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "exactly one builder");
+        assert_eq!(hits, n - 1, "every waiter answered from the cache");
+        let s = svc.stats();
+        assert_eq!((s.hits, s.misses), (n as u64 - 1, 1));
+    }
+
+    #[test]
+    fn waiter_cancellation_unblocks_within_a_slice() {
+        let svc = Arc::new(CacheService::new(1, 1024));
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let blocker = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.get_or_build(0, rkey(5), &CancelToken::none(), || {
+                    started_tx.send(()).ok();
+                    release_rx.recv().ok();
+                    Err(Error::Cluster("released".into()))
+                })
+            })
+        };
+        started_rx.recv().unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let start = std::time::Instant::now();
+        let err = svc
+            .get_or_build(0, rkey(5), &cancel, || {
+                panic!("cancelled waiter must not become the builder")
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::Cancelled), "{err}");
+        assert!(
+            start.elapsed() < SLEEP_SLICE * 3,
+            "waiter took {:?}",
+            start.elapsed()
+        );
+        release_tx.send(()).unwrap();
+        assert!(blocker.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn publish_into_adds_deltas_only() {
+        let metrics = orv_obs::MetricsRegistry::new();
+        let svc = CacheService::new(1, 1024);
+        assert!(svc.lookup(0, &rkey(1)).unwrap().is_none());
+        svc.publish_into(&metrics);
+        svc.publish_into(&metrics); // no new activity → no double count
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters.get(names::CACHE_MISSES).copied(), Some(1));
+        assert_eq!(snap.counters.get(names::CACHE_LOOKUPS).copied(), Some(1));
+        svc.insert(0, rkey(1), CachedEntry::Right(st(1)), 8)
+            .unwrap();
+        assert!(svc.lookup(0, &rkey(1)).unwrap().is_some());
+        svc.publish_into(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters.get(names::CACHE_HITS).copied(), Some(1));
+        assert_eq!(snap.counters.get(names::CACHE_LOOKUPS).copied(), Some(2));
     }
 }

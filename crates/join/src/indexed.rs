@@ -25,7 +25,7 @@
 //! typed `Error::Cluster`. Results and statistics are committed per
 //! completed pair, so reassignment never duplicates or loses output.
 
-use crate::cache::{CacheService, CachedEntry};
+use crate::cache::{left_key_tag, CacheKey, CacheService, CachedEntry};
 use crate::connectivity::ConnectivityGraph;
 use crate::hash_join::{HashJoiner, JoinCounters};
 use crate::schedule::{schedule, SchedulePolicy};
@@ -167,6 +167,9 @@ pub fn indexed_join_cached(
     )?;
     let counters = JoinCounters::new();
     let transfer = ByteCounter::new();
+    // Left-side cache keys carry the hash-table parameters, so views
+    // joining the same tables on different attributes never alias.
+    let left_tag = left_key_tag(join_attrs, cfg.work_factor);
     // Exactly-once commit point: a pair's records and stats deltas land
     // here only after the pair fully completes, so a worker dying mid-pair
     // neither loses nor duplicates output when the pair is reassigned.
@@ -210,9 +213,6 @@ pub fn indexed_join_cached(
                     node_idx,
                     scope.spawn(move || -> WorkerEnd {
                         let body = || -> Result<()> {
-                            let shard = cache.shard(node_idx)?;
-                            let mut cache = shard.lock();
-
                             let fetch =
                                 |id: SubTableId, delta: &mut RunStats| -> Result<SubTable> {
                                     let _transfer = cfg.obs.spans.span_with(|| {
@@ -241,14 +241,15 @@ pub fn indexed_join_cached(
                                 injector.worker_checkpoint(node_idx);
                                 let mut delta = RunStats::default();
                                 let mut local = Vec::new();
-                                // Left side: cached hash table or fetch + build.
-                                let joiner = match cache.get(&lid) {
-                                    Some(CachedEntry::Left(j)) => {
-                                        delta.cache_hits += 1;
-                                        j.clone()
-                                    }
-                                    _ => {
-                                        delta.cache_misses += 1;
+                                // Left side: shared-cache hash table; on a
+                                // miss, one node fetches + builds while any
+                                // concurrent requester of the same key waits
+                                // (single-flight) and counts a hit.
+                                let (entry, was_hit) = cache.get_or_build(
+                                    node_idx,
+                                    CacheKey::Left(lid, left_tag),
+                                    &cfg.cancel,
+                                    || {
                                         let st = fetch(lid, &mut delta)?;
                                         let size = st.encoded_size() as u64;
                                         let _build = cfg.obs.spans.span_with(|| {
@@ -260,26 +261,39 @@ pub fn indexed_join_cached(
                                             counters,
                                             cfg.work_factor,
                                         )?;
-                                        cache.put(lid, CachedEntry::Left(j.clone()), size);
-                                        j
-                                    }
+                                        Ok((CachedEntry::Left(Arc::new(j)), size))
+                                    },
+                                )?;
+                                if was_hit {
+                                    delta.cache_hits += 1;
+                                } else {
+                                    delta.cache_misses += 1;
+                                }
+                                let CachedEntry::Left(joiner) = entry else {
+                                    return Err(Error::Cluster(
+                                        "left cache key resolved to a right entry".into(),
+                                    ));
                                 };
-                                // Right side: cached sub-table or fetch.
-                                let rst = match cache.get(&rid) {
-                                    Some(CachedEntry::Right(st)) => {
-                                        delta.cache_hits += 1;
-                                        st.clone()
-                                    }
-                                    _ => {
-                                        delta.cache_misses += 1;
+                                // Right side: shared-cache sub-table.
+                                let (entry, was_hit) = cache.get_or_build(
+                                    node_idx,
+                                    CacheKey::Right(rid),
+                                    &cfg.cancel,
+                                    || {
                                         let st = fetch(rid, &mut delta)?;
-                                        cache.put(
-                                            rid,
-                                            CachedEntry::Right(st.clone()),
-                                            st.encoded_size() as u64,
-                                        );
-                                        st
-                                    }
+                                        let size = st.encoded_size() as u64;
+                                        Ok((CachedEntry::Right(Arc::new(st)), size))
+                                    },
+                                )?;
+                                if was_hit {
+                                    delta.cache_hits += 1;
+                                } else {
+                                    delta.cache_misses += 1;
+                                }
+                                let CachedEntry::Right(rst) = entry else {
+                                    return Err(Error::Cluster(
+                                        "right cache key resolved to a left entry".into(),
+                                    ));
                                 };
                                 let produced = {
                                     let _probe = cfg

@@ -30,12 +30,12 @@ pub mod reference;
 pub mod schedule;
 pub mod sim_exec;
 
-pub use cache::{CacheService, CachedEntry};
+pub use cache::{left_key_tag, CacheKey, CacheService, CachedEntry};
 pub use connectivity::{ConnectivityGraph, ConnectivityStats};
 pub use grace::{grace_hash_join, GraceHashConfig};
 pub use hash_join::{HashJoiner, JoinCounters};
 pub use indexed::{indexed_join, indexed_join_cached, IndexedJoinConfig, JoinOutput};
-pub use lru::LruCache;
+pub use lru::{CacheStats, LruCache};
 pub use schedule::SchedulePolicy;
 pub use sim_exec::{
     simulate_grace_hash, simulate_indexed_join, simulate_indexed_join_with_cache, SimBreakdown,

@@ -12,6 +12,37 @@
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 
+/// Named cache counters — replaces the old undocumented
+/// `(hits, misses, evictions)` tuple so call sites can't transpose
+/// fields silently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build/fetch the value.
+    pub misses: u64,
+    /// Entries displaced to stay within the byte capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups: every lookup is either a hit or a miss, so
+    /// `hits + misses == lookups()` is the balance invariant the
+    /// concurrency harness asserts.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
 /// A byte-capacity LRU cache.
 pub struct LruCache<K, V> {
     capacity: u64,
@@ -46,6 +77,19 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Look up `key`, refreshing its recency. Records a hit or miss.
     pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.entries.contains_key(key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.touch(key)
+    }
+
+    /// Look up `key`, refreshing its recency *without* touching the
+    /// hit/miss counters. The single-flight cache service uses this so a
+    /// waiter that re-checks after a peer's fetch completes does not count
+    /// a second lookup.
+    pub fn touch(&mut self, key: &K) -> Option<&V> {
         let tick = self.tick + 1;
         match self.entries.get_mut(key) {
             Some((_, _, last)) => {
@@ -53,13 +97,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 self.recency.remove(last);
                 *last = tick;
                 self.recency.insert(tick, key.clone());
-                self.hits += 1;
                 self.entries.get(key).map(|(v, _, _)| v)
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            None => None,
         }
     }
 
@@ -118,9 +158,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.entries.is_empty()
     }
 
-    /// `(hits, misses, evictions)` counters.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (self.hits, self.misses, self.evictions)
+    /// Named lookup/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
     }
 }
 
@@ -134,7 +178,9 @@ mod tests {
         assert!(c.get(&1).is_none());
         c.put(1, "a", 10);
         assert_eq!(c.get(&1), Some(&"a"));
-        assert_eq!(c.stats(), (1, 1, 0));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert_eq!(s.lookups(), 2);
         assert_eq!(c.used(), 10);
         assert_eq!(c.len(), 1);
     }
@@ -152,7 +198,7 @@ mod tests {
         assert!(c.peek(&1).is_some());
         assert!(c.peek(&3).is_some());
         assert!(c.peek(&4).is_some());
-        assert_eq!(c.stats().2, 1);
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]
@@ -197,7 +243,23 @@ mod tests {
         c.put(3, (), 10);
         assert!(c.peek(&1).is_none());
         assert!(c.peek(&2).is_some());
-        let (h, m, _) = c.stats();
-        assert_eq!((h, m), (0, 0), "peek not counted");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "peek not counted");
+    }
+
+    #[test]
+    fn touch_refreshes_recency_without_counting() {
+        let mut c: LruCache<u32, ()> = LruCache::new(20);
+        c.put(1, (), 10);
+        c.put(2, (), 10);
+        // Touch 1 (uncounted refresh), then insert: 2 is now the LRU.
+        assert!(c.touch(&1).is_some());
+        assert!(c.touch(&9).is_none());
+        c.put(3, (), 10);
+        assert!(c.peek(&2).is_none(), "2 was LRU after the touch");
+        assert!(c.peek(&1).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "touch not counted");
+        assert_eq!(s.hit_rate(), 0.0);
     }
 }

@@ -11,7 +11,7 @@
 //! |------|-----------|
 //! | L001 | runtime paths return typed `Error`, never `unwrap`/`expect`/`panic!` |
 //! | L002 | every sleep goes through the cancellable 250 ms slice helper |
-//! | L003 | no Mutex guard held across a send/sleep/file-I/O in join+cluster |
+//! | L003 | no lock guard held across a send/sleep/file-I/O in join+cluster+query |
 //! | L004 | file writes only on checksummed paths (persist/scratch/obs) |
 //! | L005 | obs event/span names come from `orv-obs::names`, not literals |
 //! | L006 | no ambient clock/randomness outside obs + pacing + deadlines |
@@ -204,16 +204,24 @@ fn l002_no_bare_sleep(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// L003 — in `crates/join` and `crates/cluster`, a `let`-bound Mutex
-/// guard must not stay live across a channel send, a sleep, or file I/O.
+/// L003 — in `crates/join`, `crates/cluster` and `crates/query`, a
+/// `let`-bound lock guard must not stay live across a channel send, a
+/// sleep, or file I/O.
 ///
-/// The GH interconnect and the IJ LRU cache both run under worker-shared
-/// locks; holding one across a blocking call turns a slow peer into a
-/// stalled cluster. Heuristic: a guard is born at
-/// `let [mut] NAME = <brace-free expr containing .lock()>;` and dies at
+/// The GH interconnect, the IJ Caching Service and the QueryService's
+/// admission queue all run under worker-shared locks; holding one
+/// across a blocking call turns a slow peer into a stalled cluster.
+/// Heuristic: a guard is born at
+/// `let [mut] NAME = <brace-free expr containing .lock()>;`, or at a
+/// statement-final `.read();` / `.write();` (the RwLock catalog
+/// pattern — chained temporaries like `.read().get(n).cloned();` die
+/// inside their own statement and are not guards), and dies at
 /// `drop(NAME)` or when its enclosing brace scope closes.
 fn l003_no_guard_across_blocking(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if !(ctx.in_dir("crates/join/src/") || ctx.in_dir("crates/cluster/src/")) {
+    if !(ctx.in_dir("crates/join/src/")
+        || ctx.in_dir("crates/cluster/src/")
+        || ctx.in_dir("crates/query/src/"))
+    {
         return;
     }
     struct Guard {
@@ -253,6 +261,18 @@ fn l003_no_guard_across_blocking(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                         {
                             has_lock = true;
                         }
+                        // RwLock guards: only the statement-final
+                        // `.read();` / `.write();` binds one — a chained
+                        // `.read().get(..)` is a temporary that dies
+                        // inside the statement.
+                        TokKind::Punct('.')
+                            if (ctx.ident_at(k + 1, "read") || ctx.ident_at(k + 1, "write"))
+                                && ctx.punct_at(k + 2, '(')
+                                && ctx.punct_at(k + 3, ')')
+                                && ctx.punct_at(k + 4, ';') =>
+                        {
+                            has_lock = true;
+                        }
                         _ => {}
                     }
                     k += 1;
@@ -284,7 +304,7 @@ fn l003_no_guard_across_blocking(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                     .min()
                     .unwrap_or(ctx.code[i].line);
                 push(out, ctx, ctx.code[i].line, "L003", format!(
-                    "{what} while Mutex guard `{}` (taken line {born}) is live; drop or scope the guard first — a blocked holder stalls every peer on the interconnect",
+                    "{what} while lock guard `{}` (taken line {born}) is live; drop or scope the guard first — a blocked holder stalls every peer on the interconnect",
                     held.join("`, `")));
                 // One finding per hazard site is enough; clear to avoid
                 // cascading duplicates for the same held guard.
@@ -510,11 +530,37 @@ mod tests {
     }
 
     #[test]
-    fn l003_only_in_join_and_cluster() {
+    fn l003_watches_join_cluster_and_query_only() {
         let src = "fn f() {\n    let g = state.lock();\n    tx.send(msg);\n}\n";
-        assert!(findings("crates/query/src/x.rs", src)
-            .iter()
-            .all(|d| d.rule != "L003"));
+        assert_eq!(
+            findings("crates/query/src/x.rs", src)
+                .iter()
+                .filter(|d| d.rule == "L003")
+                .count(),
+            1,
+            "the service layer's locks are watched too"
+        );
+        for outside in ["crates/costmodel/src/x.rs", "crates/obs/src/x.rs"] {
+            assert!(findings(outside, src).iter().all(|d| d.rule != "L003"));
+        }
+    }
+
+    #[test]
+    fn l003_rwlock_guard_across_send_fires() {
+        let src = "fn f() {\n    let cat = self.catalog.read();\n    tx.send(cat.names());\n}\n";
+        let hits = findings("crates/query/src/x.rs", src);
+        assert_eq!(hits.iter().filter(|d| d.rule == "L003").count(), 1);
+        assert!(hits[0].message.contains("cat"));
+    }
+
+    #[test]
+    fn l003_chained_rwlock_temporary_is_not_a_guard() {
+        // The engine's catalog idiom: the read guard is a temporary that
+        // dies at the end of the statement, so later blocking calls are
+        // fine.
+        let src = "fn f() {\n    let view = self.catalog.read().get(name).cloned();\n    tx.send(view);\n}\n";
+        let hits = findings("crates/query/src/x.rs", src);
+        assert!(hits.iter().all(|d| d.rule != "L003"), "{hits:?}");
     }
 
     #[test]

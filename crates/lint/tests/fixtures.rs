@@ -17,6 +17,8 @@ fn assert_clean(path: &str, src: &str) {
 
 // A runtime path no rule allowlists, in a crate L003 watches.
 const JOIN_PATH: &str = "crates/join/src/fixture.rs";
+// The service layer: L003 watches its RwLock catalog + queue locks.
+const QUERY_PATH: &str = "crates/query/src/fixture.rs";
 
 #[test]
 fn l001_panics_positive_negative_suppressed() {
@@ -89,6 +91,38 @@ fn l003_guard_across_blocking_positive_negative_suppressed() {
     assert_clean(
         JOIN_PATH,
         "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n    let g = m.lock();\n    // orv-lint: allow(L003) -- fixture: bounded channel is never full here\n    tx.send(*g);\n}",
+    );
+}
+
+#[test]
+fn l003_rwlock_catalog_pattern_positive_negative_suppressed() {
+    // The service layer is watched: a statement-final `.read();` binds a
+    // catalog guard, and holding it across a send fires.
+    let hold = "fn f(&self, tx: &Sender<Vec<String>>) {\n    let cat = self.catalog.read();\n    tx.send(cat.names());\n}";
+    assert_eq!(fired(QUERY_PATH, hold), ["L003"]);
+    // A write guard is a guard too.
+    assert_eq!(
+        fired(
+            QUERY_PATH,
+            "fn f(&self, tx: &Sender<u32>) {\n    let mut cat = self.catalog.write();\n    tx.send(cat.register(v));\n}"
+        ),
+        ["L003"]
+    );
+    // The engine's sanctioned idiom: chain off the temporary guard so it
+    // dies inside the statement, then block freely.
+    assert_clean(
+        QUERY_PATH,
+        "fn f(&self, tx: &Sender<Option<ViewDef>>) {\n    let view = self.catalog.read().get(name).cloned();\n    tx.send(view);\n}",
+    );
+    // Scoping the guard out before blocking is also clean…
+    assert_clean(
+        QUERY_PATH,
+        "fn f(&self, tx: &Sender<Vec<String>>) {\n    let names = {\n        let cat = self.catalog.read();\n        cat.names()\n    };\n    tx.send(names);\n}",
+    );
+    // …and a documented suppression still works.
+    assert_clean(
+        QUERY_PATH,
+        "fn f(&self, tx: &Sender<Vec<String>>) {\n    let cat = self.catalog.read();\n    // orv-lint: allow(L003) -- fixture: rendezvous channel, receiver never blocks\n    tx.send(cat.names());\n}",
     );
 }
 

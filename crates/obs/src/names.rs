@@ -22,6 +22,26 @@ pub const FAULT_INJECTED: &str = "fault_injected";
 /// Event: a checksum boundary caught corrupted bytes.
 pub const CORRUPTION_DETECTED: &str = "corruption_detected";
 
+/// Counter: shared-cache lookups answered from the cache.
+pub const CACHE_HITS: &str = "cache/hits";
+/// Counter: shared-cache lookups that had to fetch/build.
+pub const CACHE_MISSES: &str = "cache/misses";
+/// Counter: shared-cache entries displaced to stay within capacity.
+pub const CACHE_EVICTIONS: &str = "cache/evictions";
+/// Counter: total shared-cache lookups (hits + misses must equal this).
+pub const CACHE_LOOKUPS: &str = "cache/lookups";
+
+/// Counter: queries handed to the service (admitted + rejected).
+pub const SERVICE_SUBMITTED: &str = "service/submitted";
+/// Counter: queries accepted past admission control.
+pub const SERVICE_ADMITTED: &str = "service/admitted";
+/// Counter: queries rejected with `Error::Overloaded` at the queue cap.
+pub const SERVICE_REJECTED: &str = "service/rejected";
+/// Counter: admitted queries that ran to a result (ok or error).
+pub const SERVICE_COMPLETED: &str = "service/completed";
+/// Counter: admitted queries that ended in `Cancelled`/`DeadlineExceeded`.
+pub const SERVICE_CANCELLED: &str = "service/cancelled";
+
 /// Span: query planning inside the engine.
 pub const ENGINE_PLAN: &str = "engine/plan";
 /// Span: end-to-end plan execution inside the engine.

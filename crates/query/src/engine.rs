@@ -9,11 +9,12 @@ use crate::plan::{PlanExplain, Planner};
 use orv_bds::Deployment;
 use orv_cluster::{CancelToken, ClusterSpec, FaultInjector};
 use orv_join::{
-    grace_hash_join, indexed_join, indexed_join_cached, CacheService, GraceHashConfig,
+    grace_hash_join, indexed_join, indexed_join_cached, CacheService, CacheStats, GraceHashConfig,
     IndexedJoinConfig, JoinAlgorithm, JoinOutput,
 };
 use orv_obs::{names, Obs};
 use orv_types::{Error, Record, Result};
+use parking_lot::{RwLock, RwLockReadGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -56,9 +57,10 @@ impl Catalog {
         self.views.get(name)
     }
 
-    /// Registered view names.
-    pub fn names(&self) -> Vec<&str> {
-        self.views.keys().map(|s| s.as_str()).collect()
+    /// Registered view names (owned, so callers can drop the catalog
+    /// lock before using them).
+    pub fn names(&self) -> Vec<String> {
+        self.views.keys().cloned().collect()
     }
 }
 
@@ -84,16 +86,23 @@ impl QueryResult {
 }
 
 /// The full engine a client talks to.
+///
+/// Every execution entry point takes `&self`: the catalog sits behind a
+/// `RwLock`, the Caching Service is internally synchronized, and all
+/// per-query state (cancel token, plan, join output) lives on the
+/// caller's stack — so one engine can serve many concurrent clients
+/// (see [`crate::service::QueryService`]).
 pub struct QueryEngine {
     deployment: Deployment,
-    catalog: Catalog,
+    catalog: RwLock<Catalog>,
     planner: Planner,
     n_compute: usize,
     force: Option<JoinAlgorithm>,
     /// The Caching Service: keeps unconstrained view scans warm across
-    /// queries (IJ only; constrained scans use a query-lifetime cache
-    /// because cached sub-tables are stored post-filter).
-    cache: CacheService,
+    /// queries *and* across concurrent clients (IJ only; constrained
+    /// scans use a query-lifetime cache because cached sub-tables are
+    /// stored post-filter).
+    cache: Arc<CacheService>,
     cache_capacity: u64,
     obs: Obs,
     /// Optional fault injector handed down to every join execution
@@ -113,11 +122,11 @@ impl QueryEngine {
         let cache_capacity = 256 << 20;
         QueryEngine {
             deployment,
-            catalog: Catalog::new(),
+            catalog: RwLock::new(Catalog::new()),
             planner: Planner::new(spec),
             n_compute: n,
             force: None,
-            cache: CacheService::new(n, cache_capacity),
+            cache: Arc::new(CacheService::new(n, cache_capacity)),
             cache_capacity,
             obs: Obs::disabled(),
             faults: None,
@@ -143,7 +152,7 @@ impl QueryEngine {
     /// Use a specific cluster description for planning.
     pub fn with_cluster(mut self, spec: ClusterSpec) -> Self {
         self.n_compute = spec.n_compute;
-        self.cache = CacheService::new(self.n_compute, self.cache_capacity);
+        self.cache = Arc::new(CacheService::new(self.n_compute, self.cache_capacity));
         self.planner = Planner::new(spec);
         self
     }
@@ -151,13 +160,19 @@ impl QueryEngine {
     /// Resize the Caching Service (bytes per compute node).
     pub fn with_cache_capacity(mut self, bytes: u64) -> Self {
         self.cache_capacity = bytes;
-        self.cache = CacheService::new(self.n_compute, bytes);
+        self.cache = Arc::new(CacheService::new(self.n_compute, bytes));
         self
     }
 
-    /// Aggregate `(hits, misses, evictions)` of the Caching Service.
-    pub fn cache_stats(&self) -> (u64, u64, u64) {
+    /// Named hit/miss/eviction counters of the Caching Service.
+    pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The engine's shared Caching Service (one instance across all
+    /// concurrent queries).
+    pub fn shared_cache(&self) -> Arc<CacheService> {
+        Arc::clone(&self.cache)
     }
 
     /// Override the planner (e.g. calibrated γ values).
@@ -193,14 +208,15 @@ impl QueryEngine {
         &self.deployment
     }
 
-    /// The view catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Read access to the view catalog. The returned guard holds the
+    /// catalog read lock — drop it before executing statements.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.catalog.read()
     }
 
     /// Parse and execute one statement. When a query deadline is set, a
     /// fresh deadline-bearing token covers this statement.
-    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         let cancel = match self.query_deadline {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::none(),
@@ -213,7 +229,7 @@ impl QueryEngine {
     /// backoff and throttle sleeps, so cancelling it (or passing its
     /// deadline) unwinds the statement within one sleep slice with a
     /// typed [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
-    pub fn execute_cancellable(&mut self, sql: &str, cancel: &CancelToken) -> Result<QueryResult> {
+    pub fn execute_cancellable(&self, sql: &str, cancel: &CancelToken) -> Result<QueryResult> {
         cancel.check()?;
         match parse_statement(sql)? {
             Statement::CreateView(view) => {
@@ -224,17 +240,18 @@ impl QueryEngine {
         }
     }
 
-    fn create_view(&mut self, view: ViewDef) -> Result<()> {
+    fn create_view(&self, view: ViewDef) -> Result<()> {
         let md = self.deployment.metadata();
         let q = &view.query;
         // Validate the FROM clause: either a base table or an existing
-        // view (DDSs layer on BDSs or other DDSs).
-        let from_is_view = self.catalog.get(&q.from).is_some();
+        // view (DDSs layer on BDSs or other DDSs). The read lock covers
+        // only the in-memory name checks, never the metadata calls.
+        let from_is_view = self.catalog.read().get(&q.from).is_some();
         if !from_is_view {
             md.table_id(&q.from)?;
         }
         if let Some(join) = &q.join {
-            if from_is_view || self.catalog.get(&join.table).is_some() {
+            if from_is_view || self.catalog.read().get(&join.table).is_some() {
                 return Err(Error::Plan(
                     "join inputs must be base tables; layer a non-join view on top instead".into(),
                 ));
@@ -248,13 +265,16 @@ impl QueryEngine {
                 rschema.require(attr)?;
             }
         }
-        self.catalog.register(view)
+        // `register` re-checks for duplicates under the write lock, so
+        // two concurrent CREATE VIEWs of the same name race safely: one
+        // wins, the other gets the duplicate error.
+        self.catalog.write().register(view)
     }
 
     /// Materialize the FROM (+ JOIN) part of `query` with its predicates
     /// applied, resolving views recursively.
     fn resolve_source(
-        &mut self,
+        &self,
         query: &Query,
         cancel: &CancelToken,
     ) -> Result<(Vec<String>, Vec<Record>, Option<PlanExplain>)> {
@@ -262,7 +282,10 @@ impl QueryEngine {
         if let Some(join) = &query.join {
             return self.run_join(&query.from, &join.table, &join.on, range, cancel);
         }
-        if let Some(view) = self.catalog.get(&query.from).cloned() {
+        // Clone the view definition out so the catalog read lock is not
+        // held across the (potentially long, blocking) execution below.
+        let view = self.catalog.read().get(&query.from).cloned();
+        if let Some(view) = view {
             if view.query.is_plain_join() {
                 // Pushable DDS: merge the view's baked-in predicates with
                 // the outer ones and run the distributed join directly.
@@ -294,17 +317,20 @@ impl QueryEngine {
     /// Run a distributed join between two base tables, letting the QPS
     /// pick the QES.
     fn run_join(
-        &mut self,
+        &self,
         left_name: &str,
         right_name: &str,
         on: &[String],
         range: Option<orv_types::BoundingBox>,
         cancel: &CancelToken,
     ) -> Result<(Vec<String>, Vec<Record>, Option<PlanExplain>)> {
-        if self.catalog.get(left_name).is_some() || self.catalog.get(right_name).is_some() {
-            return Err(Error::Plan(
-                "join inputs must be base tables; layer a non-join view on top instead".into(),
-            ));
+        {
+            let catalog = self.catalog.read();
+            if catalog.get(left_name).is_some() || catalog.get(right_name).is_some() {
+                return Err(Error::Plan(
+                    "join inputs must be base tables; layer a non-join view on top instead".into(),
+                ));
+            }
         }
         let md = self.deployment.metadata();
         let left = md.table_id(left_name)?;
@@ -404,6 +430,7 @@ impl QueryEngine {
         };
         drop(_exec);
         md.publish_into(&self.obs.metrics);
+        self.cache.publish_into(&self.obs.metrics);
         let joined_schema = md.schema(left)?.join(md.schema(right)?.as_ref(), &attrs)?;
         let mut rows = output.records.ok_or_else(|| {
             Error::Plan("join output missing records despite collect_results".into())
@@ -412,7 +439,7 @@ impl QueryEngine {
         Ok((column_names(&joined_schema), rows, Some(plan)))
     }
 
-    fn select(&mut self, query: &Query, cancel: &CancelToken) -> Result<QueryResult> {
+    fn select(&self, query: &Query, cancel: &CancelToken) -> Result<QueryResult> {
         let has_agg = query
             .select
             .iter()
@@ -459,7 +486,7 @@ mod tests {
 
     #[test]
     fn base_table_range_query() {
-        let mut e = engine();
+        let e = engine();
         let r = e
             .execute("SELECT * FROM t1 WHERE x IN [0, 3] AND y IN [0, 1]")
             .unwrap();
@@ -470,7 +497,7 @@ mod tests {
 
     #[test]
     fn view_join_and_query() {
-        let mut e = engine();
+        let e = engine();
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
         let r = e.execute("SELECT * FROM v1").unwrap();
@@ -485,7 +512,7 @@ mod tests {
 
     #[test]
     fn view_with_baked_in_predicate() {
-        let mut e = engine();
+        let e = engine();
         e.execute("CREATE VIEW vsmall AS SELECT * FROM t1 JOIN t2 ON (x, y, z) WHERE x IN [0, 1]")
             .unwrap();
         let r = e.execute("SELECT * FROM vsmall").unwrap();
@@ -497,7 +524,7 @@ mod tests {
 
     #[test]
     fn aggregation_over_view() {
-        let mut e = engine();
+        let e = engine();
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
         let r = e
@@ -515,9 +542,9 @@ mod tests {
 
     #[test]
     fn forced_algorithms_agree() {
-        let mut ij = engine().force_algorithm(Some(JoinAlgorithm::IndexedJoin));
-        let mut gh = engine().force_algorithm(Some(JoinAlgorithm::GraceHash));
-        for e in [&mut ij, &mut gh] {
+        let ij = engine().force_algorithm(Some(JoinAlgorithm::IndexedJoin));
+        let gh = engine().force_algorithm(Some(JoinAlgorithm::GraceHash));
+        for e in [&ij, &gh] {
             e.execute("CREATE VIEW v AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
                 .unwrap();
         }
@@ -528,7 +555,7 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        let mut e = engine();
+        let e = engine();
         assert!(e.execute("SELECT * FROM nope").is_err());
         assert!(e
             .execute("CREATE VIEW v AS SELECT * FROM t1 JOIN t2 ON (bogus)")
@@ -543,7 +570,7 @@ mod tests {
 
     #[test]
     fn order_by_and_limit() {
-        let mut e = engine();
+        let e = engine();
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
         let r = e
@@ -567,7 +594,7 @@ mod tests {
 
     #[test]
     fn direct_join_query_without_view() {
-        let mut e = engine();
+        let e = engine();
         let r = e
             .execute("SELECT * FROM t1 JOIN t2 ON (x, y, z) WHERE x IN [0, 1]")
             .unwrap();
@@ -577,7 +604,7 @@ mod tests {
 
     #[test]
     fn layered_dds_aggregation_view() {
-        let mut e = engine();
+        let e = engine();
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
         // A DDS over a DDS: per-x profile of the join view.
@@ -603,7 +630,7 @@ mod tests {
 
     #[test]
     fn projection_view_layers_and_filters() {
-        let mut e = engine();
+        let e = engine();
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
         e.execute("CREATE VIEW slim AS SELECT x, wp FROM v1")
@@ -616,7 +643,7 @@ mod tests {
 
     #[test]
     fn join_over_view_is_rejected_with_guidance() {
-        let mut e = engine();
+        let e = engine();
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
         let err = e
@@ -629,17 +656,21 @@ mod tests {
 
     #[test]
     fn caching_service_warms_across_queries() {
-        let mut e = engine().force_algorithm(Some(JoinAlgorithm::IndexedJoin));
+        let e = engine().force_algorithm(Some(JoinAlgorithm::IndexedJoin));
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
         let a = e.execute("SELECT COUNT(*) FROM v1").unwrap();
-        let (h1, m1, _) = e.cache_stats();
-        assert!(m1 > 0, "cold run must miss");
+        let cold = e.cache_stats();
+        assert!(cold.misses > 0, "cold run must miss");
         let b = e.execute("SELECT COUNT(*) FROM v1").unwrap();
-        let (h2, m2, _) = e.cache_stats();
+        let warm = e.cache_stats();
         assert_eq!(a.rows, b.rows);
-        assert_eq!(m2, m1, "warm run must not miss again");
-        assert!(h2 > h1, "warm run must hit the Caching Service");
+        assert_eq!(warm.misses, cold.misses, "warm run must not miss again");
+        assert!(
+            warm.hits > cold.hits,
+            "warm run must hit the Caching Service"
+        );
+        assert_eq!(warm.lookups(), warm.hits + warm.misses);
         // Constrained queries bypass the shared cache and stay correct.
         let c = e
             .execute("SELECT COUNT(*) FROM v1 WHERE x IN [0, 3]")
@@ -652,7 +683,7 @@ mod tests {
     #[test]
     fn observed_engine_emits_choice_events_and_spans() {
         let obs = orv_obs::Obs::enabled();
-        let mut e = engine().with_obs(obs.clone());
+        let e = engine().with_obs(obs.clone());
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
         let r = e.execute("SELECT * FROM v1").unwrap();
@@ -674,7 +705,7 @@ mod tests {
 
     #[test]
     fn projection_from_view() {
-        let mut e = engine();
+        let e = engine();
         e.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
         let r = e.execute("SELECT wp, oilp FROM v1 WHERE x = 0").unwrap();
@@ -689,7 +720,7 @@ mod tests {
         silence_injected_panics();
 
         // Oracle: a clean engine, and the algorithm its planner picks.
-        let mut clean = engine();
+        let clean = engine();
         let oracle = clean
             .execute("SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap();
@@ -710,7 +741,7 @@ mod tests {
             ..Default::default()
         };
         let obs = orv_obs::Obs::enabled();
-        let mut chaotic = engine()
+        let chaotic = engine()
             .with_obs(obs.clone())
             .with_faults(FaultInjector::new(plan));
         let r = chaotic
@@ -752,7 +783,7 @@ mod tests {
             max_faults: 64,
             ..Default::default()
         };
-        let mut e = engine()
+        let e = engine()
             .force_algorithm(Some(JoinAlgorithm::IndexedJoin))
             .with_faults(FaultInjector::new(plan));
         let err = e
@@ -763,7 +794,7 @@ mod tests {
 
     #[test]
     fn cancelled_statement_returns_cancelled() {
-        let mut e = engine();
+        let e = engine();
         let cancel = CancelToken::new();
         cancel.cancel();
         let err = e
@@ -774,13 +805,13 @@ mod tests {
 
     #[test]
     fn expired_query_deadline_returns_deadline_exceeded() {
-        let mut e = engine().with_query_deadline(Duration::ZERO);
+        let e = engine().with_query_deadline(Duration::ZERO);
         let err = e
             .execute("SELECT * FROM t1 JOIN t2 ON (x, y, z)")
             .unwrap_err();
         assert!(matches!(err, Error::DeadlineExceeded), "{err}");
         // A generous deadline leaves execution untouched.
-        let mut e = engine().with_query_deadline(Duration::from_secs(300));
+        let e = engine().with_query_deadline(Duration::from_secs(300));
         let r = e.execute("SELECT COUNT(*) FROM t1").unwrap();
         assert_eq!(r.rows.len(), 1);
     }

@@ -37,8 +37,10 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod service;
 
 pub use ast::{AggFunc, JoinClause, Query, RangePred, SelectItem, Statement, ViewDef};
 pub use engine::{algorithm_slug, Catalog, QueryEngine, QueryResult};
 pub use parser::parse_statement;
 pub use plan::{PlanExplain, Planner};
+pub use service::{QueryService, QueryTicket, ServiceConfig, ServiceCounters};

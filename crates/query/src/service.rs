@@ -1,0 +1,558 @@
+//! The Query Processing Service's front door: concurrent query serving.
+//!
+//! The paper's QPS mediates queries from *many* clients over shared
+//! BDS/DDS sub-tables; [`QueryService`] is that layer. It wraps one
+//! [`QueryEngine`] (whose entry points all take `&self`) with:
+//!
+//! - a **bounded worker pool** — `workers` OS threads draining a FIFO
+//!   queue, so concurrency is capped no matter how many clients submit;
+//! - **admission control** — at most `queue_cap` queries may wait;
+//!   submissions past the cap are rejected immediately with a typed
+//!   [`Error::Overloaded`], never silently dropped or unboundedly queued;
+//! - **per-query cancellation + deadline** — every admitted query gets a
+//!   [`CancelToken`] (deadline-bearing when `default_deadline` is set).
+//!   Cancelling a *queued* query removes it from the queue and resolves
+//!   its ticket with [`Error::Cancelled`] immediately; cancelling a
+//!   *running* query unwinds it within one sleep slice.
+//!
+//! Every admission decision and completion is counted, both in cheap
+//! atomics ([`QueryService::counters`]) and in the engine's metrics
+//! registry under the [`orv_obs::names`] `service/*` names. The balance
+//! invariants the concurrency harness asserts:
+//!
+//! ```text
+//! submitted == admitted + rejected
+//! admitted  == completed + cancelled        (once all tickets resolve)
+//! ```
+
+use crate::engine::{QueryEngine, QueryResult};
+use orv_cluster::CancelToken;
+use orv_obs::names;
+use orv_types::{Error, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// The parking_lot shim has no Condvar; the queue and tickets block on
+// std primitives directly.
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+fn relock<T>(r: std::result::Result<T, PoisonError<T>>) -> T {
+    // Worker bodies never panic while holding these locks (the engine
+    // call runs unlocked), so recover the guard rather than poisoning
+    // every later client.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Admission and pool sizing for a [`QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue. `0` is allowed (nothing runs
+    /// until cancelled — deterministic admission tests use this).
+    pub workers: usize,
+    /// Maximum queries waiting in the queue; past it, submissions are
+    /// rejected with [`Error::Overloaded`].
+    pub queue_cap: usize,
+    /// Wall-clock budget stamped on every query submitted without a
+    /// caller-owned token.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_cap: 64,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Monotone admission/completion counters (see the module docs for the
+/// balance invariants).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Queries handed to [`QueryService::submit`].
+    pub submitted: u64,
+    /// Queries accepted into the queue.
+    pub admitted: u64,
+    /// Queries rejected at the admission cap.
+    pub rejected: u64,
+    /// Admitted queries that ran to a non-cancellation result (ok or
+    /// typed error).
+    pub completed: u64,
+    /// Admitted queries resolved by cancellation or deadline.
+    pub cancelled: u64,
+}
+
+impl ServiceCounters {
+    /// `submitted == admitted + rejected` — true at every instant.
+    pub fn admission_balances(&self) -> bool {
+        self.submitted == self.admitted + self.rejected
+    }
+
+    /// `admitted == completed + cancelled` — true once every admitted
+    /// ticket has resolved.
+    pub fn completion_balances(&self) -> bool {
+        self.admitted == self.completed + self.cancelled
+    }
+}
+
+/// One queued query's rendezvous cell: the worker (or the queue-side
+/// cancel path) publishes exactly one result; the ticket waits on it.
+struct Slot {
+    result: Mutex<Option<Result<QueryResult>>>,
+    /// Set (under the `result` lock) when the slot is resolved; stays
+    /// set after a waiter takes the result, so a late second resolver
+    /// can never re-complete an already-consumed slot.
+    resolved: AtomicBool,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            resolved: AtomicBool::new(false),
+            done: Condvar::new(),
+        })
+    }
+}
+
+struct Job {
+    sql: String,
+    cancel: CancelToken,
+    slot: Arc<Slot>,
+}
+
+struct Inner {
+    engine: QueryEngine,
+    cfg: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+impl Inner {
+    fn count(&self, which: &AtomicU64, name: &str) {
+        which.fetch_add(1, Ordering::Relaxed);
+        self.engine.obs().metrics.counter(name).add(1);
+    }
+
+    /// Resolve a finished (or cancelled) job: count it, then publish the
+    /// result into the slot. First resolver wins (e.g. a worker finishing
+    /// a query whose ticket was already resolved by queue-side
+    /// cancellation loses), so each admitted query is counted exactly
+    /// once — and the count lands *before* the waiter can observe the
+    /// result, keeping `admitted == completed + cancelled` exact at the
+    /// moment any ticket resolves.
+    fn resolve(&self, slot: &Slot, result: Result<QueryResult>) {
+        let is_cancel = result.as_ref().err().is_some_and(Error::is_cancellation);
+        let mut cell = relock(slot.result.lock());
+        if slot.resolved.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if is_cancel {
+            self.count(&self.cancelled, names::SERVICE_CANCELLED);
+        } else {
+            self.count(&self.completed, names::SERVICE_COMPLETED);
+        }
+        *cell = Some(result);
+        slot.done.notify_all();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = relock(self.queue.lock());
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = relock(self.work.wait(queue));
+                }
+            };
+            // A queued query may already be cancelled (or past deadline)
+            // by the time a worker reaches it — resolve without running.
+            let result = match job.cancel.check() {
+                Ok(()) => self.engine.execute_cancellable(&job.sql, &job.cancel),
+                Err(e) => Err(e),
+            };
+            self.resolve(&job.slot, result);
+        }
+    }
+}
+
+/// Handle to one submitted query.
+pub struct QueryTicket {
+    slot: Arc<Slot>,
+    cancel: CancelToken,
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for QueryTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let resolved = relock(self.slot.result.lock()).is_some();
+        f.debug_struct("QueryTicket")
+            .field("resolved", &resolved)
+            .finish()
+    }
+}
+
+impl QueryTicket {
+    /// This query's cancel token (shareable; cancelling it cancels the
+    /// query).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Cancel the query. If it is still queued it resolves with
+    /// [`Error::Cancelled`] immediately (no worker involved); if it is
+    /// running, the token unwinds it within one sleep slice.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+        // Pull the job out of the queue if a worker hasn't claimed it.
+        let removed = {
+            let mut queue = relock(self.inner.queue.lock());
+            match queue
+                .iter()
+                .position(|job| Arc::ptr_eq(&job.slot, &self.slot))
+            {
+                Some(i) => queue.remove(i),
+                None => None,
+            }
+        };
+        if removed.is_some() {
+            self.inner.resolve(&self.slot, Err(Error::Cancelled));
+        }
+    }
+
+    /// Block until the query resolves.
+    pub fn wait(self) -> Result<QueryResult> {
+        let mut cell = relock(self.slot.result.lock());
+        loop {
+            if let Some(result) = cell.take() {
+                return result;
+            }
+            cell = relock(self.slot.done.wait(cell));
+        }
+    }
+
+    /// Block up to `timeout`; `None` if the query is still in flight
+    /// (the ticket remains usable).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResult>> {
+        // Wall-clock here only caps how long the *caller* blocks; it never
+        // steers query execution, so seeded replays are unaffected (same
+        // role as CancelToken deadlines).
+        // orv-lint: allow(L006) -- client-side wait bound, not runtime control flow
+        let deadline = std::time::Instant::now() + timeout;
+        let mut cell = relock(self.slot.result.lock());
+        loop {
+            if let Some(result) = cell.take() {
+                return Some(result);
+            }
+            // orv-lint: allow(L006) -- client-side wait bound, not runtime control flow
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = relock(self.slot.done.wait_timeout(cell, left));
+            cell = guard;
+        }
+    }
+}
+
+/// A concurrent query front-end over one shared [`QueryEngine`].
+///
+/// ```no_run
+/// use orv_query::{QueryEngine, service::{QueryService, ServiceConfig}};
+/// # fn demo(engine: QueryEngine) -> orv_types::Result<()> {
+/// let service = QueryService::new(engine, ServiceConfig::default())?;
+/// let ticket = service.submit("SELECT COUNT(*) FROM v1")?;
+/// let result = ticket.wait()?;
+/// # Ok(()) }
+/// ```
+pub struct QueryService {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Spawn the worker pool over `engine`.
+    pub fn new(engine: QueryEngine, cfg: ServiceConfig) -> Result<Self> {
+        if cfg.queue_cap == 0 {
+            return Err(Error::Config(
+                "query service needs queue_cap >= 1 (everything would be rejected)".into(),
+            ));
+        }
+        let inner = Arc::new(Inner {
+            engine,
+            cfg: cfg.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        Ok(QueryService { inner, workers })
+    }
+
+    /// The wrapped engine (catalog inspection, cache stats, obs handle).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.inner.engine
+    }
+
+    /// Admission/completion counter snapshot.
+    pub fn counters(&self) -> ServiceCounters {
+        ServiceCounters {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submit one statement, stamping the configured default deadline.
+    pub fn submit(&self, sql: &str) -> Result<QueryTicket> {
+        let cancel = match self.inner.cfg.default_deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        self.submit_with_token(sql, cancel)
+    }
+
+    /// Submit with a caller-owned token (compose cancellation across
+    /// several queries, or attach a custom deadline).
+    pub fn submit_with_token(&self, sql: &str, cancel: CancelToken) -> Result<QueryTicket> {
+        let inner = &self.inner;
+        inner.count(&inner.submitted, names::SERVICE_SUBMITTED);
+        let slot = Slot::new();
+        {
+            let mut queue = relock(inner.queue.lock());
+            if queue.len() >= inner.cfg.queue_cap {
+                drop(queue);
+                inner.count(&inner.rejected, names::SERVICE_REJECTED);
+                return Err(Error::Overloaded(format!(
+                    "{} queued (cap {})",
+                    inner.cfg.queue_cap, inner.cfg.queue_cap
+                )));
+            }
+            queue.push_back(Job {
+                sql: sql.to_string(),
+                cancel: cancel.clone(),
+                slot: Arc::clone(&slot),
+            });
+        }
+        inner.count(&inner.admitted, names::SERVICE_ADMITTED);
+        inner.work.notify_one();
+        Ok(QueryTicket {
+            slot,
+            cancel,
+            inner: Arc::clone(inner),
+        })
+    }
+
+    /// Submit and wait — the synchronous convenience path.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.submit(sql)?.wait()
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Drain: anything still queued resolves as cancelled so no
+        // ticket-holder blocks forever on a dead service.
+        let drained: Vec<Job> = {
+            let mut queue = relock(self.inner.queue.lock());
+            queue.drain(..).collect()
+        };
+        for job in drained {
+            job.cancel.cancel();
+            self.inner.resolve(&job.slot, Err(Error::Cancelled));
+        }
+        self.inner.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orv_bds::{generate_dataset, DatasetSpec, Deployment};
+
+    fn engine() -> QueryEngine {
+        let d = Deployment::in_memory(1);
+        for (name, scalar, seed) in [("t1", "oilp", 1u64), ("t2", "wp", 2)] {
+            generate_dataset(
+                &DatasetSpec::builder(name)
+                    .grid([4, 4, 1])
+                    .partition([2, 2, 1])
+                    .scalar_attrs(&[scalar])
+                    .seed(seed)
+                    .build(),
+                &d,
+            )
+            .unwrap();
+        }
+        QueryEngine::new(d)
+    }
+
+    #[test]
+    fn execute_matches_direct_engine() {
+        let oracle = engine().execute("SELECT COUNT(*) FROM t1").unwrap();
+        let svc = QueryService::new(engine(), ServiceConfig::default()).unwrap();
+        let got = svc.execute("SELECT COUNT(*) FROM t1").unwrap();
+        assert_eq!(got.rows, oracle.rows);
+        let c = svc.counters();
+        assert_eq!((c.submitted, c.admitted, c.completed), (1, 1, 1));
+        assert!(c.admission_balances() && c.completion_balances());
+    }
+
+    #[test]
+    fn queue_cap_rejects_with_overloaded() {
+        // No workers: the queue fills deterministically.
+        let svc = QueryService::new(
+            engine(),
+            ServiceConfig {
+                workers: 0,
+                queue_cap: 2,
+                default_deadline: None,
+            },
+        )
+        .unwrap();
+        let t1 = svc.submit("SELECT * FROM t1").unwrap();
+        let t2 = svc.submit("SELECT * FROM t1").unwrap();
+        let err = svc.submit("SELECT * FROM t1").unwrap_err();
+        assert!(matches!(err, Error::Overloaded(_)), "{err}");
+        assert!(err.to_string().contains("cap 2"), "{err}");
+        let c = svc.counters();
+        assert_eq!((c.submitted, c.admitted, c.rejected), (3, 2, 1));
+        assert!(c.admission_balances());
+        // Cancelling a queued ticket resolves it without any worker.
+        t1.cancel();
+        assert!(matches!(t1.wait(), Err(Error::Cancelled)));
+        t2.cancel();
+        assert!(matches!(t2.wait(), Err(Error::Cancelled)));
+        let c = svc.counters();
+        assert_eq!(c.cancelled, 2);
+        assert!(c.completion_balances());
+    }
+
+    #[test]
+    fn rejected_submission_frees_no_queue_slot() {
+        let svc = QueryService::new(
+            engine(),
+            ServiceConfig {
+                workers: 0,
+                queue_cap: 1,
+                default_deadline: None,
+            },
+        )
+        .unwrap();
+        let t = svc.submit("SELECT * FROM t1").unwrap();
+        for _ in 0..3 {
+            assert!(matches!(
+                svc.submit("SELECT * FROM t1"),
+                Err(Error::Overloaded(_))
+            ));
+        }
+        // Cancelling the queued query frees its slot for a new admit.
+        t.cancel();
+        assert!(svc.submit("SELECT * FROM t1").is_ok());
+    }
+
+    #[test]
+    fn zero_queue_cap_is_a_config_error() {
+        let err = QueryService::new(
+            engine(),
+            ServiceConfig {
+                workers: 1,
+                queue_cap: 0,
+                default_deadline: None,
+            },
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn expired_default_deadline_resolves_as_deadline_exceeded() {
+        let svc = QueryService::new(
+            engine(),
+            ServiceConfig {
+                workers: 1,
+                queue_cap: 4,
+                default_deadline: Some(Duration::ZERO),
+            },
+        )
+        .unwrap();
+        let err = svc.execute("SELECT * FROM t1").unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded), "{err}");
+        let c = svc.counters();
+        assert_eq!((c.cancelled, c.completed), (1, 0));
+    }
+
+    #[test]
+    fn drop_drains_queued_tickets_as_cancelled() {
+        let svc = QueryService::new(
+            engine(),
+            ServiceConfig {
+                workers: 0,
+                queue_cap: 4,
+                default_deadline: None,
+            },
+        )
+        .unwrap();
+        let t1 = svc.submit("SELECT * FROM t1").unwrap();
+        let t2 = svc.submit("SELECT * FROM t1").unwrap();
+        drop(svc);
+        assert!(matches!(t1.wait(), Err(Error::Cancelled)));
+        assert!(matches!(t2.wait(), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn service_counters_flow_into_obs_registry() {
+        let svc = QueryService::new(
+            engine().with_obs(orv_obs::Obs::enabled()),
+            ServiceConfig {
+                workers: 1,
+                queue_cap: 4,
+                default_deadline: None,
+            },
+        )
+        .unwrap();
+        svc.execute("SELECT COUNT(*) FROM t1").unwrap();
+        let snap = svc.engine().obs().metrics.snapshot();
+        assert_eq!(
+            snap.counters.get(names::SERVICE_SUBMITTED).copied(),
+            Some(1)
+        );
+        assert_eq!(snap.counters.get(names::SERVICE_ADMITTED).copied(), Some(1));
+        assert_eq!(
+            snap.counters.get(names::SERVICE_COMPLETED).copied(),
+            Some(1)
+        );
+        assert_eq!(snap.counters.get(names::SERVICE_REJECTED).copied(), None);
+    }
+}

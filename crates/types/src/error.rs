@@ -30,6 +30,8 @@ pub enum Error {
     Cancelled,
     /// The query ran past its deadline.
     DeadlineExceeded,
+    /// Admission control rejected the query: the service's queue is full.
+    Overloaded(String),
 }
 
 impl fmt::Display for Error {
@@ -46,6 +48,7 @@ impl fmt::Display for Error {
             Error::Integrity(msg) => write!(f, "integrity error: {msg}"),
             Error::Cancelled => write!(f, "query cancelled"),
             Error::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            Error::Overloaded(msg) => write!(f, "service overloaded: {msg}"),
         }
     }
 }
@@ -113,6 +116,14 @@ mod tests {
         assert!(Error::Integrity("x".into())
             .to_string()
             .contains("integrity"));
+    }
+
+    #[test]
+    fn overloaded_is_typed_and_descriptive() {
+        let e = Error::Overloaded("8 queued (cap 8)".into());
+        assert!(e.to_string().contains("overloaded"), "{e}");
+        assert!(e.to_string().contains("cap 8"), "{e}");
+        assert!(!e.is_cancellation());
     }
 
     #[test]

@@ -72,7 +72,7 @@ fn main() {
 
     let obs = Obs::enabled();
     let injector = plan.injector_with_events(obs.events.clone());
-    let mut engine = QueryEngine::new(deployment())
+    let engine = QueryEngine::new(deployment())
         .with_obs(obs.clone())
         .with_faults(injector.clone());
     let result = engine.execute(JOIN_SQL);

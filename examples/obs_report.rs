@@ -3,11 +3,18 @@
 //! measured phase breakdown of each, and export the combined report as
 //! `BENCH_obs.json`.
 //!
+//! Also demonstrates the engine-level Caching Service counters: a cold
+//! view scan followed by a warm one, reported through the named
+//! [`CacheStats`] struct (`hits` / `misses` / `evictions`) rather than a
+//! bare tuple.
+//!
 //! ```text
 //! cargo run --release --example obs_report
 //! ```
 
+use orv::bds::{generate_dataset, DatasetSpec, Deployment};
 use orv::obs_report::{standard_report, ReportConfig};
+use orv::prelude::QueryEngine;
 
 fn main() {
     let cfg = ReportConfig::default();
@@ -19,7 +26,51 @@ fn main() {
     for run in &report.runs {
         println!("{}", run.render_table());
     }
+
+    // Cold-vs-warm view scan through the shared Caching Service, read
+    // back as named stats.
+    let d = Deployment::in_memory(1);
+    for (name, scalar, seed) in [("t1", "oilp", 1u64), ("t2", "wp", 2)] {
+        generate_dataset(
+            &DatasetSpec::builder(name)
+                .grid([16, 16, 1])
+                .partition([4, 4, 1])
+                .scalar_attrs(&[scalar])
+                .seed(seed)
+                .build(),
+            &d,
+        )
+        .expect("dataset generation");
+    }
+    let engine = QueryEngine::new(d);
+    engine
+        .execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+        .expect("create view");
+    engine.execute("SELECT * FROM v1").expect("cold scan");
+    let cold = engine.cache_stats();
+    engine.execute("SELECT * FROM v1").expect("warm scan");
+    let warm = engine.cache_stats();
+    println!("\ncaching service (cold scan then warm scan):");
+    println!(
+        "  cold: {} hits / {} misses / {} evictions ({} lookups)",
+        cold.hits,
+        cold.misses,
+        cold.evictions,
+        cold.lookups()
+    );
+    println!(
+        "  warm: {} hits / {} misses / {} evictions ({:.0}% hit rate)",
+        warm.hits,
+        warm.misses,
+        warm.evictions,
+        warm.hit_rate() * 100.0
+    );
+    assert_eq!(
+        warm.misses, cold.misses,
+        "a warm scan must not refetch a single sub-table"
+    );
+
     let json = report.to_json();
     std::fs::write("BENCH_obs.json", &json).expect("cannot write BENCH_obs.json");
-    println!("wrote BENCH_obs.json ({} bytes)", json.len());
+    println!("\nwrote BENCH_obs.json ({} bytes)", json.len());
 }

@@ -54,7 +54,7 @@ fn main() -> orv::types::Result<()> {
         h2.record_size(),
     );
 
-    let mut engine = QueryEngine::new(deployment);
+    let engine = QueryEngine::new(deployment);
 
     // The Section 2 view: V1 = T1 ⊕_{xy..} T2, so wp and soil can be read
     // together per grid point.

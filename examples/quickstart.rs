@@ -42,7 +42,7 @@ fn main() -> orv::types::Result<()> {
 
     // The paper's V1 = T1 ⊕_{xyz} T2 view; the planner picks IJ or GH from
     // the cost models.
-    let mut engine = QueryEngine::new(deployment);
+    let engine = QueryEngine::new(deployment);
     engine.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")?;
 
     let result = engine.execute("SELECT * FROM v1 WHERE x IN [0, 3] AND y IN [0, 3]")?;

@@ -44,7 +44,7 @@ fn main() -> Result<()> {
         h2.num_chunks()
     );
 
-    let mut engine = QueryEngine::new(deployment);
+    let engine = QueryEngine::new(deployment);
     // Pixel-level fusion of the two instruments (z = acquisition time).
     engine.execute("CREATE VIEW fused AS SELECT * FROM optical JOIN thermal ON (x, y, z)")?;
 

@@ -116,7 +116,7 @@ fn repl(args: &[String]) -> i32 {
     println!("try:  CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)");
     println!("      SELECT z, AVG(wp) FROM v1 GROUP BY z        (.help for more)\n");
 
-    let mut engine = QueryEngine::new(deployment);
+    let engine = QueryEngine::new(deployment);
     let stdin = std::io::stdin();
     loop {
         print!("orv> ");

@@ -5,7 +5,8 @@
 
 use orv::bds::{generate_dataset, DatasetSpec, Deployment};
 use orv::join::connectivity::{predict_regular, ConnectivityGraph};
-use orv::join::{indexed_join, IndexedJoinConfig};
+use orv::join::reference::sort_records;
+use orv::join::{indexed_join, indexed_join_cached, CacheService, IndexedJoinConfig};
 use proptest::prelude::*;
 
 fn divisors_of(n: u64) -> Vec<u64> {
@@ -95,6 +96,58 @@ proptest! {
         // Every edge beyond the per-sub-table first touch hits the cache:
         // touches = 2 per edge; misses = sub-tables.
         prop_assert_eq!(out.stats.cache_hits + out.stats.cache_misses, 2 * pred.n_e);
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_fetch_per_subtable(
+        i in 0u32..=3,
+        n_compute in 1usize..4,
+    ) {
+        // §5.1 under concurrency: two *simultaneous* IJ queries over one
+        // shared Caching Service must together fetch each sub-table
+        // exactly once — the single-flight path makes the second query a
+        // waiter, never a refetcher, so summed misses stay at
+        // N_C·(a + b) and every other touch is a hit.
+        let narrow = 16u64 >> i;
+        let (d, t1, t2) = deploy([32, 32, 1], [16, narrow, 1], [narrow, 16, 1]);
+        let d = std::sync::Arc::new(d);
+        let cache = std::sync::Arc::new(CacheService::new(n_compute, 1 << 30));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let d = std::sync::Arc::clone(&d);
+                let cache = std::sync::Arc::clone(&cache);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let cfg = IndexedJoinConfig {
+                        n_compute,
+                        collect_results: true,
+                        ..Default::default()
+                    };
+                    barrier.wait();
+                    indexed_join_cached(&d, t1, t2, &["x", "y", "z"], &cfg, &cache).unwrap()
+                })
+            })
+            .collect();
+        let outs: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("query thread"))
+            .collect();
+
+        let pred = predict_regular([32, 32, 1], [16, narrow, 1], [narrow, 16, 1]);
+        let total_subtables = pred.n_c * (pred.a + pred.b);
+        let misses: u64 = outs.iter().map(|o| o.stats.cache_misses).sum();
+        let hits: u64 = outs.iter().map(|o| o.stats.cache_hits).sum();
+        prop_assert_eq!(misses, total_subtables, "a concurrent query refetched");
+        // Both queries touch every edge twice; all touches beyond the
+        // per-sub-table first fetch are hits.
+        prop_assert_eq!(hits + misses, 2 * 2 * pred.n_e);
+        // And concurrency must not change the answer.
+        let a = sort_records(outs[0].records.clone().unwrap());
+        let b = sort_records(outs[1].records.clone().unwrap());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len() as u64, 32 * 32);
     }
 }
 

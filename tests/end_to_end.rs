@@ -50,7 +50,7 @@ fn on_disk_deployment_full_stack() {
     assert!(files.iter().any(|f| f == "t2.dat"));
 
     // Query the stack.
-    let mut engine = QueryEngine::new(deployment);
+    let engine = QueryEngine::new(deployment);
     engine
         .execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
         .unwrap();
@@ -192,7 +192,7 @@ fn reopen_deployment_from_saved_catalog() {
         md.get_join_index(t1, t2, &["x", "y", "z"]).is_some(),
         "join index persisted"
     );
-    let mut engine = QueryEngine::new(reopened);
+    let engine = QueryEngine::new(reopened);
     engine
         .execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
         .unwrap();
@@ -220,7 +220,7 @@ fn engine_respects_forced_algorithm() {
         )
         .unwrap();
     }
-    let mut engine = QueryEngine::new(deployment).force_algorithm(Some(JoinAlgorithm::GraceHash));
+    let engine = QueryEngine::new(deployment).force_algorithm(Some(JoinAlgorithm::GraceHash));
     engine
         .execute("CREATE VIEW v AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
         .unwrap();

@@ -116,7 +116,7 @@ proptest! {
             lookups += 1;
             prop_assert!(cache.used() <= capacity, "{} > {capacity}", cache.used());
         }
-        let (hits, misses, _evictions) = cache.stats();
-        prop_assert_eq!(hits + misses, lookups);
+        let stats = cache.stats();
+        prop_assert_eq!(stats.lookups(), lookups);
     }
 }

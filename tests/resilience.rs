@@ -67,7 +67,7 @@ fn terminal_qes_failure_fails_over_and_matches_oracle() {
         ..FaultPlan::none()
     };
     let obs = Obs::enabled();
-    let mut chaotic = engine()
+    let chaotic = engine()
         .with_obs(obs.clone())
         .with_faults(FaultInjector::new(plan));
     let r = chaotic.execute(JOIN_SQL).unwrap();
@@ -163,13 +163,13 @@ fn cancelled_mid_join_unwinds_fast_without_leaking_scratch() {
 /// explicit verdict wins).
 #[test]
 fn expired_deadline_is_typed_and_cancel_takes_precedence() {
-    let mut e = engine().with_query_deadline(Duration::ZERO);
+    let e = engine().with_query_deadline(Duration::ZERO);
     let err = e.execute(JOIN_SQL).unwrap_err();
     assert!(matches!(err, Error::DeadlineExceeded), "{err}");
 
     let token = CancelToken::with_deadline(Duration::ZERO);
     token.cancel();
-    let mut e = engine();
+    let e = engine();
     let err = e.execute_cancellable(JOIN_SQL, &token).unwrap_err();
     assert!(matches!(err, Error::Cancelled), "{err}");
 }
