@@ -13,6 +13,10 @@ use std::sync::Arc;
 ///
 /// Each store sits behind a `Mutex`, which also models the fact that a
 /// node's single disk serializes its I/O.
+///
+/// Clones share all state (stores, catalog, extractors): federated
+/// engine shards each hold a clone and see one storage cluster.
+#[derive(Clone)]
 pub struct Deployment {
     stores: Vec<Arc<Mutex<Box<dyn ChunkStore>>>>,
     metadata: Arc<MetadataService>,

@@ -61,6 +61,32 @@ pub struct WorkerPanicSpec {
     pub after_ops: u64,
 }
 
+/// Kill one federation engine shard deterministically: after the shard
+/// has served `after_subqueries` sub-queries, every further sub-query it
+/// is handed fails with a typed `Cluster` error. Permanent — unlike the
+/// transient kinds, a dead shard never comes back; only replicas answer.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardDeathSpec {
+    /// Federation shard index.
+    pub shard: usize,
+    /// Sub-queries the shard serves before dying.
+    pub after_subqueries: u64,
+}
+
+/// Make one federation shard a straggler: its next sub-query after
+/// `after_subqueries` completed ones sleeps `delay_ms` (cancellably)
+/// before executing. One-shot — the hedge path needs exactly one slow
+/// flight to race against.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSlowSpec {
+    /// Federation shard index.
+    pub shard: usize,
+    /// Sub-queries the shard serves before the slow one.
+    pub after_subqueries: u64,
+    /// Injected delay, milliseconds.
+    pub delay_ms: u64,
+}
+
 /// A complete, seed-reproducible description of the faults one execution
 /// experiences. Serializable so a failing plan can be attached to a bug
 /// report and replayed.
@@ -106,8 +132,14 @@ pub struct FaultPlan {
     pub max_scratch_corruptions: u64,
     /// Deterministic compute-worker crashes.
     pub worker_panics: Vec<WorkerPanicSpec>,
+    /// Deterministic federation shard deaths (permanent).
+    pub shard_deaths: Vec<ShardDeathSpec>,
+    /// Deterministic federation shard slowdowns (one-shot delays).
+    pub shard_slows: Vec<ShardSlowSpec>,
     /// Global cap across *all* correctness-affecting faults (errors,
-    /// drops, panics — not delays). Guarantees transience.
+    /// drops, panics, shard deaths — not delays). Guarantees transience
+    /// for every kind except shard deaths, which are deliberately
+    /// permanent once fired.
     pub max_faults: u64,
 }
 
@@ -132,6 +164,8 @@ impl Default for FaultPlan {
             scratch_corrupt_prob: 0.0,
             max_scratch_corruptions: 0,
             worker_panics: Vec::new(),
+            shard_deaths: Vec::new(),
+            shard_slows: Vec::new(),
             max_faults: 0,
         }
     }
@@ -239,6 +273,35 @@ impl FaultPlan {
                         .collect(),
                 ),
             ),
+            (
+                "shard_deaths",
+                JsonValue::Array(
+                    self.shard_deaths
+                        .iter()
+                        .map(|s| {
+                            obj([
+                                ("shard", s.shard.into()),
+                                ("after_subqueries", s.after_subqueries.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "shard_slows",
+                JsonValue::Array(
+                    self.shard_slows
+                        .iter()
+                        .map(|s| {
+                            obj([
+                                ("shard", s.shard.into()),
+                                ("after_subqueries", s.after_subqueries.into()),
+                                ("delay_ms", s.delay_ms.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("max_faults", self.max_faults.into()),
         ])
     }
@@ -277,6 +340,38 @@ impl FaultPlan {
             scratch_corrupt_prob: opt_f64(v, "scratch_corrupt_prob"),
             max_scratch_corruptions: opt_u64(v, "max_scratch_corruptions"),
             worker_panics,
+            // Absent in logs exported before the federation shard kinds.
+            shard_deaths: v
+                .get("shard_deaths")
+                .and_then(|a| a.as_array())
+                .map(|a| {
+                    a.iter()
+                        .map(|s| {
+                            Ok(ShardDeathSpec {
+                                shard: s.req_u64("shard")? as usize,
+                                after_subqueries: s.req_u64("after_subqueries")?,
+                            })
+                        })
+                        .collect::<Result<_>>()
+                })
+                .transpose()?
+                .unwrap_or_default(),
+            shard_slows: v
+                .get("shard_slows")
+                .and_then(|a| a.as_array())
+                .map(|a| {
+                    a.iter()
+                        .map(|s| {
+                            Ok(ShardSlowSpec {
+                                shard: s.req_u64("shard")? as usize,
+                                after_subqueries: s.req_u64("after_subqueries")?,
+                                delay_ms: s.req_u64("delay_ms")?,
+                            })
+                        })
+                        .collect::<Result<_>>()
+                })
+                .transpose()?
+                .unwrap_or_default(),
             max_faults: v.req_u64("max_faults")?,
         })
     }
@@ -323,6 +418,10 @@ pub struct FaultStats {
     pub scratch_corruptions: u64,
     /// Worker panics fired.
     pub worker_panics: u64,
+    /// Federation shards killed.
+    pub shard_deaths: u64,
+    /// Federation shard slowdowns injected.
+    pub shard_slows: u64,
 }
 
 impl FaultStats {
@@ -369,6 +468,9 @@ pub struct FaultInjector {
     scratch_corruptions_left: AtomicU64,
     panic_fired: Vec<AtomicBool>,
     worker_ops: Mutex<HashMap<usize, u64>>,
+    shard_dead: Vec<AtomicBool>,
+    shard_slow_fired: Vec<AtomicBool>,
+    shard_subqueries: Mutex<HashMap<usize, u64>>,
     stats: Mutex<FaultStats>,
     events: EventLog,
 }
@@ -408,6 +510,16 @@ impl FaultInjector {
             .iter()
             .map(|_| AtomicBool::new(false))
             .collect();
+        let shard_dead = plan
+            .shard_deaths
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        let shard_slow_fired = plan
+            .shard_slows
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect();
         events.emit(names::FAULT_PLAN, || vec![("plan", plan.to_json_value())]);
         Arc::new(FaultInjector {
             budget: AtomicU64::new(plan.max_faults),
@@ -425,6 +537,9 @@ impl FaultInjector {
             frame_corrupt_draws: AtomicU64::new(0),
             scratch_corrupt_draws: AtomicU64::new(0),
             worker_ops: Mutex::new(HashMap::new()),
+            shard_dead,
+            shard_slow_fired,
+            shard_subqueries: Mutex::new(HashMap::new()),
             stats: Mutex::new(FaultStats::default()),
             events,
             plan,
@@ -679,6 +794,76 @@ impl FaultInjector {
                 panic!("{INJECTED_PANIC_MARKER}: worker {worker} after {ops} ops");
             }
         }
+    }
+
+    /// Federation shard checkpoint: call once per sub-query the shard is
+    /// handed, *before* executing it. Returns the shard's injected fate:
+    ///
+    /// * a due [`ShardSlowSpec`] sleeps `delay_ms` (cancellably) first;
+    /// * a fired [`ShardDeathSpec`] fails this and **every later**
+    ///   sub-query with a typed `Cluster` error — shard death is
+    ///   permanent, so the router must fail over to replicas.
+    ///
+    /// The first death takes one unit of the global budget; staying dead
+    /// afterwards is free (one fault, many observations).
+    pub fn shard_checkpoint(&self, shard: usize, cancel: &CancelToken) -> Result<()> {
+        if self.plan.shard_deaths.is_empty() && self.plan.shard_slows.is_empty() {
+            return Ok(());
+        }
+        // A dead shard stays dead: fail fast without advancing counters.
+        for (i, spec) in self.plan.shard_deaths.iter().enumerate() {
+            if spec.shard == shard && self.shard_dead[i].load(Ordering::Acquire) {
+                return Err(Error::Cluster(format!("injected: shard {shard} is down")));
+            }
+        }
+        let ops = {
+            let mut map = self.shard_subqueries.lock();
+            let e = map.entry(shard).or_insert(0);
+            let prev = *e;
+            *e += 1;
+            prev
+        };
+        for (i, spec) in self.plan.shard_slows.iter().enumerate() {
+            if spec.shard == shard
+                && ops >= spec.after_subqueries
+                && !self.shard_slow_fired[i].swap(true, Ordering::Relaxed)
+            {
+                self.stats.lock().shard_slows += 1;
+                self.events.emit(names::FAULT_INJECTED, || {
+                    vec![
+                        ("kind", "shard_slow".into()),
+                        ("site", "shard_checkpoint".into()),
+                        ("draw", ops.into()),
+                        ("shard", shard.into()),
+                    ]
+                });
+                cancel.sleep(Duration::from_millis(spec.delay_ms))?;
+            }
+        }
+        for (i, spec) in self.plan.shard_deaths.iter().enumerate() {
+            if spec.shard == shard
+                && ops >= spec.after_subqueries
+                && !self.shard_dead[i].swap(true, Ordering::AcqRel)
+            {
+                if !take_one(&self.budget) {
+                    // Budget dry: the death never fires. Clear the flag so
+                    // the fast path above keeps answering Ok.
+                    self.shard_dead[i].store(false, Ordering::Release);
+                    return Ok(());
+                }
+                self.stats.lock().shard_deaths += 1;
+                self.events.emit(names::FAULT_INJECTED, || {
+                    vec![
+                        ("kind", "shard_death".into()),
+                        ("site", "shard_checkpoint".into()),
+                        ("draw", ops.into()),
+                        ("shard", shard.into()),
+                    ]
+                });
+                return Err(Error::Cluster(format!("injected: shard {shard} is down")));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -953,6 +1138,90 @@ mod tests {
     }
 
     #[test]
+    fn shard_death_fires_after_subqueries_and_is_permanent() {
+        let plan = FaultPlan {
+            seed: 11,
+            shard_deaths: vec![ShardDeathSpec {
+                shard: 1,
+                after_subqueries: 2,
+            }],
+            max_faults: 5,
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector();
+        let c = CancelToken::none();
+        // Shard 0 is unaffected forever.
+        for _ in 0..6 {
+            assert!(inj.shard_checkpoint(0, &c).is_ok());
+        }
+        // Shard 1 serves two sub-queries, then dies and stays dead.
+        assert!(inj.shard_checkpoint(1, &c).is_ok());
+        assert!(inj.shard_checkpoint(1, &c).is_ok());
+        let err = inj.shard_checkpoint(1, &c).unwrap_err();
+        assert!(err.to_string().contains("shard 1 is down"), "{err}");
+        for _ in 0..4 {
+            assert!(inj.shard_checkpoint(1, &c).is_err());
+        }
+        // Permanence is one fault, not many: exactly one budget unit.
+        assert_eq!(inj.stats().shard_deaths, 1);
+        assert_eq!(inj.budget.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn shard_death_respects_global_budget() {
+        let plan = FaultPlan {
+            seed: 11,
+            shard_deaths: vec![ShardDeathSpec {
+                shard: 0,
+                after_subqueries: 0,
+            }],
+            max_faults: 0,
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector();
+        let c = CancelToken::none();
+        for _ in 0..4 {
+            assert!(inj.shard_checkpoint(0, &c).is_ok());
+        }
+        assert_eq!(inj.stats().shard_deaths, 0);
+    }
+
+    #[test]
+    fn shard_slow_is_one_shot_and_cancellable() {
+        let plan = FaultPlan {
+            seed: 7,
+            shard_slows: vec![ShardSlowSpec {
+                shard: 2,
+                after_subqueries: 1,
+                delay_ms: 1,
+            }],
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector();
+        let c = CancelToken::none();
+        assert!(inj.shard_checkpoint(2, &c).is_ok());
+        assert!(inj.shard_checkpoint(2, &c).is_ok()); // sleeps 1ms
+        assert!(inj.shard_checkpoint(2, &c).is_ok());
+        assert_eq!(inj.stats().shard_slows, 1);
+
+        // A cancelled query must not pay the injected latency.
+        let plan = FaultPlan {
+            seed: 7,
+            shard_slows: vec![ShardSlowSpec {
+                shard: 0,
+                after_subqueries: 0,
+                delay_ms: 60_000,
+            }],
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let err = inj.shard_checkpoint(0, &cancelled).unwrap_err();
+        assert!(err.is_cancellation(), "{err}");
+    }
+
+    #[test]
     fn contain_panic_yields_typed_error() {
         let ok: Result<u32> = contain_panic("w", || Ok(5));
         assert_eq!(ok.unwrap(), 5);
@@ -1035,6 +1304,27 @@ mod tests {
             FaultPlan::from_json_value(&FaultPlan::none().to_json_value()).unwrap(),
             FaultPlan::none()
         );
+        // Shard kinds survive the trip, and logs from before they existed
+        // (no `shard_deaths`/`shard_slows` keys) still parse as empty.
+        let p = FaultPlan {
+            shard_deaths: vec![ShardDeathSpec {
+                shard: 1,
+                after_subqueries: 3,
+            }],
+            shard_slows: vec![ShardSlowSpec {
+                shard: 0,
+                after_subqueries: 1,
+                delay_ms: 40,
+            }],
+            ..FaultPlan::from_seed(5)
+        };
+        assert_eq!(FaultPlan::from_json_value(&p.to_json_value()).unwrap(), p);
+        let mut old = FaultPlan::from_seed(5).to_json_value();
+        if let JsonValue::Object(map) = &mut old {
+            map.retain(|k, _| k.as_str() != "shard_deaths" && k.as_str() != "shard_slows");
+        }
+        let back = FaultPlan::from_json_value(&old).unwrap();
+        assert!(back.shard_deaths.is_empty() && back.shard_slows.is_empty());
     }
 
     #[test]

@@ -29,11 +29,11 @@ pub mod runtime;
 pub mod sim;
 pub mod spec;
 
-pub use cancel::{CancelToken, SLEEP_SLICE};
+pub use cancel::{CancelToken, WaitBudget, SLEEP_SLICE};
 pub use checksum::crc32c;
 pub use fault::{
     contain_panic, panic_message, silence_injected_panics, FaultInjector, FaultPlan, FaultStats,
-    RecoveryPolicy, SendVerdict, WorkerPanicSpec,
+    RecoveryPolicy, SendVerdict, ShardDeathSpec, ShardSlowSpec, WorkerPanicSpec,
 };
 pub use resource::Resource;
 pub use runtime::{ByteCounter, RunStats, Scratch, ScratchKind, Throttle};

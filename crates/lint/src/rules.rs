@@ -564,6 +564,40 @@ mod tests {
     }
 
     #[test]
+    fn l003_covers_the_federation_router() {
+        // The federation router lives in `crates/query/src`, so the
+        // no-guard-across-blocking invariant binds it like the rest of
+        // the serving layer: holding the breaker-state lock across a
+        // sub-query send must fire.
+        let src = "fn f() {\n    let state = self.health.lock();\n    tx.send(spec);\n}\n";
+        let hits = findings("crates/query/src/federation.rs", src);
+        assert_eq!(hits.iter().filter(|d| d.rule == "L003").count(), 1);
+        assert!(hits[0].message.contains("state"));
+        // The router's actual idiom — drop the guard before dispatching —
+        // stays clean.
+        let ok = "fn f() {\n    let state = self.health.lock();\n    drop(state);\n    tx.send(spec);\n}\n";
+        let clean = findings("crates/query/src/federation.rs", ok);
+        assert!(clean.iter().all(|d| d.rule != "L003"), "{clean:?}");
+    }
+
+    #[test]
+    fn l005_covers_the_federation_router() {
+        // Federation counters and spans must come from the names
+        // registry, not string literals, so dashboards and tests can't
+        // drift from the emitting site.
+        let hit = findings(
+            "crates/query/src/federation.rs",
+            "fn f() { obs.events.emit(\"fed_hedge\", || vec![(\"shard\", s)]); }",
+        );
+        assert_eq!(hit.iter().filter(|d| d.rule == "L005").count(), 1);
+        let clean = findings(
+            "crates/query/src/federation.rs",
+            "fn f() { obs.events.emit(names::FED_HEDGES, || vec![(\"shard\", s)]); }",
+        );
+        assert!(clean.iter().all(|d| d.rule != "L005"), "{clean:?}");
+    }
+
+    #[test]
     fn l005_first_arg_literal_fires_but_payload_does_not() {
         let hit = findings(
             "crates/query/src/engine.rs",

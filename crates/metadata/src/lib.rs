@@ -8,10 +8,12 @@
 
 pub mod catalog;
 pub mod persist;
+pub mod placement;
 pub mod rtree;
 pub mod service;
 
 pub use catalog::{Catalog, TableEntry};
 pub use persist::CatalogSnapshot;
+pub use placement::{Placement, PlacementMap};
 pub use rtree::{RTree, Rect};
 pub use service::MetadataService;

@@ -1,0 +1,100 @@
+//! Property tests for rendezvous placement: replica-count and
+//! distinctness invariants, determinism, and the minimal-movement
+//! guarantee when a shard joins.
+
+use orv_metadata::Placement;
+use orv_types::{ChunkId, SubTableId, TableId};
+use proptest::prelude::*;
+
+fn id(table: u32, chunk: u32) -> SubTableId {
+    SubTableId {
+        table: TableId(table),
+        chunk: ChunkId(chunk),
+    }
+}
+
+/// `(shards, replication)` with `1 <= replication <= shards <= 9`.
+fn topology() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=9).prop_flat_map(|n| (Just(n), 1usize..=n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn owners_are_exactly_r_distinct_shards(
+        (shards, replication) in topology(),
+        seed in any::<u64>(),
+        table in 0u32..4,
+        chunk in 0u32..512,
+    ) {
+        let p = Placement::new(shards, replication, seed).unwrap();
+        let owners = p.owners(id(table, chunk));
+        prop_assert_eq!(owners.len(), replication);
+        let mut distinct = owners.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), replication, "owners must be distinct");
+        for &s in &owners {
+            prop_assert!(s < shards);
+            prop_assert!(p.owns(s, id(table, chunk)));
+        }
+        prop_assert_eq!(p.primary(id(table, chunk)), owners[0]);
+        prop_assert!(!p.owns(shards, id(table, chunk)));
+    }
+
+    #[test]
+    fn assignment_is_a_pure_function_of_seed_and_topology(
+        (shards, replication) in topology(),
+        seed in any::<u64>(),
+        chunk in 0u32..512,
+    ) {
+        let a = Placement::new(shards, replication, seed).unwrap();
+        let b = Placement::new(shards, replication, seed).unwrap();
+        prop_assert_eq!(a.owners(id(0, chunk)), b.owners(id(0, chunk)));
+    }
+
+    #[test]
+    fn adding_a_shard_moves_few_owner_sets(
+        shards in 3usize..=8,
+        seed in any::<u64>(),
+    ) {
+        // Rendezvous hashing: a chunk's owner set changes when growing
+        // N -> N+1 only if the new shard scores into the top R, which
+        // happens with probability R/(N+1) per chunk. Assert the moved
+        // fraction stays near that — far below the ~100% a mod-N scheme
+        // would reshuffle.
+        let replication = 2usize.min(shards);
+        const CHUNKS: u32 = 240;
+        let before = Placement::new(shards, replication, seed).unwrap();
+        let after = Placement::new(shards + 1, replication, seed).unwrap();
+        let moved = (0..CHUNKS)
+            .filter(|&c| {
+                let mut a = before.owners(id(0, c));
+                let mut b = after.owners(id(0, c));
+                a.sort_unstable();
+                b.sort_unstable();
+                a != b
+            })
+            .count();
+        let expected = CHUNKS as f64 * replication as f64 / (shards + 1) as f64;
+        let bound = (expected * 2.5 + 10.0).ceil() as usize;
+        prop_assert!(
+            moved <= bound,
+            "moved {moved} of {CHUNKS} owner sets going {shards}->{} shards \
+             (expected ~{expected:.0}, bound {bound})",
+            shards + 1
+        );
+        // Surviving shards keep their copies of unmoved chunks: an
+        // unmoved owner set never references the new shard.
+        for c in 0..CHUNKS {
+            let mut a = before.owners(id(0, c));
+            let mut b = after.owners(id(0, c));
+            a.sort_unstable();
+            b.sort_unstable();
+            if a == b {
+                prop_assert!(!b.contains(&shards));
+            }
+        }
+    }
+}

@@ -42,6 +42,23 @@ pub const SERVICE_COMPLETED: &str = "service/completed";
 /// Counter: admitted queries that ended in `Cancelled`/`DeadlineExceeded`.
 pub const SERVICE_CANCELLED: &str = "service/cancelled";
 
+/// Counter: sub-queries fanned out by the federated router.
+pub const FED_SUBQUERIES: &str = "fed/subqueries";
+/// Counter: hedge flights issued after the hedge delay expired.
+pub const FED_HEDGES: &str = "fed/hedges";
+/// Counter: hedge flights whose answer filled at least one chunk first.
+pub const FED_HEDGE_WINS: &str = "fed/hedge_wins";
+/// Counter: sub-queries re-routed to a replica after a shard error.
+pub const FED_FAILOVERS: &str = "fed/failovers";
+/// Counter: circuit-breaker trips (a shard went Open).
+pub const FED_TRIPS: &str = "fed/breaker_trips";
+/// Counter: shard-level sub-query failures observed by the router.
+pub const FED_SHARD_ERRORS: &str = "fed/shard_errors";
+/// Counter: federated queries that returned a `PartialResult`.
+pub const FED_PARTIAL: &str = "fed/partial_results";
+/// Counter: chunks reported missing across all partial results.
+pub const FED_MISSING_CHUNKS: &str = "fed/missing_chunks";
+
 /// Span: query planning inside the engine.
 pub const ENGINE_PLAN: &str = "engine/plan";
 /// Span: end-to-end plan execution inside the engine.
@@ -67,6 +84,8 @@ pub const PHASE_SEND: &str = "send";
 pub const PHASE_EXTRACT: &str = "extract";
 /// Phase: aggregate CPU time (build + probe) in the GH cost model.
 pub const PHASE_CPU: &str = "cpu";
+/// Phase: one shard serving a federated sub-query.
+pub const PHASE_SUBQUERY: &str = "subquery";
 
 /// `bds{node}/read` — BDS chunk read on a storage node.
 pub fn span_bds_read(node: u32) -> String {
@@ -99,6 +118,11 @@ pub fn span_tagged(tag: &str, phase: &str) -> String {
     format!("{tag}/{phase}")
 }
 
+/// `fed{shard}/{phase}` — a federation shard-side phase.
+pub fn span_fed_shard(shard: usize, phase: &str) -> String {
+    format!("fed{shard}/{phase}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +137,23 @@ mod tests {
             span_tagged(&gh_consumer_tag(4), PHASE_SCRATCH_READ),
             "c4/scratch_read"
         );
+        assert_eq!(span_fed_shard(1, PHASE_SUBQUERY), "fed1/subquery");
+    }
+
+    #[test]
+    fn fed_counters_live_under_one_prefix() {
+        for c in [
+            FED_SUBQUERIES,
+            FED_HEDGES,
+            FED_HEDGE_WINS,
+            FED_FAILOVERS,
+            FED_TRIPS,
+            FED_SHARD_ERRORS,
+            FED_PARTIAL,
+            FED_MISSING_CHUNKS,
+        ] {
+            assert!(c.starts_with("fed/"), "{c} escaped the fed/ namespace");
+        }
     }
 
     #[test]

@@ -38,6 +38,18 @@ impl Accumulator {
         }
     }
 
+    /// Fold another accumulator of the *same* function into this one —
+    /// the partial-aggregate merge of federated re-aggregation. Exact for
+    /// COUNT/MIN/MAX; SUM/AVG merge their running sums, so the result is
+    /// deterministic for a fixed partitioning but may differ from the
+    /// single-pass value in the last floating-point bits.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Produce the final value.
     pub fn finish(&self) -> Value {
         match self.func {
@@ -83,6 +95,36 @@ mod tests {
         a.update(None);
         a.update(Some(Value::I32(5)));
         assert_eq!(a.finish(), Value::I64(3));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let vals = [3.0, -1.0, 2.0, 7.5, 0.25, -4.0];
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            let single = run(f, &vals);
+            // Split into uneven partials, merge, compare.
+            let mut left = Accumulator::new(f);
+            let mut right = Accumulator::new(f);
+            for &v in &vals[..2] {
+                left.update(Some(Value::F64(v)));
+            }
+            for &v in &vals[2..] {
+                right.update(Some(Value::F64(v)));
+            }
+            left.merge(&right);
+            assert_eq!(left.finish(), single, "{f:?} merge diverged");
+        }
+        // Merging an empty partial is the identity.
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(Some(Value::F64(5.0)));
+        a.merge(&Accumulator::new(AggFunc::Sum));
+        assert_eq!(a.finish(), Value::F64(5.0));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use crate::ast::{predicates_to_bbox, Query, SelectItem, Statement, ViewDef};
 use crate::exec::{
-    aggregate, column_names, filter_rows, order_and_limit, project, scan_cancellable, RowSet,
+    aggregate, column_names, filter_rows, order_and_limit, project, rows_checksum,
+    scan_cancellable, scan_chunks, RowSet,
 };
 use crate::parser::parse_statement;
 use crate::plan::{PlanExplain, Planner};
@@ -12,8 +13,9 @@ use orv_join::{
     grace_hash_join, indexed_join, indexed_join_cached, CacheService, CacheStats, GraceHashConfig,
     IndexedJoinConfig, JoinAlgorithm, JoinOutput,
 };
+use orv_metadata::Placement;
 use orv_obs::{names, Obs};
-use orv_types::{Error, Record, Result};
+use orv_types::{BoundingBox, ChunkId, Error, Record, Result, SubTableId, TableId};
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -73,6 +75,13 @@ pub struct QueryResult {
     pub rows: Vec<Record>,
     /// Planning evidence, when a join view was executed.
     pub explain: Option<PlanExplain>,
+    /// Per-chunk run lengths `(chunk, rows)` in scan order — set only on
+    /// federated sub-query responses ([`QueryEngine::execute_scan_spec`])
+    /// so the router can dedup and reassemble chunk-by-chunk.
+    pub chunk_runs: Option<Vec<(ChunkId, usize)>>,
+    /// CRC32C over the rows, sealed shard-side on federated sub-query
+    /// responses; the router re-verifies before merging.
+    pub checksum: Option<u32>,
 }
 
 impl QueryResult {
@@ -81,8 +90,24 @@ impl QueryResult {
             columns: Vec::new(),
             rows: Vec::new(),
             explain: None,
+            chunk_runs: None,
+            checksum: None,
         }
     }
+}
+
+/// A pre-planned chunk scan: the sub-query unit the federation router
+/// hands one shard. The shard reads exactly `chunks` of `table` (in
+/// ascending chunk order), applies `range` row filtering, and seals the
+/// response with per-chunk run lengths and a checksum.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScanSpec {
+    /// Table the chunks belong to.
+    pub table: TableId,
+    /// Row-level range filter (the query's bbox), if any.
+    pub range: Option<BoundingBox>,
+    /// The chunks to read. Order is irrelevant; execution sorts.
+    pub chunks: Vec<ChunkId>,
 }
 
 /// The full engine a client talks to.
@@ -111,6 +136,12 @@ pub struct QueryEngine {
     /// Per-query wall-clock budget; [`QueryEngine::execute`] derives a
     /// deadline-bearing [`CancelToken`] from it for each statement.
     query_deadline: Option<Duration>,
+    /// Identity of this engine inside a federation (None = standalone).
+    /// Drives shard-scoped fault checkpoints and `fed{N}/*` spans.
+    shard: Option<usize>,
+    /// Replicated chunk placement, when federated: `execute_scan_spec`
+    /// refuses chunks this shard does not own.
+    placement: Option<Placement>,
 }
 
 impl QueryEngine {
@@ -131,6 +162,8 @@ impl QueryEngine {
             obs: Obs::disabled(),
             faults: None,
             query_deadline: None,
+            shard: None,
+            placement: None,
         }
     }
 
@@ -201,6 +234,74 @@ impl QueryEngine {
     pub fn force_algorithm(mut self, algorithm: Option<JoinAlgorithm>) -> Self {
         self.force = algorithm;
         self
+    }
+
+    /// Mark this engine as shard `shard` of a federation: fault plans
+    /// with shard kinds target it by this index, and its federated spans
+    /// are grouped under `fed{shard}/…`.
+    pub fn with_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Attach the federation's chunk placement so scan sub-queries can
+    /// validate that every requested chunk is actually owned here.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Shard-scoped fault checkpoint: a federated worker calls this
+    /// before each job, so an injected shard death (or slowdown) lands at
+    /// a deterministic point in the sub-query stream. Standalone engines
+    /// (no shard identity, or no injector) pass trivially.
+    pub fn shard_checkpoint(&self, cancel: &CancelToken) -> Result<()> {
+        match (self.shard, &self.faults) {
+            (Some(shard), Some(faults)) => faults.shard_checkpoint(shard, cancel),
+            _ => Ok(()),
+        }
+    }
+
+    /// Execute one federated scan sub-query: read exactly `spec.chunks`
+    /// of `spec.table` (ascending chunk order), filter by `spec.range`,
+    /// and seal the response with per-chunk run lengths plus a CRC32C
+    /// checksum the router re-verifies before merging.
+    pub fn execute_scan_spec(&self, spec: &ScanSpec, cancel: &CancelToken) -> Result<QueryResult> {
+        cancel.check()?;
+        let _span = self.shard.map(|s| {
+            self.obs
+                .spans
+                .span(&names::span_fed_shard(s, names::PHASE_SUBQUERY))
+        });
+        if let (Some(shard), Some(placement)) = (self.shard, &self.placement) {
+            for &chunk in &spec.chunks {
+                let id = SubTableId {
+                    table: spec.table,
+                    chunk,
+                };
+                if !placement.owns(shard, id) {
+                    return Err(Error::Plan(format!(
+                        "shard {shard} does not own chunk {} of table {} (misrouted sub-query)",
+                        chunk.0, spec.table.0
+                    )));
+                }
+            }
+        }
+        let (schema, rows, runs) = scan_chunks(
+            &self.deployment,
+            spec.table,
+            &spec.chunks,
+            spec.range.as_ref(),
+            cancel,
+        )?;
+        let checksum = rows_checksum(&rows);
+        Ok(QueryResult {
+            columns: column_names(&schema),
+            rows,
+            explain: None,
+            chunk_runs: Some(runs),
+            checksum: Some(checksum),
+        })
     }
 
     /// The underlying deployment.
@@ -455,6 +556,8 @@ impl QueryEngine {
             columns: rowset.columns,
             rows: rowset.rows,
             explain,
+            chunk_runs: None,
+            checksum: None,
         })
     }
 }

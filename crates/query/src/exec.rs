@@ -68,6 +68,65 @@ pub fn scan_cancellable(
     Ok((schema, rows))
 }
 
+/// A shard-side chunk scan: the schema, the rows, and per-chunk run
+/// lengths `(chunk, rows)` in scan order.
+pub type ChunkScan = (Arc<Schema>, Vec<Record>, Vec<(orv_types::ChunkId, usize)>);
+
+/// Scan an explicit chunk list of one table, in ascending chunk order,
+/// returning the rows plus per-chunk run lengths `(chunk, rows)` in scan
+/// order. This is the federation shard's sub-query primitive: the router
+/// needs the run boundaries to dedup and reassemble partial results
+/// chunk-by-chunk.
+pub fn scan_chunks(
+    deployment: &Deployment,
+    table: TableId,
+    chunks: &[orv_types::ChunkId],
+    range: Option<&BoundingBox>,
+    cancel: &CancelToken,
+) -> Result<ChunkScan> {
+    let md = deployment.metadata();
+    let schema = md.schema(table)?;
+    let services = BdsService::for_all_nodes_with_instruments(
+        deployment,
+        FaultInjector::disabled(),
+        Spans::disabled(),
+        EventLog::disabled(),
+        cancel.clone(),
+    )?;
+    let mut sorted: Vec<_> = chunks.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let mut rows = Vec::new();
+    let mut runs = Vec::with_capacity(sorted.len());
+    for chunk in sorted {
+        cancel.check()?;
+        let id = SubTableId { table, chunk };
+        let node = md.chunk_meta(id)?.node;
+        let mut st = services[node.index()].subtable(id)?;
+        if let Some(rg) = range {
+            st = st.filter_range(rg)?;
+        }
+        let before = rows.len();
+        rows.extend(st.records());
+        runs.push((chunk, rows.len() - before));
+    }
+    Ok((schema, rows, runs))
+}
+
+/// CRC32C over a canonical encoding of `rows`, sealed shard-side on every
+/// federated sub-response and re-verified at the router, so a corrupted
+/// partial result is rejected (and hedged/failed over) instead of merged.
+pub fn rows_checksum(rows: &[Record]) -> u32 {
+    use std::fmt::Write as _;
+    let mut buf = String::new();
+    for r in rows {
+        // Debug form is canonical here: every Value variant renders
+        // distinctly and deterministically.
+        let _ = write!(buf, "{r:?};");
+    }
+    orv_cluster::crc32c(buf.as_bytes())
+}
+
 /// Column names of a schema.
 pub fn column_names(schema: &Schema) -> Vec<String> {
     schema.attrs().iter().map(|a| a.name.clone()).collect()
@@ -189,6 +248,21 @@ pub fn aggregate(
     items: &[SelectItem],
     group_by: &[String],
 ) -> Result<RowSet> {
+    merge_aggregate(columns, vec![rows], items, group_by)
+}
+
+/// Grouped aggregation over *partitioned* input: each element of `parts`
+/// is one partition's rows (a federated shard's partial result). Every
+/// partition is aggregated into partial accumulators, then the partials
+/// are merged per group key ([`Accumulator::merge`]) — the re-aggregation
+/// step of federated AVG/COUNT/SUM. With a single partition this *is*
+/// [`aggregate`], so the two paths cannot drift.
+pub fn merge_aggregate(
+    columns: &[String],
+    parts: Vec<Vec<Record>>,
+    items: &[SelectItem],
+    group_by: &[String],
+) -> Result<RowSet> {
     let col_idx = |name: &str| -> Result<usize> {
         columns
             .iter()
@@ -230,8 +304,6 @@ pub fn aggregate(
         }
     }
 
-    // Group rows.
-    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
     let make_accs = || -> Vec<Accumulator> {
         out_cols
             .iter()
@@ -241,14 +313,31 @@ pub fn aggregate(
             })
             .collect()
     };
-    for row in &rows {
-        let key = row.key(&group_indices);
-        let accs = groups.entry(key).or_insert_with(make_accs);
-        let mut ai = 0;
-        for c in &out_cols {
-            if let OutCol::Agg(_, idx) = c {
-                accs[ai].update(idx.map(|i| row.get(i)));
-                ai += 1;
+    // Aggregate each partition independently, then merge partials.
+    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    for rows in &parts {
+        let mut partial: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+        for row in rows {
+            let key = row.key(&group_indices);
+            let accs = partial.entry(key).or_insert_with(make_accs);
+            let mut ai = 0;
+            for c in &out_cols {
+                if let OutCol::Agg(_, idx) = c {
+                    accs[ai].update(idx.map(|i| row.get(i)));
+                    ai += 1;
+                }
+            }
+        }
+        for (key, accs) in partial {
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(&accs) {
+                        a.merge(b);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
             }
         }
     }
@@ -383,6 +472,51 @@ mod tests {
         assert_eq!(rs.rows.len(), 1);
         // Sum of x over 4×4×2 grid: each x in 0..4 appears 8 times.
         assert_eq!(rs.rows[0].get(0), Value::F64((1 + 2 + 3) as f64 * 8.0));
+    }
+
+    #[test]
+    fn merge_aggregate_matches_single_pass_partitioning() {
+        let (d, t) = deployed();
+        let (schema, rows) = scan(&d, t, None).unwrap();
+        let cols = column_names(&schema);
+        let items = [
+            SelectItem::Column("z".into()),
+            SelectItem::Aggregate(AggFunc::Count, None),
+            SelectItem::Aggregate(AggFunc::Min, Some("oilp".into())),
+            SelectItem::Aggregate(AggFunc::Max, Some("oilp".into())),
+        ];
+        let group_by = ["z".to_string()];
+        let single = aggregate(&cols, rows.clone(), &items, &group_by).unwrap();
+        // Any partitioning (even with an empty part) re-aggregates to the
+        // same result for the exact aggregates.
+        let mid = rows.len() / 3;
+        let parts = vec![rows[..mid].to_vec(), Vec::new(), rows[mid..].to_vec()];
+        let merged = merge_aggregate(&cols, parts, &items, &group_by).unwrap();
+        assert_eq!(merged.columns, single.columns);
+        assert_eq!(merged.rows, single.rows);
+    }
+
+    #[test]
+    fn scan_chunks_orders_dedups_and_accounts_runs() {
+        let (d, t) = deployed();
+        let md = d.metadata();
+        let all = md.all_chunks(t).unwrap();
+        // Shuffled, duplicated input: output is ascending, deduped.
+        let mut chunks = all.clone();
+        chunks.reverse();
+        chunks.push(all[0]);
+        let (_, rows, runs) = scan_chunks(&d, t, &chunks, None, &CancelToken::none()).unwrap();
+        let (_, oracle) = scan(&d, t, None).unwrap();
+        assert_eq!(rows, oracle, "chunk-order reassembly must equal a scan");
+        assert_eq!(runs.len(), all.len());
+        let run_ids: Vec<_> = runs.iter().map(|(c, _)| *c).collect();
+        assert_eq!(run_ids, all, "runs must come back in ascending chunk order");
+        assert_eq!(runs.iter().map(|(_, n)| n).sum::<usize>(), rows.len());
+
+        // Checksums: equal rows agree, different rows disagree.
+        assert_eq!(rows_checksum(&rows), rows_checksum(&oracle));
+        assert_ne!(rows_checksum(&rows), rows_checksum(&rows[1..]));
+        assert_eq!(rows_checksum(&[]), rows_checksum(&[]));
     }
 
     #[test]

@@ -1,0 +1,971 @@
+//! Federated query serving with shard-level fault tolerance.
+//!
+//! The paper's services are singletons: one Query Processing Service
+//! fronts the whole dataset. This module shards that front-end the way a
+//! production deployment would: `N` [`QueryService`] instances each own a
+//! slice of the chunk catalog under **replicated placement** (every chunk
+//! lives on `R >= 2` distinct shards, assigned by rendezvous hashing —
+//! [`orv_metadata::Placement`]), and a [`FederatedService`] router plans
+//! each query, consults the MetaData Service's R-tree for the chunks its
+//! range touches, fans sub-queries out to owning shards, and merges the
+//! partial results (re-aggregation for COUNT/SUM/AVG/MIN/MAX, in-order
+//! concatenation with dedup-by-chunk for scans).
+//!
+//! Robustness machinery, all deterministic under seeded fault plans:
+//!
+//! - **Failover**: a failed sub-query re-routes its unfilled chunks to a
+//!   replica that has not been tried yet, bounded per chunk by
+//!   [`RecoveryPolicy::max_attempts`].
+//! - **Hedged requests**: when a sub-query stays unanswered past
+//!   `hedge_after`, the router re-issues its chunks to another replica and
+//!   takes the first checksum-verified answer, cancelling the loser.
+//! - **Circuit breaker**: per shard, `trip_after` *consecutive* failures
+//!   open the breaker for `cooldown_ticks` logical ticks (the tick is the
+//!   dispatched-flight counter, not wall clock, so seeded replays see the
+//!   same trips); one half-open probe then closes or re-opens it. An open
+//!   breaker demotes a shard in replica preference — it never makes data
+//!   unreachable while an untried replica remains.
+//! - **Graceful degradation**: chunks whose every replica failed are
+//!   reported in a typed [`PartialResult`] carrying the exact missing
+//!   chunk set and a completeness fraction; `strict` mode turns the same
+//!   situation into [`Error::Unavailable`].
+//!
+//! Merging is exact for scans and COUNT/MIN/MAX; SUM/AVG re-aggregation
+//! is deterministic for a fixed partitioning but may differ from the
+//! single-pass value in the last floating-point bits (see
+//! [`Accumulator::merge`](crate::agg::Accumulator::merge)).
+
+use crate::ast::{predicates_to_bbox, Query, SelectItem, Statement};
+use crate::engine::{QueryEngine, QueryResult, ScanSpec};
+use crate::exec::{column_names, merge_aggregate, order_and_limit, project, rows_checksum, RowSet};
+use crate::parser::parse_statement;
+use crate::service::{QueryService, QueryTicket, ServiceConfig};
+use orv_bds::Deployment;
+use orv_cluster::{CancelToken, FaultInjector, RecoveryPolicy, WaitBudget};
+use orv_metadata::Placement;
+use orv_obs::{names, Obs};
+use orv_types::{ChunkId, Error, Record, Result, SubTableId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// How long the router blocks on any single in-flight sub-query per poll
+/// rotation. Purely a caller-side wait quantum (like
+/// [`QueryTicket::wait_timeout`]); it never steers execution.
+const POLL_SLICE: Duration = Duration::from_millis(2);
+
+fn relock<T>(r: std::result::Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sizing and robustness knobs for a [`FederatedService`].
+#[derive(Clone, Debug)]
+pub struct FederationConfig {
+    /// Number of shard engines.
+    pub shards: usize,
+    /// Replicas per chunk (`1 <= replication <= shards`).
+    pub replication: usize,
+    /// Seed of the rendezvous placement (a pure function of this seed,
+    /// the chunk id and the shard count).
+    pub placement_seed: u64,
+    /// Admission/pool sizing applied to every shard's [`QueryService`].
+    pub service: ServiceConfig,
+    /// Re-issue a sub-query to another replica once it has been in flight
+    /// this long. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Attempt cap (per chunk, and per whole-query route) plus backoff
+    /// shape for the whole-query retry path.
+    pub recovery: RecoveryPolicy,
+    /// Consecutive sub-query failures that open a shard's breaker.
+    pub trip_after: u32,
+    /// Logical ticks (dispatched flights) an open breaker stays open
+    /// before its half-open probe.
+    pub cooldown_ticks: u64,
+    /// `true`: missing chunks fail the query with [`Error::Unavailable`]
+    /// instead of degrading to a [`PartialResult`].
+    pub strict: bool,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            shards: 3,
+            replication: 2,
+            placement_seed: 0x0bad_5eed_f00d_cafe,
+            service: ServiceConfig::default(),
+            hedge_after: None,
+            recovery: RecoveryPolicy::default(),
+            trip_after: 3,
+            cooldown_ticks: 8,
+            strict: false,
+        }
+    }
+}
+
+/// A query answer missing some chunks: the rows that *were* reachable,
+/// plus an exact account of what was not.
+#[derive(Debug)]
+pub struct PartialResult {
+    /// The merged answer over every chunk that responded.
+    pub result: QueryResult,
+    /// `answered_chunks / targeted_chunks`, in `[0, 1)`.
+    pub completeness: f64,
+    /// Chunks whose every (untried-replica) route failed, ascending.
+    pub missing_chunks: Vec<ChunkId>,
+}
+
+/// What a federated query returns: the full answer, or a degraded one
+/// that says exactly how degraded it is.
+#[derive(Debug)]
+pub enum FederatedResponse {
+    /// Every targeted chunk answered.
+    Complete(QueryResult),
+    /// Some chunks were unreachable on every allowed route.
+    Partial(PartialResult),
+}
+
+impl FederatedResponse {
+    /// Whether every targeted chunk contributed.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, FederatedResponse::Complete(_))
+    }
+
+    /// The merged rows, regardless of completeness.
+    pub fn result(&self) -> &QueryResult {
+        match self {
+            FederatedResponse::Complete(r) => r,
+            FederatedResponse::Partial(p) => &p.result,
+        }
+    }
+
+    /// Consume into the merged [`QueryResult`], discarding the
+    /// completeness report.
+    pub fn into_result(self) -> QueryResult {
+        match self {
+            FederatedResponse::Complete(r) => r,
+            FederatedResponse::Partial(p) => p.result,
+        }
+    }
+}
+
+/// Per-shard circuit breaker over the router's logical clock.
+enum BreakerState {
+    Closed,
+    Open { until_tick: u64 },
+    HalfOpen,
+}
+
+struct ShardHealth {
+    state: Mutex<(BreakerState, u32)>, // (state, consecutive failures)
+}
+
+impl ShardHealth {
+    fn new() -> Self {
+        ShardHealth {
+            state: Mutex::new((BreakerState::Closed, 0)),
+        }
+    }
+
+    /// Whether routing *prefers* this shard right now. An `Open` breaker
+    /// whose cooldown has elapsed transitions to `HalfOpen` and admits
+    /// exactly one probe (subsequent calls say no until the probe
+    /// resolves).
+    fn allows(&self, now_tick: u64) -> bool {
+        let mut guard = relock(self.state.lock());
+        match guard.0 {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open { until_tick } => {
+                if now_tick >= until_tick {
+                    guard.0 = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn record_success(&self) {
+        let mut guard = relock(self.state.lock());
+        *guard = (BreakerState::Closed, 0);
+    }
+
+    /// Returns `true` when this failure trips (or re-trips) the breaker.
+    fn record_failure(&self, trip_after: u32, cooldown_ticks: u64, now_tick: u64) -> bool {
+        let mut guard = relock(self.state.lock());
+        guard.1 = guard.1.saturating_add(1);
+        let reopen = matches!(guard.0, BreakerState::HalfOpen);
+        let trip = matches!(guard.0, BreakerState::Closed) && guard.1 >= trip_after.max(1);
+        if reopen || trip {
+            guard.0 = BreakerState::Open {
+                until_tick: now_tick.saturating_add(cooldown_ticks),
+            };
+        }
+        reopen || trip
+    }
+}
+
+/// One in-flight sub-query: a chunk group dispatched to one shard.
+struct Flight {
+    shard: usize,
+    chunks: Vec<ChunkId>,
+    ticket: QueryTicket,
+    /// Wall-clock hedge trigger, armed when hedging is configured.
+    hedge_timer: Option<WaitBudget>,
+    /// This flight already spawned its hedge (never hedge twice).
+    hedged: bool,
+    /// This flight *is* a hedge re-issue.
+    is_hedge: bool,
+}
+
+/// Drop guard: whatever is still flying when the router unwinds (parent
+/// cancellation, strict-mode error, normal return with losers pending)
+/// gets cancelled so no shard worker burns time on an abandoned query.
+struct Flights(Vec<Flight>);
+
+impl Drop for Flights {
+    fn drop(&mut self) {
+        for f in &self.0 {
+            f.ticket.cancel();
+        }
+    }
+}
+
+/// The federation router: N shard [`QueryService`]s behind one query API.
+///
+/// All shards are clones of one [`Deployment`] (shared storage, shared
+/// MetaData Service); what is sharded is *serving ownership* — which
+/// front-end answers for which chunks — exactly the layer a fault plan's
+/// shard-death/shard-slow specs target.
+pub struct FederatedService {
+    shards: Vec<QueryService>,
+    placement: Placement,
+    cfg: FederationConfig,
+    deployment: Deployment,
+    obs: Obs,
+    health: Vec<ShardHealth>,
+    /// Logical clock: one tick per dispatched flight. Breaker cooldowns
+    /// count these, not wall time, so seeded replays trip identically.
+    clock: AtomicU64,
+}
+
+impl std::fmt::Debug for FederatedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederatedService")
+            .field("shards", &self.shards.len())
+            .field("replication", &self.placement.replication())
+            .finish()
+    }
+}
+
+impl FederatedService {
+    /// Build the federation over `deployment` with no instrumentation.
+    pub fn new(deployment: Deployment, cfg: FederationConfig) -> Result<Self> {
+        Self::with_instruments(deployment, cfg, Obs::disabled(), None)
+    }
+
+    /// Build the federation, wiring every shard engine to `obs` (spans,
+    /// `fed/*` counters) and, when given, to one shared fault injector —
+    /// the single seeded plan drives deaths and slowdowns across all
+    /// shards, and its global budget caps them collectively.
+    pub fn with_instruments(
+        deployment: Deployment,
+        cfg: FederationConfig,
+        obs: Obs,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Self> {
+        if cfg.trip_after == 0 {
+            return Err(Error::Config(
+                "federation needs trip_after >= 1 (0 would trip on success)".into(),
+            ));
+        }
+        let placement = Placement::new(cfg.shards, cfg.replication, cfg.placement_seed)?;
+        let shards = (0..cfg.shards)
+            .map(|i| {
+                let mut engine = QueryEngine::new(deployment.clone())
+                    .with_obs(obs.clone())
+                    .with_shard(i)
+                    .with_placement(placement);
+                if let Some(f) = &faults {
+                    engine = engine.with_faults(Arc::clone(f));
+                }
+                QueryService::new(engine, cfg.service.clone())
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let health = (0..cfg.shards).map(|_| ShardHealth::new()).collect();
+        Ok(FederatedService {
+            shards,
+            placement,
+            cfg,
+            deployment,
+            obs,
+            health,
+            clock: AtomicU64::new(0),
+        })
+    }
+
+    /// The chunk-to-shard assignment function.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Number of shard services.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's front-end (counters, engine, catalog inspection).
+    pub fn shard(&self, i: usize) -> &QueryService {
+        &self.shards[i]
+    }
+
+    /// The observability handle all shards share.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    fn bump(&self, name: &str, n: u64) {
+        self.obs.metrics.counter(name).add(n);
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Execute one statement, stamping the configured default deadline.
+    pub fn execute(&self, sql: &str) -> Result<FederatedResponse> {
+        let cancel = match self.cfg.service.default_deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        self.execute_with_token(sql, &cancel)
+    }
+
+    /// [`FederatedService::execute`] under a caller-owned token: the
+    /// token gates the router loop, and unwinding cancels every
+    /// still-flying sub-query.
+    pub fn execute_with_token(&self, sql: &str, cancel: &CancelToken) -> Result<FederatedResponse> {
+        cancel.check()?;
+        match parse_statement(sql)? {
+            Statement::CreateView(_) => {
+                // Views live in each shard engine's catalog; broadcast so
+                // any replica can serve view queries. A mid-broadcast
+                // failure leaves earlier shards registered — re-issuing
+                // the CREATE VIEW converges (duplicates error per shard,
+                // which we surface as-is).
+                for svc in &self.shards {
+                    svc.submit_with_token(sql, CancelToken::new())?
+                        .wait_cancellable(cancel)?;
+                }
+                Ok(FederatedResponse::Complete(QueryResult {
+                    columns: Vec::new(),
+                    rows: Vec::new(),
+                    explain: None,
+                    chunk_runs: None,
+                    checksum: None,
+                }))
+            }
+            Statement::Select(query) => {
+                let from_is_view = self.shards[0].engine().catalog().get(&query.from).is_some();
+                if query.join.is_some() || from_is_view {
+                    // Joins and view reads are not chunk-decomposable at
+                    // this layer (the join QES already distributes its own
+                    // work); route the whole statement to one healthy
+                    // replica with retry/failover.
+                    return self
+                        .route_whole(sql, cancel)
+                        .map(FederatedResponse::Complete);
+                }
+                self.scan_federated(&query, cancel)
+            }
+        }
+    }
+
+    /// Whole-statement routing with shard failover: try healthy shards
+    /// first, never the same shard twice, up to `max_attempts`.
+    fn route_whole(&self, sql: &str, cancel: &CancelToken) -> Result<QueryResult> {
+        let n = self.shards.len();
+        let mut tried = vec![false; n];
+        let mut last_err = Error::Cluster("federation has no shards".into());
+        for attempt in 0..self.cfg.recovery.max_attempts {
+            let now = self.tick();
+            let pick = (0..n)
+                .find(|&s| !tried[s] && self.health[s].allows(now))
+                .or_else(|| (0..n).find(|&s| !tried[s]));
+            let Some(shard) = pick else { break };
+            tried[shard] = true;
+            self.bump(names::FED_SUBQUERIES, 1);
+            let outcome = self.shards[shard]
+                .submit_with_token(sql, CancelToken::new())
+                .and_then(|t| t.wait_cancellable(cancel));
+            match outcome {
+                Ok(result) => {
+                    self.health[shard].record_success();
+                    return Ok(result);
+                }
+                Err(e) if e.is_cancellation() && cancel.check().is_err() => return Err(e),
+                Err(e) => {
+                    self.bump(names::FED_SHARD_ERRORS, 1);
+                    if self.health[shard].record_failure(
+                        self.cfg.trip_after,
+                        self.cfg.cooldown_ticks,
+                        now,
+                    ) {
+                        self.bump(names::FED_TRIPS, 1);
+                    }
+                    last_err = e;
+                    if attempt + 1 < self.cfg.recovery.max_attempts {
+                        self.bump(names::FED_FAILOVERS, 1);
+                        cancel.sleep(self.cfg.recovery.backoff(attempt))?;
+                    }
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Pick the serving replica for one chunk: an owner not yet tried,
+    /// preferring those whose breaker admits traffic. The breaker only
+    /// demotes — while any untried replica exists the chunk stays
+    /// routable, so data never goes missing because of an open breaker
+    /// alone.
+    fn pick_shard(&self, owners: &[usize], tried: &[usize], now_tick: u64) -> Option<usize> {
+        owners
+            .iter()
+            .find(|s| !tried.contains(s) && self.health[**s].allows(now_tick))
+            .or_else(|| owners.iter().find(|s| !tried.contains(s)))
+            .copied()
+    }
+
+    /// The chunk fan-out path for base-table SELECTs.
+    fn scan_federated(&self, query: &Query, cancel: &CancelToken) -> Result<FederatedResponse> {
+        let md = self.deployment.metadata();
+        let table = md.table_id(&query.from)?;
+        let range = predicates_to_bbox(&query.predicates);
+        // Same R-tree consultation (and chunk order) as a single engine's
+        // scan, so a complete merge is byte-identical to the oracle.
+        let chunks = match &range {
+            Some(rg) => md.find_chunks(table, rg)?,
+            None => md.all_chunks(table)?,
+        };
+
+        let mut tried: HashMap<ChunkId, Vec<usize>> = HashMap::new();
+        let mut filled: HashMap<ChunkId, Vec<Record>> = HashMap::new();
+        let mut unassigned: Vec<ChunkId> = chunks.clone();
+        let mut missing: Vec<ChunkId> = Vec::new();
+        let mut scan_columns: Option<Vec<String>> = None;
+        let mut flights = Flights(Vec::new());
+
+        loop {
+            cancel.check()?;
+
+            // Dispatch every unassigned chunk (first pass: primaries;
+            // later passes: failover targets). Chunks with no untried
+            // replica left, or past the attempt cap, become missing.
+            if !unassigned.is_empty() {
+                let now = self.tick();
+                let mut groups: HashMap<usize, Vec<ChunkId>> = HashMap::new();
+                for chunk in unassigned.drain(..) {
+                    let id = SubTableId { table, chunk };
+                    let attempts = tried.entry(chunk).or_default();
+                    if attempts.len() >= self.cfg.recovery.max_attempts as usize {
+                        missing.push(chunk);
+                        continue;
+                    }
+                    match self.pick_shard(&self.placement.owners(id), attempts, now) {
+                        Some(shard) => {
+                            attempts.push(shard);
+                            groups.entry(shard).or_default().push(chunk);
+                        }
+                        None => missing.push(chunk),
+                    }
+                }
+                for (shard, group) in groups {
+                    self.dispatch(&mut flights, shard, group, table, &range, false)?;
+                }
+            }
+
+            if flights.0.is_empty() {
+                break;
+            }
+
+            // Poll the outstanding flights one rotation, handling
+            // whichever resolved and hedging whichever went quiet.
+            let mut resolved: Vec<(usize, Result<QueryResult>)> = Vec::new();
+            let mut hedges: Vec<(usize, Vec<ChunkId>)> = Vec::new();
+            for (i, f) in flights.0.iter_mut().enumerate() {
+                if let Some(result) = f.ticket.wait_timeout(POLL_SLICE) {
+                    resolved.push((i, result));
+                } else if !f.hedged && f.hedge_timer.as_ref().is_some_and(WaitBudget::expired) {
+                    f.hedged = true;
+                    let unfilled: Vec<ChunkId> = f
+                        .chunks
+                        .iter()
+                        .filter(|c| !filled.contains_key(c))
+                        .copied()
+                        .collect();
+                    if !unfilled.is_empty() {
+                        hedges.push((f.shard, unfilled));
+                    }
+                }
+            }
+
+            // Issue hedges: same chunks, a different (untried) replica.
+            // The hedge target counts as an attempt, so the per-chunk cap
+            // covers hedges and failovers uniformly.
+            for (_slow_shard, unfilled) in hedges {
+                let now = self.tick();
+                let mut groups: HashMap<usize, Vec<ChunkId>> = HashMap::new();
+                for chunk in unfilled {
+                    let id = SubTableId { table, chunk };
+                    let attempts = tried.entry(chunk).or_default();
+                    if attempts.len() >= self.cfg.recovery.max_attempts as usize {
+                        continue;
+                    }
+                    if let Some(shard) = self.pick_shard(&self.placement.owners(id), attempts, now)
+                    {
+                        attempts.push(shard);
+                        groups.entry(shard).or_default().push(chunk);
+                    }
+                }
+                for (shard, group) in groups {
+                    self.bump(names::FED_HEDGES, 1);
+                    self.dispatch(&mut flights, shard, group, table, &range, true)?;
+                }
+            }
+
+            // Handle resolutions (descending index so removals are safe).
+            for (i, outcome) in resolved.into_iter().rev() {
+                let flight = flights.0.remove(i);
+                match outcome {
+                    Ok(result) => {
+                        self.absorb(&flight, result, &mut filled, &mut scan_columns);
+                    }
+                    Err(e) if e.is_cancellation() && cancel.check().is_err() => return Err(e),
+                    Err(e) => {
+                        let now = self.tick();
+                        self.bump(names::FED_SHARD_ERRORS, 1);
+                        if self.health[flight.shard].record_failure(
+                            self.cfg.trip_after,
+                            self.cfg.cooldown_ticks,
+                            now,
+                        ) {
+                            self.bump(names::FED_TRIPS, 1);
+                        }
+                        let _ = e;
+                        let unfilled: Vec<ChunkId> = flight
+                            .chunks
+                            .iter()
+                            .filter(|c| !filled.contains_key(c))
+                            .copied()
+                            .collect();
+                        if !unfilled.is_empty() {
+                            // Failover: the next dispatch pass re-routes
+                            // these chunks to a replica we have not tried.
+                            self.bump(names::FED_FAILOVERS, 1);
+                            unassigned.extend(unfilled);
+                        }
+                    }
+                }
+            }
+
+            // Cancel losers: a flight whose every chunk someone else
+            // already filled has nothing left to contribute.
+            flights.0.retain(|f| {
+                let obsolete = f.chunks.iter().all(|c| filled.contains_key(c));
+                if obsolete {
+                    f.ticket.cancel();
+                }
+                !obsolete
+            });
+        }
+
+        missing.sort();
+        missing.dedup();
+        if !missing.is_empty() {
+            self.bump(names::FED_PARTIAL, 1);
+            self.bump(names::FED_MISSING_CHUNKS, missing.len() as u64);
+            if self.cfg.strict {
+                return Err(Error::Unavailable {
+                    missing_chunks: missing.len(),
+                    detail: format!(
+                        "table `{}` chunks {:?} lost all replicas",
+                        query.from,
+                        missing.iter().map(|c| c.0).collect::<Vec<_>>()
+                    ),
+                });
+            }
+        }
+
+        // Merge. Chunk order follows the R-tree's chunk list — the same
+        // order a single engine scans in — so a complete federated scan
+        // is byte-identical to the oracle.
+        let columns = match scan_columns {
+            Some(c) => c,
+            None => column_names(md.schema(table)?.as_ref()),
+        };
+        let has_agg = query
+            .select
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate(..)));
+        let rowset: RowSet = if has_agg || !query.group_by.is_empty() {
+            let parts: Vec<Vec<Record>> = chunks.iter().filter_map(|c| filled.remove(c)).collect();
+            merge_aggregate(&columns, parts, &query.select, &query.group_by)?
+        } else {
+            let mut rows = Vec::new();
+            for c in &chunks {
+                if let Some(r) = filled.remove(c) {
+                    rows.extend(r);
+                }
+            }
+            project(&columns, rows, &query.select)?
+        };
+        let rowset = order_and_limit(rowset, &query.order_by, query.limit)?;
+        let result = QueryResult {
+            columns: rowset.columns,
+            rows: rowset.rows,
+            explain: None,
+            chunk_runs: None,
+            checksum: None,
+        };
+        if missing.is_empty() {
+            Ok(FederatedResponse::Complete(result))
+        } else {
+            let total = chunks.len().max(1);
+            Ok(FederatedResponse::Partial(PartialResult {
+                completeness: (total - missing.len()) as f64 / total as f64,
+                missing_chunks: missing,
+                result,
+            }))
+        }
+    }
+
+    /// Submit one chunk group to one shard as a [`ScanSpec`] sub-query.
+    fn dispatch(
+        &self,
+        flights: &mut Flights,
+        shard: usize,
+        chunks: Vec<ChunkId>,
+        table: orv_types::TableId,
+        range: &Option<orv_types::BoundingBox>,
+        is_hedge: bool,
+    ) -> Result<()> {
+        self.bump(names::FED_SUBQUERIES, 1);
+        let spec = ScanSpec {
+            table,
+            range: range.clone(),
+            chunks: chunks.clone(),
+        };
+        let ticket = self.shards[shard].submit_scan(spec, CancelToken::new())?;
+        flights.0.push(Flight {
+            shard,
+            chunks,
+            ticket,
+            hedge_timer: self.cfg.hedge_after.map(WaitBudget::start),
+            hedged: false,
+            is_hedge,
+        });
+        Ok(())
+    }
+
+    /// Fold one successful sub-response into the per-chunk fill map.
+    /// First responder wins per chunk (dedup for hedged duplicates); a
+    /// checksum mismatch discards the response wholesale, as if the shard
+    /// had failed — the chunks stay unfilled and re-route.
+    fn absorb(
+        &self,
+        flight: &Flight,
+        result: QueryResult,
+        filled: &mut HashMap<ChunkId, Vec<Record>>,
+        scan_columns: &mut Option<Vec<String>>,
+    ) {
+        if result.checksum != Some(rows_checksum(&result.rows)) {
+            self.bump(names::FED_SHARD_ERRORS, 1);
+            return;
+        }
+        self.health[flight.shard].record_success();
+        let runs = result.chunk_runs.unwrap_or_default();
+        let mut rows = result.rows.into_iter();
+        let mut won = false;
+        for (chunk, len) in runs {
+            let chunk_rows: Vec<Record> = rows.by_ref().take(len).collect();
+            if let std::collections::hash_map::Entry::Vacant(e) = filled.entry(chunk) {
+                e.insert(chunk_rows);
+                won = true;
+            }
+        }
+        if won && flight.is_hedge {
+            self.bump(names::FED_HEDGE_WINS, 1);
+        }
+        if scan_columns.is_none() {
+            *scan_columns = Some(result.columns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orv_bds::{generate_dataset, DatasetSpec};
+    use orv_cluster::{FaultPlan, ShardDeathSpec, ShardSlowSpec};
+    use orv_types::Value;
+
+    fn deployment() -> Deployment {
+        let d = Deployment::in_memory(2);
+        for (name, scalar, seed) in [("t1", "oilp", 1u64), ("t2", "wp", 2)] {
+            generate_dataset(
+                &DatasetSpec::builder(name)
+                    .grid([8, 8, 1])
+                    .partition([2, 2, 1])
+                    .scalar_attrs(&[scalar])
+                    .seed(seed)
+                    .build(),
+                &d,
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    fn oracle(sql: &str) -> QueryResult {
+        QueryEngine::new(deployment()).execute(sql).unwrap()
+    }
+
+    #[test]
+    fn federated_scan_and_aggregate_match_single_engine() {
+        let fed = FederatedService::new(deployment(), FederationConfig::default()).unwrap();
+        for sql in [
+            "SELECT * FROM t1",
+            "SELECT * FROM t1 WHERE x IN [0, 3]",
+            "SELECT COUNT(*) FROM t1",
+            "SELECT z, COUNT(*), MIN(oilp), MAX(oilp) FROM t1 GROUP BY z",
+            "SELECT oilp FROM t1 WHERE y IN [2, 5] ORDER BY oilp DESC LIMIT 7",
+        ] {
+            let got = fed.execute(sql).unwrap();
+            assert!(got.is_complete(), "{sql} should be complete");
+            let want = oracle(sql);
+            assert_eq!(got.result().columns, want.columns, "{sql}");
+            assert_eq!(got.result().rows, want.rows, "{sql}");
+        }
+    }
+
+    #[test]
+    fn views_broadcast_and_serve_from_any_shard() {
+        let fed = FederatedService::new(deployment(), FederationConfig::default()).unwrap();
+        fed.execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        for i in 0..fed.num_shards() {
+            assert!(fed.shard(i).engine().catalog().get("v1").is_some());
+        }
+        let got = fed.execute("SELECT COUNT(*) FROM v1").unwrap();
+        let single = QueryEngine::new(deployment());
+        single
+            .execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+            .unwrap();
+        let want = single.execute("SELECT COUNT(*) FROM v1").unwrap();
+        assert_eq!(got.into_result().rows, want.rows);
+    }
+
+    #[test]
+    fn shard_death_fails_over_without_changing_answers() {
+        let obs = Obs::enabled();
+        let plan = FaultPlan {
+            shard_deaths: vec![ShardDeathSpec {
+                shard: 0,
+                after_subqueries: 0,
+            }],
+            max_faults: 8,
+            ..FaultPlan::none()
+        };
+        let faults = FaultInjector::new_with_events(plan, obs.events.clone());
+        let fed = FederatedService::with_instruments(
+            deployment(),
+            FederationConfig::default(),
+            obs.clone(),
+            Some(faults),
+        )
+        .unwrap();
+        let got = fed.execute("SELECT * FROM t1").unwrap();
+        assert!(got.is_complete(), "replication must mask one dead shard");
+        assert_eq!(got.result().rows, oracle("SELECT * FROM t1").rows);
+        let snap = obs.metrics.snapshot();
+        assert!(
+            snap.counters.get(names::FED_FAILOVERS).copied() >= Some(1),
+            "dead primary must force at least one failover: {:?}",
+            snap.counters
+        );
+    }
+
+    #[test]
+    fn all_replicas_dead_degrades_to_exact_partial() {
+        // replication = 1: killing shard 0 makes its chunks unreachable.
+        let obs = Obs::enabled();
+        let cfg = FederationConfig {
+            shards: 2,
+            replication: 1,
+            ..FederationConfig::default()
+        };
+        let placement = Placement::new(cfg.shards, cfg.replication, cfg.placement_seed).unwrap();
+        let plan = FaultPlan {
+            shard_deaths: vec![ShardDeathSpec {
+                shard: 0,
+                after_subqueries: 0,
+            }],
+            max_faults: 8,
+            ..FaultPlan::none()
+        };
+        let faults = FaultInjector::new_with_events(plan, obs.events.clone());
+        let d = deployment();
+        let md = d.metadata();
+        let table = md.table_id("t1").unwrap();
+        let expected_missing: Vec<ChunkId> = md
+            .all_chunks(table)
+            .unwrap()
+            .into_iter()
+            .filter(|&chunk| placement.primary(SubTableId { table, chunk }) == 0)
+            .collect();
+        assert!(
+            !expected_missing.is_empty(),
+            "placement seed must give shard 0 some chunks"
+        );
+        let fed =
+            FederatedService::with_instruments(d.clone(), cfg, obs.clone(), Some(faults)).unwrap();
+        let got = fed.execute("SELECT * FROM t1").unwrap();
+        let FederatedResponse::Partial(partial) = got else {
+            panic!("expected a partial result");
+        };
+        assert_eq!(partial.missing_chunks, expected_missing);
+        let total = md.all_chunks(table).unwrap().len();
+        let want = (total - expected_missing.len()) as f64 / total as f64;
+        assert!((partial.completeness - want).abs() < 1e-12);
+        assert!(partial.result.rows.len() < oracle("SELECT * FROM t1").rows.len());
+        let snap = obs.metrics.snapshot();
+        assert_eq!(
+            snap.counters.get(names::FED_PARTIAL).copied(),
+            Some(1),
+            "{:?}",
+            snap.counters
+        );
+        assert_eq!(
+            snap.counters.get(names::FED_MISSING_CHUNKS).copied(),
+            Some(expected_missing.len() as u64)
+        );
+    }
+
+    #[test]
+    fn strict_mode_turns_partial_into_unavailable() {
+        let cfg = FederationConfig {
+            shards: 2,
+            replication: 1,
+            strict: true,
+            ..FederationConfig::default()
+        };
+        let plan = FaultPlan {
+            shard_deaths: vec![ShardDeathSpec {
+                shard: 0,
+                after_subqueries: 0,
+            }],
+            max_faults: 8,
+            ..FaultPlan::none()
+        };
+        let faults = FaultInjector::new(plan);
+        let fed =
+            FederatedService::with_instruments(deployment(), cfg, Obs::disabled(), Some(faults))
+                .unwrap();
+        let err = fed.execute("SELECT * FROM t1").unwrap_err();
+        let Error::Unavailable { missing_chunks, .. } = err else {
+            panic!("expected Unavailable, got {err}");
+        };
+        assert!(missing_chunks > 0);
+    }
+
+    #[test]
+    fn hedged_request_beats_a_slow_shard() {
+        let obs = Obs::enabled();
+        let plan = FaultPlan {
+            shard_slows: vec![
+                // Every shard's first sub-query stalls well past the hedge
+                // delay, so whichever shards serve this query go quiet and
+                // force hedges.
+                ShardSlowSpec {
+                    shard: 0,
+                    after_subqueries: 0,
+                    delay_ms: 1_500,
+                },
+                ShardSlowSpec {
+                    shard: 1,
+                    after_subqueries: 0,
+                    delay_ms: 1_500,
+                },
+                ShardSlowSpec {
+                    shard: 2,
+                    after_subqueries: 0,
+                    delay_ms: 1_500,
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        let faults = FaultInjector::new_with_events(plan, obs.events.clone());
+        let cfg = FederationConfig {
+            hedge_after: Some(Duration::from_millis(40)),
+            ..FederationConfig::default()
+        };
+        let fed = FederatedService::with_instruments(deployment(), cfg, obs.clone(), Some(faults))
+            .unwrap();
+        let got = fed.execute("SELECT COUNT(*) FROM t1").unwrap();
+        assert!(got.is_complete());
+        assert_eq!(got.result().rows, oracle("SELECT COUNT(*) FROM t1").rows);
+        let snap = obs.metrics.snapshot();
+        assert!(
+            snap.counters.get(names::FED_HEDGES).copied() >= Some(1),
+            "a stalled shard must trigger hedging: {:?}",
+            snap.counters
+        );
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_half_open_recovers() {
+        let h = ShardHealth::new();
+        assert!(h.allows(0));
+        assert!(!h.record_failure(3, 8, 0));
+        assert!(!h.record_failure(3, 8, 1));
+        assert!(h.record_failure(3, 8, 2), "third consecutive failure trips");
+        assert!(!h.allows(5), "open until tick 10");
+        assert!(h.allows(10), "cooldown elapsed: half-open probe admitted");
+        assert!(!h.allows(10), "only one probe while half-open");
+        assert!(h.record_failure(3, 8, 10), "failed probe re-opens");
+        assert!(!h.allows(11));
+        assert!(h.allows(30));
+        h.record_success();
+        assert!(h.allows(31), "closed again after a successful probe");
+    }
+
+    #[test]
+    fn zero_trip_after_is_a_config_error() {
+        let err = FederatedService::new(
+            deployment(),
+            FederationConfig {
+                trip_after: 0,
+                ..FederationConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn count_matches_oracle_exactly_and_sum_within_epsilon() {
+        let fed = FederatedService::new(deployment(), FederationConfig::default()).unwrap();
+        let count = fed.execute("SELECT COUNT(*) FROM t1").unwrap();
+        assert_eq!(count.result().rows[0].get(0), Value::I64(64));
+        let sum = fed.execute("SELECT SUM(oilp) FROM t1").unwrap();
+        let want = oracle("SELECT SUM(oilp) FROM t1").rows[0].get(0).as_f64();
+        let got = sum.result().rows[0].get(0).as_f64();
+        assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "re-aggregated SUM drifted: {got} vs {want}"
+        );
+    }
+}

@@ -34,13 +34,15 @@ pub mod agg;
 pub mod ast;
 pub mod engine;
 pub mod exec;
+pub mod federation;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod service;
 
 pub use ast::{AggFunc, JoinClause, Query, RangePred, SelectItem, Statement, ViewDef};
-pub use engine::{algorithm_slug, Catalog, QueryEngine, QueryResult};
+pub use engine::{algorithm_slug, Catalog, QueryEngine, QueryResult, ScanSpec};
+pub use federation::{FederatedResponse, FederatedService, FederationConfig, PartialResult};
 pub use parser::parse_statement;
 pub use plan::{PlanExplain, Planner};
 pub use service::{QueryService, QueryTicket, ServiceConfig, ServiceCounters};

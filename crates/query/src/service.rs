@@ -25,8 +25,8 @@
 //! admitted  == completed + cancelled        (once all tickets resolve)
 //! ```
 
-use crate::engine::{QueryEngine, QueryResult};
-use orv_cluster::CancelToken;
+use crate::engine::{QueryEngine, QueryResult, ScanSpec};
+use orv_cluster::{CancelToken, WaitBudget, SLEEP_SLICE};
 use orv_obs::names;
 use orv_types::{Error, Result};
 use std::collections::VecDeque;
@@ -118,8 +118,15 @@ impl Slot {
     }
 }
 
+/// What one queued job executes: a SQL statement (the client path) or a
+/// pre-planned chunk scan (the federation router's sub-query path).
+enum Task {
+    Sql(String),
+    Scan(ScanSpec),
+}
+
 struct Job {
-    sql: String,
+    task: Task,
     cancel: CancelToken,
     slot: Arc<Slot>,
 }
@@ -181,8 +188,17 @@ impl Inner {
             };
             // A queued query may already be cancelled (or past deadline)
             // by the time a worker reaches it — resolve without running.
-            let result = match job.cancel.check() {
-                Ok(()) => self.engine.execute_cancellable(&job.sql, &job.cancel),
+            // The shard checkpoint sits on the same gate: an injected
+            // shard death/slowdown hits every job this engine serves.
+            let result = match job
+                .cancel
+                .check()
+                .and_then(|()| self.engine.shard_checkpoint(&job.cancel))
+            {
+                Ok(()) => match &job.task {
+                    Task::Sql(sql) => self.engine.execute_cancellable(sql, &job.cancel),
+                    Task::Scan(spec) => self.engine.execute_scan_spec(spec, &job.cancel),
+                },
                 Err(e) => Err(e),
             };
             self.resolve(&job.slot, result);
@@ -246,25 +262,36 @@ impl QueryTicket {
     }
 
     /// Block up to `timeout`; `None` if the query is still in flight
-    /// (the ticket remains usable).
+    /// (the ticket remains usable). The wall-clock bound (via
+    /// [`WaitBudget`]) only caps how long the *caller* blocks; it never
+    /// steers query execution, so seeded replays are unaffected.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResult>> {
-        // Wall-clock here only caps how long the *caller* blocks; it never
-        // steers query execution, so seeded replays are unaffected (same
-        // role as CancelToken deadlines).
-        // orv-lint: allow(L006) -- client-side wait bound, not runtime control flow
-        let deadline = std::time::Instant::now() + timeout;
+        let budget = WaitBudget::start(timeout);
         let mut cell = relock(self.slot.result.lock());
         loop {
             if let Some(result) = cell.take() {
                 return Some(result);
             }
-            // orv-lint: allow(L006) -- client-side wait bound, not runtime control flow
-            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            let left = budget.remaining();
             if left.is_zero() {
                 return None;
             }
             let (guard, _) = relock(self.slot.done.wait_timeout(cell, left));
             cell = guard;
+        }
+    }
+
+    /// Block until the query resolves *or* `cancel` fires, polling in
+    /// [`SLEEP_SLICE`] slices. This is the one canonical
+    /// `submit → wait slice → cancel-check` client loop; every caller
+    /// that used to open-code it (stress harnesses, the federation
+    /// router) goes through here.
+    pub fn wait_cancellable(&self, cancel: &CancelToken) -> Result<QueryResult> {
+        loop {
+            cancel.check()?;
+            if let Some(result) = self.wait_timeout(SLEEP_SLICE) {
+                return result;
+            }
         }
     }
 }
@@ -341,21 +368,32 @@ impl QueryService {
     /// Submit with a caller-owned token (compose cancellation across
     /// several queries, or attach a custom deadline).
     pub fn submit_with_token(&self, sql: &str, cancel: CancelToken) -> Result<QueryTicket> {
+        self.submit_task(Task::Sql(sql.to_string()), cancel)
+    }
+
+    /// Submit a pre-planned chunk scan (the federation router's sub-query
+    /// path): same queue, admission control and cancellation as SQL.
+    pub fn submit_scan(&self, spec: ScanSpec, cancel: CancelToken) -> Result<QueryTicket> {
+        self.submit_task(Task::Scan(spec), cancel)
+    }
+
+    fn submit_task(&self, task: Task, cancel: CancelToken) -> Result<QueryTicket> {
         let inner = &self.inner;
         inner.count(&inner.submitted, names::SERVICE_SUBMITTED);
         let slot = Slot::new();
         {
             let mut queue = relock(inner.queue.lock());
             if queue.len() >= inner.cfg.queue_cap {
+                let queued = queue.len();
                 drop(queue);
                 inner.count(&inner.rejected, names::SERVICE_REJECTED);
-                return Err(Error::Overloaded(format!(
-                    "{} queued (cap {})",
-                    inner.cfg.queue_cap, inner.cfg.queue_cap
-                )));
+                return Err(Error::Overloaded {
+                    queued,
+                    cap: inner.cfg.queue_cap,
+                });
             }
             queue.push_back(Job {
-                sql: sql.to_string(),
+                task,
                 cancel: cancel.clone(),
                 slot: Arc::clone(&slot),
             });
@@ -443,7 +481,10 @@ mod tests {
         let t1 = svc.submit("SELECT * FROM t1").unwrap();
         let t2 = svc.submit("SELECT * FROM t1").unwrap();
         let err = svc.submit("SELECT * FROM t1").unwrap_err();
-        assert!(matches!(err, Error::Overloaded(_)), "{err}");
+        assert!(
+            matches!(err, Error::Overloaded { queued: 2, cap: 2 }),
+            "{err}"
+        );
         assert!(err.to_string().contains("cap 2"), "{err}");
         let c = svc.counters();
         assert_eq!((c.submitted, c.admitted, c.rejected), (3, 2, 1));
@@ -473,7 +514,7 @@ mod tests {
         for _ in 0..3 {
             assert!(matches!(
                 svc.submit("SELECT * FROM t1"),
-                Err(Error::Overloaded(_))
+                Err(Error::Overloaded { .. })
             ));
         }
         // Cancelling the queued query frees its slot for a new admit.

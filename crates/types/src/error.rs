@@ -31,7 +31,23 @@ pub enum Error {
     /// The query ran past its deadline.
     DeadlineExceeded,
     /// Admission control rejected the query: the service's queue is full.
-    Overloaded(String),
+    /// Carries the observed queue depth and the configured cap so
+    /// operators can size queues from logs instead of guessing.
+    Overloaded {
+        /// Jobs observed in the queue at rejection time.
+        queued: usize,
+        /// The configured queue capacity.
+        cap: usize,
+    },
+    /// A federated query could not reach every chunk it needed: all
+    /// replicas of at least one shard were down and strict mode was on.
+    /// Carries the number of missing chunks for log-based diagnosis.
+    Unavailable {
+        /// Chunks whose every replica was unreachable.
+        missing_chunks: usize,
+        /// Human-readable description of what was unreachable.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -48,7 +64,18 @@ impl fmt::Display for Error {
             Error::Integrity(msg) => write!(f, "integrity error: {msg}"),
             Error::Cancelled => write!(f, "query cancelled"),
             Error::DeadlineExceeded => write!(f, "query deadline exceeded"),
-            Error::Overloaded(msg) => write!(f, "service overloaded: {msg}"),
+            Error::Overloaded { queued, cap } => {
+                write!(f, "service overloaded: {queued} queued (cap {cap})")
+            }
+            Error::Unavailable {
+                missing_chunks,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "shards unavailable: {missing_chunks} chunks missing: {detail}"
+                )
+            }
         }
     }
 }
@@ -120,9 +147,21 @@ mod tests {
 
     #[test]
     fn overloaded_is_typed_and_descriptive() {
-        let e = Error::Overloaded("8 queued (cap 8)".into());
+        let e = Error::Overloaded { queued: 8, cap: 8 };
         assert!(e.to_string().contains("overloaded"), "{e}");
         assert!(e.to_string().contains("cap 8"), "{e}");
+        assert!(e.to_string().contains("8 queued"), "{e}");
+        assert!(!e.is_cancellation());
+    }
+
+    #[test]
+    fn unavailable_carries_missing_chunk_count() {
+        let e = Error::Unavailable {
+            missing_chunks: 3,
+            detail: "shard 1 down".into(),
+        };
+        assert!(e.to_string().contains("3 chunks missing"), "{e}");
+        assert!(e.to_string().contains("shard 1 down"), "{e}");
         assert!(!e.is_cancellation());
     }
 

@@ -1,0 +1,172 @@
+//! Federated serving demo: a seeded fault plan kills one shard of a
+//! three-shard federation mid-run, and replicated placement + failover
+//! keep every answer byte-identical to a single-engine oracle.
+//!
+//! ```text
+//! cargo run --release --example federation -- <seed> [--strict]
+//! ```
+//!
+//! With `--strict`, the demo instead kills *two* shards so some chunks
+//! lose every replica, and shows the typed degradation: a partial result
+//! carrying the exact missing-chunk set (or `Error::Unavailable` in
+//! strict mode — which is what `--strict` demonstrates).
+//!
+//! The event log lands in `fed_events_<seed>.jsonl` whether the run
+//! passes or fails, so CI can upload it for post-mortems. Any violated
+//! invariant exits nonzero.
+
+use orv::bds::{generate_dataset, DatasetSpec, Deployment};
+use orv::cluster::{silence_injected_panics, FaultInjector, FaultPlan, ShardDeathSpec};
+use orv::obs::{names, Obs};
+use orv::query::{FederatedService, FederationConfig, QueryEngine};
+
+const QUERIES: [&str; 3] = [
+    "SELECT * FROM ft WHERE x IN [0, 5]",
+    "SELECT COUNT(*) FROM ft",
+    "SELECT z, COUNT(*), MIN(p), MAX(p) FROM ft GROUP BY z",
+];
+
+fn deployment() -> Deployment {
+    let d = Deployment::in_memory(2);
+    generate_dataset(
+        &DatasetSpec::builder("ft")
+            .grid([8, 8, 2])
+            .partition([2, 2, 1])
+            .scalar_attrs(&["p"])
+            .seed(29)
+            .build(),
+        &d,
+    )
+    .expect("dataset generation is fault-free");
+    d
+}
+
+fn main() {
+    let mut seed: u64 = 7;
+    let mut strict = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            s => {
+                seed = s.parse().unwrap_or_else(|_| {
+                    eprintln!("usage: federation [seed] [--strict]");
+                    std::process::exit(2);
+                })
+            }
+        }
+    }
+    silence_injected_panics();
+
+    let cfg = FederationConfig {
+        strict,
+        ..FederationConfig::default()
+    };
+    let dead_shard = (seed % cfg.shards as u64) as usize;
+    let mut shard_deaths = vec![ShardDeathSpec {
+        shard: dead_shard,
+        after_subqueries: seed % 4,
+    }];
+    if strict {
+        // Kill a second shard too: with R = 2 of 3 shards, some chunks
+        // lose both replicas and the router must degrade *typed*.
+        shard_deaths.push(ShardDeathSpec {
+            shard: (dead_shard + 1) % cfg.shards,
+            after_subqueries: 0,
+        });
+    }
+    let plan = FaultPlan {
+        seed,
+        shard_deaths,
+        max_faults: 8,
+        ..FaultPlan::none()
+    };
+    println!("federation seed {seed}: killing shard {dead_shard} ({plan:?})");
+
+    let obs = Obs::enabled();
+    let injector = FaultInjector::new_with_events(plan, obs.events.clone());
+    let fed =
+        FederatedService::with_instruments(deployment(), cfg, obs.clone(), Some(injector.clone()))
+            .expect("federation construction is fault-free");
+    let oracle_engine = QueryEngine::new(deployment());
+
+    // Several rounds, so the seeded death (after `seed % 4` sub-queries
+    // on its shard) always lands *mid-sequence*: some answers come off
+    // the healthy path, the rest exercise failover.
+    let mut failures = Vec::new();
+    for round in 0..3 {
+        for sql in QUERIES {
+            let want = oracle_engine
+                .execute(sql)
+                .expect("oracle run is fault-free");
+            match fed.execute(sql) {
+                Ok(resp) if resp.is_complete() => {
+                    if resp.result().rows == want.rows {
+                        println!(
+                            "  ok  round {round} ({} rows) {sql}",
+                            resp.result().rows.len()
+                        );
+                    } else {
+                        failures.push(format!("round {round}: row mismatch vs oracle for `{sql}`"));
+                    }
+                }
+                Ok(resp) => {
+                    failures.push(format!(
+                        "round {round}: unexpected partial result for `{sql}` ({} rows)",
+                        resp.result().rows.len()
+                    ));
+                }
+                Err(e) if strict => {
+                    println!("  strict degradation (expected): {e}");
+                }
+                Err(e) => failures.push(format!(
+                    "round {round}: query failed terminally: `{sql}`: {e}"
+                )),
+            }
+        }
+    }
+
+    // Export the log before judging the run — a failing run's log is the
+    // post-mortem artifact.
+    let log_path = format!("fed_events_{seed}.jsonl");
+    std::fs::write(&log_path, obs.events.to_json_lines()).expect("cannot write event log");
+
+    let stats = injector.stats();
+    let snap = obs.metrics.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    println!("injected: {stats:?}");
+    println!(
+        "fed counters: subqueries={} failovers={} shard_errors={} trips={} partial={} missing={}",
+        counter(names::FED_SUBQUERIES),
+        counter(names::FED_FAILOVERS),
+        counter(names::FED_SHARD_ERRORS),
+        counter(names::FED_TRIPS),
+        counter(names::FED_PARTIAL),
+        counter(names::FED_MISSING_CHUNKS),
+    );
+    println!("event log: {log_path}");
+
+    // Counters must agree with the injected fault log: a death that fired
+    // before the last query implies at least one failover (non-strict),
+    // and shard errors can never undercount failovers.
+    if stats.shard_deaths == 0 {
+        failures.push("the seeded shard death never fired (run is vacuous)".into());
+    }
+    if stats.shard_deaths > 0 && !strict && counter(names::FED_FAILOVERS) == 0 {
+        failures.push("shard died but no failover was recorded".into());
+    }
+    if counter(names::FED_SHARD_ERRORS) < counter(names::FED_FAILOVERS) {
+        failures.push("failovers outnumber shard errors (counter drift)".into());
+    }
+    if strict && stats.shard_deaths >= 2 && counter(names::FED_MISSING_CHUNKS) == 0 {
+        failures.push("two dead shards but nothing went missing in strict mode".into());
+    }
+
+    if failures.is_empty() {
+        println!("federation run OK");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

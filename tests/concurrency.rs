@@ -203,8 +203,12 @@ fn barrier_stepped_admission_rejects_past_the_cap() {
     for h in handles {
         match h.join().expect("submitter thread") {
             Ok(t) => tickets.push(t),
-            Err(Error::Overloaded(msg)) => {
-                assert!(msg.contains(&CAP.to_string()), "cap missing from: {msg}");
+            Err(Error::Overloaded { queued, cap }) => {
+                assert_eq!(cap, CAP, "rejection must report the configured cap");
+                assert!(
+                    queued >= cap,
+                    "rejection with {queued} queued under cap {cap}"
+                );
                 rejected += 1;
             }
             Err(other) => panic!("expected Overloaded, got {other}"),

@@ -433,6 +433,8 @@ proptest! {
             scratch_corrupt_prob: corrupt_p,
             max_scratch_corruptions: cap,
             worker_panics: vec![],
+            shard_deaths: vec![],
+            shard_slows: vec![],
             max_faults: cap * 6,
         };
         let recovery = RecoveryPolicy {

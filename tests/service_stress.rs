@@ -151,7 +151,7 @@ fn stress_round(seed: u64, clients: usize, rounds: usize) {
                         Ok(t) => t,
                         // Admission control rejecting under burst load
                         // is correct behaviour, not a failure.
-                        Err(Error::Overloaded(_)) => continue,
+                        Err(Error::Overloaded { .. }) => continue,
                         Err(other) => panic!("unexpected submit error: {other}"),
                     };
                     if matches!(action, Action::CancelEarly) {
