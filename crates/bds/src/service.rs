@@ -144,7 +144,8 @@ impl BdsService {
         }
         let bytes = {
             let _read = self.spans.span_with(|| names::span_bds_read(self.node.0));
-            self.faults.before_chunk_read(&self.cancel)?;
+            self.faults
+                .before_chunk_read(self.node.0 as u64, &self.cancel)?;
             let mut bytes = self.store.lock().read(&meta.location)?;
             self.bytes_read.add(bytes.len() as u64);
             // Verify pages that carry a generation-time checksum. The
@@ -154,7 +155,8 @@ impl BdsService {
             if let Some(expected) = meta.checksum {
                 if self.faults.plan().chunk_corrupt_prob > 0.0 {
                     let mut copy = bytes.to_vec();
-                    self.faults.corrupt_chunk_page(&mut copy);
+                    self.faults
+                        .corrupt_chunk_page(self.node.0 as u64, &mut copy);
                     bytes = copy.into();
                 }
                 if let Err(e) = checksum::verify(expected, &bytes, &format!("chunk {id}")) {

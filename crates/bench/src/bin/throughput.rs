@@ -21,11 +21,16 @@
 //! Emits `BENCH_throughput.json` (the first entry of the bench
 //! trajectory for the serving layer) with per-client-count runs, cache
 //! counters and speedups; CI validates ≥ 2× aggregate qps at 4 clients
-//! vs 1.
+//! vs 1. Also emits `BENCH_latency.json` — the 8-client run's
+//! [`ServingReport`]: per-phase latency percentiles (p50/p95/p99 of the
+//! `lat/*` histograms), the full metrics registry, and the flight
+//! recorder's retained traces. CI schema-checks it and tracks the
+//! `lat/total_secs` p99 as a non-gating trend.
 
 use orv_bds::{generate_dataset, DatasetSpec, Deployment};
 use orv_cluster::Throttle;
 use orv_join::JoinAlgorithm;
+use orv_obs::{names, ServingReport};
 use orv_query::{FederatedService, FederationConfig, QueryEngine, QueryService, ServiceConfig};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -94,7 +99,7 @@ fn warm_and_measure(svc: &QueryService) -> (f64, u64) {
     (exec_secs.max(1e-5), bytes)
 }
 
-fn run_clients(clients: usize) -> Run {
+fn run_clients(clients: usize) -> (Run, ServingReport) {
     let svc = Arc::new(build_service(clients));
     let (exec_secs, bytes) = warm_and_measure(&svc);
     let link_rate = bytes as f64 / (TRANSFER_RATIO * exec_secs);
@@ -143,17 +148,21 @@ fn run_clients(clients: usize) -> Run {
         cache.hits + cache.misses,
         "cache counter imbalance"
     );
-    Run {
-        clients,
-        queries,
-        total_secs,
-        qps: queries as f64 / total_secs,
-        cache_hits: cache.hits,
-        cache_misses: cache.misses,
-        cache_evictions: cache.evictions,
-        submitted: after.submitted,
-        completed: after.completed,
-    }
+    let report = ServingReport::build(svc.engine().obs().metrics.snapshot(), svc.recorder());
+    (
+        Run {
+            clients,
+            queries,
+            total_secs,
+            qps: queries as f64 / total_secs,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            submitted: after.submitted,
+            completed: after.completed,
+        },
+        report,
+    )
 }
 
 /// The federated serving trend line: the same dataset behind a
@@ -287,7 +296,8 @@ fn main() {
         "{:>8} {:>9} {:>11} {:>9} {:>12} {:>11} {:>11}",
         "clients", "queries", "total [s]", "qps", "speedup", "cache hit", "cache miss"
     );
-    let runs: Vec<Run> = [1usize, 4, 8].iter().map(|&n| run_clients(n)).collect();
+    let (runs, mut reports): (Vec<Run>, Vec<ServingReport>) =
+        [1usize, 4, 8].iter().map(|&n| run_clients(n)).unzip();
     let base_qps = runs[0].qps;
     for r in &runs {
         println!(
@@ -311,6 +321,35 @@ fn main() {
     let payload = json(&runs, exec_secs, &federated);
     std::fs::write("BENCH_throughput.json", &payload).expect("cannot write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json ({} bytes)", payload.len());
+
+    // Serving-path latency report: the 8-client (contended) run is the
+    // distribution worth tracking. The report must self-validate and
+    // carry the core serving phases before CI ever sees it.
+    let mut latency = reports.pop().expect("8-client report");
+    latency.notes.insert("bench".into(), "throughput".into());
+    latency.notes.insert("clients".into(), 8u64.into());
+    latency.notes.insert("sql".into(), SQL.into());
+    latency.notes.insert(
+        "queries_per_client".into(),
+        (QUERIES_PER_CLIENT as u64).into(),
+    );
+    latency.validate().expect("serving report must validate");
+    for name in [
+        names::LAT_ADMISSION,
+        names::LAT_QUEUE_WAIT,
+        names::LAT_EXEC,
+        names::LAT_TOTAL,
+    ] {
+        assert!(
+            latency.latency(name).is_some(),
+            "the contended run must record `{name}`"
+        );
+    }
+    println!("\n{}", latency.render_table());
+    let lat_json = latency.to_json();
+    std::fs::write("BENCH_latency.json", &lat_json).expect("cannot write BENCH_latency.json");
+    println!("wrote BENCH_latency.json ({} bytes)", lat_json.len());
+
     assert!(
         speedup4 >= 2.0,
         "aggregate qps at 4 clients must be >= 2x the 1-client baseline, got {speedup4:.2}x"

@@ -10,11 +10,18 @@
 //! [`FaultInjector`] realizes the plan deterministically from a single
 //! `u64` seed, so any failing execution can be replayed exactly.
 //!
-//! Determinism model: every injection site keeps its own atomic draw
-//! counter; draw `n` at site `s` is `splitmix64(seed ⊕ salt(s) ⊕ n)`
-//! compared against the site's probability. A retry of the same operation
-//! therefore gets a *fresh* draw — injected faults are transient by
-//! construction. Two budgets bound the chaos: a per-kind cap
+//! Determinism model: every `(site, stream)` pair keeps its own draw
+//! counter, where the *stream* identifies the calling actor (the storage
+//! node reading a chunk, the GH sender, the compute node appending to
+//! scratch); draw `n` of stream `w` at site `s` is
+//! `splitmix64(seed ⊕ salt(s) ⊕ mix(w) ⊕ mix(n))` compared against the
+//! site's probability. Keying the streams by caller — rather than one
+//! global per-site counter — makes the draw sequence each actor sees a
+//! pure function of the seed, independent of how the OS scheduler
+//! interleaves threads, so chaos logs replay stably under CPU stress.
+//! A retry of the same operation still gets a *fresh* draw — injected
+//! faults are transient by construction. Two budgets bound the chaos: a
+//! per-kind cap
 //! (`max_read_errors`, …) and a global [`FaultPlan::max_faults`] cap.
 //! Once a budget is exhausted the injector stops firing, so any execution
 //! with enough retry attempts provably completes. Delays are counted in
@@ -453,12 +460,11 @@ const SITE_SCRATCH_CORRUPT: u64 = 0x53_43_4F_52; // "SCOR"
 /// one execution; create a fresh injector per execution so budgets reset.
 pub struct FaultInjector {
     plan: FaultPlan,
-    read_draws: AtomicU64,
-    send_draws: AtomicU64,
-    scratch_draws: AtomicU64,
-    chunk_corrupt_draws: AtomicU64,
-    frame_corrupt_draws: AtomicU64,
-    scratch_corrupt_draws: AtomicU64,
+    /// Draw counters keyed by `(site salt, stream)`. The map lock is held
+    /// across draw → stats → emit so each stream's fault events land in
+    /// the log in draw order (the replay test asserts monotonicity), and
+    /// is always released before any injected sleep.
+    draws: Mutex<HashMap<(u64, u64), u64>>,
     budget: AtomicU64,
     read_errors_left: AtomicU64,
     send_drops_left: AtomicU64,
@@ -483,13 +489,12 @@ impl std::fmt::Debug for FaultInjector {
     }
 }
 
-/// One corruption injection site: its event labels, draw state, cap and
+/// One corruption injection site: its event labels, draw salt, cap and
 /// stats slot, bundled so [`FaultInjector::corrupt`] reads as one unit.
 struct CorruptSite<'a> {
     kind: &'static str,
     site: &'static str,
     salt: u64,
-    counter: &'a AtomicU64,
     prob: f64,
     left: &'a AtomicU64,
     bump: fn(&mut FaultStats),
@@ -530,12 +535,7 @@ impl FaultInjector {
             frame_corruptions_left: AtomicU64::new(plan.max_frame_corruptions),
             scratch_corruptions_left: AtomicU64::new(plan.max_scratch_corruptions),
             panic_fired,
-            read_draws: AtomicU64::new(0),
-            send_draws: AtomicU64::new(0),
-            scratch_draws: AtomicU64::new(0),
-            chunk_corrupt_draws: AtomicU64::new(0),
-            frame_corrupt_draws: AtomicU64::new(0),
-            scratch_corrupt_draws: AtomicU64::new(0),
+            draws: Mutex::new(HashMap::new()),
             worker_ops: Mutex::new(HashMap::new()),
             shard_dead,
             shard_slow_fired,
@@ -546,14 +546,15 @@ impl FaultInjector {
         })
     }
 
-    /// Log one injected fault: its kind, injection site and the draw
-    /// index that fired, which together with the `fault_plan` event pin
-    /// the exact execution.
-    fn emit_fault(&self, kind: &'static str, site: &'static str, draw: u64) {
+    /// Log one injected fault: its kind, injection site, the draw stream
+    /// (which actor drew) and the draw index that fired, which together
+    /// with the `fault_plan` event pin the exact execution.
+    fn emit_fault(&self, kind: &'static str, site: &'static str, stream: u64, draw: u64) {
         self.events.emit(names::FAULT_INJECTED, || {
             vec![
                 ("kind", kind.into()),
                 ("site", site.into()),
+                ("stream", stream.into()),
                 ("draw", draw.into()),
             ]
         });
@@ -581,17 +582,30 @@ impl FaultInjector {
         &self.events
     }
 
-    /// Deterministic Bernoulli draw at a site: draw `n` of site `salt` is
-    /// `splitmix64(seed ⊕ salt ⊕ n·φ) < prob`. Returns the draw index
-    /// when the draw fires (for the event log), `None` otherwise.
-    fn chance(&self, salt: u64, counter: &AtomicU64, prob: f64) -> Option<u64> {
+    /// Deterministic Bernoulli draw on one `(site, stream)` stream: draw
+    /// `n` of stream `stream` at salt `salt` fires iff
+    /// `splitmix64(seed ⊕ salt·φ ⊕ stream·ψ ⊕ n·χ) < prob`. The counter
+    /// key uses `base` (a site may run paired sub-draws — e.g. delay then
+    /// error — off one shared counter while salting their hashes apart).
+    /// Returns the draw index when the draw fires, `None` otherwise.
+    fn chance(
+        &self,
+        draws: &mut HashMap<(u64, u64), u64>,
+        salt: u64,
+        base: u64,
+        stream: u64,
+        prob: f64,
+    ) -> Option<u64> {
         if prob <= 0.0 {
             return None;
         }
-        let n = counter.fetch_add(1, Ordering::Relaxed);
+        let e = draws.entry((base, stream)).or_insert(0);
+        let n = *e;
+        *e += 1;
         let h = splitmix64(
             self.plan.seed
                 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ stream.wrapping_mul(0x2545_F491_4F6C_DD1D)
                 ^ n.wrapping_mul(0xD6E8_FEB8_6659_FD93),
         );
         // 53 uniform mantissa bits → [0, 1).
@@ -614,57 +628,96 @@ impl FaultInjector {
         }
     }
 
-    /// Call at the top of every chunk read. Sleeps for an injected slow
-    /// read (cancellably — a cancelled query must not pay the injected
+    /// Call at the top of every chunk read, passing the reading node's
+    /// index as the draw stream. Sleeps for an injected slow read
+    /// (cancellably — a cancelled query must not pay the injected
     /// latency); returns a typed transient error for an injected read
     /// fault.
-    pub fn before_chunk_read(&self, cancel: &CancelToken) -> Result<()> {
-        if let Some(draw) = self.chance(SITE_READ ^ 1, &self.read_draws, self.plan.read_delay_prob)
-        {
-            self.stats.lock().read_delays += 1;
-            self.emit_fault("read_delay", "chunk_read", draw);
+    pub fn before_chunk_read(&self, stream: u64, cancel: &CancelToken) -> Result<()> {
+        let delayed = {
+            let mut draws = self.draws.lock();
+            match self.chance(
+                &mut draws,
+                SITE_READ ^ 1,
+                SITE_READ,
+                stream,
+                self.plan.read_delay_prob,
+            ) {
+                Some(draw) => {
+                    self.stats.lock().read_delays += 1;
+                    self.emit_fault("read_delay", "chunk_read", stream, draw);
+                    true
+                }
+                None => false,
+            }
+        };
+        if delayed {
             cancel.sleep(Duration::from_millis(self.plan.read_delay_ms))?;
         }
-        if let Some(draw) = self.chance(SITE_READ, &self.read_draws, self.plan.read_error_prob) {
+        let mut draws = self.draws.lock();
+        if let Some(draw) = self.chance(
+            &mut draws,
+            SITE_READ,
+            SITE_READ,
+            stream,
+            self.plan.read_error_prob,
+        ) {
             if self.take(&self.read_errors_left) {
                 self.stats.lock().read_errors += 1;
-                self.emit_fault("read_error", "chunk_read", draw);
+                self.emit_fault("read_error", "chunk_read", stream, draw);
                 return Err(Error::Cluster("injected transient chunk-read fault".into()));
             }
         }
         Ok(())
     }
 
-    /// Ask before every interconnect send; a `Drop` verdict means the
-    /// message was lost and the caller should retry with a fresh draw.
-    pub fn send_verdict(&self) -> SendVerdict {
-        if let Some(draw) = self.chance(SITE_SEND, &self.send_draws, self.plan.send_drop_prob) {
+    /// Ask before every interconnect send, passing the sending node's
+    /// index as the draw stream; a `Drop` verdict means the message was
+    /// lost and the caller should retry with a fresh draw.
+    pub fn send_verdict(&self, stream: u64) -> SendVerdict {
+        let mut draws = self.draws.lock();
+        if let Some(draw) = self.chance(
+            &mut draws,
+            SITE_SEND,
+            SITE_SEND,
+            stream,
+            self.plan.send_drop_prob,
+        ) {
             if self.take(&self.send_drops_left) {
                 self.stats.lock().send_drops += 1;
-                self.emit_fault("send_drop", "send", draw);
+                self.emit_fault("send_drop", "send", stream, draw);
                 return SendVerdict::Drop;
             }
         }
-        if let Some(draw) = self.chance(SITE_SEND ^ 1, &self.send_draws, self.plan.send_delay_prob)
-        {
+        if let Some(draw) = self.chance(
+            &mut draws,
+            SITE_SEND ^ 1,
+            SITE_SEND,
+            stream,
+            self.plan.send_delay_prob,
+        ) {
             self.stats.lock().send_delays += 1;
-            self.emit_fault("send_delay", "send", draw);
+            self.emit_fault("send_delay", "send", stream, draw);
             return SendVerdict::Delay(Duration::from_millis(self.plan.send_delay_ms));
         }
         SendVerdict::Deliver
     }
 
-    /// Call before every scratch bucket write; errors fire *before* any
+    /// Call before every scratch bucket write, passing the writing
+    /// compute node's index as the draw stream; errors fire *before* any
     /// bytes land, so a retry never duplicates data.
-    pub fn before_scratch_write(&self) -> Result<()> {
+    pub fn before_scratch_write(&self, stream: u64) -> Result<()> {
+        let mut draws = self.draws.lock();
         if let Some(draw) = self.chance(
+            &mut draws,
             SITE_SCRATCH,
-            &self.scratch_draws,
+            SITE_SCRATCH,
+            stream,
             self.plan.scratch_error_prob,
         ) {
             if self.take(&self.scratch_errors_left) {
                 self.stats.lock().scratch_errors += 1;
-                self.emit_fault("scratch_error", "scratch_write", draw);
+                self.emit_fault("scratch_error", "scratch_write", stream, draw);
                 return Err(Error::Cluster(
                     "injected transient scratch-write fault".into(),
                 ));
@@ -679,15 +732,21 @@ impl FaultInjector {
     /// seed; both are returned so wire-level callers can model a
     /// retransmission from the sender's pristine copy (`bytes[off] ^=
     /// mask` restores it exactly).
-    fn corrupt(&self, site: CorruptSite<'_>, bytes: &mut [u8]) -> Option<(usize, u8)> {
+    fn corrupt(&self, site: CorruptSite<'_>, stream: u64, bytes: &mut [u8]) -> Option<(usize, u8)> {
         if bytes.is_empty() {
             return None;
         }
-        let draw = self.chance(site.salt, site.counter, site.prob)?;
+        let mut draws = self.draws.lock();
+        let draw = self.chance(&mut draws, site.salt, site.salt, stream, site.prob)?;
         if !self.take(site.left) {
             return None;
         }
-        let h = splitmix64(self.plan.seed ^ site.salt ^ draw.wrapping_mul(0xA076_1D64_78BD_642F));
+        let h = splitmix64(
+            self.plan.seed
+                ^ site.salt
+                ^ stream.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                ^ draw.wrapping_mul(0xA076_1D64_78BD_642F),
+        );
         let offset = (h % bytes.len() as u64) as usize;
         let mask = ((h >> 32) as u8) | 1; // nonzero: the byte really flips
         bytes[offset] ^= mask;
@@ -696,6 +755,7 @@ impl FaultInjector {
             vec![
                 ("kind", site.kind.into()),
                 ("site", site.site.into()),
+                ("stream", stream.into()),
                 ("draw", draw.into()),
                 ("offset", offset.into()),
             ]
@@ -704,56 +764,58 @@ impl FaultInjector {
     }
 
     /// Maybe flip one byte of a chunk page *after* its checksum was
-    /// computed at generation time. Call only on pages that carry a
-    /// checksum — an unverifiable flip would silently corrupt results.
-    pub fn corrupt_chunk_page(&self, bytes: &mut [u8]) -> Option<(usize, u8)> {
+    /// computed at generation time (`stream` = the serving storage node).
+    /// Call only on pages that carry a checksum — an unverifiable flip
+    /// would silently corrupt results.
+    pub fn corrupt_chunk_page(&self, stream: u64, bytes: &mut [u8]) -> Option<(usize, u8)> {
         self.corrupt(
             CorruptSite {
                 kind: "chunk_corrupt",
                 site: "chunk_page",
                 salt: SITE_CHUNK_CORRUPT,
-                counter: &self.chunk_corrupt_draws,
                 prob: self.plan.chunk_corrupt_prob,
                 left: &self.chunk_corruptions_left,
                 bump: |s| s.chunk_corruptions += 1,
             },
+            stream,
             bytes,
         )
     }
 
     /// Maybe flip one byte of an interconnect frame in flight, after the
-    /// sender sealed the frame checksum. Returns the flip so the sender
-    /// can retransmit from its pristine copy once verification catches
-    /// the damage.
-    pub fn corrupt_frame(&self, bytes: &mut [u8]) -> Option<(usize, u8)> {
+    /// sender sealed the frame checksum (`stream` = the sending node).
+    /// Returns the flip so the sender can retransmit from its pristine
+    /// copy once verification catches the damage.
+    pub fn corrupt_frame(&self, stream: u64, bytes: &mut [u8]) -> Option<(usize, u8)> {
         self.corrupt(
             CorruptSite {
                 kind: "frame_corrupt",
                 site: "frame",
                 salt: SITE_FRAME_CORRUPT,
-                counter: &self.frame_corrupt_draws,
                 prob: self.plan.frame_corrupt_prob,
                 left: &self.frame_corruptions_left,
                 bump: |s| s.frame_corruptions += 1,
             },
+            stream,
             bytes,
         )
     }
 
     /// Maybe flip one byte of a scratch bucket on its way back from the
-    /// scratch disk (the durable bucket stays pristine, so a re-read
-    /// after verification fails recovers).
-    pub fn corrupt_scratch_read(&self, bytes: &mut [u8]) -> Option<(usize, u8)> {
+    /// scratch disk (`stream` = the reading compute node; the durable
+    /// bucket stays pristine, so a re-read after verification fails
+    /// recovers).
+    pub fn corrupt_scratch_read(&self, stream: u64, bytes: &mut [u8]) -> Option<(usize, u8)> {
         self.corrupt(
             CorruptSite {
                 kind: "scratch_corrupt",
                 site: "scratch_read",
                 salt: SITE_SCRATCH_CORRUPT,
-                counter: &self.scratch_corrupt_draws,
                 prob: self.plan.scratch_corrupt_prob,
                 left: &self.scratch_corruptions_left,
                 bump: |s| s.scratch_corruptions += 1,
             },
+            stream,
             bytes,
         )
     }
@@ -786,6 +848,7 @@ impl FaultInjector {
                     vec![
                         ("kind", "worker_panic".into()),
                         ("site", "worker_checkpoint".into()),
+                        ("stream", worker.into()),
                         ("draw", ops.into()),
                         ("worker", worker.into()),
                     ]
@@ -833,6 +896,7 @@ impl FaultInjector {
                     vec![
                         ("kind", "shard_slow".into()),
                         ("site", "shard_checkpoint".into()),
+                        ("stream", shard.into()),
                         ("draw", ops.into()),
                         ("shard", shard.into()),
                     ]
@@ -856,6 +920,7 @@ impl FaultInjector {
                     vec![
                         ("kind", "shard_death".into()),
                         ("site", "shard_checkpoint".into()),
+                        ("stream", shard.into()),
                         ("draw", ops.into()),
                         ("shard", shard.into()),
                     ]
@@ -1026,14 +1091,53 @@ mod tests {
         let i1 = a.clone().injector();
         let i2 = a.injector();
         let s1: Vec<bool> = (0..64)
-            .map(|_| i1.before_chunk_read(&CancelToken::none()).is_err())
+            .map(|_| i1.before_chunk_read(0, &CancelToken::none()).is_err())
             .collect();
         let s2: Vec<bool> = (0..64)
-            .map(|_| i2.before_chunk_read(&CancelToken::none()).is_err())
+            .map(|_| i2.before_chunk_read(0, &CancelToken::none()).is_err())
             .collect();
         assert_eq!(s1, s2);
         assert!(s1.iter().any(|&b| b), "p=0.5 over 64 draws must fire");
         assert!(!s1.iter().all(|&b| b), "p=0.5 over 64 draws must also pass");
+    }
+
+    #[test]
+    fn per_stream_draws_are_schedule_independent() {
+        // The replay-stability property: the outcomes one stream sees are
+        // a pure function of the seed, no matter how many draws *other*
+        // streams interleave — i.e. scheduling variation across workers
+        // cannot move faults between actors.
+        let mk = || {
+            FaultPlan {
+                seed: 42,
+                read_error_prob: 0.5,
+                max_read_errors: 1_000,
+                max_faults: 1_000,
+                ..FaultPlan::none()
+            }
+            .injector()
+        };
+        let quiet = mk();
+        let alone: Vec<bool> = (0..32)
+            .map(|_| quiet.before_chunk_read(7, &CancelToken::none()).is_err())
+            .collect();
+        let noisy = mk();
+        let mut interleaved = Vec::new();
+        for i in 0..32 {
+            // Noise on other streams between every stream-7 draw.
+            let _ = noisy.before_chunk_read(1, &CancelToken::none());
+            if i % 3 == 0 {
+                let _ = noisy.before_chunk_read(3, &CancelToken::none());
+            }
+            interleaved.push(noisy.before_chunk_read(7, &CancelToken::none()).is_err());
+        }
+        assert_eq!(alone, interleaved);
+        // And distinct streams see distinct sequences.
+        let other = mk();
+        let stream1: Vec<bool> = (0..32)
+            .map(|_| other.before_chunk_read(1, &CancelToken::none()).is_err())
+            .collect();
+        assert_ne!(alone, stream1);
     }
 
     #[test]
@@ -1048,10 +1152,10 @@ mod tests {
         let i1 = mk(1).injector();
         let i2 = mk(2).injector();
         let s1: Vec<bool> = (0..64)
-            .map(|_| i1.before_chunk_read(&CancelToken::none()).is_err())
+            .map(|_| i1.before_chunk_read(0, &CancelToken::none()).is_err())
             .collect();
         let s2: Vec<bool> = (0..64)
-            .map(|_| i2.before_chunk_read(&CancelToken::none()).is_err())
+            .map(|_| i2.before_chunk_read(0, &CancelToken::none()).is_err())
             .collect();
         assert_ne!(s1, s2);
     }
@@ -1070,8 +1174,8 @@ mod tests {
         let inj = plan.injector();
         let mut fired = 0;
         for _ in 0..10 {
-            fired += inj.before_chunk_read(&CancelToken::none()).is_err() as u32;
-            fired += (inj.send_verdict() == SendVerdict::Drop) as u32;
+            fired += inj.before_chunk_read(0, &CancelToken::none()).is_err() as u32;
+            fired += (inj.send_verdict(0) == SendVerdict::Drop) as u32;
         }
         assert_eq!(fired, 3, "global budget caps faults");
         assert_eq!(inj.stats().read_errors + inj.stats().send_drops, 3);
@@ -1090,10 +1194,10 @@ mod tests {
         };
         let inj = plan.injector();
         let reads = (0..10)
-            .filter(|_| inj.before_chunk_read(&CancelToken::none()).is_err())
+            .filter(|_| inj.before_chunk_read(0, &CancelToken::none()).is_err())
             .count();
         let scratches = (0..10)
-            .filter(|_| inj.before_scratch_write().is_err())
+            .filter(|_| inj.before_scratch_write(0).is_err())
             .count();
         assert_eq!(reads, 2);
         assert_eq!(scratches, 1);
@@ -1104,9 +1208,11 @@ mod tests {
         let inj = FaultInjector::disabled();
         for w in 0..4 {
             inj.worker_checkpoint(w);
-            assert!(inj.before_chunk_read(&CancelToken::none()).is_ok());
-            assert!(inj.before_scratch_write().is_ok());
-            assert_eq!(inj.send_verdict(), SendVerdict::Deliver);
+            assert!(inj
+                .before_chunk_read(w as u64, &CancelToken::none())
+                .is_ok());
+            assert!(inj.before_scratch_write(w as u64).is_ok());
+            assert_eq!(inj.send_verdict(w as u64), SendVerdict::Deliver);
         }
         assert_eq!(inj.stats(), FaultStats::default());
     }
@@ -1341,26 +1447,41 @@ mod tests {
         };
         let inj = plan.clone().injector_with_events(events.clone());
         for _ in 0..4 {
-            let _ = inj.before_chunk_read(&CancelToken::none());
-            let _ = inj.send_verdict();
+            // Two interleaved streams per site.
+            for stream in [0u64, 1] {
+                let _ = inj.before_chunk_read(stream, &CancelToken::none());
+                let _ = inj.send_verdict(stream);
+            }
         }
         // The plan event pins the run.
         let plan_events = events.events_of_kind(names::FAULT_PLAN);
         assert_eq!(plan_events.len(), 1);
         let logged = FaultPlan::from_json_value(&plan_events[0].fields["plan"]).unwrap();
         assert_eq!(logged, plan);
-        // One event per injected fault, draw indices strictly increasing
-        // per site.
+        // One event per injected fault, every event tagged with its draw
+        // stream, draw indices strictly increasing per (site, stream).
         let faults = events.events_of_kind(names::FAULT_INJECTED);
         let s = inj.stats();
         assert_eq!(faults.len() as u64, s.read_errors + s.send_drops);
-        let read_draws: Vec<u64> = faults
+        let mut per_stream: HashMap<(String, u64), Vec<u64>> = HashMap::new();
+        for e in &faults {
+            let site = e.fields["site"].as_str().unwrap().to_string();
+            let stream = e.fields["stream"].as_u64().unwrap();
+            let draw = e.fields["draw"].as_u64().unwrap();
+            per_stream.entry((site, stream)).or_default().push(draw);
+        }
+        let read_errors: u64 = per_stream
             .iter()
-            .filter(|e| e.fields["site"].as_str() == Some("chunk_read"))
-            .map(|e| e.fields["draw"].as_u64().unwrap())
-            .collect();
-        assert_eq!(read_draws.len() as u64, s.read_errors);
-        assert!(read_draws.windows(2).all(|w| w[0] < w[1]));
+            .filter(|((site, _), _)| site == "chunk_read")
+            .map(|(_, draws)| draws.len() as u64)
+            .sum();
+        assert_eq!(read_errors, s.read_errors);
+        for ((site, stream), draws) in &per_stream {
+            assert!(
+                draws.windows(2).all(|w| w[0] < w[1]),
+                "draws not monotone at ({site}, {stream}): {draws:?}"
+            );
+        }
     }
 
     #[test]
@@ -1380,7 +1501,7 @@ mod tests {
         let run = |plan: FaultPlan| {
             let inj = plan.injector();
             let mut page = clean.clone();
-            let flip = inj.corrupt_chunk_page(&mut page).expect("p=1 must fire");
+            let flip = inj.corrupt_chunk_page(0, &mut page).expect("p=1 must fire");
             (page, flip)
         };
         let (page_a, flip_a) = run(plan.clone());
@@ -1396,16 +1517,16 @@ mod tests {
         // The returned flip restores the pristine payload (retransmit).
         let inj = plan.injector();
         let mut frame = clean.clone();
-        let (off, mask) = inj.corrupt_frame(&mut frame).unwrap();
+        let (off, mask) = inj.corrupt_frame(0, &mut frame).unwrap();
         assert_ne!(frame, clean);
         frame[off] ^= mask;
         assert_eq!(frame, clean);
 
         // Caps are per kind, budget is honoured, empty payloads skipped.
-        assert!(inj.corrupt_frame(&mut frame.clone()).is_none(), "cap 1");
-        assert!(inj.corrupt_scratch_read(&mut []).is_none());
+        assert!(inj.corrupt_frame(0, &mut frame.clone()).is_none(), "cap 1");
+        assert!(inj.corrupt_scratch_read(0, &mut []).is_none());
         let mut s = clean.clone();
-        assert!(inj.corrupt_scratch_read(&mut s).is_some());
+        assert!(inj.corrupt_scratch_read(0, &mut s).is_some());
         let stats = inj.stats();
         assert_eq!(stats.frame_corruptions, 1);
         assert_eq!(stats.scratch_corruptions, 1);
@@ -1425,13 +1546,14 @@ mod tests {
         let inj = plan.injector_with_events(events.clone());
         let mut page = vec![1u8, 2, 3, 4];
         for _ in 0..4 {
-            let _ = inj.corrupt_chunk_page(&mut page);
+            let _ = inj.corrupt_chunk_page(3, &mut page);
         }
         let faults = events.events_of_kind(names::FAULT_INJECTED);
         assert_eq!(faults.len(), 2, "cap bounds logged corruptions");
         for e in &faults {
             assert_eq!(e.fields["kind"].as_str(), Some("chunk_corrupt"));
             assert_eq!(e.fields["site"].as_str(), Some("chunk_page"));
+            assert_eq!(e.fields["stream"].as_u64(), Some(3));
             assert!(e.fields["offset"].as_u64().unwrap() < 4);
         }
     }

@@ -33,7 +33,7 @@ use crate::hash_join::HashJoiner;
 use crate::lru::{CacheStats, LruCache};
 use orv_chunk::SubTable;
 use orv_cluster::{CancelToken, SLEEP_SLICE};
-use orv_obs::names;
+use orv_obs::{names, Stopwatch};
 use orv_types::{Error, Result, SubTableId};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,6 +118,9 @@ pub struct CacheService {
     /// Watermark of counters already published into a metrics registry,
     /// so repeated [`CacheService::publish_into`] calls add only deltas.
     published: Mutex<CacheStats>,
+    /// Seconds each single-flight waiter blocked on a peer's build,
+    /// drained into the `lat/cache_wait_secs` histogram on publish.
+    wait_samples: Mutex<Vec<f64>>,
 }
 
 impl CacheService {
@@ -136,6 +139,7 @@ impl CacheService {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             published: Mutex::new(CacheStats::default()),
+            wait_samples: Mutex::new(Vec::new()),
         }
     }
 
@@ -195,21 +199,38 @@ impl CacheService {
     ) -> Result<(CachedEntry, bool)> {
         let shard = self.shard(j)?;
         let mut state = Self::lock(shard);
+        // Single-flight block time: armed on the first wait, sampled once
+        // the waiter unblocks (answered from the cache, promoted to
+        // builder, or cancelled).
+        let mut waited: Option<Stopwatch> = None;
+        let sample_wait = |w: &Option<Stopwatch>| {
+            if let Some(sw) = w {
+                relock(self.wait_samples.lock()).push(sw.elapsed_secs());
+            }
+        };
         loop {
             if let Some(entry) = state.lru.touch(&key) {
                 let entry = entry.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                drop(state);
+                sample_wait(&waited);
                 return Ok((entry, true));
             }
             if state.in_flight.insert(key.clone()) {
                 break; // we are the builder for this key
             }
             // A peer is fetching this key: wait a slice, then re-check.
+            waited.get_or_insert_with(Stopwatch::start);
             let (guard, _) = relock(shard.cond.wait_timeout(state, SLEEP_SLICE));
             state = guard;
-            cancel.check()?;
+            if let Err(e) = cancel.check() {
+                drop(state);
+                sample_wait(&waited);
+                return Err(e);
+            }
         }
         drop(state);
+        sample_wait(&waited);
         // Build with the lock released: the fetch may retry, back off,
         // sleep, or take a while hashing — none of which may stall peers
         // on this shard. The guard unregisters the key even if `build`
@@ -277,6 +298,11 @@ impl CacheService {
             .counter(names::CACHE_LOOKUPS)
             .add(now.lookups().saturating_sub(last.lookups()));
         *last = now;
+        drop(last);
+        let samples: Vec<f64> = std::mem::take(&mut *relock(self.wait_samples.lock()));
+        for secs in samples {
+            metrics.record_latency(names::LAT_CACHE_WAIT, secs);
+        }
     }
 }
 

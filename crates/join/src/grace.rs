@@ -243,7 +243,8 @@ fn read_bucket_verified(ctx: &BucketJoinCtx, name: &str, stats: &mut RunStats) -
                 .spans
                 .span_with(|| names::span_tagged(&ctx.tag, names::PHASE_SCRATCH_READ));
             let mut bytes = ctx.scratch.read_bucket(name)?;
-            ctx.injector.corrupt_scratch_read(&mut bytes);
+            ctx.injector
+                .corrupt_scratch_read(ctx.node as u64, &mut bytes);
             bytes
         };
         match ctx.scratch.verify_bucket(name, &bytes) {
@@ -412,6 +413,7 @@ fn route_subtable(
 fn send_with_recovery(
     sender: &crossbeam::channel::Sender<Batch>,
     mut batch: Batch,
+    stream: u64,
     injector: &FaultInjector,
     policy: &RecoveryPolicy,
     cancel: &CancelToken,
@@ -422,7 +424,7 @@ fn send_with_recovery(
     let mut corruptions = 0u64;
     loop {
         cancel.check()?;
-        match injector.send_verdict() {
+        match injector.send_verdict(stream) {
             SendVerdict::Drop => {
                 if policy.attempts_exhausted(retries) || policy.deadline_exceeded(start) {
                     return Err(Error::Cluster(format!(
@@ -439,7 +441,7 @@ fn send_with_recovery(
         }
         let mut damage = None;
         for (i, (b, bytes, _)) in batch.buckets.iter_mut().enumerate() {
-            if let Some(hit) = injector.corrupt_frame(bytes) {
+            if let Some(hit) = injector.corrupt_frame(stream, bytes) {
                 damage = Some((i, *b, hit));
                 break; // at most one corrupted frame per attempt
             }
@@ -478,6 +480,7 @@ fn scratch_append_with_recovery(
     scratch: &Scratch,
     name: &str,
     bytes: &[u8],
+    stream: u64,
     injector: &FaultInjector,
     policy: &RecoveryPolicy,
     cancel: &CancelToken,
@@ -487,7 +490,7 @@ fn scratch_append_with_recovery(
     let mut retries = 0u64;
     loop {
         cancel.check()?;
-        match injector.before_scratch_write() {
+        match injector.before_scratch_write(stream) {
             Ok(()) => break,
             Err(e) => {
                 if policy.attempts_exhausted(retries) || policy.deadline_exceeded(start) {
@@ -627,6 +630,7 @@ pub fn grace_hash_join(
                                 let (retries, corruptions) = send_with_recovery(
                                     &senders[dest],
                                     Batch { side, buckets },
+                                    node.index() as u64,
                                     injector,
                                     &cfg.recovery,
                                     &cfg.cancel,
@@ -682,6 +686,7 @@ pub fn grace_hash_join(
                                 scratch,
                                 &format!("{prefix}{b}"),
                                 &bytes,
+                                j as u64,
                                 injector,
                                 &cfg.recovery,
                                 &cfg.cancel,

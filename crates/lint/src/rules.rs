@@ -13,7 +13,7 @@
 //! | L002 | every sleep goes through the cancellable 250 ms slice helper |
 //! | L003 | no lock guard held across a send/sleep/file-I/O in join+cluster+query |
 //! | L004 | file writes only on checksummed paths (persist/scratch/obs) |
-//! | L005 | obs event/span names come from `orv-obs::names`, not literals |
+//! | L005 | obs event/span/latency names come from `orv-obs::names`, not literals |
 //! | L006 | no ambient clock/randomness outside obs + pacing + deadlines |
 //!
 //! `L000` is the meta-rule: malformed suppression comments (missing
@@ -380,12 +380,19 @@ fn l004_no_unchecked_file_writes(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 /// The registry module itself defines the canonical strings.
 const L005_ALLOWED: &[&str] = &["crates/obs/src/names.rs"];
 
-/// Obs call sites whose *first argument* is the event/span name.
-const L005_SINKS: &[&str] = &["emit", "span", "span_with", "events_of_kind"];
+/// Obs call sites whose *first argument* is the event/span/metric name.
+const L005_SINKS: &[&str] = &[
+    "emit",
+    "span",
+    "span_with",
+    "events_of_kind",
+    "record_latency",
+];
 
-/// L005 — event/span names must be `orv_obs::names` constants, not
-/// inline string literals. A typo'd literal name silently breaks
-/// replay-from-log and the predicted-vs-measured phase mapping.
+/// L005 — event/span/latency-metric names must be `orv_obs::names`
+/// constants, not inline string literals. A typo'd literal name silently
+/// breaks replay-from-log, the predicted-vs-measured phase mapping, and
+/// the `ServingReport` latency export (which walks `names::LAT_ALL`).
 fn l005_obs_names_from_registry(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if L005_ALLOWED.contains(&ctx.rel_path) {
         return;
@@ -623,6 +630,22 @@ mod tests {
             "fn f() { spans.span_with(|| names::span_bds_read(n)); }",
         );
         assert!(clean.iter().all(|d| d.rule != "L005"));
+    }
+
+    #[test]
+    fn l005_record_latency_literal_fires() {
+        // The latency export walks `names::LAT_ALL`; a literal phase name
+        // here would record samples the report can never find.
+        let hit = findings(
+            "crates/query/src/service.rs",
+            "fn f() { obs.metrics.record_latency(\"lat/exec_secs\", secs); }",
+        );
+        assert_eq!(hit.iter().filter(|d| d.rule == "L005").count(), 1);
+        let clean = findings(
+            "crates/query/src/service.rs",
+            "fn f() { obs.metrics.record_latency(names::LAT_EXEC, secs); }",
+        );
+        assert!(clean.iter().all(|d| d.rule != "L005"), "{clean:?}");
     }
 
     #[test]

@@ -168,6 +168,19 @@ fn l005_literal_obs_names_positive_negative_suppressed() {
         ),
         ["L005"]
     );
+    // Latency recording is a name sink too: `ServingReport` only exports
+    // histograms named in `names::LAT_ALL`.
+    assert_eq!(
+        fired(
+            JOIN_PATH,
+            "fn f(o: &Obs) { o.metrics.record_latency(\"lat/exec_secs\", secs); }"
+        ),
+        ["L005"]
+    );
+    assert_clean(
+        JOIN_PATH,
+        "fn f(o: &Obs) { o.metrics.record_latency(names::LAT_EXEC, secs); }",
+    );
     // Registry constants and builders are the sanctioned spelling; later
     // arguments (payload keys) may stay literal.
     assert_clean(

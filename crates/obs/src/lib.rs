@@ -21,12 +21,17 @@ mod metrics;
 pub mod names;
 mod report;
 mod span;
+mod trace;
 
 pub use event::{Event, EventLog};
 pub use json::{obj, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use report::{required_phases, ObsReport, PhaseRow, RunReport, GH_PHASES, IJ_PHASES};
+pub use report::{
+    required_phases, LatencyRow, ObsReport, PhaseRow, RunReport, ServingReport, GH_PHASES,
+    IJ_PHASES,
+};
 pub use span::{SpanRecord, SpanTimer, Spans};
+pub use trace::{FlightRecorder, QueryTrace, Stopwatch, TraceId, TraceOutcome};
 
 /// One handle carrying all three observability primitives; clone it into
 /// each service/config. The metrics registry is always live (atomic

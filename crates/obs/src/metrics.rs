@@ -178,6 +178,63 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Interpolated quantile estimate, `q` in `[0, 1]` (clamped).
+    ///
+    /// Samples are assumed uniform within their bucket, so the estimate
+    /// interpolates linearly between the bucket's edges (the first bucket
+    /// starts at 0 — latencies are non-negative). Samples in the overflow
+    /// bucket have no upper edge and clamp to the last bound. Returns
+    /// `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                below += n;
+                continue;
+            }
+            let upto = below + n;
+            if (upto as f64) >= target {
+                let last = self.bounds.len() - 1;
+                if i > last {
+                    // Overflow bucket: unbounded above, clamp to the edge.
+                    return Some(self.bounds[last]);
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = ((target - below as f64) / n as f64).clamp(0.0, 1.0);
+                return Some(lo + frac * (hi - lo));
+            }
+            below = upto;
+        }
+        // Unreachable when buckets sum to count; stay total regardless.
+        Some(*self.bounds.last().unwrap_or(&0.0))
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded samples (exact — from the tracked sum).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
     fn to_json_value(&self) -> JsonValue {
         crate::json::obj([
             (
@@ -399,6 +456,18 @@ impl MetricsRegistry {
         Ok(h)
     }
 
+    /// Record one serving-path latency sample into histogram `name`,
+    /// creating it with the canonical [`names::LAT_BOUNDS`](crate::names::LAT_BOUNDS)
+    /// layout on first use. All `lat/*` histograms share that layout, so
+    /// for registry-listed names the bounds conflict arm is unreachable;
+    /// a conflicting ad-hoc name drops the sample rather than panicking
+    /// on the serving path.
+    pub fn record_latency(&self, name: &str, secs: f64) {
+        if let Ok(h) = self.histogram(name, crate::names::LAT_BOUNDS) {
+            h.record(secs);
+        }
+    }
+
     /// Freeze the current state of every instrument.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -506,6 +575,73 @@ mod tests {
         assert_eq!(s.histograms["h"].buckets, vec![1, 1]);
         assert_eq!(s.histograms["h"].count, 2);
         assert_eq!(s.histograms["h"].sum, 2.5);
+    }
+
+    fn snap(bounds: &[f64], buckets: &[u64]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            buckets: buckets.to_vec(),
+            count: buckets.iter().sum(),
+            sum: 0.0,
+        }
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        let s = snap(&[1.0, 2.0], &[0, 0, 0]);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_single_bucket() {
+        // 10 samples in (0, 1]: uniform assumption puts the median at 0.5.
+        let s = snap(&[1.0, 2.0], &[10, 0, 0]);
+        assert!((s.p50().unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.quantile(0.0).unwrap() - 0.0).abs() < 1e-12);
+        assert!((s.quantile(1.0).unwrap() - 1.0).abs() < 1e-12);
+        // q is clamped, not rejected.
+        assert_eq!(s.quantile(-3.0), s.quantile(0.0));
+        assert_eq!(s.quantile(7.0), s.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_spans_buckets() {
+        // 4 in (0,1], 4 in (1,2]: p50 at the shared edge, p75 mid-second.
+        let s = snap(&[1.0, 2.0], &[4, 4, 0]);
+        assert!((s.p50().unwrap() - 1.0).abs() < 1e-12);
+        assert!((s.quantile(0.75).unwrap() - 1.5).abs() < 1e-12);
+        assert!((s.quantile(0.25).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_clamps_to_last_bound() {
+        let s = snap(&[1.0, 2.0], &[1, 0, 9]);
+        assert!((s.p99().unwrap() - 2.0).abs() < 1e-12);
+        assert!((s.quantile(1.0).unwrap() - 2.0).abs() < 1e-12);
+        // All samples above every bound: every quantile clamps.
+        let s = snap(&[1.0], &[0, 5]);
+        assert_eq!(s.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn record_latency_uses_canonical_bounds_and_survives_conflicts() {
+        let r = MetricsRegistry::new();
+        r.record_latency(crate::names::LAT_EXEC, 0.001);
+        r.record_latency(crate::names::LAT_EXEC, 99.0);
+        let s = r.snapshot();
+        let h = &s.histograms[crate::names::LAT_EXEC];
+        assert_eq!(h.bounds, crate::names::LAT_BOUNDS.to_vec());
+        assert_eq!(h.count, 2);
+        assert_eq!(*h.buckets.last().unwrap(), 1, "99s lands in overflow");
+        // A name already registered with foreign bounds drops the sample
+        // instead of panicking.
+        r.histogram("other", &[1.0]).unwrap();
+        // orv-lint: allow(L005) -- test exercises a name outside LAT_ALL on purpose
+        r.record_latency("other", 0.5);
+        assert_eq!(r.snapshot().histograms["other"].count, 0);
     }
 
     #[test]

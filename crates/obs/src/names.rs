@@ -21,6 +21,57 @@ pub const FAULT_PLAN: &str = "fault_plan";
 pub const FAULT_INJECTED: &str = "fault_injected";
 /// Event: a checksum boundary caught corrupted bytes.
 pub const CORRUPTION_DETECTED: &str = "corruption_detected";
+/// Event: a trace ID was minted for a newly submitted query.
+pub const TRACE_BEGIN: &str = "trace_begin";
+/// Event: a traced query resolved (outcome + total latency payload).
+pub const TRACE_END: &str = "trace_end";
+
+/// Histogram: time a query sat in the admission queue before a worker
+/// claimed it.
+pub const LAT_QUEUE_WAIT: &str = "lat/queue_wait_secs";
+/// Histogram: time spent inside admission control (submit → queued).
+pub const LAT_ADMISSION: &str = "lat/admission_secs";
+/// Histogram: engine planning time per query.
+pub const LAT_PLAN: &str = "lat/plan_secs";
+/// Histogram: single-flight block time — how long a cache lookup waited
+/// for a peer's in-flight build.
+pub const LAT_CACHE_WAIT: &str = "lat/cache_wait_secs";
+/// Histogram: worker execution time (claim → resolve).
+pub const LAT_EXEC: &str = "lat/exec_secs";
+/// Histogram: how long a federated flight had been outstanding when its
+/// hedge was issued — the latency the hedge mechanism absorbed.
+pub const LAT_HEDGE: &str = "lat/hedge_overhead_secs";
+/// Histogram: federated merge/assembly time per query.
+pub const LAT_MERGE: &str = "lat/merge_secs";
+/// Histogram: end-to-end latency of root queries (no parent trace).
+pub const LAT_TOTAL: &str = "lat/total_secs";
+
+/// Every serving-path latency histogram, in report order.
+pub const LAT_ALL: &[&str] = &[
+    LAT_QUEUE_WAIT,
+    LAT_ADMISSION,
+    LAT_PLAN,
+    LAT_CACHE_WAIT,
+    LAT_EXEC,
+    LAT_HEDGE,
+    LAT_MERGE,
+    LAT_TOTAL,
+];
+
+/// The one canonical bucket layout for every `lat/*` histogram
+/// (~50µs … 10s, roughly ×3–4 per step). A single shared layout keeps
+/// registry bounds-conflicts impossible and snapshots mergeable.
+pub const LAT_BOUNDS: &[f64] = &[
+    50e-6, 200e-6, 500e-6, 2e-3, 5e-3, 20e-3, 50e-3, 200e-3, 500e-3, 2.0, 10.0,
+];
+
+/// The `lat/<leaf>_secs` leaf of a latency histogram name — the phase
+/// label used in [`QueryTrace`](crate::QueryTrace) attribution rows.
+pub fn lat_phase(name: &str) -> &str {
+    name.strip_prefix("lat/")
+        .and_then(|s| s.strip_suffix("_secs"))
+        .unwrap_or(name)
+}
 
 /// Counter: shared-cache lookups answered from the cache.
 pub const CACHE_HITS: &str = "cache/hits";
@@ -154,6 +205,25 @@ mod tests {
         ] {
             assert!(c.starts_with("fed/"), "{c} escaped the fed/ namespace");
         }
+    }
+
+    #[test]
+    fn lat_histograms_live_under_one_prefix_with_shared_bounds() {
+        for name in LAT_ALL {
+            assert!(
+                name.starts_with("lat/"),
+                "{name} escaped the lat/ namespace"
+            );
+            assert!(name.ends_with("_secs"), "{name} must carry the _secs unit");
+            assert_ne!(lat_phase(name), *name, "{name} has no derivable phase leaf");
+        }
+        assert_eq!(lat_phase(LAT_QUEUE_WAIT), "queue_wait");
+        assert_eq!(lat_phase(LAT_TOTAL), "total");
+        // Shared bounds: finite, strictly increasing, covering µs to 10s.
+        assert!(LAT_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+        assert!(LAT_BOUNDS.iter().all(|b| b.is_finite() && *b > 0.0));
+        assert!(*LAT_BOUNDS.first().unwrap() <= 1e-4);
+        assert!(*LAT_BOUNDS.last().unwrap() >= 10.0);
     }
 
     #[test]

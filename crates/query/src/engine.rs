@@ -14,7 +14,7 @@ use orv_join::{
     IndexedJoinConfig, JoinAlgorithm, JoinOutput,
 };
 use orv_metadata::Placement;
-use orv_obs::{names, Obs};
+use orv_obs::{names, JsonValue, Obs, Stopwatch, TraceId};
 use orv_types::{BoundingBox, ChunkId, Error, Record, Result, SubTableId, TableId};
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::collections::HashMap;
@@ -244,6 +244,11 @@ impl QueryEngine {
         self
     }
 
+    /// This engine's shard identity inside a federation, if any.
+    pub fn shard_index(&self) -> Option<usize> {
+        self.shard
+    }
+
     /// Attach the federation's chunk placement so scan sub-queries can
     /// validate that every requested chunk is actually owned here.
     pub fn with_placement(mut self, placement: Placement) -> Self {
@@ -331,13 +336,25 @@ impl QueryEngine {
     /// deadline) unwinds the statement within one sleep slice with a
     /// typed [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
     pub fn execute_cancellable(&self, sql: &str, cancel: &CancelToken) -> Result<QueryResult> {
+        self.execute_traced(sql, cancel, None)
+    }
+
+    /// [`QueryEngine::execute_cancellable`] carrying a propagated
+    /// [`TraceId`]: planning decisions (`qes_choice`, `qes_failover`) are
+    /// tagged with it so the events of one query stitch into its trace.
+    pub fn execute_traced(
+        &self,
+        sql: &str,
+        cancel: &CancelToken,
+        trace: Option<TraceId>,
+    ) -> Result<QueryResult> {
         cancel.check()?;
         match parse_statement(sql)? {
             Statement::CreateView(view) => {
                 self.create_view(view)?;
                 Ok(QueryResult::empty())
             }
-            Statement::Select(query) => self.select(&query, cancel),
+            Statement::Select(query) => self.select(&query, cancel, trace),
         }
     }
 
@@ -378,10 +395,11 @@ impl QueryEngine {
         &self,
         query: &Query,
         cancel: &CancelToken,
+        trace: Option<TraceId>,
     ) -> Result<(Vec<String>, Vec<Record>, Option<PlanExplain>)> {
         let range = predicates_to_bbox(&query.predicates);
         if let Some(join) = &query.join {
-            return self.run_join(&query.from, &join.table, &join.on, range, cancel);
+            return self.run_join(&query.from, &join.table, &join.on, range, cancel, trace);
         }
         // Clone the view definition out so the catalog read lock is not
         // held across the (potentially long, blocking) execution below.
@@ -400,12 +418,19 @@ impl QueryEngine {
                         "view classified as plain join has no join clause".into(),
                     ));
                 };
-                return self.run_join(&view.query.from, &join.table, &join.on, combined, cancel);
+                return self.run_join(
+                    &view.query.from,
+                    &join.table,
+                    &join.on,
+                    combined,
+                    cancel,
+                    trace,
+                );
             }
             // General DDS (projection/aggregation view, possibly over
             // another DDS): materialize it, then post-filter by the outer
             // predicates on its *output* columns.
-            let inner = self.select(&view.query, cancel)?;
+            let inner = self.select(&view.query, cancel, trace)?;
             let rows = filter_rows(&inner.columns, inner.rows, &query.predicates)?;
             return Ok((inner.columns, rows, inner.explain));
         }
@@ -424,6 +449,7 @@ impl QueryEngine {
         on: &[String],
         range: Option<orv_types::BoundingBox>,
         cancel: &CancelToken,
+        trace: Option<TraceId>,
     ) -> Result<(Vec<String>, Vec<Record>, Option<PlanExplain>)> {
         {
             let catalog = self.catalog.read();
@@ -437,9 +463,23 @@ impl QueryEngine {
         let left = md.table_id(left_name)?;
         let right = md.table_id(right_name)?;
         let attrs: Vec<&str> = on.iter().map(|s| s.as_str()).collect();
+        let trace_field = move || {
+            (
+                "trace",
+                match trace {
+                    Some(t) => t.into(),
+                    None => JsonValue::Null,
+                },
+            )
+        };
         let plan = {
             let _plan = self.obs.spans.span(names::ENGINE_PLAN);
-            self.planner.plan_join(md, left, right, &attrs)?
+            let sw = Stopwatch::start();
+            let plan = self.planner.plan_join(md, left, right, &attrs)?;
+            self.obs
+                .metrics
+                .record_latency(names::LAT_PLAN, sw.elapsed_secs());
+            plan
         };
         let algorithm = self.force.unwrap_or(plan.algorithm);
         self.obs.events.emit(names::QES_CHOICE, || {
@@ -450,6 +490,7 @@ impl QueryEngine {
                 ("gh_total_secs", plan.choice.gh_total.into()),
                 ("left", left_name.into()),
                 ("right", right_name.into()),
+                trace_field(),
             ]
         });
         let _exec = self.obs.spans.span(names::ENGINE_EXEC);
@@ -523,6 +564,7 @@ impl QueryEngine {
                         ("from", algorithm_slug(algorithm).into()),
                         ("to", algorithm_slug(fallback).into()),
                         ("error", e.to_string().into()),
+                        trace_field(),
                     ]
                 });
                 exec_one(self, fallback)?
@@ -540,12 +582,17 @@ impl QueryEngine {
         Ok((column_names(&joined_schema), rows, Some(plan)))
     }
 
-    fn select(&self, query: &Query, cancel: &CancelToken) -> Result<QueryResult> {
+    fn select(
+        &self,
+        query: &Query,
+        cancel: &CancelToken,
+        trace: Option<TraceId>,
+    ) -> Result<QueryResult> {
         let has_agg = query
             .select
             .iter()
             .any(|i| matches!(i, SelectItem::Aggregate(..)));
-        let (columns, rows, explain) = self.resolve_source(query, cancel)?;
+        let (columns, rows, explain) = self.resolve_source(query, cancel, trace)?;
         let rowset: RowSet = if has_agg || !query.group_by.is_empty() {
             aggregate(&columns, rows, &query.select, &query.group_by)?
         } else {

@@ -43,7 +43,9 @@ use crate::service::{QueryService, QueryTicket, ServiceConfig};
 use orv_bds::Deployment;
 use orv_cluster::{CancelToken, FaultInjector, RecoveryPolicy, WaitBudget};
 use orv_metadata::Placement;
-use orv_obs::{names, Obs};
+use orv_obs::{
+    names, FlightRecorder, JsonValue, Obs, QueryTrace, Stopwatch, TraceId, TraceOutcome,
+};
 use orv_types::{ChunkId, Error, Record, Result, SubTableId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -218,6 +220,17 @@ struct Flight {
     hedged: bool,
     /// This flight *is* a hedge re-issue.
     is_hedge: bool,
+    /// Time since dispatch; when a hedge is issued, its elapsed value is
+    /// the latency the hedge mechanism absorbed (`lat/hedge_overhead_secs`).
+    age: Stopwatch,
+}
+
+/// Phase rows and resolved sub-query traces accumulated while one
+/// federated query runs, folded into its root [`QueryTrace`] at the end.
+#[derive(Default)]
+struct TraceBuild {
+    phases: Vec<(String, f64)>,
+    children: Vec<QueryTrace>,
 }
 
 /// Drop guard: whatever is still flying when the router unwinds (parent
@@ -249,6 +262,9 @@ pub struct FederatedService {
     /// Logical clock: one tick per dispatched flight. Breaker cooldowns
     /// count these, not wall time, so seeded replays trip identically.
     clock: AtomicU64,
+    /// Root-query flight recorder: each retained trace carries the full
+    /// cross-shard span tree of one federated query.
+    recorder: FlightRecorder,
 }
 
 impl std::fmt::Debug for FederatedService {
@@ -303,7 +319,15 @@ impl FederatedService {
             obs,
             health,
             clock: AtomicU64::new(0),
+            recorder: FlightRecorder::new(8, 64),
         })
+    }
+
+    /// The router's flight recorder: the K slowest federated queries plus
+    /// every failed/partial/cancelled one, each with its full cross-shard
+    /// sub-query tree.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// The chunk-to-shard assignment function.
@@ -346,7 +370,61 @@ impl FederatedService {
     /// [`FederatedService::execute`] under a caller-owned token: the
     /// token gates the router loop, and unwinding cancels every
     /// still-flying sub-query.
+    ///
+    /// A root [`TraceId`] is minted here and propagated into every shard
+    /// sub-query, so the whole fan-out stitches into one span tree; the
+    /// completed trace lands in [`FederatedService::recorder`].
     pub fn execute_with_token(&self, sql: &str, cancel: &CancelToken) -> Result<FederatedResponse> {
+        let born = Stopwatch::start();
+        let trace = TraceId::mint();
+        self.obs.events.emit(names::TRACE_BEGIN, || {
+            vec![
+                ("trace", trace.into()),
+                ("parent", JsonValue::Null),
+                ("group", "fed".into()),
+                ("detail", sql.into()),
+            ]
+        });
+        let mut tb = TraceBuild::default();
+        let out = self.execute_traced(sql, cancel, trace, &mut tb);
+        let outcome = match &out {
+            Ok(FederatedResponse::Complete(_)) => TraceOutcome::Ok,
+            Ok(FederatedResponse::Partial(_)) => TraceOutcome::Partial,
+            Err(e) if e.is_cancellation() => TraceOutcome::Cancelled,
+            Err(_) => TraceOutcome::Error,
+        };
+        let total_secs = born.elapsed_secs();
+        self.obs
+            .metrics
+            .record_latency(names::LAT_TOTAL, total_secs);
+        self.obs.events.emit(names::TRACE_END, || {
+            vec![
+                ("trace", trace.into()),
+                ("group", "fed".into()),
+                ("outcome", outcome.as_str().into()),
+                ("total_secs", total_secs.into()),
+            ]
+        });
+        self.recorder.record(QueryTrace {
+            trace,
+            parent: None,
+            group: "fed".into(),
+            detail: sql.to_string(),
+            outcome,
+            total_secs,
+            phases: tb.phases,
+            children: tb.children,
+        });
+        out
+    }
+
+    fn execute_traced(
+        &self,
+        sql: &str,
+        cancel: &CancelToken,
+        trace: TraceId,
+        tb: &mut TraceBuild,
+    ) -> Result<FederatedResponse> {
         cancel.check()?;
         match parse_statement(sql)? {
             Statement::CreateView(_) => {
@@ -356,8 +434,10 @@ impl FederatedService {
                 // the CREATE VIEW converges (duplicates error per shard,
                 // which we surface as-is).
                 for svc in &self.shards {
-                    svc.submit_with_token(sql, CancelToken::new())?
-                        .wait_cancellable(cancel)?;
+                    let ticket = svc.submit_traced(sql, CancelToken::new(), trace)?;
+                    let outcome = ticket.wait_cancellable(cancel);
+                    tb.children.extend(ticket.trace());
+                    outcome?;
                 }
                 Ok(FederatedResponse::Complete(QueryResult {
                     columns: Vec::new(),
@@ -375,17 +455,23 @@ impl FederatedService {
                     // work); route the whole statement to one healthy
                     // replica with retry/failover.
                     return self
-                        .route_whole(sql, cancel)
+                        .route_whole(sql, cancel, trace, tb)
                         .map(FederatedResponse::Complete);
                 }
-                self.scan_federated(&query, cancel)
+                self.scan_federated(&query, cancel, trace, tb)
             }
         }
     }
 
     /// Whole-statement routing with shard failover: try healthy shards
     /// first, never the same shard twice, up to `max_attempts`.
-    fn route_whole(&self, sql: &str, cancel: &CancelToken) -> Result<QueryResult> {
+    fn route_whole(
+        &self,
+        sql: &str,
+        cancel: &CancelToken,
+        trace: TraceId,
+        tb: &mut TraceBuild,
+    ) -> Result<QueryResult> {
         let n = self.shards.len();
         let mut tried = vec![false; n];
         let mut last_err = Error::Cluster("federation has no shards".into());
@@ -398,8 +484,12 @@ impl FederatedService {
             tried[shard] = true;
             self.bump(names::FED_SUBQUERIES, 1);
             let outcome = self.shards[shard]
-                .submit_with_token(sql, CancelToken::new())
-                .and_then(|t| t.wait_cancellable(cancel));
+                .submit_traced(sql, CancelToken::new(), trace)
+                .and_then(|t| {
+                    let outcome = t.wait_cancellable(cancel);
+                    tb.children.extend(t.trace());
+                    outcome
+                });
             match outcome {
                 Ok(result) => {
                     self.health[shard].record_success();
@@ -440,7 +530,13 @@ impl FederatedService {
     }
 
     /// The chunk fan-out path for base-table SELECTs.
-    fn scan_federated(&self, query: &Query, cancel: &CancelToken) -> Result<FederatedResponse> {
+    fn scan_federated(
+        &self,
+        query: &Query,
+        cancel: &CancelToken,
+        trace: TraceId,
+        tb: &mut TraceBuild,
+    ) -> Result<FederatedResponse> {
         let md = self.deployment.metadata();
         let table = md.table_id(&query.from)?;
         let range = predicates_to_bbox(&query.predicates);
@@ -483,7 +579,7 @@ impl FederatedService {
                     }
                 }
                 for (shard, group) in groups {
-                    self.dispatch(&mut flights, shard, group, table, &range, false)?;
+                    self.dispatch(&mut flights, shard, group, table, &range, false, trace)?;
                 }
             }
 
@@ -507,6 +603,12 @@ impl FederatedService {
                         .copied()
                         .collect();
                     if !unfilled.is_empty() {
+                        // The flight's age at hedge time is the latency
+                        // the hedge mechanism is absorbing.
+                        let overhead = f.age.elapsed_secs();
+                        self.obs.metrics.record_latency(names::LAT_HEDGE, overhead);
+                        tb.phases
+                            .push((names::lat_phase(names::LAT_HEDGE).into(), overhead));
                         hedges.push((f.shard, unfilled));
                     }
                 }
@@ -532,13 +634,16 @@ impl FederatedService {
                 }
                 for (shard, group) in groups {
                     self.bump(names::FED_HEDGES, 1);
-                    self.dispatch(&mut flights, shard, group, table, &range, true)?;
+                    self.dispatch(&mut flights, shard, group, table, &range, true, trace)?;
                 }
             }
 
             // Handle resolutions (descending index so removals are safe).
             for (i, outcome) in resolved.into_iter().rev() {
                 let flight = flights.0.remove(i);
+                // The resolver published the sub-query's trace before its
+                // result became observable, so this is always present.
+                tb.children.extend(flight.ticket.trace());
                 match outcome {
                     Ok(result) => {
                         self.absorb(&flight, result, &mut filled, &mut scan_columns);
@@ -602,6 +707,7 @@ impl FederatedService {
         // Merge. Chunk order follows the R-tree's chunk list — the same
         // order a single engine scans in — so a complete federated scan
         // is byte-identical to the oracle.
+        let merge_sw = Stopwatch::start();
         let columns = match scan_columns {
             Some(c) => c,
             None => column_names(md.schema(table)?.as_ref()),
@@ -630,6 +736,12 @@ impl FederatedService {
             chunk_runs: None,
             checksum: None,
         };
+        let merge_secs = merge_sw.elapsed_secs();
+        self.obs
+            .metrics
+            .record_latency(names::LAT_MERGE, merge_secs);
+        tb.phases
+            .push((names::lat_phase(names::LAT_MERGE).into(), merge_secs));
         if missing.is_empty() {
             Ok(FederatedResponse::Complete(result))
         } else {
@@ -642,7 +754,9 @@ impl FederatedService {
         }
     }
 
-    /// Submit one chunk group to one shard as a [`ScanSpec`] sub-query.
+    /// Submit one chunk group to one shard as a [`ScanSpec`] sub-query
+    /// carrying the root query's trace ID.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         flights: &mut Flights,
@@ -651,6 +765,7 @@ impl FederatedService {
         table: orv_types::TableId,
         range: &Option<orv_types::BoundingBox>,
         is_hedge: bool,
+        trace: TraceId,
     ) -> Result<()> {
         self.bump(names::FED_SUBQUERIES, 1);
         let spec = ScanSpec {
@@ -658,7 +773,7 @@ impl FederatedService {
             range: range.clone(),
             chunks: chunks.clone(),
         };
-        let ticket = self.shards[shard].submit_scan(spec, CancelToken::new())?;
+        let ticket = self.shards[shard].submit_scan_traced(spec, CancelToken::new(), trace)?;
         flights.0.push(Flight {
             shard,
             chunks,
@@ -666,6 +781,7 @@ impl FederatedService {
             hedge_timer: self.cfg.hedge_after.map(WaitBudget::start),
             hedged: false,
             is_hedge,
+            age: Stopwatch::start(),
         });
         Ok(())
     }

@@ -27,7 +27,7 @@
 
 use crate::engine::{QueryEngine, QueryResult, ScanSpec};
 use orv_cluster::{CancelToken, WaitBudget, SLEEP_SLICE};
-use orv_obs::names;
+use orv_obs::{names, FlightRecorder, JsonValue, QueryTrace, Stopwatch, TraceId, TraceOutcome};
 use orv_types::{Error, Result};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -97,6 +97,12 @@ impl ServiceCounters {
     }
 }
 
+/// How many cleanly-completed slow queries each service's flight
+/// recorder retains.
+const RECORDER_KEEP_SLOWEST: usize = 8;
+/// Ring size for anomalous (failed/partial/cancelled/rejected) traces.
+const RECORDER_ANOMALY_CAP: usize = 64;
+
 /// One queued query's rendezvous cell: the worker (or the queue-side
 /// cancel path) publishes exactly one result; the ticket waits on it.
 struct Slot {
@@ -106,6 +112,9 @@ struct Slot {
     /// can never re-complete an already-consumed slot.
     resolved: AtomicBool,
     done: Condvar,
+    /// The completed [`QueryTrace`], written by the winning resolver —
+    /// the federation router collects these to stitch its span tree.
+    trace: Mutex<Option<QueryTrace>>,
 }
 
 impl Slot {
@@ -114,8 +123,23 @@ impl Slot {
             result: Mutex::new(None),
             resolved: AtomicBool::new(false),
             done: Condvar::new(),
+            trace: Mutex::new(None),
         })
     }
+}
+
+/// Per-query trace state carried from submit to resolve.
+struct TraceCtx {
+    id: TraceId,
+    parent: Option<TraceId>,
+    detail: String,
+    /// Started at submit entry; its elapsed time at resolve is the
+    /// query's end-to-end latency.
+    born: Stopwatch,
+    /// Re-armed when the job is queued; measures queue wait at claim.
+    queued: Stopwatch,
+    /// Time spent inside admission control (submit → queued).
+    admission_secs: f64,
 }
 
 /// What one queued job executes: a SQL statement (the client path) or a
@@ -129,6 +153,7 @@ struct Job {
     task: Task,
     cancel: CancelToken,
     slot: Arc<Slot>,
+    trace: TraceCtx,
 }
 
 struct Inner {
@@ -142,6 +167,10 @@ struct Inner {
     rejected: AtomicU64,
     completed: AtomicU64,
     cancelled: AtomicU64,
+    /// Span-group label of this service's traces: `service` standalone,
+    /// `fed{N}` when the engine is federation shard N.
+    group: String,
+    recorder: FlightRecorder,
 }
 
 impl Inner {
@@ -150,14 +179,20 @@ impl Inner {
         self.engine.obs().metrics.counter(name).add(1);
     }
 
-    /// Resolve a finished (or cancelled) job: count it, then publish the
-    /// result into the slot. First resolver wins (e.g. a worker finishing
-    /// a query whose ticket was already resolved by queue-side
-    /// cancellation loses), so each admitted query is counted exactly
-    /// once — and the count lands *before* the waiter can observe the
-    /// result, keeping `admitted == completed + cancelled` exact at the
-    /// moment any ticket resolves.
-    fn resolve(&self, slot: &Slot, result: Result<QueryResult>) {
+    /// Resolve a finished (or cancelled) job: count it, publish the
+    /// result into the slot, and finish the query's trace. First resolver
+    /// wins (e.g. a worker finishing a query whose ticket was already
+    /// resolved by queue-side cancellation loses), so each admitted query
+    /// is counted exactly once — and the count lands *before* the waiter
+    /// can observe the result, keeping `admitted == completed + cancelled`
+    /// exact at the moment any ticket resolves.
+    fn resolve(
+        &self,
+        slot: &Slot,
+        ctx: &TraceCtx,
+        phases: Vec<(String, f64)>,
+        result: Result<QueryResult>,
+    ) {
         let is_cancel = result.as_ref().err().is_some_and(Error::is_cancellation);
         let mut cell = relock(slot.result.lock());
         if slot.resolved.swap(true, Ordering::AcqRel) {
@@ -168,8 +203,61 @@ impl Inner {
         } else {
             self.count(&self.completed, names::SERVICE_COMPLETED);
         }
+        let outcome = match &result {
+            Ok(_) => TraceOutcome::Ok,
+            Err(_) if is_cancel => TraceOutcome::Cancelled,
+            Err(_) => TraceOutcome::Error,
+        };
+        *relock(slot.trace.lock()) = Some(self.finish_trace(ctx, outcome, phases));
         *cell = Some(result);
         slot.done.notify_all();
+    }
+
+    /// Seal one query's trace: record its end-to-end latency (root
+    /// queries only — sub-queries are part of their parent's total), emit
+    /// `trace_end`, and offer the trace to the flight recorder.
+    fn finish_trace(
+        &self,
+        ctx: &TraceCtx,
+        outcome: TraceOutcome,
+        mut phases: Vec<(String, f64)>,
+    ) -> QueryTrace {
+        let total_secs = ctx.born.elapsed_secs();
+        phases.insert(
+            0,
+            (
+                names::lat_phase(names::LAT_ADMISSION).into(),
+                ctx.admission_secs,
+            ),
+        );
+        // Rejected queries never ran; their ~zero "latency" would only
+        // dilute the end-to-end distribution.
+        if ctx.parent.is_none() && outcome != TraceOutcome::Rejected {
+            self.engine
+                .obs()
+                .metrics
+                .record_latency(names::LAT_TOTAL, total_secs);
+        }
+        let trace = QueryTrace {
+            trace: ctx.id,
+            parent: ctx.parent,
+            group: self.group.clone(),
+            detail: ctx.detail.clone(),
+            outcome,
+            total_secs,
+            phases,
+            children: Vec::new(),
+        };
+        self.engine.obs().events.emit(names::TRACE_END, || {
+            vec![
+                ("trace", ctx.id.into()),
+                ("group", self.group.as_str().into()),
+                ("outcome", outcome.as_str().into()),
+                ("total_secs", total_secs.into()),
+            ]
+        });
+        self.recorder.record(trace.clone());
+        trace
     }
 
     fn worker_loop(&self) {
@@ -186,22 +274,35 @@ impl Inner {
                     queue = relock(self.work.wait(queue));
                 }
             };
+            let metrics = &self.engine.obs().metrics;
+            let queue_wait = job.trace.queued.elapsed_secs();
+            metrics.record_latency(names::LAT_QUEUE_WAIT, queue_wait);
             // A queued query may already be cancelled (or past deadline)
             // by the time a worker reaches it — resolve without running.
             // The shard checkpoint sits on the same gate: an injected
             // shard death/slowdown hits every job this engine serves.
+            let exec = Stopwatch::start();
             let result = match job
                 .cancel
                 .check()
                 .and_then(|()| self.engine.shard_checkpoint(&job.cancel))
             {
                 Ok(()) => match &job.task {
-                    Task::Sql(sql) => self.engine.execute_cancellable(sql, &job.cancel),
+                    Task::Sql(sql) => {
+                        self.engine
+                            .execute_traced(sql, &job.cancel, Some(job.trace.id))
+                    }
                     Task::Scan(spec) => self.engine.execute_scan_spec(spec, &job.cancel),
                 },
                 Err(e) => Err(e),
             };
-            self.resolve(&job.slot, result);
+            let exec_secs = exec.elapsed_secs();
+            metrics.record_latency(names::LAT_EXEC, exec_secs);
+            let phases = vec![
+                (names::lat_phase(names::LAT_QUEUE_WAIT).into(), queue_wait),
+                (names::lat_phase(names::LAT_EXEC).into(), exec_secs),
+            ];
+            self.resolve(&job.slot, &job.trace, phases, result);
         }
     }
 }
@@ -211,12 +312,14 @@ pub struct QueryTicket {
     slot: Arc<Slot>,
     cancel: CancelToken,
     inner: Arc<Inner>,
+    trace_id: TraceId,
 }
 
 impl std::fmt::Debug for QueryTicket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let resolved = relock(self.slot.result.lock()).is_some();
         f.debug_struct("QueryTicket")
+            .field("trace", &self.trace_id)
             .field("resolved", &resolved)
             .finish()
     }
@@ -227,6 +330,17 @@ impl QueryTicket {
     /// query).
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
+    }
+
+    /// The propagated trace ID this query carries.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace_id
+    }
+
+    /// The completed trace, once the query resolved (phase attribution,
+    /// outcome, latency). `None` while still in flight.
+    pub fn trace(&self) -> Option<QueryTrace> {
+        relock(self.slot.trace.lock()).clone()
     }
 
     /// Cancel the query. If it is still queued it resolves with
@@ -245,8 +359,9 @@ impl QueryTicket {
                 None => None,
             }
         };
-        if removed.is_some() {
-            self.inner.resolve(&self.slot, Err(Error::Cancelled));
+        if let Some(job) = removed {
+            self.inner
+                .resolve(&self.slot, &job.trace, Vec::new(), Err(Error::Cancelled));
         }
     }
 
@@ -319,6 +434,10 @@ impl QueryService {
                 "query service needs queue_cap >= 1 (everything would be rejected)".into(),
             ));
         }
+        let group = match engine.shard_index() {
+            Some(s) => format!("fed{s}"),
+            None => "service".to_string(),
+        };
         let inner = Arc::new(Inner {
             engine,
             cfg: cfg.clone(),
@@ -330,6 +449,8 @@ impl QueryService {
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            group,
+            recorder: FlightRecorder::new(RECORDER_KEEP_SLOWEST, RECORDER_ANOMALY_CAP),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -343,6 +464,12 @@ impl QueryService {
     /// The wrapped engine (catalog inspection, cache stats, obs handle).
     pub fn engine(&self) -> &QueryEngine {
         &self.inner.engine
+    }
+
+    /// This service's flight recorder: the K slowest completed queries
+    /// plus every anomalous one, with full phase attribution.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
     }
 
     /// Admission/completion counter snapshot.
@@ -368,17 +495,66 @@ impl QueryService {
     /// Submit with a caller-owned token (compose cancellation across
     /// several queries, or attach a custom deadline).
     pub fn submit_with_token(&self, sql: &str, cancel: CancelToken) -> Result<QueryTicket> {
-        self.submit_task(Task::Sql(sql.to_string()), cancel)
+        self.submit_task(Task::Sql(sql.to_string()), cancel, None)
+    }
+
+    /// [`QueryService::submit_with_token`] as a sub-query of `parent`:
+    /// the minted trace ID records the parent, and the query's latency
+    /// stays out of `lat/total_secs` (its root already accounts for it).
+    pub fn submit_traced(
+        &self,
+        sql: &str,
+        cancel: CancelToken,
+        parent: TraceId,
+    ) -> Result<QueryTicket> {
+        self.submit_task(Task::Sql(sql.to_string()), cancel, Some(parent))
     }
 
     /// Submit a pre-planned chunk scan (the federation router's sub-query
     /// path): same queue, admission control and cancellation as SQL.
     pub fn submit_scan(&self, spec: ScanSpec, cancel: CancelToken) -> Result<QueryTicket> {
-        self.submit_task(Task::Scan(spec), cancel)
+        self.submit_task(Task::Scan(spec), cancel, None)
     }
 
-    fn submit_task(&self, task: Task, cancel: CancelToken) -> Result<QueryTicket> {
+    /// [`QueryService::submit_scan`] as a sub-query of `parent`.
+    pub fn submit_scan_traced(
+        &self,
+        spec: ScanSpec,
+        cancel: CancelToken,
+        parent: TraceId,
+    ) -> Result<QueryTicket> {
+        self.submit_task(Task::Scan(spec), cancel, Some(parent))
+    }
+
+    fn submit_task(
+        &self,
+        task: Task,
+        cancel: CancelToken,
+        parent: Option<TraceId>,
+    ) -> Result<QueryTicket> {
         let inner = &self.inner;
+        let born = Stopwatch::start();
+        let id = TraceId::mint();
+        let detail = match &task {
+            Task::Sql(sql) => sql.clone(),
+            Task::Scan(spec) => {
+                format!("scan table {} ({} chunks)", spec.table.0, spec.chunks.len())
+            }
+        };
+        inner.engine.obs().events.emit(names::TRACE_BEGIN, || {
+            vec![
+                ("trace", id.into()),
+                (
+                    "parent",
+                    match parent {
+                        Some(p) => p.into(),
+                        None => JsonValue::Null,
+                    },
+                ),
+                ("group", inner.group.as_str().into()),
+                ("detail", detail.as_str().into()),
+            ]
+        });
         inner.count(&inner.submitted, names::SERVICE_SUBMITTED);
         let slot = Slot::new();
         {
@@ -387,15 +563,44 @@ impl QueryService {
                 let queued = queue.len();
                 drop(queue);
                 inner.count(&inner.rejected, names::SERVICE_REJECTED);
+                let admission_secs = born.elapsed_secs();
+                inner
+                    .engine
+                    .obs()
+                    .metrics
+                    .record_latency(names::LAT_ADMISSION, admission_secs);
+                let ctx = TraceCtx {
+                    id,
+                    parent,
+                    detail,
+                    born,
+                    queued: born,
+                    admission_secs,
+                };
+                inner.finish_trace(&ctx, TraceOutcome::Rejected, Vec::new());
                 return Err(Error::Overloaded {
                     queued,
                     cap: inner.cfg.queue_cap,
                 });
             }
+            let admission_secs = born.elapsed_secs();
+            inner
+                .engine
+                .obs()
+                .metrics
+                .record_latency(names::LAT_ADMISSION, admission_secs);
             queue.push_back(Job {
                 task,
                 cancel: cancel.clone(),
                 slot: Arc::clone(&slot),
+                trace: TraceCtx {
+                    id,
+                    parent,
+                    detail,
+                    born,
+                    queued: Stopwatch::start(),
+                    admission_secs,
+                },
             });
         }
         inner.count(&inner.admitted, names::SERVICE_ADMITTED);
@@ -404,6 +609,7 @@ impl QueryService {
             slot,
             cancel,
             inner: Arc::clone(inner),
+            trace_id: id,
         })
     }
 
@@ -424,7 +630,8 @@ impl Drop for QueryService {
         };
         for job in drained {
             job.cancel.cancel();
-            self.inner.resolve(&job.slot, Err(Error::Cancelled));
+            self.inner
+                .resolve(&job.slot, &job.trace, Vec::new(), Err(Error::Cancelled));
         }
         self.inner.work.notify_all();
         for handle in self.workers.drain(..) {

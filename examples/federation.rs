@@ -11,9 +11,11 @@
 //! carrying the exact missing-chunk set (or `Error::Unavailable` in
 //! strict mode — which is what `--strict` demonstrates).
 //!
-//! The event log lands in `fed_events_<seed>.jsonl` whether the run
-//! passes or fails, so CI can upload it for post-mortems. Any violated
-//! invariant exits nonzero.
+//! The event log lands in `fed_events_<seed>.jsonl` and the flight
+//! recorder's retained traces in `fed_flightrec_<seed>.jsonl` whether
+//! the run passes or fails, so CI can upload both for post-mortems. The
+//! slowest stitched span tree is printed at the end of every run. Any
+//! violated invariant exits nonzero.
 
 use orv::bds::{generate_dataset, DatasetSpec, Deployment};
 use orv::cluster::{silence_injected_panics, FaultInjector, FaultPlan, ShardDeathSpec};
@@ -125,10 +127,13 @@ fn main() {
         }
     }
 
-    // Export the log before judging the run — a failing run's log is the
-    // post-mortem artifact.
+    // Export the log and the flight recorder before judging the run — a
+    // failing run's log and retained traces are the post-mortem artifacts.
     let log_path = format!("fed_events_{seed}.jsonl");
     std::fs::write(&log_path, obs.events.to_json_lines()).expect("cannot write event log");
+    let rec_path = format!("fed_flightrec_{seed}.jsonl");
+    std::fs::write(&rec_path, fed.recorder().to_json_lines())
+        .expect("cannot write flight recorder dump");
 
     let stats = injector.stats();
     let snap = obs.metrics.snapshot();
@@ -144,6 +149,20 @@ fn main() {
         counter(names::FED_MISSING_CHUNKS),
     );
     println!("event log: {log_path}");
+    println!("flight recorder: {rec_path}");
+    if let Some(slowest) = fed.recorder().slowest().first() {
+        println!("slowest stitched trace:\n{}", slowest.render_tree());
+    }
+
+    // Every executed query must leave a trace in the recorder — slow or
+    // anomalous, nothing disappears.
+    let executed = 3 * QUERIES.len() as u64;
+    if fed.recorder().recorded() != executed {
+        failures.push(format!(
+            "flight recorder saw {} of {executed} queries",
+            fed.recorder().recorded()
+        ));
+    }
 
     // Counters must agree with the injected fault log: a death that fired
     // before the last query implies at least one failover (non-strict),
