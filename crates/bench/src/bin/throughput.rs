@@ -79,6 +79,7 @@ fn build_service(clients: usize) -> QueryService {
             workers: clients,
             queue_cap: 2 * clients + 4,
             default_deadline: None,
+            ..ServiceConfig::default()
         },
     )
     .expect("service")
@@ -195,6 +196,7 @@ fn run_federated(clients: usize) -> Run {
                     workers: 2,
                     queue_cap: 4 * clients + 8,
                     default_deadline: None,
+                    ..ServiceConfig::default()
                 },
                 ..FederationConfig::default()
             },
@@ -241,6 +243,148 @@ fn run_federated(clients: usize) -> Run {
         submitted: counters.submitted,
         completed: counters.completed,
     }
+}
+
+/// One leg of the overload experiment: `clients` threads hammering a
+/// fixed-capacity service, each query deadline-bounded by a watchdog.
+struct OverloadRun {
+    clients: usize,
+    offered: u64,
+    completed: u64,
+    rejected: u64,
+    total_secs: f64,
+    goodput_qps: f64,
+    watchdog_hangs: u64,
+}
+
+/// Drive `clients` threads against `svc`, tolerating typed overload
+/// rejections (honoring their `retry_after` hint with one bounded
+/// retry) and counting anything slower than the watchdog as a hang.
+fn drive_overload(svc: &Arc<QueryService>, clients: usize) -> OverloadRun {
+    const WATCHDOG: std::time::Duration = std::time::Duration::from_secs(30);
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let offered = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let hangs = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let svc = Arc::clone(&svc);
+        let offered = Arc::clone(&offered);
+        let completed = Arc::clone(&completed);
+        let rejected = Arc::clone(&rejected);
+        let hangs = Arc::clone(&hangs);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..QUERIES_PER_CLIENT {
+                offered.fetch_add(1, Ordering::Relaxed);
+                // One bounded retry on a typed rejection, honoring the
+                // hint — the client protocol the resilience layer asks
+                // of callers. A second rejection is accepted as shed.
+                let mut attempts_left = 2;
+                loop {
+                    match svc.submit(SQL) {
+                        Ok(ticket) => match ticket.wait_timeout(WATCHDOG) {
+                            Some(Ok(_)) => {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(Err(_)) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                hangs.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(e) => {
+                            attempts_left -= 1;
+                            if attempts_left > 0 {
+                                let hint = e.retry_after_ms().unwrap_or(1);
+                                std::thread::sleep(std::time::Duration::from_millis(hint));
+                                continue;
+                            }
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    break;
+                }
+            }
+        }));
+    }
+    barrier.wait();
+    let t = Instant::now();
+    for h in handles {
+        h.join().expect("overload client thread");
+    }
+    let total_secs = t.elapsed().as_secs_f64();
+    let completed = completed.load(Ordering::Relaxed);
+    OverloadRun {
+        clients,
+        offered: offered.load(Ordering::Relaxed),
+        completed,
+        rejected: rejected.load(Ordering::Relaxed),
+        total_secs,
+        goodput_qps: completed as f64 / total_secs,
+        watchdog_hangs: hangs.load(Ordering::Relaxed),
+    }
+}
+
+/// The overload-resilience figure: goodput at capacity vs goodput under
+/// a 2× client flood against the *same* fixed-capacity service. The
+/// shedder may reject work — the gate is that the work it *does* admit
+/// still completes at ≥ 70% of capacity goodput, with zero hangs.
+fn run_overload() -> (OverloadRun, OverloadRun, f64) {
+    const WORKERS: usize = 4;
+    let d = Deployment::in_memory(1);
+    for (name, scalar, seed) in [("t1", "oilp", 1u64), ("t2", "wp", 2)] {
+        generate_dataset(
+            &DatasetSpec::builder(name)
+                .grid([32, 32, 1])
+                .partition([4, 4, 1])
+                .scalar_attrs(&[scalar])
+                .seed(seed)
+                .build(),
+            &d,
+        )
+        .expect("dataset generation");
+    }
+    let engine = QueryEngine::new(d).force_algorithm(Some(JoinAlgorithm::IndexedJoin));
+    engine
+        .execute("CREATE VIEW v1 AS SELECT * FROM t1 JOIN t2 ON (x, y, z)")
+        .expect("create view");
+    let svc = Arc::new(
+        QueryService::new(
+            engine,
+            ServiceConfig {
+                workers: WORKERS,
+                queue_cap: 2 * WORKERS,
+                default_deadline: None,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("overload service"),
+    );
+    svc.execute(SQL).expect("warm-up query");
+    let capacity = drive_overload(&svc, WORKERS);
+    let overload = drive_overload(&svc, 2 * WORKERS);
+    let ratio = overload.goodput_qps / capacity.goodput_qps;
+    (capacity, overload, ratio)
+}
+
+fn overload_json(capacity: &OverloadRun, overload: &OverloadRun, ratio: f64) -> String {
+    let leg = |r: &OverloadRun| {
+        format!(
+            "{{\"clients\": {}, \"offered\": {}, \"completed\": {}, \"rejected\": {}, \"total_secs\": {:.6}, \"goodput_qps\": {:.3}, \"watchdog_hangs\": {}}}",
+            r.clients, r.offered, r.completed, r.rejected, r.total_secs, r.goodput_qps, r.watchdog_hangs
+        )
+    };
+    format!(
+        "{{\n  \"bench\": \"overload\",\n  \"workload\": {{\"sql\": \"{SQL}\", \"queries_per_client\": {QUERIES_PER_CLIENT}}},\n  \"capacity\": {},\n  \"overload\": {},\n  \"goodput_ratio\": {ratio:.4},\n  \"watchdog_hangs\": {}\n}}\n",
+        leg(capacity),
+        leg(overload),
+        capacity.watchdog_hangs + overload.watchdog_hangs,
+    )
 }
 
 fn json(runs: &[Run], exec_secs: f64, federated: &Run) -> String {
@@ -321,6 +465,36 @@ fn main() {
     let payload = json(&runs, exec_secs, &federated);
     std::fs::write("BENCH_throughput.json", &payload).expect("cannot write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json ({} bytes)", payload.len());
+
+    // Overload-resilience figure: the same service, first at capacity,
+    // then under a 2× client flood. The shedder may turn work away; the
+    // admitted work must still flow.
+    let (capacity, overload, goodput_ratio) = run_overload();
+    println!(
+        "overload: capacity {:.1} qps ({} clients) vs flood {:.1} qps ({} clients, {} rejected) — goodput ratio {:.2} (gate: >= 0.7)",
+        capacity.goodput_qps,
+        capacity.clients,
+        overload.goodput_qps,
+        overload.clients,
+        overload.rejected,
+        goodput_ratio
+    );
+    let overload_payload = overload_json(&capacity, &overload, goodput_ratio);
+    std::fs::write("BENCH_overload.json", &overload_payload)
+        .expect("cannot write BENCH_overload.json");
+    println!(
+        "wrote BENCH_overload.json ({} bytes)",
+        overload_payload.len()
+    );
+    assert_eq!(
+        capacity.watchdog_hangs + overload.watchdog_hangs,
+        0,
+        "no query may outlive the watchdog"
+    );
+    assert!(
+        goodput_ratio >= 0.7,
+        "goodput under 2x overload must stay >= 70% of capacity, got {goodput_ratio:.2}"
+    );
 
     // Serving-path latency report: the 8-client (contended) run is the
     // distribution worth tracking. The report must self-validate and

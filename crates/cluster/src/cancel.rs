@@ -53,10 +53,17 @@ impl CancelToken {
 
     /// A cancellable token that also fires once `timeout` has elapsed.
     pub fn with_deadline(timeout: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// A cancellable token that fires at an absolute instant — the hook
+    /// [`DeadlineBudget`] uses to mint hop tokens that all point at the
+    /// *same* root deadline instead of restarting the countdown per hop.
+    pub fn with_deadline_at(until: Instant) -> Self {
         CancelToken {
             inner: Some(Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
-                deadline: Some(Instant::now() + timeout),
+                deadline: Some(until),
             })),
         }
     }
@@ -116,6 +123,70 @@ impl CancelToken {
             }
             std::thread::sleep(slice.max(Duration::from_millis(1)));
         }
+    }
+}
+
+/// A monotone-shrinking deadline budget, threaded submit → queue →
+/// engine → every federated sub-query.
+///
+/// The root deadline is fixed once at submit; each fan-out hop derives a
+/// *smaller* budget by subtracting a hop margin ([`shrink`]), leaving the
+/// parent time to collect, merge and degrade after the child gives up.
+/// Budgets only ever shrink — [`shrink`] can never move the deadline
+/// later, and [`remaining`] saturates at zero — so a chain of hops is
+/// monotone non-increasing and never negative no matter how margins are
+/// chosen. Lives here because this module is the runtime's one
+/// sanctioned wall-clock site (lint rule L006).
+///
+/// [`shrink`]: DeadlineBudget::shrink
+/// [`remaining`]: DeadlineBudget::remaining
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineBudget {
+    until: Instant,
+}
+
+impl DeadlineBudget {
+    /// A root budget of `total` starting now.
+    pub fn root(total: Duration) -> Self {
+        DeadlineBudget {
+            until: Instant::now() + total,
+        }
+    }
+
+    /// The budget a deadline-bearing token implies, if it has one.
+    pub fn from_token(token: &CancelToken) -> Option<Self> {
+        token.deadline().map(|until| DeadlineBudget { until })
+    }
+
+    /// Derive the child budget for one fan-out hop: the deadline moves
+    /// *earlier* by `hop_margin` (saturating — it never moves later, and
+    /// an oversized margin simply yields an already-expired budget).
+    pub fn shrink(&self, hop_margin: Duration) -> Self {
+        DeadlineBudget {
+            until: self.until.checked_sub(hop_margin).unwrap_or(self.until),
+        }
+    }
+
+    /// The absolute instant this budget expires. Exposed so budget
+    /// chains can be compared without racing the clock.
+    pub fn hard_deadline(&self) -> Instant {
+        self.until
+    }
+
+    /// Time left before expiry (zero once expired — never negative).
+    pub fn remaining(&self) -> Duration {
+        self.until.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the budget has fully expired.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    /// Mint a cancellable token that fires at this budget's deadline —
+    /// the token handed to the next hop.
+    pub fn token(&self) -> CancelToken {
+        CancelToken::with_deadline_at(self.until)
     }
 }
 
@@ -233,5 +304,44 @@ mod tests {
     fn wait_budget_slice_caps_at_sleep_slice() {
         let b = WaitBudget::start(Duration::from_secs(60));
         assert_eq!(b.slice(), SLEEP_SLICE);
+    }
+
+    #[test]
+    fn deadline_budget_shrinks_monotonically() {
+        let root = DeadlineBudget::root(Duration::from_secs(10));
+        let hop1 = root.shrink(Duration::from_millis(250));
+        let hop2 = hop1.shrink(Duration::from_millis(250));
+        assert!(hop1.hard_deadline() < root.hard_deadline());
+        assert!(hop2.hard_deadline() < hop1.hard_deadline());
+        assert!(hop2.remaining() <= hop1.remaining());
+        assert!(!root.expired());
+        // A zero margin is a fixed point, never a later deadline.
+        assert_eq!(
+            hop2.shrink(Duration::ZERO).hard_deadline(),
+            hop2.hard_deadline()
+        );
+    }
+
+    #[test]
+    fn deadline_budget_saturates_instead_of_going_negative() {
+        let root = DeadlineBudget::root(Duration::from_millis(5));
+        let starved = root.shrink(Duration::from_secs(3600));
+        assert!(starved.expired());
+        assert_eq!(starved.remaining(), Duration::ZERO);
+        // Expired budgets mint tokens that fail check() immediately.
+        assert!(matches!(
+            starved.token().check(),
+            Err(Error::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn deadline_budget_round_trips_through_tokens() {
+        let root = DeadlineBudget::root(Duration::from_secs(5));
+        let token = root.token();
+        let back = DeadlineBudget::from_token(&token).unwrap();
+        assert_eq!(back.hard_deadline(), root.hard_deadline());
+        assert!(DeadlineBudget::from_token(&CancelToken::new()).is_none());
+        assert!(DeadlineBudget::from_token(&CancelToken::none()).is_none());
     }
 }

@@ -94,6 +94,40 @@ pub struct ShardSlowSpec {
     pub delay_ms: u64,
 }
 
+/// A seeded client flood: an overload *storm* rather than a component
+/// fault. The injector itself does not spawn clients — the load harness
+/// (bench or chaos test) reads these specs off the armed plan and drives
+/// `clients × queries_per_client` extra submissions once `after_queries`
+/// baseline queries have been issued. Living inside [`FaultPlan`] means
+/// the storm is serialized, logged and replayed with the same machinery
+/// as every other fault kind.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientFloodSpec {
+    /// Baseline queries issued before the flood starts.
+    pub after_queries: u64,
+    /// Concurrent flood clients the harness must add.
+    pub clients: u64,
+    /// Queries each flood client submits.
+    pub queries_per_client: u64,
+}
+
+/// A slow-shard *storm*: unlike the one-shot [`ShardSlowSpec`], every
+/// sub-query the shard serves after `after_subqueries`, up to
+/// `storm_len` of them, sleeps `delay_ms` (cancellably) first — a
+/// sustained straggler window, the load pattern that sets off retry
+/// storms when retries are unbudgeted.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSlowStormSpec {
+    /// Federation shard index.
+    pub shard: usize,
+    /// Sub-queries the shard serves before the storm opens.
+    pub after_subqueries: u64,
+    /// Injected delay per sub-query inside the storm, milliseconds.
+    pub delay_ms: u64,
+    /// Consecutive sub-queries the storm slows before it ends.
+    pub storm_len: u64,
+}
+
 /// A complete, seed-reproducible description of the faults one execution
 /// experiences. Serializable so a failing plan can be attached to a bug
 /// report and replayed.
@@ -143,6 +177,11 @@ pub struct FaultPlan {
     pub shard_deaths: Vec<ShardDeathSpec>,
     /// Deterministic federation shard slowdowns (one-shot delays).
     pub shard_slows: Vec<ShardSlowSpec>,
+    /// Seeded client floods (consumed by the load harness, not the
+    /// injector).
+    pub client_floods: Vec<ClientFloodSpec>,
+    /// Sustained slow-shard storms (windows of consecutive delays).
+    pub shard_slow_storms: Vec<ShardSlowStormSpec>,
     /// Global cap across *all* correctness-affecting faults (errors,
     /// drops, panics, shard deaths — not delays). Guarantees transience
     /// for every kind except shard deaths, which are deliberately
@@ -173,6 +212,8 @@ impl Default for FaultPlan {
             worker_panics: Vec::new(),
             shard_deaths: Vec::new(),
             shard_slows: Vec::new(),
+            client_floods: Vec::new(),
+            shard_slow_storms: Vec::new(),
             max_faults: 0,
         }
     }
@@ -227,6 +268,32 @@ impl FaultPlan {
             max_scratch_corruptions: 2,
             max_faults: 13,
             ..Self::from_seed(seed)
+        }
+    }
+
+    /// The seeded overload plan the chaos matrix runs: a 2× client flood
+    /// plus one sustained slow-shard storm, derived entirely from
+    /// `seed`. `baseline_clients` is the harness's steady-state client
+    /// count (the flood doubles it); `shards` bounds the storm's victim
+    /// shard. No correctness-affecting faults fire — overload runs must
+    /// show *clean degradation*, so every admitted query still has to
+    /// come back byte-identical to the oracle.
+    pub fn load_storm(seed: u64, baseline_clients: u64, shards: usize) -> Self {
+        let d = splitmix64(seed);
+        FaultPlan {
+            seed,
+            client_floods: vec![ClientFloodSpec {
+                after_queries: 2 + d % 4,
+                clients: baseline_clients,
+                queries_per_client: 4 + (d >> 8) % 4,
+            }],
+            shard_slow_storms: vec![ShardSlowStormSpec {
+                shard: (d >> 16) as usize % shards.max(1),
+                after_subqueries: (d >> 24) % 3,
+                delay_ms: 40 + (d >> 32) % 40,
+                storm_len: 6 + (d >> 40) % 6,
+            }],
+            ..Self::none()
         }
     }
 
@@ -309,6 +376,37 @@ impl FaultPlan {
                         .collect(),
                 ),
             ),
+            (
+                "client_floods",
+                JsonValue::Array(
+                    self.client_floods
+                        .iter()
+                        .map(|c| {
+                            obj([
+                                ("after_queries", c.after_queries.into()),
+                                ("clients", c.clients.into()),
+                                ("queries_per_client", c.queries_per_client.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "shard_slow_storms",
+                JsonValue::Array(
+                    self.shard_slow_storms
+                        .iter()
+                        .map(|s| {
+                            obj([
+                                ("shard", s.shard.into()),
+                                ("after_subqueries", s.after_subqueries.into()),
+                                ("delay_ms", s.delay_ms.into()),
+                                ("storm_len", s.storm_len.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("max_faults", self.max_faults.into()),
         ])
     }
@@ -379,6 +477,40 @@ impl FaultPlan {
                 })
                 .transpose()?
                 .unwrap_or_default(),
+            // Absent in logs exported before the overload-storm kinds.
+            client_floods: v
+                .get("client_floods")
+                .and_then(|a| a.as_array())
+                .map(|a| {
+                    a.iter()
+                        .map(|c| {
+                            Ok(ClientFloodSpec {
+                                after_queries: c.req_u64("after_queries")?,
+                                clients: c.req_u64("clients")?,
+                                queries_per_client: c.req_u64("queries_per_client")?,
+                            })
+                        })
+                        .collect::<Result<_>>()
+                })
+                .transpose()?
+                .unwrap_or_default(),
+            shard_slow_storms: v
+                .get("shard_slow_storms")
+                .and_then(|a| a.as_array())
+                .map(|a| {
+                    a.iter()
+                        .map(|s| {
+                            Ok(ShardSlowStormSpec {
+                                shard: s.req_u64("shard")? as usize,
+                                after_subqueries: s.req_u64("after_subqueries")?,
+                                delay_ms: s.req_u64("delay_ms")?,
+                                storm_len: s.req_u64("storm_len")?,
+                            })
+                        })
+                        .collect::<Result<_>>()
+                })
+                .transpose()?
+                .unwrap_or_default(),
             max_faults: v.req_u64("max_faults")?,
         })
     }
@@ -429,6 +561,8 @@ pub struct FaultStats {
     pub shard_deaths: u64,
     /// Federation shard slowdowns injected.
     pub shard_slows: u64,
+    /// Slow-shard storm delays injected (one per slowed sub-query).
+    pub shard_slow_storm_delays: u64,
 }
 
 impl FaultStats {
@@ -476,6 +610,9 @@ pub struct FaultInjector {
     worker_ops: Mutex<HashMap<usize, u64>>,
     shard_dead: Vec<AtomicBool>,
     shard_slow_fired: Vec<AtomicBool>,
+    /// Storm delays already applied, one slot per
+    /// [`ShardSlowStormSpec`]; saturates at the spec's `storm_len`.
+    shard_storm_fired: Vec<AtomicU64>,
     shard_subqueries: Mutex<HashMap<usize, u64>>,
     stats: Mutex<FaultStats>,
     events: EventLog,
@@ -525,6 +662,11 @@ impl FaultInjector {
             .iter()
             .map(|_| AtomicBool::new(false))
             .collect();
+        let shard_storm_fired = plan
+            .shard_slow_storms
+            .iter()
+            .map(|_| AtomicU64::new(0))
+            .collect();
         events.emit(names::FAULT_PLAN, || vec![("plan", plan.to_json_value())]);
         Arc::new(FaultInjector {
             budget: AtomicU64::new(plan.max_faults),
@@ -539,6 +681,7 @@ impl FaultInjector {
             worker_ops: Mutex::new(HashMap::new()),
             shard_dead,
             shard_slow_fired,
+            shard_storm_fired,
             shard_subqueries: Mutex::new(HashMap::new()),
             stats: Mutex::new(FaultStats::default()),
             events,
@@ -870,7 +1013,10 @@ impl FaultInjector {
     /// The first death takes one unit of the global budget; staying dead
     /// afterwards is free (one fault, many observations).
     pub fn shard_checkpoint(&self, shard: usize, cancel: &CancelToken) -> Result<()> {
-        if self.plan.shard_deaths.is_empty() && self.plan.shard_slows.is_empty() {
+        if self.plan.shard_deaths.is_empty()
+            && self.plan.shard_slows.is_empty()
+            && self.plan.shard_slow_storms.is_empty()
+        {
             return Ok(());
         }
         // A dead shard stays dead: fail fast without advancing counters.
@@ -895,6 +1041,31 @@ impl FaultInjector {
                 self.events.emit(names::FAULT_INJECTED, || {
                     vec![
                         ("kind", "shard_slow".into()),
+                        ("site", "shard_checkpoint".into()),
+                        ("stream", shard.into()),
+                        ("draw", ops.into()),
+                        ("shard", shard.into()),
+                    ]
+                });
+                cancel.sleep(Duration::from_millis(spec.delay_ms))?;
+            }
+        }
+        // Storms slow a *window* of consecutive sub-queries; each delay
+        // claims one slot of the spec's storm_len, so the storm ends
+        // deterministically after exactly that many slowed sub-queries.
+        for (i, spec) in self.plan.shard_slow_storms.iter().enumerate() {
+            if spec.shard == shard
+                && ops >= spec.after_subqueries
+                && self.shard_storm_fired[i]
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                        (n < spec.storm_len).then_some(n + 1)
+                    })
+                    .is_ok()
+            {
+                self.stats.lock().shard_slow_storm_delays += 1;
+                self.events.emit(names::FAULT_INJECTED, || {
+                    vec![
+                        ("kind", "shard_slow_storm".into()),
                         ("site", "shard_checkpoint".into()),
                         ("stream", shard.into()),
                         ("draw", ops.into()),
@@ -1325,6 +1496,73 @@ mod tests {
         cancelled.cancel();
         let err = inj.shard_checkpoint(0, &cancelled).unwrap_err();
         assert!(err.is_cancellation(), "{err}");
+    }
+
+    #[test]
+    fn shard_slow_storm_delays_a_window_then_ends() {
+        let plan = FaultPlan {
+            seed: 9,
+            shard_slow_storms: vec![ShardSlowStormSpec {
+                shard: 1,
+                after_subqueries: 1,
+                delay_ms: 1,
+                storm_len: 3,
+            }],
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector();
+        let c = CancelToken::none();
+        // Other shards are never slowed.
+        for _ in 0..8 {
+            assert!(inj.shard_checkpoint(0, &c).is_ok());
+        }
+        // Shard 1: one clean sub-query, then exactly storm_len slowed
+        // ones, then the storm is over.
+        for _ in 0..8 {
+            assert!(inj.shard_checkpoint(1, &c).is_ok());
+        }
+        assert_eq!(inj.stats().shard_slow_storm_delays, 3);
+
+        // A cancelled query must not pay the storm latency.
+        let plan = FaultPlan {
+            seed: 9,
+            shard_slow_storms: vec![ShardSlowStormSpec {
+                shard: 0,
+                after_subqueries: 0,
+                delay_ms: 60_000,
+                storm_len: 1,
+            }],
+            ..FaultPlan::none()
+        };
+        let inj = plan.injector();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let err = inj.shard_checkpoint(0, &cancelled).unwrap_err();
+        assert!(err.is_cancellation(), "{err}");
+    }
+
+    #[test]
+    fn load_storm_plan_is_seeded_and_round_trips() {
+        let plan = FaultPlan::load_storm(42, 8, 4);
+        assert_eq!(plan.client_floods.len(), 1);
+        assert_eq!(plan.client_floods[0].clients, 8, "flood doubles load");
+        assert_eq!(plan.shard_slow_storms.len(), 1);
+        assert!(plan.shard_slow_storms[0].shard < 4);
+        assert!(plan.shard_slow_storms[0].storm_len >= 6);
+        assert_eq!(plan.max_faults, 0, "overload plans inject no errors");
+        // Same seed, same storm; different seed, different draw stream.
+        assert_eq!(FaultPlan::load_storm(42, 8, 4), plan);
+        assert_ne!(FaultPlan::load_storm(43, 8, 4), plan);
+        // Round-trips through the fault_plan event payload.
+        let back = FaultPlan::from_json_value(&plan.to_json_value()).unwrap();
+        assert_eq!(back, plan);
+        // Plans logged before the overload kinds still parse as empty.
+        let mut v = plan.to_json_value();
+        if let JsonValue::Object(map) = &mut v {
+            map.retain(|k, _| k.as_str() != "client_floods" && k.as_str() != "shard_slow_storms");
+        }
+        let back = FaultPlan::from_json_value(&v).unwrap();
+        assert!(back.client_floods.is_empty() && back.shard_slow_storms.is_empty());
     }
 
     #[test]

@@ -25,17 +25,20 @@ pub mod cancel;
 pub mod checksum;
 pub mod fault;
 pub mod resource;
+pub mod retry_budget;
 pub mod runtime;
 pub mod sim;
 pub mod spec;
 
-pub use cancel::{CancelToken, WaitBudget, SLEEP_SLICE};
+pub use cancel::{CancelToken, DeadlineBudget, WaitBudget, SLEEP_SLICE};
 pub use checksum::crc32c;
 pub use fault::{
-    contain_panic, panic_message, silence_injected_panics, FaultInjector, FaultPlan, FaultStats,
-    RecoveryPolicy, SendVerdict, ShardDeathSpec, ShardSlowSpec, WorkerPanicSpec,
+    contain_panic, panic_message, silence_injected_panics, ClientFloodSpec, FaultInjector,
+    FaultPlan, FaultStats, RecoveryPolicy, SendVerdict, ShardDeathSpec, ShardSlowSpec,
+    ShardSlowStormSpec, WorkerPanicSpec,
 };
 pub use resource::Resource;
+pub use retry_budget::{RetryBudget, MILLI_PER_TOKEN};
 pub use runtime::{ByteCounter, RunStats, Scratch, ScratchKind, Throttle};
 pub use sim::{NodeClocks, SimCluster};
 pub use spec::ClusterSpec;

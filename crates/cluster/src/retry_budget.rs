@@ -1,0 +1,209 @@
+//! Deterministic retry budgets: the token bucket that kills retry storms.
+//!
+//! A federated router under overload has a positive-feedback failure
+//! mode: a slow shard times out, the router re-issues the sub-query to a
+//! replica, the extra load slows the replica, more sub-queries time out,
+//! and the retry *amplifies* exactly the saturation that caused it. A
+//! [`RetryBudget`] breaks the loop by making retries a scarce resource
+//! that only *successful* work replenishes: every failover, hedge or
+//! `RecoveryPolicy` re-attempt must first [`try_draw`] a token, and
+//! every successful completion earns a fractional token back
+//! ([`on_success`]). When the bucket runs dry the router stops
+//! re-issuing and degrades to the existing `PartialResult` path instead
+//! — bounded brownout rather than congestion collapse.
+//!
+//! The bucket is deliberately clock-free (no refill-per-second): tokens
+//! come only from completions, so chaos runs replay deterministically
+//! and the total number of retries a run can ever issue is a provable
+//! function of its successes:
+//!
+//! ```text
+//! grants ≤ capacity + successes × earn_per_success
+//! ```
+//!
+//! All arithmetic is integer milli-tokens, so fractional earn rates
+//! (e.g. 0.1 tokens per success) never accumulate float drift.
+//!
+//! [`try_draw`]: RetryBudget::try_draw
+//! [`on_success`]: RetryBudget::on_success
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Milli-tokens per whole token; one retry costs exactly this much.
+pub const MILLI_PER_TOKEN: u64 = 1000;
+
+/// A clock-free token bucket bounding retries/hedges per shard.
+///
+/// Starts full. Shared by reference between every path that can
+/// re-issue work against one shard, so their combined retry volume —
+/// not each path's individually — respects the bound.
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Available milli-tokens.
+    tokens: AtomicU64,
+    /// Bucket capacity in milli-tokens.
+    cap_milli: u64,
+    /// Milli-tokens earned per successful completion.
+    earn_milli: u64,
+    granted: AtomicU64,
+    denied: AtomicU64,
+}
+
+impl RetryBudget {
+    /// A full bucket holding `cap_tokens` whole tokens, earning
+    /// `earn_milli` milli-tokens (1/1000ths of a retry) per success.
+    ///
+    /// A typical setting is `new(8, 100)`: 8 burst retries, then one
+    /// further retry per 10 successful completions — a 10% retry ratio
+    /// in steady state.
+    pub fn new(cap_tokens: u64, earn_milli: u64) -> Self {
+        let cap_milli = cap_tokens.saturating_mul(MILLI_PER_TOKEN);
+        RetryBudget {
+            tokens: AtomicU64::new(cap_milli),
+            cap_milli,
+            earn_milli,
+            granted: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to pay for one retry/hedge issue. Returns `true` (and burns a
+    /// token) when the budget allows it; `false` means the caller must
+    /// degrade instead of re-issuing.
+    pub fn try_draw(&self) -> bool {
+        let drew = self
+            .tokens
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                t.checked_sub(MILLI_PER_TOKEN)
+            })
+            .is_ok();
+        if drew {
+            self.granted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.denied.fetch_add(1, Ordering::Relaxed);
+        }
+        drew
+    }
+
+    /// Credit one successful completion: earn back `earn_milli`
+    /// milli-tokens, saturating at capacity.
+    pub fn on_success(&self) {
+        let _ = self
+            .tokens
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                Some((t + self.earn_milli).min(self.cap_milli))
+            });
+    }
+
+    /// Milli-tokens currently available (gauge feed).
+    pub fn available_milli(&self) -> u64 {
+        self.tokens.load(Ordering::Acquire)
+    }
+
+    /// Whole retries currently affordable.
+    pub fn available(&self) -> u64 {
+        self.available_milli() / MILLI_PER_TOKEN
+    }
+
+    /// Draws granted so far.
+    pub fn granted(&self) -> u64 {
+        self.granted.load(Ordering::Relaxed)
+    }
+
+    /// Draws denied so far.
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::Relaxed)
+    }
+
+    /// The hard upper bound on grants given `successes` completions —
+    /// what chaos tests assert retry volume against. A zero-capacity
+    /// bucket can never grant: refills saturate at the cap.
+    pub fn max_grants(&self, successes: u64) -> u64 {
+        if self.cap_milli == 0 {
+            return 0;
+        }
+        (self.cap_milli + successes.saturating_mul(self.earn_milli)) / MILLI_PER_TOKEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_full_and_drains_to_zero() {
+        let b = RetryBudget::new(3, 100);
+        assert_eq!(b.available(), 3);
+        assert!(b.try_draw());
+        assert!(b.try_draw());
+        assert!(b.try_draw());
+        assert!(!b.try_draw(), "bucket must refuse once dry");
+        assert_eq!(b.granted(), 3);
+        assert_eq!(b.denied(), 1);
+        assert_eq!(b.available_milli(), 0);
+    }
+
+    #[test]
+    fn successes_earn_fractional_tokens() {
+        let b = RetryBudget::new(1, 250);
+        assert!(b.try_draw());
+        assert!(!b.try_draw());
+        // Four successes at 0.25 tokens each buy exactly one retry.
+        for _ in 0..3 {
+            b.on_success();
+            assert!(!b.try_draw());
+        }
+        b.on_success();
+        assert!(b.try_draw());
+        assert!(!b.try_draw());
+    }
+
+    #[test]
+    fn refill_saturates_at_capacity() {
+        let b = RetryBudget::new(2, 1000);
+        for _ in 0..100 {
+            b.on_success();
+        }
+        assert_eq!(b.available(), 2, "bucket must not grow past its cap");
+    }
+
+    #[test]
+    fn zero_capacity_budget_denies_everything() {
+        let b = RetryBudget::new(0, 500);
+        assert!(!b.try_draw());
+        b.on_success();
+        assert!(!b.try_draw(), "cap 0 means earn saturates at 0");
+        assert_eq!(b.denied(), 2);
+        assert_eq!(b.max_grants(1000), 0);
+    }
+
+    #[test]
+    fn concurrent_grants_respect_the_bound() {
+        let b = Arc::new(RetryBudget::new(4, 100));
+        let successes = 40u64;
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    // Interleave draws with a fixed share of successes.
+                    if t < 4 && i < 10 {
+                        b.on_success();
+                    }
+                    b.try_draw();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            b.granted() <= b.max_grants(successes),
+            "granted {} exceeded bound {}",
+            b.granted(),
+            b.max_grants(successes)
+        );
+        assert_eq!(b.granted() + b.denied(), 400);
+    }
+}

@@ -1,4 +1,4 @@
-//! The six workspace invariant rules.
+//! The seven workspace invariant rules.
 //!
 //! Each rule is a token-pattern pass over the comment-free token stream of
 //! one file. Rules are deliberately heuristic — they run on tokens, not on
@@ -15,6 +15,7 @@
 //! | L004 | file writes only on checksummed paths (persist/scratch/obs) |
 //! | L005 | obs event/span/latency names come from `orv-obs::names`, not literals |
 //! | L006 | no ambient clock/randomness outside obs + pacing + deadlines |
+//! | L007 | retry loops go through `RecoveryPolicy`/`RetryBudget`, never ad-hoc counters |
 //!
 //! `L000` is the meta-rule: malformed suppression comments (missing
 //! reason, unknown rule id) are themselves findings and cannot be waived.
@@ -22,8 +23,10 @@
 use crate::lexer::{Tok, TokKind};
 
 /// Every rule id the engine knows, in report order. `L000` is the
-/// suppression-hygiene meta-rule; `L001`..`L006` are the invariants.
-pub const RULE_IDS: &[&str] = &["L000", "L001", "L002", "L003", "L004", "L005", "L006"];
+/// suppression-hygiene meta-rule; `L001`..`L007` are the invariants.
+pub const RULE_IDS: &[&str] = &[
+    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007",
+];
 
 /// One finding, pointing at a file:line.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -125,6 +128,7 @@ pub fn run_rules(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     l004_no_unchecked_file_writes(ctx, &mut out);
     l005_obs_names_from_registry(ctx, &mut out);
     l006_no_ambient_clock_or_rng(ctx, &mut out);
+    l007_no_adhoc_retry_loops(ctx, &mut out);
     out
 }
 
@@ -465,6 +469,123 @@ fn l006_no_ambient_clock_or_rng(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Loop-counter names that mark a loop as a retry loop.
+const L007_RETRY_IDENTS: &[&str] = &["attempt", "attempts", "retry", "retries", "tries"];
+
+/// Identifiers whose presence in the loop (header or body) shows the
+/// retry is governed: the policy/budget types themselves, or their
+/// bounding/pacing/draw methods.
+const L007_SANCTIONED: &[&str] = &[
+    "RecoveryPolicy",
+    "RetryBudget",
+    "max_attempts",
+    "attempts_exhausted",
+    "backoff",
+    "try_draw",
+    "run_with_retries",
+];
+
+/// The files implementing the sanctioned retry machinery — their internal
+/// loops *are* the policy.
+const L007_ALLOWED: &[&str] = &[
+    "crates/cluster/src/fault.rs",
+    "crates/cluster/src/retry_budget.rs",
+];
+
+/// L007 — retry loops in runtime paths must be governed by
+/// [`RecoveryPolicy`] (attempt cap + deadline + backoff) or a
+/// [`RetryBudget`] (success-funded token draws).
+///
+/// An ad-hoc `loop { attempt += 1 }` has no attempt cap a chaos test can
+/// assert against, no backoff, and no budget linking retry volume to
+/// downstream health — under overload it is exactly the retry-storm
+/// amplifier the brownout controller exists to prevent. Heuristic: a
+/// `for`/`while` loop whose header names a retry counter, or a `loop`
+/// whose body increments one, fires unless the loop mentions a sanctioned
+/// policy/budget identifier.
+fn l007_no_adhoc_retry_loops(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !(ctx.in_dir("crates/join/src/")
+        || ctx.in_dir("crates/cluster/src/")
+        || ctx.in_dir("crates/query/src/"))
+        || L007_ALLOWED.contains(&ctx.rel_path)
+    {
+        return;
+    }
+    let is_retry_ident = |i: usize| {
+        ctx.code
+            .get(i)
+            .and_then(|t| t.kind.ident())
+            .is_some_and(|n| L007_RETRY_IDENTS.contains(&n))
+    };
+    let is_sanctioned = |i: usize| {
+        ctx.code
+            .get(i)
+            .and_then(|t| t.kind.ident())
+            .is_some_and(|n| L007_SANCTIONED.contains(&n))
+    };
+    // Index of the matching `}` for the `{` at `open` (saturates at EOF).
+    let close_of = |open: usize| {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < ctx.code.len() {
+            match ctx.code[j].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        ctx.code.len()
+    };
+    let mut i = 0usize;
+    while i < ctx.code.len() {
+        let kw = ctx.code[i].kind.ident();
+        let retry_shaped = match kw {
+            // `for attempt in ...` / `while retries < N`: the header
+            // names the counter.
+            Some("for") | Some("while") => {
+                let open = (i + 1..ctx.code.len())
+                    .find(|&j| ctx.punct_at(j, '{'))
+                    .unwrap_or(ctx.code.len());
+                (i + 1..open).any(is_retry_ident).then_some(open)
+            }
+            // Bare `loop` with a counter increment (`retries += 1`) in
+            // the body.
+            Some("loop") if ctx.punct_at(i + 1, '{') => {
+                let open = i + 1;
+                let close = close_of(open);
+                (open..close)
+                    .any(|j| {
+                        is_retry_ident(j) && ctx.punct_at(j + 1, '+') && ctx.punct_at(j + 2, '=')
+                    })
+                    .then_some(open)
+            }
+            _ => None,
+        };
+        if let Some(open) = retry_shaped {
+            let close = close_of(open);
+            if !(i..close).any(is_sanctioned) {
+                push(out, ctx, ctx.code[i].line, "L007", format!(
+                    "ad-hoc retry loop (`{}` counter); bound it with `RecoveryPolicy` (attempt cap + backoff) or draw from a `RetryBudget` so chaos tests can assert total retry volume",
+                    (i..close)
+                        .find_map(|j| ctx.code.get(j).and_then(|t| t.kind.ident())
+                            .filter(|n| L007_RETRY_IDENTS.contains(n)))
+                        .unwrap_or("retry")));
+            }
+            // Skip the header; the body may contain nested loops worth
+            // their own scan.
+            i = open + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +767,77 @@ mod tests {
             "fn f() { obs.metrics.record_latency(names::LAT_EXEC, secs); }",
         );
         assert!(clean.iter().all(|d| d.rule != "L005"), "{clean:?}");
+    }
+
+    #[test]
+    fn l007_adhoc_for_attempt_loop_fires() {
+        let src = "fn f() {\n    for attempt in 0..3 {\n        if send(attempt).is_ok() { return Ok(()); }\n    }\n    Err(e)\n}\n";
+        let hits = findings("crates/query/src/x.rs", src);
+        assert_eq!(hits.iter().filter(|d| d.rule == "L007").count(), 1);
+        assert!(hits[0].message.contains("attempt"), "{hits:?}");
+    }
+
+    #[test]
+    fn l007_adhoc_while_and_loop_counters_fire() {
+        let wh = "fn f() {\n    let mut retries = 0;\n    while retries < 5 {\n        retries += 1;\n    }\n}\n";
+        assert_eq!(
+            findings("crates/cluster/src/x.rs", wh)
+                .iter()
+                .filter(|d| d.rule == "L007")
+                .count(),
+            1
+        );
+        let lp = "fn f() {\n    let mut tries = 0u32;\n    loop {\n        if go().is_ok() { break; }\n        tries += 1;\n    }\n}\n";
+        assert_eq!(
+            findings("crates/join/src/x.rs", lp)
+                .iter()
+                .filter(|d| d.rule == "L007")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn l007_policy_governed_loops_are_clean() {
+        // The federation idiom: the attempt cap comes from the policy.
+        let for_src = "fn f(&self) {\n    for attempt in 0..self.cfg.recovery.max_attempts {\n        self.cancel.sleep(self.cfg.recovery.backoff(attempt));\n    }\n}\n";
+        assert!(findings("crates/query/src/federation.rs", for_src)
+            .iter()
+            .all(|d| d.rule != "L007"));
+        // The grace-join idiom: exhaustion + backoff checks in the body.
+        let loop_src = "fn f() {\n    let mut retries = 0u64;\n    loop {\n        if policy.attempts_exhausted(retries) { return Err(e); }\n        cancel.sleep(policy.backoff(retries as u32))?;\n        retries += 1;\n    }\n}\n";
+        assert!(findings("crates/join/src/grace.rs", loop_src)
+            .iter()
+            .all(|d| d.rule != "L007"));
+        // Budget-drawn re-issue loops are sanctioned too.
+        let budget_src = "fn f() {\n    let mut retries = 0u64;\n    loop {\n        if !budget.try_draw() { return Err(e); }\n        retries += 1;\n    }\n}\n";
+        assert!(findings("crates/query/src/federation.rs", budget_src)
+            .iter()
+            .all(|d| d.rule != "L007"));
+    }
+
+    #[test]
+    fn l007_scoped_to_runtime_crates_and_policy_impls() {
+        let src = "fn f() {\n    for attempt in 0..3 {\n        go(attempt);\n    }\n}\n";
+        assert!(findings("crates/bench/src/x.rs", src)
+            .iter()
+            .all(|d| d.rule != "L007"));
+        // The machinery's own files are the policy; their internal loops
+        // are exempt.
+        assert!(findings("crates/cluster/src/fault.rs", src)
+            .iter()
+            .all(|d| d.rule != "L007"));
+        assert!(findings("crates/cluster/src/retry_budget.rs", src)
+            .iter()
+            .all(|d| d.rule != "L007"));
+    }
+
+    #[test]
+    fn l007_ordinary_loops_never_fire() {
+        let src = "fn f() {\n    for chunk in chunks {\n        go(chunk);\n    }\n    loop {\n        count += 1;\n        if count > 3 { break; }\n    }\n}\n";
+        assert!(findings("crates/query/src/x.rs", src)
+            .iter()
+            .all(|d| d.rule != "L007"));
     }
 
     #[test]

@@ -233,6 +233,44 @@ fn l006_ambient_clock_rng_positive_negative_suppressed() {
 }
 
 #[test]
+fn l007_adhoc_retry_loops_positive_negative_suppressed() {
+    // An unbounded-by-policy retry loop is a retry-storm amplifier.
+    assert_eq!(
+        fired(
+            QUERY_PATH,
+            "fn f() {\n    for attempt in 0..3 {\n        if send(attempt).is_ok() { return; }\n    }\n}"
+        ),
+        ["L007"]
+    );
+    assert_eq!(
+        fired(
+            JOIN_PATH,
+            "fn f() {\n    let mut retries = 0;\n    loop {\n        if go().is_ok() { break; }\n        retries += 1;\n    }\n}"
+        ),
+        ["L007"]
+    );
+    // Policy-capped and budget-drawn retries are the sanctioned forms.
+    assert_clean(
+        QUERY_PATH,
+        "fn f(&self) {\n    for attempt in 0..self.cfg.recovery.max_attempts {\n        self.cancel.sleep(self.cfg.recovery.backoff(attempt));\n    }\n}",
+    );
+    assert_clean(
+        QUERY_PATH,
+        "fn f() {\n    let mut retries = 0;\n    loop {\n        if !budget.try_draw() { return Err(e); }\n        retries += 1;\n    }\n}",
+    );
+    // The rule only watches runtime crates…
+    assert_clean(
+        "crates/bench/src/fixture.rs",
+        "fn f() {\n    for attempt in 0..3 {\n        go(attempt);\n    }\n}",
+    );
+    // …and a documented suppression still works.
+    assert_clean(
+        QUERY_PATH,
+        "fn f() {\n    // orv-lint: allow(L007) -- fixture: bounded by caller's deadline budget\n    for attempt in 0..3 {\n        go(attempt);\n    }\n}",
+    );
+}
+
+#[test]
 fn test_code_is_exempt_everywhere() {
     let nasty = "fn f() { x.unwrap(); std::thread::sleep(D); let t = Instant::now(); }";
     // Path-classified test/dev files.
@@ -317,5 +355,5 @@ fn findings_sort_stably_and_drive_exit_code() {
     );
     assert_eq!(exit_code(&diags), 1);
     assert_eq!(exit_code(&[]), 0);
-    assert_eq!(RULE_IDS.len(), 7, "L000 + six substantive rules");
+    assert_eq!(RULE_IDS.len(), 8, "L000 + seven substantive rules");
 }

@@ -25,6 +25,9 @@ pub const CORRUPTION_DETECTED: &str = "corruption_detected";
 pub const TRACE_BEGIN: &str = "trace_begin";
 /// Event: a traced query resolved (outcome + total latency payload).
 pub const TRACE_END: &str = "trace_end";
+/// Event: the brownout controller changed state (from/to/tick/reason
+/// payload) — the replayable transition log of a chaos run.
+pub const BROWNOUT_TRANSITION: &str = "brownout_transition";
 
 /// Histogram: time a query sat in the admission queue before a worker
 /// claimed it.
@@ -92,6 +95,33 @@ pub const SERVICE_REJECTED: &str = "service/rejected";
 pub const SERVICE_COMPLETED: &str = "service/completed";
 /// Counter: admitted queries that ended in `Cancelled`/`DeadlineExceeded`.
 pub const SERVICE_CANCELLED: &str = "service/cancelled";
+/// Counter: admitted queries shed before touching a worker (deadline
+/// budget expired in the queue, or dropped by the brownout shedder).
+pub const SERVICE_SHED: &str = "service/shed";
+
+/// Counter: queries shed because their deadline budget expired while
+/// still queued — they never reached a worker.
+pub const OVERLOAD_SHED_EXPIRED: &str = "overload/shed_expired";
+/// Counter: expensive-class queries rejected by the cost-aware shedder
+/// while the service was under pressure.
+pub const OVERLOAD_SHED_EXPENSIVE: &str = "overload/shed_expensive";
+/// Counter: cheap-class queries admitted through the fast lane, ahead
+/// of the FIFO.
+pub const OVERLOAD_FAST_LANE: &str = "overload/fast_lane_admits";
+/// Counter: brownout controller state transitions (any direction).
+pub const OVERLOAD_TRANSITIONS: &str = "overload/brownout_transitions";
+/// Counter: retry/hedge issues denied because the shard's retry budget
+/// was exhausted (the query degrades to a partial result instead).
+pub const OVERLOAD_RETRY_DENIED: &str = "overload/retries_denied";
+/// Counter: retry/hedge issues granted by a retry budget draw.
+pub const OVERLOAD_RETRY_GRANTED: &str = "overload/retries_granted";
+/// Counter: overload rejections whose callers honored the
+/// `retry_after` hint with a bounded backoff instead of re-issuing.
+pub const OVERLOAD_BACKOFFS: &str = "overload/backoffs";
+/// Gauge: current brownout state (0 = Normal, 1 = Brownout, 2 = Shed).
+pub const OVERLOAD_STATE: &str = "overload/state";
+/// Gauge: retry-budget tokens currently available (milli-tokens).
+pub const OVERLOAD_RETRY_TOKENS: &str = "overload/retry_tokens";
 
 /// Counter: sub-queries fanned out by the federated router.
 pub const FED_SUBQUERIES: &str = "fed/subqueries";
@@ -205,6 +235,27 @@ mod tests {
         ] {
             assert!(c.starts_with("fed/"), "{c} escaped the fed/ namespace");
         }
+    }
+
+    #[test]
+    fn overload_names_live_under_one_prefix() {
+        for c in [
+            OVERLOAD_SHED_EXPIRED,
+            OVERLOAD_SHED_EXPENSIVE,
+            OVERLOAD_FAST_LANE,
+            OVERLOAD_TRANSITIONS,
+            OVERLOAD_RETRY_DENIED,
+            OVERLOAD_RETRY_GRANTED,
+            OVERLOAD_BACKOFFS,
+            OVERLOAD_STATE,
+            OVERLOAD_RETRY_TOKENS,
+        ] {
+            assert!(
+                c.starts_with("overload/"),
+                "{c} escaped the overload/ namespace"
+            );
+        }
+        assert!(SERVICE_SHED.starts_with("service/"));
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub enum TraceOutcome {
     Cancelled,
     /// Bounced at admission control (`Error::Overloaded`).
     Rejected,
+    /// Admitted, but shed before touching a worker: the deadline budget
+    /// expired in the queue, or the brownout shedder dropped it.
+    Shed,
 }
 
 impl TraceOutcome {
@@ -99,6 +102,7 @@ impl TraceOutcome {
             TraceOutcome::Error => "error",
             TraceOutcome::Cancelled => "cancelled",
             TraceOutcome::Rejected => "rejected",
+            TraceOutcome::Shed => "shed",
         }
     }
 
@@ -110,6 +114,7 @@ impl TraceOutcome {
             "error" => Ok(TraceOutcome::Error),
             "cancelled" => Ok(TraceOutcome::Cancelled),
             "rejected" => Ok(TraceOutcome::Rejected),
+            "shed" => Ok(TraceOutcome::Shed),
             other => Err(Error::Config(format!("unknown trace outcome `{other}`"))),
         }
     }
@@ -470,11 +475,13 @@ mod tests {
             TraceOutcome::Error,
             TraceOutcome::Cancelled,
             TraceOutcome::Rejected,
+            TraceOutcome::Shed,
         ] {
             assert_eq!(TraceOutcome::parse(o.as_str()).unwrap(), o);
         }
         assert!(TraceOutcome::parse("??").is_err());
         assert!(!TraceOutcome::Ok.is_anomaly());
         assert!(TraceOutcome::Rejected.is_anomaly());
+        assert!(TraceOutcome::Shed.is_anomaly());
     }
 }

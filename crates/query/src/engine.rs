@@ -358,6 +358,74 @@ impl QueryEngine {
         }
     }
 
+    /// Predict one statement's execution cost in seconds from the §5
+    /// cost models, without executing anything. This is the signal
+    /// cost-aware admission classifies queries with.
+    ///
+    /// Joins ask the planner for both QES totals (estimate-only — the
+    /// join index is never built here) and take the cheaper; views
+    /// recurse into their definition (depth-capped); base scans are
+    /// bytes over aggregate storage-disk read bandwidth. `CREATE VIEW`
+    /// and unparsable statements predict zero: DDL is metadata-only,
+    /// and a parse error fails fast at execution anyway.
+    pub fn predict_cost_secs(&self, sql: &str) -> f64 {
+        match parse_statement(sql) {
+            Ok(Statement::Select(query)) => self.predict_query_secs(&query, 0),
+            Ok(Statement::CreateView(_)) | Err(_) => 0.0,
+        }
+    }
+
+    fn predict_query_secs(&self, query: &Query, depth: usize) -> f64 {
+        if depth > 8 {
+            // Defensive cap; the catalog rejects cyclic views anyway.
+            return 0.0;
+        }
+        let md = self.deployment.metadata();
+        if let Some(join) = &query.join {
+            let attrs: Vec<&str> = join.on.iter().map(|s| s.as_str()).collect();
+            let (Ok(left), Ok(right)) = (md.table_id(&query.from), md.table_id(&join.table)) else {
+                return 0.0;
+            };
+            return match self.planner.predict_join(md, left, right, &attrs) {
+                Ok(plan) => plan.choice.ij_total.min(plan.choice.gh_total),
+                Err(_) => 0.0,
+            };
+        }
+        let view = self.catalog.read().get(&query.from).cloned();
+        if let Some(view) = view {
+            return self.predict_query_secs(&view.query, depth + 1);
+        }
+        match md.table_id(&query.from) {
+            Ok(table) => self.predict_table_scan_secs(table),
+            Err(_) => 0.0,
+        }
+    }
+
+    fn predict_table_scan_secs(&self, table: TableId) -> f64 {
+        let md = self.deployment.metadata();
+        let (Ok(records), Ok(schema)) = (md.total_records(table), md.schema(table)) else {
+            return 0.0;
+        };
+        let bytes = records as f64 * schema.record_size() as f64;
+        let spec = self.planner.spec();
+        bytes / (spec.disk_read_bw * spec.n_storage.max(1) as f64)
+    }
+
+    /// [`QueryEngine::predict_cost_secs`] for a federated chunk scan:
+    /// the whole-table scan cost scaled by the fraction of chunks this
+    /// spec touches.
+    pub fn predict_scan_spec_secs(&self, spec: &ScanSpec) -> f64 {
+        let md = self.deployment.metadata();
+        let Ok(all) = md.all_chunks(spec.table) else {
+            return 0.0;
+        };
+        if all.is_empty() {
+            return 0.0;
+        }
+        let fraction = spec.chunks.len() as f64 / all.len() as f64;
+        self.predict_table_scan_secs(spec.table) * fraction
+    }
+
     fn create_view(&self, view: ViewDef) -> Result<()> {
         let md = self.deployment.metadata();
         let q = &view.query;

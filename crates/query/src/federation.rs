@@ -29,6 +29,22 @@
 //!   reported in a typed [`PartialResult`] carrying the exact missing
 //!   chunk set and a completeness fraction; `strict` mode turns the same
 //!   situation into [`Error::Unavailable`].
+//! - **Deadline-budget propagation**: when the root query carries a
+//!   deadline, every sub-query's token derives from the *same* absolute
+//!   deadline minus one `hop_margin` ([`DeadlineBudget::shrink`]) — the
+//!   budget only ever shrinks across hops, leaving the router time to
+//!   collect, merge and degrade after a child gives up.
+//! - **Retry budgets**: every failover, hedge and overload re-issue
+//!   must draw a token from the failed/slow shard's [`RetryBudget`]
+//!   (refilled only by successful completions). A dry bucket degrades
+//!   to the partial path instead of amplifying the overload that caused
+//!   the failure.
+//! - **Overload backoff**: a shard rejecting with [`Error::Overloaded`]
+//!   is *not* a fault — no breaker trip; the router backs off honoring
+//!   the rejection's `retry_after_ms` hint (bounded) before re-issuing.
+//! - **Brownout awareness**: hedging is disabled while any shard's
+//!   brownout controller has left `Normal`, and failover re-issue stops
+//!   entirely under `Shed` — degraded answers over added load.
 //!
 //! Merging is exact for scans and COUNT/MIN/MAX; SUM/AVG re-aggregation
 //! is deterministic for a fixed partitioning but may differ from the
@@ -38,10 +54,13 @@
 use crate::ast::{predicates_to_bbox, Query, SelectItem, Statement};
 use crate::engine::{QueryEngine, QueryResult, ScanSpec};
 use crate::exec::{column_names, merge_aggregate, order_and_limit, project, rows_checksum, RowSet};
+use crate::overload::BrownoutState;
 use crate::parser::parse_statement;
 use crate::service::{QueryService, QueryTicket, ServiceConfig};
 use orv_bds::Deployment;
-use orv_cluster::{CancelToken, FaultInjector, RecoveryPolicy, WaitBudget};
+use orv_cluster::{
+    CancelToken, DeadlineBudget, FaultInjector, RecoveryPolicy, RetryBudget, WaitBudget,
+};
 use orv_metadata::Placement;
 use orv_obs::{
     names, FlightRecorder, JsonValue, Obs, QueryTrace, Stopwatch, TraceId, TraceOutcome,
@@ -87,6 +106,17 @@ pub struct FederationConfig {
     /// `true`: missing chunks fail the query with [`Error::Unavailable`]
     /// instead of degrading to a [`PartialResult`].
     pub strict: bool,
+    /// Deadline slack subtracted per fan-out hop: a sub-query's budget
+    /// is the root budget shrunk by this, so the router always has a
+    /// margin to collect/merge/degrade after the child's deadline.
+    pub hop_margin: Duration,
+    /// Per-shard retry-budget capacity (whole tokens): the burst of
+    /// failovers/hedges/overload-retries a shard may absorb before
+    /// successes must pay for more. `0` disables retries entirely.
+    pub retry_budget: u64,
+    /// Milli-tokens (1/1000ths of a retry) each successful sub-query
+    /// earns back into its shard's bucket.
+    pub retry_earn_milli: u64,
 }
 
 impl Default for FederationConfig {
@@ -101,6 +131,9 @@ impl Default for FederationConfig {
             trip_after: 3,
             cooldown_ticks: 8,
             strict: false,
+            hop_margin: Duration::from_millis(25),
+            retry_budget: 8,
+            retry_earn_milli: 100,
         }
     }
 }
@@ -259,6 +292,9 @@ pub struct FederatedService {
     deployment: Deployment,
     obs: Obs,
     health: Vec<ShardHealth>,
+    /// Per-shard retry token buckets: failovers, hedges and overload
+    /// re-issues draw; successful sub-queries earn back.
+    retry: Vec<Arc<RetryBudget>>,
     /// Logical clock: one tick per dispatched flight. Breaker cooldowns
     /// count these, not wall time, so seeded replays trip identically.
     clock: AtomicU64,
@@ -311,6 +347,9 @@ impl FederatedService {
             })
             .collect::<Result<Vec<_>>>()?;
         let health = (0..cfg.shards).map(|_| ShardHealth::new()).collect();
+        let retry = (0..cfg.shards)
+            .map(|_| Arc::new(RetryBudget::new(cfg.retry_budget, cfg.retry_earn_milli)))
+            .collect();
         Ok(FederatedService {
             shards,
             placement,
@@ -318,6 +357,7 @@ impl FederatedService {
             deployment,
             obs,
             health,
+            retry,
             clock: AtomicU64::new(0),
             recorder: FlightRecorder::new(8, 64),
         })
@@ -356,6 +396,72 @@ impl FederatedService {
 
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// One shard's retry token bucket (chaos tests assert total grants
+    /// against [`RetryBudget::max_grants`]).
+    pub fn retry_budget(&self, shard: usize) -> &RetryBudget {
+        &self.retry[shard]
+    }
+
+    /// The federation's overload severity: the worst brownout state of
+    /// any shard. `Brownout` disables hedging; `Shed` also stops
+    /// failover re-issue (prefer partial results over added load).
+    pub fn brownout_state(&self) -> BrownoutState {
+        self.shards
+            .iter()
+            .map(|s| s.brownout().state())
+            .max()
+            .unwrap_or(BrownoutState::Normal)
+    }
+
+    /// The token a sub-query hop runs under: the root budget shrunk by
+    /// one `hop_margin` when the root carries a deadline, a plain
+    /// cancellable token otherwise. Budgets are monotone non-increasing
+    /// across hops by construction ([`DeadlineBudget::shrink`]).
+    fn hop_token(&self, cancel: &CancelToken) -> CancelToken {
+        match DeadlineBudget::from_token(cancel) {
+            Some(budget) => budget.shrink(self.cfg.hop_margin).token(),
+            None => CancelToken::new(),
+        }
+    }
+
+    /// Pay for one re-issue (failover/hedge/overload retry) against
+    /// `shard`'s bucket. `false` means the budget is dry: degrade, do
+    /// not re-issue.
+    fn draw_retry(&self, shard: usize) -> bool {
+        let granted = self.retry[shard].try_draw();
+        self.bump(
+            if granted {
+                names::OVERLOAD_RETRY_GRANTED
+            } else {
+                names::OVERLOAD_RETRY_DENIED
+            },
+            1,
+        );
+        self.publish_retry_tokens();
+        granted
+    }
+
+    /// Credit one successful sub-query completion to `shard`'s bucket.
+    fn credit_success(&self, shard: usize) {
+        self.retry[shard].on_success();
+        self.publish_retry_tokens();
+    }
+
+    fn publish_retry_tokens(&self) {
+        let total: u64 = self.retry.iter().map(|b| b.available_milli()).sum();
+        self.obs
+            .metrics
+            .gauge(names::OVERLOAD_RETRY_TOKENS)
+            .set(total);
+    }
+
+    /// Bounded overload backoff honoring a rejection's `retry_after_ms`
+    /// hint (capped at one [`orv_cluster::SLEEP_SLICE`]).
+    fn overload_backoff(&self, cancel: &CancelToken, hint_ms: u64) -> Result<()> {
+        self.bump(names::OVERLOAD_BACKOFFS, 1);
+        cancel.sleep(Duration::from_millis(hint_ms).min(orv_cluster::SLEEP_SLICE))
     }
 
     /// Execute one statement, stamping the configured default deadline.
@@ -434,7 +540,7 @@ impl FederatedService {
                 // the CREATE VIEW converges (duplicates error per shard,
                 // which we surface as-is).
                 for svc in &self.shards {
-                    let ticket = svc.submit_traced(sql, CancelToken::new(), trace)?;
+                    let ticket = svc.submit_traced(sql, self.hop_token(cancel), trace)?;
                     let outcome = ticket.wait_cancellable(cancel);
                     tb.children.extend(ticket.trace());
                     outcome?;
@@ -484,7 +590,7 @@ impl FederatedService {
             tried[shard] = true;
             self.bump(names::FED_SUBQUERIES, 1);
             let outcome = self.shards[shard]
-                .submit_traced(sql, CancelToken::new(), trace)
+                .submit_traced(sql, self.hop_token(cancel), trace)
                 .and_then(|t| {
                     let outcome = t.wait_cancellable(cancel);
                     tb.children.extend(t.trace());
@@ -493,9 +599,25 @@ impl FederatedService {
             match outcome {
                 Ok(result) => {
                     self.health[shard].record_success();
+                    self.credit_success(shard);
                     return Ok(result);
                 }
                 Err(e) if e.is_cancellation() && cancel.check().is_err() => return Err(e),
+                Err(e) if e.retry_after_ms().is_some() => {
+                    // Overload is not a fault: no breaker trip, and the
+                    // shard stays eligible once its queue drains — but a
+                    // re-issue still costs a retry token, and under `Shed`
+                    // we stop adding load altogether.
+                    let hint = e.retry_after_ms().unwrap_or(0);
+                    tried[shard] = false;
+                    last_err = e;
+                    if attempt + 1 < self.cfg.recovery.max_attempts {
+                        if self.brownout_state() == BrownoutState::Shed || !self.draw_retry(shard) {
+                            break;
+                        }
+                        self.overload_backoff(cancel, hint)?;
+                    }
+                }
                 Err(e) => {
                     self.bump(names::FED_SHARD_ERRORS, 1);
                     if self.health[shard].record_failure(
@@ -507,6 +629,9 @@ impl FederatedService {
                     }
                     last_err = e;
                     if attempt + 1 < self.cfg.recovery.max_attempts {
+                        if self.brownout_state() == BrownoutState::Shed || !self.draw_retry(shard) {
+                            break;
+                        }
                         self.bump(names::FED_FAILOVERS, 1);
                         cancel.sleep(self.cfg.recovery.backoff(attempt))?;
                     }
@@ -579,7 +704,35 @@ impl FederatedService {
                     }
                 }
                 for (shard, group) in groups {
-                    self.dispatch(&mut flights, shard, group, table, &range, false, trace)?;
+                    match self.dispatch(
+                        &mut flights,
+                        shard,
+                        group.clone(),
+                        table,
+                        &range,
+                        false,
+                        trace,
+                        cancel,
+                    ) {
+                        Ok(()) => {}
+                        Err(e) if e.retry_after_ms().is_some() => {
+                            // The shard's admission control rejected the
+                            // sub-query. Not a fault: back off honoring
+                            // the hint, then re-route the chunks (a
+                            // later pass picks an untried replica) — if
+                            // a retry token is available and we are not
+                            // already shedding federation-wide.
+                            self.overload_backoff(cancel, e.retry_after_ms().unwrap_or(0))?;
+                            if self.brownout_state() != BrownoutState::Shed
+                                && self.draw_retry(shard)
+                            {
+                                unassigned.extend(group);
+                            } else {
+                                missing.extend(group);
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
             }
 
@@ -591,10 +744,18 @@ impl FederatedService {
             // whichever resolved and hedging whichever went quiet.
             let mut resolved: Vec<(usize, Result<QueryResult>)> = Vec::new();
             let mut hedges: Vec<(usize, Vec<ChunkId>)> = Vec::new();
+            // Hedging only while every shard is in `Normal`: a hedge is
+            // speculative extra load, the last thing a browned-out
+            // federation needs. Checked before `hedged` is latched, so
+            // hedging resumes for still-flying work once shards recover.
+            let hedging_allowed = self.brownout_state() == BrownoutState::Normal;
             for (i, f) in flights.0.iter_mut().enumerate() {
                 if let Some(result) = f.ticket.wait_timeout(POLL_SLICE) {
                     resolved.push((i, result));
-                } else if !f.hedged && f.hedge_timer.as_ref().is_some_and(WaitBudget::expired) {
+                } else if hedging_allowed
+                    && !f.hedged
+                    && f.hedge_timer.as_ref().is_some_and(WaitBudget::expired)
+                {
                     f.hedged = true;
                     let unfilled: Vec<ChunkId> = f
                         .chunks
@@ -616,8 +777,13 @@ impl FederatedService {
 
             // Issue hedges: same chunks, a different (untried) replica.
             // The hedge target counts as an attempt, so the per-chunk cap
-            // covers hedges and failovers uniformly.
-            for (_slow_shard, unfilled) in hedges {
+            // covers hedges and failovers uniformly — and each hedge
+            // event draws one retry token from the slow shard's bucket
+            // (a dry bucket means the slow flight just keeps waiting).
+            for (slow_shard, unfilled) in hedges {
+                if !self.draw_retry(slow_shard) {
+                    continue;
+                }
                 let now = self.tick();
                 let mut groups: HashMap<usize, Vec<ChunkId>> = HashMap::new();
                 for chunk in unfilled {
@@ -633,8 +799,23 @@ impl FederatedService {
                     }
                 }
                 for (shard, group) in groups {
-                    self.bump(names::FED_HEDGES, 1);
-                    self.dispatch(&mut flights, shard, group, table, &range, true, trace)?;
+                    match self.dispatch(
+                        &mut flights,
+                        shard,
+                        group,
+                        table,
+                        &range,
+                        true,
+                        trace,
+                        cancel,
+                    ) {
+                        Ok(()) => self.bump(names::FED_HEDGES, 1),
+                        // A hedge refused by admission control is simply
+                        // dropped — the original flight still covers the
+                        // chunks, so nothing is lost but the speculation.
+                        Err(e) if e.retry_after_ms().is_some() => {}
+                        Err(e) => return Err(e),
+                    }
                 }
             }
 
@@ -668,9 +849,20 @@ impl FederatedService {
                             .collect();
                         if !unfilled.is_empty() {
                             // Failover: the next dispatch pass re-routes
-                            // these chunks to a replica we have not tried.
-                            self.bump(names::FED_FAILOVERS, 1);
-                            unassigned.extend(unfilled);
+                            // these chunks to a replica we have not tried
+                            // — if the failed shard's retry budget grants
+                            // it and the federation is not shedding.
+                            // Otherwise degrade: the chunks go missing
+                            // and the caller gets an exact PartialResult
+                            // instead of amplified load.
+                            if self.brownout_state() != BrownoutState::Shed
+                                && self.draw_retry(flight.shard)
+                            {
+                                self.bump(names::FED_FAILOVERS, 1);
+                                unassigned.extend(unfilled);
+                            } else {
+                                missing.extend(unfilled);
+                            }
                         }
                     }
                 }
@@ -755,7 +947,8 @@ impl FederatedService {
     }
 
     /// Submit one chunk group to one shard as a [`ScanSpec`] sub-query
-    /// carrying the root query's trace ID.
+    /// carrying the root query's trace ID and one hop's slice of the
+    /// root's deadline budget.
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
@@ -766,6 +959,7 @@ impl FederatedService {
         range: &Option<orv_types::BoundingBox>,
         is_hedge: bool,
         trace: TraceId,
+        cancel: &CancelToken,
     ) -> Result<()> {
         self.bump(names::FED_SUBQUERIES, 1);
         let spec = ScanSpec {
@@ -773,7 +967,7 @@ impl FederatedService {
             range: range.clone(),
             chunks: chunks.clone(),
         };
-        let ticket = self.shards[shard].submit_scan_traced(spec, CancelToken::new(), trace)?;
+        let ticket = self.shards[shard].submit_scan_traced(spec, self.hop_token(cancel), trace)?;
         flights.0.push(Flight {
             shard,
             chunks,
@@ -802,6 +996,7 @@ impl FederatedService {
             return;
         }
         self.health[flight.shard].record_success();
+        self.credit_success(flight.shard);
         let runs = result.chunk_runs.unwrap_or_default();
         let mut rows = result.rows.into_iter();
         let mut won = false;
@@ -1069,6 +1264,120 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn hop_tokens_shrink_the_deadline_budget_monotonically() {
+        let fed = FederatedService::new(deployment(), FederationConfig::default()).unwrap();
+        let root = CancelToken::with_deadline(Duration::from_secs(10));
+        let hop1 = fed.hop_token(&root);
+        let hop2 = fed.hop_token(&hop1);
+        let d0 = DeadlineBudget::from_token(&root).unwrap().hard_deadline();
+        let d1 = DeadlineBudget::from_token(&hop1).unwrap().hard_deadline();
+        let d2 = DeadlineBudget::from_token(&hop2).unwrap().hard_deadline();
+        assert!(d1 < d0, "one hop must subtract the hop margin");
+        assert!(d2 < d1, "budgets shrink monotonically across hops");
+        assert_eq!(d0 - d1, fed.cfg.hop_margin);
+        // A root without a deadline fans out plain cancellable tokens —
+        // no budget is invented where none was requested.
+        let free = fed.hop_token(&CancelToken::new());
+        assert!(DeadlineBudget::from_token(&free).is_none());
+        assert!(free.check().is_ok());
+    }
+
+    #[test]
+    fn dry_retry_budget_degrades_to_partial_instead_of_reissuing() {
+        // Same dead-primary setup that normally fails over — but with a
+        // zero-capacity retry budget every re-issue is denied, so the
+        // dead shard's chunks degrade to an exact PartialResult rather
+        // than re-routing.
+        let obs = Obs::enabled();
+        let plan = FaultPlan {
+            shard_deaths: vec![ShardDeathSpec {
+                shard: 0,
+                after_subqueries: 0,
+            }],
+            max_faults: 8,
+            ..FaultPlan::none()
+        };
+        let faults = FaultInjector::new_with_events(plan, obs.events.clone());
+        let cfg = FederationConfig {
+            retry_budget: 0,
+            ..FederationConfig::default()
+        };
+        let fed = FederatedService::with_instruments(deployment(), cfg, obs.clone(), Some(faults))
+            .unwrap();
+        let got = fed.execute("SELECT * FROM t1").unwrap();
+        let FederatedResponse::Partial(partial) = got else {
+            panic!("denied failover must degrade to a partial result");
+        };
+        assert!(!partial.missing_chunks.is_empty());
+        assert!(partial.completeness < 1.0);
+        let snap = obs.metrics.snapshot();
+        assert!(
+            snap.counters.get(names::OVERLOAD_RETRY_DENIED).copied() >= Some(1),
+            "{:?}",
+            snap.counters
+        );
+        assert_eq!(
+            snap.counters.get(names::FED_FAILOVERS).copied(),
+            None,
+            "no failover may be issued on a dry budget: {:?}",
+            snap.counters
+        );
+        assert_eq!(fed.retry_budget(0).granted(), 0);
+    }
+
+    #[test]
+    fn failovers_draw_retry_tokens_and_successes_earn_them_back() {
+        let obs = Obs::enabled();
+        let plan = FaultPlan {
+            shard_deaths: vec![ShardDeathSpec {
+                shard: 0,
+                after_subqueries: 0,
+            }],
+            max_faults: 8,
+            ..FaultPlan::none()
+        };
+        let faults = FaultInjector::new_with_events(plan, obs.events.clone());
+        let fed = FederatedService::with_instruments(
+            deployment(),
+            FederationConfig::default(),
+            obs.clone(),
+            Some(faults),
+        )
+        .unwrap();
+        let got = fed.execute("SELECT * FROM t1").unwrap();
+        assert!(got.is_complete(), "budgeted failover still masks the death");
+        let granted: u64 = (0..fed.num_shards())
+            .map(|s| fed.retry_budget(s).granted())
+            .sum();
+        let snap = obs.metrics.snapshot();
+        assert_eq!(
+            snap.counters.get(names::FED_FAILOVERS).copied(),
+            Some(granted),
+            "every failover must be paid for by exactly one retry grant"
+        );
+        let subqueries = snap.counters.get(names::FED_SUBQUERIES).copied().unwrap();
+        for s in 0..fed.num_shards() {
+            let b = fed.retry_budget(s);
+            assert!(
+                b.granted() <= b.max_grants(subqueries),
+                "shard {s} grants exceed its budget bound"
+            );
+        }
+        // Completed sub-queries credited the living shards' buckets.
+        assert!(
+            snap.gauges.get(names::OVERLOAD_RETRY_TOKENS).is_some(),
+            "{:?}",
+            snap.gauges
+        );
+    }
+
+    #[test]
+    fn idle_federation_reports_normal_brownout_state() {
+        let fed = FederatedService::new(deployment(), FederationConfig::default()).unwrap();
+        assert_eq!(fed.brownout_state(), BrownoutState::Normal);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod exec;
 pub mod federation;
 pub mod lexer;
+pub mod overload;
 pub mod parser;
 pub mod plan;
 pub mod service;
@@ -43,6 +44,9 @@ pub mod service;
 pub use ast::{AggFunc, JoinClause, Query, RangePred, SelectItem, Statement, ViewDef};
 pub use engine::{algorithm_slug, Catalog, QueryEngine, QueryResult, ScanSpec};
 pub use federation::{FederatedResponse, FederatedService, FederationConfig, PartialResult};
+pub use overload::{
+    BrownoutController, BrownoutState, BrownoutTransition, CostClass, OverloadConfig,
+};
 pub use parser::parse_statement;
 pub use plan::{PlanExplain, Planner};
 pub use service::{QueryService, QueryTicket, ServiceConfig, ServiceCounters};

@@ -96,6 +96,60 @@ impl Planner {
         })
     }
 
+    /// Like [`Planner::dataset_params`], but guaranteed cheap: when the
+    /// join index has not been built yet, `n_e` is *estimated* as the
+    /// aligned 1:1 case (one edge per chunk of the larger side) instead
+    /// of building the connectivity graph. Admission-time cost
+    /// prediction uses this so classifying a query never costs more
+    /// than a few metadata lookups.
+    pub fn estimate_params(
+        &self,
+        md: &MetadataService,
+        left: TableId,
+        right: TableId,
+        join_attrs: &[&str],
+    ) -> Result<CostParams> {
+        let t = md.total_records(left)? as f64;
+        let chunks_l = md.all_chunks(left)?.len().max(1) as f64;
+        let chunks_r = md.all_chunks(right)?.len().max(1) as f64;
+        let n_e = match md.get_join_index(left, right, join_attrs) {
+            Some(pairs) => pairs.len() as f64,
+            None => chunks_l.max(chunks_r),
+        };
+        Ok(CostParams {
+            t,
+            c_r: t / chunks_l,
+            c_s: md.total_records(right)? as f64 / chunks_r,
+            n_e,
+            rs_r: md.schema(left)?.record_size() as f64,
+            rs_s: md.schema(right)?.record_size() as f64,
+        })
+    }
+
+    /// [`Planner::plan_join`] on [`Planner::estimate_params`]: the same
+    /// model comparison, but never builds (or persists) the join index.
+    pub fn predict_join(
+        &self,
+        md: &MetadataService,
+        left: TableId,
+        right: TableId,
+        join_attrs: &[&str],
+    ) -> Result<PlanExplain> {
+        let dataset = self.estimate_params(md, left, right, join_attrs)?;
+        let system = SystemParams::from_cluster(&self.spec, self.gamma_build, self.gamma_lookup);
+        let choice = choose_algorithm(&dataset, &system)?;
+        Ok(PlanExplain {
+            algorithm: if choice.indexed_join {
+                JoinAlgorithm::IndexedJoin
+            } else {
+                JoinAlgorithm::GraceHash
+            },
+            choice,
+            dataset,
+            system,
+        })
+    }
+
     /// Full planning: choose IJ or GH for the join view.
     pub fn plan_join(
         &self,
@@ -167,6 +221,30 @@ mod tests {
             .metadata()
             .get_join_index(t1, t2, &["x", "y", "z"])
             .is_some());
+    }
+
+    #[test]
+    fn estimate_params_never_builds_the_index() {
+        let (d, t1, t2) = deploy([4, 4, 4], [4, 4, 4]);
+        let planner = Planner::new(ClusterSpec::paper_testbed(2, 2));
+        let md = d.metadata();
+        let est = planner
+            .estimate_params(md, t1, t2, &["x", "y", "z"])
+            .unwrap();
+        assert_eq!(est.n_e, 16.0, "aligned estimate: one edge per chunk");
+        assert!(
+            md.get_join_index(t1, t2, &["x", "y", "z"]).is_none(),
+            "estimation must not persist an index"
+        );
+        // Once the index exists, the estimate uses the exact edge count.
+        planner
+            .dataset_params(md, t1, t2, &["x", "y", "z"])
+            .unwrap();
+        let exact = planner
+            .estimate_params(md, t1, t2, &["x", "y", "z"])
+            .unwrap();
+        assert_eq!(exact.n_e, 16.0);
+        assert!(planner.predict_join(md, t1, t2, &["x", "y", "z"]).is_ok());
     }
 
     #[test]

@@ -4,28 +4,38 @@
 //! BDS/DDS sub-tables; [`QueryService`] is that layer. It wraps one
 //! [`QueryEngine`] (whose entry points all take `&self`) with:
 //!
-//! - a **bounded worker pool** — `workers` OS threads draining a FIFO
-//!   queue, so concurrency is capped no matter how many clients submit;
-//! - **admission control** — at most `queue_cap` queries may wait;
-//!   submissions past the cap are rejected immediately with a typed
-//!   [`Error::Overloaded`], never silently dropped or unboundedly queued;
+//! - a **bounded worker pool** — `workers` OS threads draining a
+//!   two-class queue, so concurrency is capped no matter how many
+//!   clients submit;
+//! - **cost-aware admission control** — at most `queue_cap` queries may
+//!   wait; submissions past the cap are rejected immediately with a
+//!   typed [`Error::Overloaded`] (carrying a `retry_after_ms` hint),
+//!   never silently dropped or unboundedly queued. Each submission is
+//!   classified against the §5 cost models
+//!   ([`QueryEngine::predict_cost_secs`]): predicted-cheap queries take
+//!   a **fast lane** past the FIFO, and under pressure the
+//!   [`BrownoutController`] sheds predicted-expensive work first;
 //! - **per-query cancellation + deadline** — every admitted query gets a
 //!   [`CancelToken`] (deadline-bearing when `default_deadline` is set).
 //!   Cancelling a *queued* query removes it from the queue and resolves
 //!   its ticket with [`Error::Cancelled`] immediately; cancelling a
-//!   *running* query unwinds it within one sleep slice.
+//!   *running* query unwinds it within one sleep slice. A query whose
+//!   deadline budget expires *while queued* is shed at claim without
+//!   touching the engine: its trace records only `queue_wait` and the
+//!   outcome [`TraceOutcome::Shed`].
 //!
 //! Every admission decision and completion is counted, both in cheap
 //! atomics ([`QueryService::counters`]) and in the engine's metrics
-//! registry under the [`orv_obs::names`] `service/*` names. The balance
-//! invariants the concurrency harness asserts:
+//! registry under the [`orv_obs::names`] `service/*` and `overload/*`
+//! names. The balance invariants the concurrency harness asserts:
 //!
 //! ```text
 //! submitted == admitted + rejected
-//! admitted  == completed + cancelled        (once all tickets resolve)
+//! admitted  == completed + cancelled + shed (once all tickets resolve)
 //! ```
 
 use crate::engine::{QueryEngine, QueryResult, ScanSpec};
+use crate::overload::{BrownoutController, BrownoutTransition, CostClass, OverloadConfig};
 use orv_cluster::{CancelToken, WaitBudget, SLEEP_SLICE};
 use orv_obs::{names, FlightRecorder, JsonValue, QueryTrace, Stopwatch, TraceId, TraceOutcome};
 use orv_types::{Error, Result};
@@ -55,6 +65,8 @@ pub struct ServiceConfig {
     /// Wall-clock budget stamped on every query submitted without a
     /// caller-owned token.
     pub default_deadline: Option<Duration>,
+    /// Cost classification thresholds and the brownout state machine.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +75,7 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_cap: 64,
             default_deadline: None,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -80,8 +93,12 @@ pub struct ServiceCounters {
     /// Admitted queries that ran to a non-cancellation result (ok or
     /// typed error).
     pub completed: u64,
-    /// Admitted queries resolved by cancellation or deadline.
+    /// Admitted queries resolved by cancellation or deadline while
+    /// running (or explicitly cancelled while queued).
     pub cancelled: u64,
+    /// Admitted queries shed before touching a worker: the deadline
+    /// budget expired in the queue.
+    pub shed: u64,
 }
 
 impl ServiceCounters {
@@ -90,10 +107,10 @@ impl ServiceCounters {
         self.submitted == self.admitted + self.rejected
     }
 
-    /// `admitted == completed + cancelled` — true once every admitted
-    /// ticket has resolved.
+    /// `admitted == completed + cancelled + shed` — true once every
+    /// admitted ticket has resolved.
     pub fn completion_balances(&self) -> bool {
-        self.admitted == self.completed + self.cancelled
+        self.admitted == self.completed + self.cancelled + self.shed
     }
 }
 
@@ -156,10 +173,43 @@ struct Job {
     trace: TraceCtx,
 }
 
+/// The two-class admission queue: predicted-cheap queries wait in the
+/// fast lane, which workers always drain first.
+#[derive(Default)]
+struct Queues {
+    fast: VecDeque<Job>,
+    normal: VecDeque<Job>,
+}
+
+impl Queues {
+    fn len(&self) -> usize {
+        self.fast.len() + self.normal.len()
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        self.fast.pop_front().or_else(|| self.normal.pop_front())
+    }
+
+    fn remove_slot(&mut self, slot: &Arc<Slot>) -> Option<Job> {
+        if let Some(i) = self.fast.iter().position(|j| Arc::ptr_eq(&j.slot, slot)) {
+            return self.fast.remove(i);
+        }
+        let i = self
+            .normal
+            .iter()
+            .position(|j| Arc::ptr_eq(&j.slot, slot))?;
+        self.normal.remove(i)
+    }
+
+    fn drain_all(&mut self) -> Vec<Job> {
+        self.fast.drain(..).chain(self.normal.drain(..)).collect()
+    }
+}
+
 struct Inner {
     engine: QueryEngine,
     cfg: ServiceConfig,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<Queues>,
     work: Condvar,
     shutdown: AtomicBool,
     submitted: AtomicU64,
@@ -167,6 +217,8 @@ struct Inner {
     rejected: AtomicU64,
     completed: AtomicU64,
     cancelled: AtomicU64,
+    shed: AtomicU64,
+    controller: BrownoutController,
     /// Span-group label of this service's traces: `service` standalone,
     /// `fed{N}` when the engine is federation shard N.
     group: String,
@@ -194,23 +246,57 @@ impl Inner {
         result: Result<QueryResult>,
     ) {
         let is_cancel = result.as_ref().err().is_some_and(Error::is_cancellation);
-        let mut cell = relock(slot.result.lock());
-        if slot.resolved.swap(true, Ordering::AcqRel) {
-            return;
-        }
-        if is_cancel {
-            self.count(&self.cancelled, names::SERVICE_CANCELLED);
-        } else {
-            self.count(&self.completed, names::SERVICE_COMPLETED);
-        }
         let outcome = match &result {
             Ok(_) => TraceOutcome::Ok,
             Err(_) if is_cancel => TraceOutcome::Cancelled,
             Err(_) => TraceOutcome::Error,
         };
+        self.resolve_as(slot, ctx, phases, result, outcome);
+    }
+
+    /// [`Inner::resolve`] with the outcome chosen by the caller — the
+    /// shed path uses this to distinguish a queue-expired query
+    /// ([`TraceOutcome::Shed`]) from one cancelled mid-execution, even
+    /// though both surface [`Error`] cancellation variants.
+    fn resolve_as(
+        &self,
+        slot: &Slot,
+        ctx: &TraceCtx,
+        phases: Vec<(String, f64)>,
+        result: Result<QueryResult>,
+        outcome: TraceOutcome,
+    ) {
+        let mut cell = relock(slot.result.lock());
+        if slot.resolved.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        match outcome {
+            TraceOutcome::Shed => self.count(&self.shed, names::SERVICE_SHED),
+            TraceOutcome::Cancelled => self.count(&self.cancelled, names::SERVICE_CANCELLED),
+            _ => self.count(&self.completed, names::SERVICE_COMPLETED),
+        }
         *relock(slot.trace.lock()) = Some(self.finish_trace(ctx, outcome, phases));
         *cell = Some(result);
         slot.done.notify_all();
+    }
+
+    /// Publish one brownout edge: counter, state gauge, and a
+    /// replayable `brownout_transition` event.
+    fn note_transition(&self, t: BrownoutTransition) {
+        let obs = self.engine.obs();
+        obs.metrics.counter(names::OVERLOAD_TRANSITIONS).add(1);
+        obs.metrics
+            .gauge(names::OVERLOAD_STATE)
+            .set(t.to.severity());
+        obs.events.emit(names::BROWNOUT_TRANSITION, || {
+            vec![
+                ("group", self.group.as_str().into()),
+                ("tick", t.tick.into()),
+                ("from", t.from.as_str().into()),
+                ("to", t.to.as_str().into()),
+                ("depth", t.depth.into()),
+            ]
+        });
     }
 
     /// Seal one query's trace: record its end-to-end latency (root
@@ -265,7 +351,7 @@ impl Inner {
             let job = {
                 let mut queue = relock(self.queue.lock());
                 loop {
-                    if let Some(job) = queue.pop_front() {
+                    if let Some(job) = queue.pop() {
                         break job;
                     }
                     if self.shutdown.load(Ordering::Acquire) {
@@ -277,16 +363,28 @@ impl Inner {
             let metrics = &self.engine.obs().metrics;
             let queue_wait = job.trace.queued.elapsed_secs();
             metrics.record_latency(names::LAT_QUEUE_WAIT, queue_wait);
-            // A queued query may already be cancelled (or past deadline)
-            // by the time a worker reaches it — resolve without running.
-            // The shard checkpoint sits on the same gate: an injected
-            // shard death/slowdown hits every job this engine serves.
+            // The same measurements that feed lat/queue_wait_secs drive
+            // the brownout controller's latency alarm.
+            self.controller.note_queue_wait(queue_wait);
+            // A queued query may already be past its deadline budget (or
+            // explicitly cancelled) by the time a worker reaches it —
+            // shed it here, before it touches the engine. Its trace
+            // records only the queue wait: no exec phase ever happened.
+            if let Err(e) = job.cancel.check() {
+                let outcome = if matches!(e, Error::DeadlineExceeded) {
+                    metrics.counter(names::OVERLOAD_SHED_EXPIRED).add(1);
+                    TraceOutcome::Shed
+                } else {
+                    TraceOutcome::Cancelled
+                };
+                let phases = vec![(names::lat_phase(names::LAT_QUEUE_WAIT).into(), queue_wait)];
+                self.resolve_as(&job.slot, &job.trace, phases, Err(e), outcome);
+                continue;
+            }
+            // The shard checkpoint gates every job this engine serves:
+            // an injected shard death/slowdown hits here.
             let exec = Stopwatch::start();
-            let result = match job
-                .cancel
-                .check()
-                .and_then(|()| self.engine.shard_checkpoint(&job.cancel))
-            {
+            let result = match self.engine.shard_checkpoint(&job.cancel) {
                 Ok(()) => match &job.task {
                     Task::Sql(sql) => {
                         self.engine
@@ -351,17 +449,20 @@ impl QueryTicket {
         // Pull the job out of the queue if a worker hasn't claimed it.
         let removed = {
             let mut queue = relock(self.inner.queue.lock());
-            match queue
-                .iter()
-                .position(|job| Arc::ptr_eq(&job.slot, &self.slot))
-            {
-                Some(i) => queue.remove(i),
-                None => None,
-            }
+            queue.remove_slot(&self.slot)
         };
         if let Some(job) = removed {
-            self.inner
-                .resolve(&self.slot, &job.trace, Vec::new(), Err(Error::Cancelled));
+            // Cancelled while queued: the only phase that happened is
+            // the queue wait — no exec row is minted.
+            let queue_wait = job.trace.queued.elapsed_secs();
+            let phases = vec![(names::lat_phase(names::LAT_QUEUE_WAIT).into(), queue_wait)];
+            self.inner.resolve_as(
+                &self.slot,
+                &job.trace,
+                phases,
+                Err(Error::Cancelled),
+                TraceOutcome::Cancelled,
+            );
         }
     }
 
@@ -434,14 +535,17 @@ impl QueryService {
                 "query service needs queue_cap >= 1 (everything would be rejected)".into(),
             ));
         }
+        cfg.overload.validate().map_err(Error::Config)?;
         let group = match engine.shard_index() {
             Some(s) => format!("fed{s}"),
             None => "service".to_string(),
         };
+        engine.obs().metrics.gauge(names::OVERLOAD_STATE).set(0);
         let inner = Arc::new(Inner {
+            controller: BrownoutController::new(cfg.overload.clone(), cfg.queue_cap),
             engine,
             cfg: cfg.clone(),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Queues::default()),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
@@ -449,6 +553,7 @@ impl QueryService {
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             group,
             recorder: FlightRecorder::new(RECORDER_KEEP_SLOWEST, RECORDER_ANOMALY_CAP),
         });
@@ -480,7 +585,14 @@ impl QueryService {
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
             cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
         }
+    }
+
+    /// This service's brownout controller: state, transition log, and
+    /// the hedging gate the federation router consults.
+    pub fn brownout(&self) -> &BrownoutController {
+        &self.inner.controller
     }
 
     /// Submit one statement, stamping the configured default deadline.
@@ -556,13 +668,37 @@ impl QueryService {
             ]
         });
         inner.count(&inner.submitted, names::SERVICE_SUBMITTED);
+        // Classify against the §5 cost models before taking the queue
+        // lock — prediction is metadata-only but not free.
+        let predicted_secs = match &task {
+            Task::Sql(sql) => inner.engine.predict_cost_secs(sql),
+            Task::Scan(spec) => inner.engine.predict_scan_spec_secs(spec),
+        };
+        let class = inner.cfg.overload.classify(predicted_secs);
         let slot = Slot::new();
-        {
+        let transition = {
             let mut queue = relock(inner.queue.lock());
-            if queue.len() >= inner.cfg.queue_cap {
-                let queued = queue.len();
+            let depth = queue.len();
+            // One logical tick per admission decision: the controller
+            // observes depth under the queue lock, so a seeded replay
+            // of the same submission sequence sees the same ticks.
+            let (_, transition) = inner.controller.observe(depth);
+            let full = depth >= inner.cfg.queue_cap;
+            let shed_by_policy = !full && !inner.controller.allows(class, depth);
+            if full || shed_by_policy {
                 drop(queue);
+                if let Some(t) = transition {
+                    inner.note_transition(t);
+                }
                 inner.count(&inner.rejected, names::SERVICE_REJECTED);
+                if shed_by_policy && class == CostClass::Expensive {
+                    inner
+                        .engine
+                        .obs()
+                        .metrics
+                        .counter(names::OVERLOAD_SHED_EXPENSIVE)
+                        .add(1);
+                }
                 let admission_secs = born.elapsed_secs();
                 inner
                     .engine
@@ -579,8 +715,9 @@ impl QueryService {
                 };
                 inner.finish_trace(&ctx, TraceOutcome::Rejected, Vec::new());
                 return Err(Error::Overloaded {
-                    queued,
+                    queued: depth,
                     cap: inner.cfg.queue_cap,
+                    retry_after_ms: inner.controller.retry_after_ms(),
                 });
             }
             let admission_secs = born.elapsed_secs();
@@ -589,7 +726,7 @@ impl QueryService {
                 .obs()
                 .metrics
                 .record_latency(names::LAT_ADMISSION, admission_secs);
-            queue.push_back(Job {
+            let job = Job {
                 task,
                 cancel: cancel.clone(),
                 slot: Arc::clone(&slot),
@@ -601,7 +738,23 @@ impl QueryService {
                     queued: Stopwatch::start(),
                     admission_secs,
                 },
-            });
+            };
+            match class {
+                CostClass::Cheap => {
+                    inner
+                        .engine
+                        .obs()
+                        .metrics
+                        .counter(names::OVERLOAD_FAST_LANE)
+                        .add(1);
+                    queue.fast.push_back(job);
+                }
+                CostClass::Expensive => queue.normal.push_back(job),
+            }
+            transition
+        };
+        if let Some(t) = transition {
+            inner.note_transition(t);
         }
         inner.count(&inner.admitted, names::SERVICE_ADMITTED);
         inner.work.notify_one();
@@ -626,12 +779,19 @@ impl Drop for QueryService {
         // ticket-holder blocks forever on a dead service.
         let drained: Vec<Job> = {
             let mut queue = relock(self.inner.queue.lock());
-            queue.drain(..).collect()
+            queue.drain_all()
         };
         for job in drained {
             job.cancel.cancel();
-            self.inner
-                .resolve(&job.slot, &job.trace, Vec::new(), Err(Error::Cancelled));
+            let queue_wait = job.trace.queued.elapsed_secs();
+            let phases = vec![(names::lat_phase(names::LAT_QUEUE_WAIT).into(), queue_wait)];
+            self.inner.resolve_as(
+                &job.slot,
+                &job.trace,
+                phases,
+                Err(Error::Cancelled),
+                TraceOutcome::Cancelled,
+            );
         }
         self.inner.work.notify_all();
         for handle in self.workers.drain(..) {
@@ -682,6 +842,7 @@ mod tests {
                 workers: 0,
                 queue_cap: 2,
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .unwrap();
@@ -689,10 +850,21 @@ mod tests {
         let t2 = svc.submit("SELECT * FROM t1").unwrap();
         let err = svc.submit("SELECT * FROM t1").unwrap_err();
         assert!(
-            matches!(err, Error::Overloaded { queued: 2, cap: 2 }),
+            matches!(
+                err,
+                Error::Overloaded {
+                    queued: 2,
+                    cap: 2,
+                    ..
+                }
+            ),
             "{err}"
         );
         assert!(err.to_string().contains("cap 2"), "{err}");
+        assert!(
+            err.retry_after_ms().unwrap() > 0,
+            "rejection carries a hint"
+        );
         let c = svc.counters();
         assert_eq!((c.submitted, c.admitted, c.rejected), (3, 2, 1));
         assert!(c.admission_balances());
@@ -714,6 +886,7 @@ mod tests {
                 workers: 0,
                 queue_cap: 1,
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .unwrap();
@@ -737,6 +910,7 @@ mod tests {
                 workers: 1,
                 queue_cap: 0,
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .err()
@@ -752,13 +926,172 @@ mod tests {
                 workers: 1,
                 queue_cap: 4,
                 default_deadline: Some(Duration::ZERO),
+                ..ServiceConfig::default()
             },
         )
         .unwrap();
         let err = svc.execute("SELECT * FROM t1").unwrap_err();
         assert!(matches!(err, Error::DeadlineExceeded), "{err}");
+        // The budget expired while queued, so the query is *shed* — it
+        // never touched the engine — rather than counted cancelled.
         let c = svc.counters();
-        assert_eq!((c.cancelled, c.completed), (1, 0));
+        assert_eq!((c.shed, c.cancelled, c.completed), (1, 0, 0));
+        assert!(c.completion_balances());
+    }
+
+    #[test]
+    fn queue_expired_query_records_queue_wait_only_as_shed() {
+        let svc = QueryService::new(
+            engine().with_obs(orv_obs::Obs::enabled()),
+            ServiceConfig {
+                workers: 1,
+                queue_cap: 4,
+                default_deadline: Some(Duration::ZERO),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let ticket = svc.submit("SELECT * FROM t1").unwrap();
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_secs(30)),
+            Some(Err(_))
+        ));
+        let trace = ticket.trace().expect("resolved ticket has a trace");
+        assert_eq!(trace.outcome, TraceOutcome::Shed);
+        let phase_names: Vec<&str> = trace.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            phase_names,
+            vec!["admission", "queue_wait"],
+            "no exec phase row may be minted for a shed query"
+        );
+        let snap = svc.engine().obs().metrics.snapshot();
+        assert_eq!(
+            snap.counters.get(names::OVERLOAD_SHED_EXPIRED).copied(),
+            Some(1)
+        );
+        assert_eq!(snap.counters.get(names::SERVICE_SHED).copied(), Some(1));
+    }
+
+    #[test]
+    fn queue_cancelled_query_records_queue_wait_only() {
+        let svc = QueryService::new(
+            engine(),
+            ServiceConfig {
+                workers: 0,
+                queue_cap: 4,
+                default_deadline: None,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let ticket = svc.submit("SELECT * FROM t1").unwrap();
+        ticket.cancel();
+        let trace = ticket
+            .trace()
+            .expect("queue-side cancel resolves the trace");
+        assert_eq!(trace.outcome, TraceOutcome::Cancelled);
+        let phase_names: Vec<&str> = trace.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(phase_names, vec!["admission", "queue_wait"]);
+        let c = svc.counters();
+        assert_eq!((c.cancelled, c.shed), (1, 0));
+        assert!(c.completion_balances());
+    }
+
+    #[test]
+    fn brownout_sheds_expensive_work_first() {
+        // Force every query expensive and enter brownout immediately.
+        let svc = QueryService::new(
+            engine().with_obs(orv_obs::Obs::enabled()),
+            ServiceConfig {
+                workers: 0,
+                queue_cap: 8,
+                default_deadline: None,
+                overload: OverloadConfig {
+                    // Zero threshold: every positive predicted cost
+                    // classifies expensive.
+                    fast_lane_max_secs: 0.0,
+                    brownout_enter: 0.25,
+                    recover: 0.1,
+                    cooldown_ticks: 1,
+                    ..OverloadConfig::default()
+                },
+            },
+        )
+        .unwrap();
+        let mut admitted = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..8 {
+            match svc.submit("SELECT * FROM t1") {
+                Ok(t) => admitted.push(t),
+                Err(e) => {
+                    assert!(matches!(e, Error::Overloaded { .. }), "{e}");
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(
+            rejected > 0,
+            "brownout must shed expensive work below the cap"
+        );
+        assert!(
+            admitted.len() >= 2,
+            "work below the brownout threshold still lands"
+        );
+        assert!(!svc.brownout().hedging_enabled());
+        let snap = svc.engine().obs().metrics.snapshot();
+        assert!(snap.counters.get(names::OVERLOAD_SHED_EXPENSIVE).copied() >= Some(1));
+        let c = svc.counters();
+        assert!(c.admission_balances());
+        for t in admitted {
+            t.cancel();
+        }
+    }
+
+    #[test]
+    fn cheap_queries_take_the_fast_lane_past_expensive_ones() {
+        // No workers: queue deterministically, then spot-check order by
+        // starting one worker via drop-free claim — instead, verify lane
+        // membership through the counters and queue introspection.
+        let svc = QueryService::new(
+            engine().with_obs(orv_obs::Obs::enabled()),
+            ServiceConfig {
+                workers: 0,
+                queue_cap: 8,
+                default_deadline: None,
+                overload: OverloadConfig {
+                    // Zero threshold: the scan's positive predicted
+                    // cost classifies expensive.
+                    fast_lane_max_secs: 0.0,
+                    ..OverloadConfig::default()
+                },
+            },
+        )
+        .unwrap();
+        let t = svc.submit("SELECT * FROM t1").unwrap();
+        let snap = svc.engine().obs().metrics.snapshot();
+        assert_eq!(snap.counters.get(names::OVERLOAD_FAST_LANE).copied(), None);
+        t.cancel();
+        // With a generous threshold the same query is cheap.
+        let svc = QueryService::new(
+            engine().with_obs(orv_obs::Obs::enabled()),
+            ServiceConfig {
+                workers: 0,
+                queue_cap: 8,
+                default_deadline: None,
+                overload: OverloadConfig {
+                    fast_lane_max_secs: 1e9,
+                    ..OverloadConfig::default()
+                },
+            },
+        )
+        .unwrap();
+        let t = svc.submit("SELECT * FROM t1").unwrap();
+        let snap = svc.engine().obs().metrics.snapshot();
+        assert_eq!(
+            snap.counters.get(names::OVERLOAD_FAST_LANE).copied(),
+            Some(1)
+        );
+        t.cancel();
     }
 
     #[test]
@@ -769,6 +1102,7 @@ mod tests {
                 workers: 0,
                 queue_cap: 4,
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .unwrap();
@@ -787,6 +1121,7 @@ mod tests {
                 workers: 1,
                 queue_cap: 4,
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .unwrap();

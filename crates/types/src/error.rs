@@ -30,14 +30,20 @@ pub enum Error {
     Cancelled,
     /// The query ran past its deadline.
     DeadlineExceeded,
-    /// Admission control rejected the query: the service's queue is full.
-    /// Carries the observed queue depth and the configured cap so
-    /// operators can size queues from logs instead of guessing.
+    /// Admission control rejected the query: the queue is full, or the
+    /// shedder refused the work class under pressure. Carries the
+    /// observed queue depth and the configured cap so operators can size
+    /// queues from logs instead of guessing, plus a `retry_after_ms`
+    /// hint — callers must back off at least that long instead of
+    /// re-submitting immediately (retrying into an overloaded service is
+    /// how retry storms start).
     Overloaded {
         /// Jobs observed in the queue at rejection time.
         queued: usize,
         /// The configured queue capacity.
         cap: usize,
+        /// Suggested minimum client backoff before retrying, in ms.
+        retry_after_ms: u64,
     },
     /// A federated query could not reach every chunk it needed: all
     /// replicas of at least one shard were down and strict mode was on.
@@ -64,8 +70,15 @@ impl fmt::Display for Error {
             Error::Integrity(msg) => write!(f, "integrity error: {msg}"),
             Error::Cancelled => write!(f, "query cancelled"),
             Error::DeadlineExceeded => write!(f, "query deadline exceeded"),
-            Error::Overloaded { queued, cap } => {
-                write!(f, "service overloaded: {queued} queued (cap {cap})")
+            Error::Overloaded {
+                queued,
+                cap,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "service overloaded: {queued} queued (cap {cap}), retry after {retry_after_ms}ms"
+                )
             }
             Error::Unavailable {
                 missing_chunks,
@@ -107,6 +120,16 @@ impl Error {
     pub fn is_cancellation(&self) -> bool {
         matches!(self, Error::Cancelled | Error::DeadlineExceeded)
     }
+
+    /// The backoff hint carried by [`Error::Overloaded`], if any.
+    /// Federation and service retry loops consult this before deciding
+    /// whether (and when) a rejected submission may be re-issued.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Error::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,11 +170,18 @@ mod tests {
 
     #[test]
     fn overloaded_is_typed_and_descriptive() {
-        let e = Error::Overloaded { queued: 8, cap: 8 };
+        let e = Error::Overloaded {
+            queued: 8,
+            cap: 8,
+            retry_after_ms: 25,
+        };
         assert!(e.to_string().contains("overloaded"), "{e}");
         assert!(e.to_string().contains("cap 8"), "{e}");
         assert!(e.to_string().contains("8 queued"), "{e}");
+        assert!(e.to_string().contains("retry after 25ms"), "{e}");
         assert!(!e.is_cancellation());
+        assert_eq!(e.retry_after_ms(), Some(25));
+        assert_eq!(Error::Cancelled.retry_after_ms(), None);
     }
 
     #[test]

@@ -122,6 +122,7 @@ fn eight_clients_match_the_sequential_oracle() {
                 workers: 4,
                 queue_cap: 64,
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .expect("service"),
@@ -181,6 +182,7 @@ fn barrier_stepped_admission_rejects_past_the_cap() {
                 workers: 0, // admission only: nothing ever drains the queue
                 queue_cap: CAP,
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .expect("service"),
@@ -203,7 +205,7 @@ fn barrier_stepped_admission_rejects_past_the_cap() {
     for h in handles {
         match h.join().expect("submitter thread") {
             Ok(t) => tickets.push(t),
-            Err(Error::Overloaded { queued, cap }) => {
+            Err(Error::Overloaded { queued, cap, .. }) => {
                 assert_eq!(cap, CAP, "rejection must report the configured cap");
                 assert!(
                     queued >= cap,
@@ -277,6 +279,7 @@ fn queued_and_midflight_cancellation_resolve_quickly() {
                 workers: 1,
                 queue_cap: 8,
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .expect("service"),
@@ -405,6 +408,7 @@ fn cache_thrash_interleaving_stays_correct() {
                 workers: CLIENTS,
                 queue_cap: 32,
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .expect("service"),
@@ -462,6 +466,7 @@ fn drop_with_queued_work_cancels_cleanly() {
             workers: 0,
             queue_cap: 4,
             default_deadline: None,
+            ..ServiceConfig::default()
         },
     )
     .expect("service");

@@ -435,6 +435,8 @@ proptest! {
             worker_panics: vec![],
             shard_deaths: vec![],
             shard_slows: vec![],
+            client_floods: vec![],
+            shard_slow_storms: vec![],
             max_faults: cap * 6,
         };
         let recovery = RecoveryPolicy {

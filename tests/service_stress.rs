@@ -119,6 +119,7 @@ fn stress_round(seed: u64, clients: usize, rounds: usize) {
                 workers: (clients / 2).max(1),
                 queue_cap: clients.max(2),
                 default_deadline: None,
+                ..ServiceConfig::default()
             },
         )
         .expect("service"),

@@ -116,6 +116,7 @@ fn rejected_submissions_land_in_the_anomaly_ring() {
             workers: 0,
             queue_cap: 1,
             default_deadline: None,
+            ..ServiceConfig::default()
         },
     )
     .unwrap();
