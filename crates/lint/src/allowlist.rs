@@ -1,0 +1,116 @@
+//! The consolidated per-rule allow-lists.
+//!
+//! Every rule-level exemption in the linter lives here, in one place,
+//! with the reason it exists. These are *structural* exemptions — "this
+//! file is the sanctioned implementation of the thing the rule bans" —
+//! as opposed to per-site `// orv-lint: allow(...)` suppressions, which
+//! carry their reason inline.
+//!
+//! The unit test at the bottom asserts every listed path exists in the
+//! workspace: when a sanctioned file is renamed or deleted, the stale
+//! entry fails the build instead of silently widening the exemption to
+//! a file that may someday reappear under that name.
+
+/// Files allowed to call `std::thread::sleep` / `thread::park` directly:
+/// the cancellable slice primitive itself. Everything else must sleep via
+/// `CancelToken::sleep` / `Throttle::consume_cancellable`, which slice at
+/// 250 ms and observe cancellation between slices.
+pub const L002_ALLOWED: &[&str] = &["crates/cluster/src/cancel.rs"];
+
+/// Files allowed to open files for writing: the crash-safe catalog
+/// writer, cluster scratch (running CRC maintained on append), and the
+/// observability sinks. Everything else must go through them so every
+/// durable byte is covered by a checksum.
+pub const L004_ALLOWED: &[&str] = &[
+    "crates/metadata/src/persist.rs",
+    "crates/cluster/src/runtime.rs",
+];
+pub const L004_ALLOWED_DIRS: &[&str] = &["crates/obs/src/"];
+
+/// The registry module itself defines the canonical strings.
+pub const L005_ALLOWED: &[&str] = &["crates/obs/src/names.rs"];
+
+/// The sanctioned clock users: observability timing, Throttle pacing,
+/// and CancelToken deadlines.
+pub const L006_ALLOWED: &[&str] = &[
+    "crates/cluster/src/runtime.rs",
+    "crates/cluster/src/cancel.rs",
+];
+pub const L006_ALLOWED_DIRS: &[&str] = &["crates/obs/src/"];
+
+/// The files implementing the sanctioned retry machinery — their internal
+/// loops *are* the policy.
+pub const L007_ALLOWED: &[&str] = &[
+    "crates/cluster/src/fault.rs",
+    "crates/cluster/src/retry_budget.rs",
+];
+
+/// Every file-path allowlist, labelled, for the existence test and for
+/// `orv-lint --allowlists` style introspection.
+pub const ALL_FILE_LISTS: &[(&str, &[&str])] = &[
+    ("L002_ALLOWED", L002_ALLOWED),
+    ("L004_ALLOWED", L004_ALLOWED),
+    ("L005_ALLOWED", L005_ALLOWED),
+    ("L006_ALLOWED", L006_ALLOWED),
+    ("L007_ALLOWED", L007_ALLOWED),
+];
+
+/// Every directory-prefix allowlist, labelled.
+pub const ALL_DIR_LISTS: &[(&str, &[&str])] = &[
+    ("L004_ALLOWED_DIRS", L004_ALLOWED_DIRS),
+    ("L006_ALLOWED_DIRS", L006_ALLOWED_DIRS),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn workspace_root() -> std::path::PathBuf {
+        // crates/lint → workspace root is two levels up.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root resolves")
+    }
+
+    #[test]
+    fn every_allowlisted_file_exists() {
+        let root = workspace_root();
+        for (list, paths) in ALL_FILE_LISTS {
+            for p in *paths {
+                assert!(
+                    root.join(p).is_file(),
+                    "{list} entry `{p}` does not exist — remove the stale exemption"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_allowlisted_dir_exists() {
+        let root = workspace_root();
+        for (list, dirs) in ALL_DIR_LISTS {
+            for d in *dirs {
+                assert!(
+                    root.join(d).is_dir(),
+                    "{list} entry `{d}` does not exist — remove the stale exemption"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allowlists_have_no_duplicates() {
+        for (list, paths) in ALL_FILE_LISTS.iter().chain(ALL_DIR_LISTS) {
+            let mut sorted: Vec<_> = paths.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                paths.len(),
+                "{list} contains a duplicate entry"
+            );
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Approximate intra-workspace call graph and reachability analysis.
+//!
+//! Calls are resolved **by bare callee name**: a call site `foo(..)` or
+//! `x.foo(..)` resolves to *every* workspace function named `foo`. There
+//! is no type information, so this over-approximates (a `.len()` call
+//! would resolve to every `len` in the workspace) — which is the safe
+//! direction for L008/L009: more resolution means more propagated facts,
+//! never fewer. The known imprecision and its mitigations (crate-scoped
+//! lock keys, no propagated self-edges) are documented in DESIGN.md §15.
+//!
+//! Three facts propagate through the graph to a fixed point:
+//!
+//! * `locks_within(f)` — lock keys acquired by `f` or anything it
+//!   (transitively) calls, each with a witness chain for diagnostics.
+//! * `blocks_within(f)` — does `f` (transitively) reach a blocking wait?
+//! * `cancels_within(f)` — does `f` (transitively) observe cancellation?
+//!
+//! The lock-order graph for L008 is then: a **direct edge** A→B for each
+//! in-function "B acquired while a guard on A is live", plus a
+//! **propagated edge** A→B for each "call made while a guard on A is
+//! live" whose callee has B ∈ `locks_within`. Any cycle is a potential
+//! deadlock.
+
+use crate::summary::FnSummary;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Longest witness chain kept during propagation. Chains only shrink
+/// once a key is known, so this also bounds the fixed point.
+const MAX_CHAIN: usize = 6;
+
+/// Callee names never resolved through the graph: the std trait surface
+/// and constructors. Name-based resolution makes `String::new()` link to
+/// every `new` in the workspace — one `QueryService::new` (which spawns
+/// lock-taking workers) would then propagate its locks into every
+/// function that constructs anything, drowning L008 in false cycles.
+const RESOLVE_STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "fmt",
+    "from",
+    "into",
+    "next",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "to_string",
+    "as_str",
+    "as_ref",
+    "deref",
+    "len",
+    "is_empty",
+    "get",
+    "insert",
+    "push",
+    "iter",
+];
+
+/// Callee names resolving to more than this many definitions are treated
+/// like stoplisted ones: that ambiguous a name carries almost no
+/// information, only noise.
+const MAX_FANOUT: usize = 6;
+
+/// All summarized functions plus a name → indices resolution map.
+pub struct Workspace {
+    pub fns: Vec<FnSummary>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    pub fn build(fns: Vec<FnSummary>) -> Workspace {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        Workspace { fns, by_name }
+    }
+
+    /// Indices of every workspace function a call to `name` may reach.
+    /// Stoplisted and over-ambiguous names resolve to nothing (see
+    /// [`RESOLVE_STOPLIST`] / [`MAX_FANOUT`]).
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        if RESOLVE_STOPLIST.contains(&name) {
+            return &[];
+        }
+        match self.by_name.get(name) {
+            Some(v) if v.len() <= MAX_FANOUT => v.as_slice(),
+            _ => &[],
+        }
+    }
+}
+
+/// How a lock key became reachable from a function.
+#[derive(Clone, Debug)]
+pub struct LockWitness {
+    /// Acquisition site.
+    pub file: String,
+    pub line: usize,
+    /// Call chain from the function to the acquirer (qualified names),
+    /// empty for a direct acquisition.
+    pub chain: Vec<String>,
+}
+
+/// How a blocking wait became reachable from a function.
+#[derive(Clone, Debug)]
+pub struct BlockWitness {
+    pub what: String,
+    pub file: String,
+    pub line: usize,
+    pub chain: Vec<String>,
+}
+
+/// Per-function transitive facts (indexed like `Workspace::fns`).
+pub struct Reach {
+    pub locks: Vec<BTreeMap<String, LockWitness>>,
+    pub blocks: Vec<Option<BlockWitness>>,
+    pub cancels: Vec<bool>,
+}
+
+/// Propagate per-function facts through the call graph to a fixed point.
+pub fn analyze(ws: &Workspace) -> Reach {
+    let n = ws.fns.len();
+    let mut locks: Vec<BTreeMap<String, LockWitness>> = vec![BTreeMap::new(); n];
+    let mut blocks: Vec<Option<BlockWitness>> = vec![None; n];
+    let mut cancels = vec![false; n];
+
+    for (i, f) in ws.fns.iter().enumerate() {
+        for a in &f.acquires {
+            locks[i].entry(a.key.clone()).or_insert(LockWitness {
+                file: f.file.clone(),
+                line: a.line,
+                chain: Vec::new(),
+            });
+        }
+        if let Some(b) = f.blocking.first() {
+            blocks[i] = Some(BlockWitness {
+                what: b.what.clone(),
+                file: f.file.clone(),
+                line: b.line,
+                chain: Vec::new(),
+            });
+        }
+        cancels[i] = f.cancel;
+    }
+
+    // Chains only ever get *shorter* for a known key and the key set is
+    // finite, so this terminates; the round cap is a safety net.
+    for _round in 0..32 {
+        let mut changed = false;
+        for i in 0..n {
+            for call in ws.fns[i].calls.clone() {
+                for &t in ws.resolve(&call.callee) {
+                    if t == i {
+                        continue;
+                    }
+                    for (key, w) in locks[t].clone() {
+                        if w.chain.len() + 1 > MAX_CHAIN {
+                            continue;
+                        }
+                        let mut chain = vec![ws.fns[t].qual.clone()];
+                        chain.extend(w.chain.iter().cloned());
+                        let better = match locks[i].get(&key) {
+                            None => true,
+                            Some(cur) => chain.len() < cur.chain.len(),
+                        };
+                        if better {
+                            locks[i].insert(
+                                key,
+                                LockWitness {
+                                    file: w.file,
+                                    line: w.line,
+                                    chain,
+                                },
+                            );
+                            changed = true;
+                        }
+                    }
+                    if blocks[i].is_none() {
+                        if let Some(b) = blocks[t].clone() {
+                            if b.chain.len() < MAX_CHAIN {
+                                let mut chain = vec![ws.fns[t].qual.clone()];
+                                chain.extend(b.chain.iter().cloned());
+                                blocks[i] = Some(BlockWitness { chain, ..b });
+                                changed = true;
+                            }
+                        }
+                    }
+                    if !cancels[i] && cancels[t] {
+                        cancels[i] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Reach {
+        locks,
+        blocks,
+        cancels,
+    }
+}
+
+/// One lock-order edge: `to` can be acquired while `from` is held.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    /// (file, line, note) steps showing how — first witness wins.
+    pub evidence: Vec<(String, usize, String)>,
+}
+
+/// Build the deduplicated lock-order graph (first witness per edge).
+pub fn lock_order_edges(ws: &Workspace, reach: &Reach) -> Vec<Edge> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut push = |edges: &mut Vec<Edge>, e: Edge| {
+        if seen.insert((e.from.clone(), e.to.clone())) {
+            edges.push(e);
+        }
+    };
+
+    for f in &ws.fns {
+        for he in &f.held_edges {
+            push(
+                &mut edges,
+                Edge {
+                    from: he.from.key.clone(),
+                    to: he.to.key.clone(),
+                    evidence: vec![
+                        (
+                            f.file.clone(),
+                            he.from.line,
+                            format!("{} takes guard on {}", f.qual, he.from.key),
+                        ),
+                        (
+                            f.file.clone(),
+                            he.to.line,
+                            format!("acquires {} while {} is held", he.to.key, he.from.key),
+                        ),
+                    ],
+                },
+            );
+        }
+    }
+
+    for (i, f) in ws.fns.iter().enumerate() {
+        let _ = i;
+        for hc in &f.held_calls {
+            for &t in ws.resolve(&hc.callee) {
+                for (key, w) in &reach.locks[t] {
+                    // A propagated edge onto the *same* key is almost
+                    // always two distinct locks aliased by receiver name
+                    // (e.g. two `state` fields in one crate) — skip it.
+                    // Direct in-function self-edges above are kept: those
+                    // are real re-entrant acquisitions.
+                    if *key == hc.held.key {
+                        continue;
+                    }
+                    let mut note =
+                        format!("calls {} while holding {}", ws.fns[t].qual, hc.held.key);
+                    if !w.chain.is_empty() {
+                        note.push_str(&format!(" (then via {})", w.chain.join(" -> ")));
+                    }
+                    push(
+                        &mut edges,
+                        Edge {
+                            from: hc.held.key.clone(),
+                            to: key.clone(),
+                            evidence: vec![
+                                (
+                                    f.file.clone(),
+                                    hc.held.line,
+                                    format!("{} takes guard on {}", f.qual, hc.held.key),
+                                ),
+                                (f.file.clone(), hc.line, note),
+                                (w.file.clone(), w.line, format!("which acquires {key}")),
+                            ],
+                        },
+                    );
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Find elementary cycles in the lock-order graph, deterministically.
+/// Each cycle is returned as the edge list walking it: for every strongly
+/// connected component (and every direct self-loop) we walk from its
+/// smallest node always taking the smallest intra-component successor
+/// until a node repeats — one representative cycle per component.
+pub fn find_cycles(edges: &[Edge]) -> Vec<Vec<Edge>> {
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    for succ in adj.values_mut() {
+        succ.sort_by(|a, b| a.to.cmp(&b.to));
+    }
+
+    let mut cycles = Vec::new();
+    for scc in sccs(edges) {
+        if scc.len() == 1 {
+            // Single node: only a cycle if it has a self-loop edge.
+            if let Some(e) = edges.iter().find(|e| e.from == scc[0] && e.to == scc[0]) {
+                cycles.push(vec![e.clone()]);
+            }
+            continue;
+        }
+        let inset: BTreeSet<&String> = scc.iter().collect();
+        let Some(start) = scc.iter().min() else {
+            continue;
+        };
+        let mut path: Vec<&Edge> = Vec::new();
+        let mut at = start.as_str();
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        while visited.insert(at) {
+            let next = adj
+                .get(at)
+                .and_then(|succ| succ.iter().find(|e| inset.contains(&e.to)));
+            match next {
+                Some(e) => {
+                    path.push(e);
+                    at = e.to.as_str();
+                }
+                None => break,
+            }
+        }
+        // Trim the walk-in prefix so the path starts where it closes.
+        if let Some(pos) = path.iter().position(|e| e.from == at) {
+            cycles.push(path[pos..].iter().map(|e| (*e).clone()).collect());
+        }
+    }
+    cycles
+}
+
+/// Strongly connected components of the edge set (iterative Tarjan),
+/// returned sorted by smallest member for determinism.
+fn sccs(edges: &[Edge]) -> Vec<Vec<String>> {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        nodes.insert(&e.from);
+        nodes.insert(&e.to);
+    }
+    let idx: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let names: Vec<&str> = nodes.iter().copied().collect();
+    let n = names.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[idx[e.from.as_str()]].push(idx[e.to.as_str()]);
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+        a.dedup();
+    }
+
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<String>> = Vec::new();
+
+    // Iterative Tarjan: (node, next successor position) frames.
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*pos) {
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(names[w].to_string());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{scan, Tok};
+    use crate::summary::summarize_file;
+
+    fn workspace(files: &[(&str, &str)]) -> Workspace {
+        let mut fns = Vec::new();
+        for (path, src) in files {
+            let toks = scan(src);
+            let code: Vec<&Tok> = toks.iter().filter(|t| !t.kind.is_comment()).collect();
+            fns.extend(summarize_file(path, &code, |_| false));
+        }
+        Workspace::build(fns)
+    }
+
+    #[test]
+    fn locks_propagate_through_calls() {
+        let ws = workspace(&[(
+            "crates/query/src/x.rs",
+            "fn outer(&self) { self.middle(); }\nfn middle(&self) { self.leaf(); }\nfn leaf(&self) { let g = self.cache.lock(); }\n",
+        )]);
+        let reach = analyze(&ws);
+        let outer = ws.resolve("outer")[0];
+        let w = &reach.locks[outer]["query/cache"];
+        assert_eq!(w.chain, ["middle", "leaf"]);
+    }
+
+    #[test]
+    fn two_path_cycle_is_found() {
+        // Path 1: a held, then b acquired. Path 2: b held, then a
+        // acquired via a call. Classic deadlock shape.
+        let ws = workspace(&[(
+            "crates/query/src/x.rs",
+            concat!(
+                "fn one(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n",
+                "fn two(&self) { let g = self.b.lock(); self.take_a(); }\n",
+                "fn take_a(&self) { let g = self.a.lock(); }\n",
+            ),
+        )]);
+        let reach = analyze(&ws);
+        let edges = lock_order_edges(&ws, &reach);
+        let cycles = find_cycles(&edges);
+        assert_eq!(cycles.len(), 1, "{edges:?}");
+        let cyc = &cycles[0];
+        assert_eq!(cyc.len(), 2);
+        assert_eq!(cyc[0].from, "query/a");
+        assert_eq!(cyc[0].to, "query/b");
+        assert_eq!(cyc[1].from, "query/b");
+        assert_eq!(cyc[1].to, "query/a");
+        // The propagated edge names the call chain in its evidence.
+        assert!(cyc[1].evidence.iter().any(|(_, _, n)| n.contains("take_a")));
+    }
+
+    #[test]
+    fn consistent_order_has_no_cycle() {
+        let ws = workspace(&[(
+            "crates/query/src/x.rs",
+            concat!(
+                "fn one(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n",
+                "fn two(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n",
+            ),
+        )]);
+        let reach = analyze(&ws);
+        let cycles = find_cycles(&lock_order_edges(&ws, &reach));
+        assert!(cycles.is_empty());
+    }
+
+    #[test]
+    fn direct_self_edge_is_a_cycle() {
+        let ws = workspace(&[(
+            "crates/query/src/x.rs",
+            "fn re(&self) {\n    let g = self.a.lock();\n    let h = self.a.lock();\n}\n",
+        )]);
+        let reach = analyze(&ws);
+        let cycles = find_cycles(&lock_order_edges(&ws, &reach));
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0][0].from, "query/a");
+        assert_eq!(cycles[0][0].to, "query/a");
+    }
+
+    #[test]
+    fn propagated_self_edge_is_suppressed() {
+        // Two different structs both with a `state` field: calling one
+        // while holding the other aliases to the same key. Not a cycle.
+        let ws = workspace(&[(
+            "crates/query/src/x.rs",
+            concat!(
+                "fn breaker(&self) { let g = self.state.lock(); self.note(); }\n",
+                "fn note(&self) { let g = self.state.lock(); }\n",
+            ),
+        )]);
+        let reach = analyze(&ws);
+        let cycles = find_cycles(&lock_order_edges(&ws, &reach));
+        assert!(cycles.is_empty(), "{cycles:?}");
+    }
+
+    #[test]
+    fn blocking_and_cancel_propagate() {
+        let ws = workspace(&[(
+            "crates/join/src/x.rs",
+            concat!(
+                "fn caller(&self) { self.waits(); }\n",
+                "fn waits(&self, rx: &Receiver<u8>) { let _ = rx.recv(); }\n",
+                "fn polite(&self, c: &CancelToken) { c.check(); }\n",
+            ),
+        )]);
+        let reach = analyze(&ws);
+        let caller = ws.resolve("caller")[0];
+        assert!(reach.blocks[caller].is_some());
+        assert_eq!(reach.blocks[caller].as_ref().unwrap().chain, ["waits"]);
+        assert!(!reach.cancels[caller]);
+        let polite = ws.resolve("polite")[0];
+        assert!(reach.cancels[polite]);
+    }
+}

@@ -1,32 +1,56 @@
-//! The seven workspace invariant rules.
+//! The workspace invariant rules.
 //!
-//! Each rule is a token-pattern pass over the comment-free token stream of
-//! one file. Rules are deliberately heuristic — they run on tokens, not on
-//! a parsed AST — but every pattern is chosen so that the *sanctioned*
-//! idiom in this workspace cannot trip it, and anything it does flag is
-//! either a real invariant break or a site that deserves a written
-//! suppression reason.
+//! Rules come in two shapes. `L001`–`L007` are **file rules**:
+//! token-pattern passes over the comment-free token stream of one file.
+//! `L008`–`L010` are **workspace rules**: they run over per-function
+//! summaries ([`crate::summary`]) propagated through the approximate
+//! call graph ([`crate::callgraph`]), so they can see facts no single
+//! file contains — a lock-order cycle split across two modules, a
+//! blocking wait three calls below a loop, a metric constant nobody
+//! increments. All rules are deliberately heuristic — tokens and name
+//! resolution, not a typed AST — but every pattern is chosen so the
+//! *sanctioned* idiom in this workspace cannot trip it, and anything it
+//! does flag is either a real invariant break or a site that deserves a
+//! written suppression reason.
 //!
 //! | Rule | Invariant |
 //! |------|-----------|
 //! | L001 | runtime paths return typed `Error`, never `unwrap`/`expect`/`panic!` |
-//! | L002 | every sleep goes through the cancellable 250 ms slice helper |
+//! | L002 | no unbounded blocking primitive: `thread::sleep`, bare `recv()`, `thread::park` go through cancellable helpers |
 //! | L003 | no lock guard held across a send/sleep/file-I/O in join+cluster+query |
 //! | L004 | file writes only on checksummed paths (persist/scratch/obs) |
 //! | L005 | obs event/span/latency names come from `orv-obs::names`, not literals |
 //! | L006 | no ambient clock/randomness outside obs + pacing + deadlines |
 //! | L007 | retry loops go through `RecoveryPolicy`/`RetryBudget`, never ad-hoc counters |
+//! | L008 | the workspace lock-order graph is acyclic (no two-path deadlock) |
+//! | L009 | every loop reaching a blocking wait also reaches a cancel/deadline check |
+//! | L010 | every `orv_obs::names` constant has a runtime sink; every sink name is declared |
 //!
 //! `L000` is the meta-rule: malformed suppression comments (missing
 //! reason, unknown rule id) are themselves findings and cannot be waived.
 
+use crate::allowlist;
+use crate::callgraph::{self, Reach, Workspace};
 use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
 
 /// Every rule id the engine knows, in report order. `L000` is the
-/// suppression-hygiene meta-rule; `L001`..`L007` are the invariants.
+/// suppression-hygiene meta-rule; `L001`..`L007` are the per-file
+/// invariants; `L008`..`L010` are the whole-workspace structural rules.
 pub const RULE_IDS: &[&str] = &[
-    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007",
+    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
 ];
+
+/// One step of supporting evidence for a structural finding: a source
+/// location plus what it shows. L008 cycles carry one step per
+/// acquisition/call on each path; L009 carries the blocking site a loop
+/// reaches.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Evidence {
+    pub file: String,
+    pub line: usize,
+    pub note: String,
+}
 
 /// One finding, pointing at a file:line.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -39,27 +63,54 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human explanation of the finding.
     pub message: String,
+    /// Supporting locations (empty for the per-file token rules).
+    pub evidence: Vec<Evidence>,
 }
 
 impl Diagnostic {
-    /// `file:line: RULE message` — the clickable terminal form.
+    /// `file:line: RULE message` — the clickable terminal form, with one
+    /// indented line per evidence step.
     pub fn human(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}:{}: {} {}",
             self.file, self.line, self.rule, self.message
-        )
+        );
+        for ev in &self.evidence {
+            s.push_str(&format!("\n    {}:{}: {}", ev.file, ev.line, ev.note));
+        }
+        s
     }
 
     /// One stable JSON object per finding (JSON-lines output). Key order
-    /// is fixed so diffs and golden tests stay byte-stable.
+    /// is fixed so diffs and golden tests stay byte-stable; the
+    /// `evidence` array is only present when non-empty, so the per-file
+    /// rules' output is unchanged from PR 4.
     pub fn to_json(&self) -> String {
-        format!(
-            r#"{{"rule":"{}","file":"{}","line":{},"message":"{}"}}"#,
+        let mut s = format!(
+            r#"{{"rule":"{}","file":"{}","line":{},"message":"{}"#,
             self.rule,
             json_escape(&self.file),
             self.line,
             json_escape(&self.message)
-        )
+        );
+        s.push('"');
+        if !self.evidence.is_empty() {
+            s.push_str(r#","evidence":["#);
+            for (i, ev) in self.evidence.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    r#"{{"file":"{}","line":{},"note":"{}"}}"#,
+                    json_escape(&ev.file),
+                    ev.line,
+                    json_escape(&ev.note)
+                ));
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -144,6 +195,7 @@ fn push(
         line,
         rule,
         message,
+        evidence: Vec::new(),
     });
 }
 
@@ -189,21 +241,36 @@ fn l001_no_panics(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Files allowed to call `std::thread::sleep` directly: the cancellable
-/// slice primitive itself. Everything else must sleep via
-/// `CancelToken::sleep` / `Throttle::consume_cancellable`, which slice at
-/// 250 ms and observe cancellation between slices.
-const L002_ALLOWED: &[&str] = &["crates/cluster/src/cancel.rs"];
-
-/// L002 — no bare `thread::sleep` outside the slice primitive.
+/// L002 — no unbounded blocking primitive outside the slice primitive:
+/// bare `thread::sleep`, bare `recv()` (no timeout), `thread::park`.
+///
+/// All three park the thread until something external happens, with no
+/// deadline and no cancellation point — exactly the shape the cancel
+/// story (PR 3) exists to eliminate. Sanctioned replacements:
+/// `CancelToken::sleep`, `recv_timeout` driven by a `WaitBudget` slice,
+/// and condvar waits via the budgeted `wait_timeout` loops.
 fn l002_no_bare_sleep(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if L002_ALLOWED.contains(&ctx.rel_path) {
+    if allowlist::L002_ALLOWED.contains(&ctx.rel_path) {
         return;
     }
     for i in 0..ctx.code.len() {
         if ctx.ident_at(i, "thread") && ctx.path_sep_at(i + 1) && ctx.ident_at(i + 3, "sleep") {
             push(out, ctx, ctx.code[i].line, "L002",
                 "bare `thread::sleep`; use `CancelToken::sleep` (250 ms slices, cancellable) so queries unwind promptly".into());
+        }
+        if ctx.ident_at(i, "thread") && ctx.path_sep_at(i + 1) && ctx.ident_at(i + 3, "park") {
+            push(out, ctx, ctx.code[i].line, "L002",
+                "`thread::park` is an unbounded wait with no cancellation point; use a budgeted `wait_timeout` loop instead".into());
+        }
+        // Zero-argument `.recv()` — the unbounded channel wait.
+        // `recv_timeout(..)` is a different identifier and stays legal.
+        if ctx.punct_at(i, '.')
+            && ctx.ident_at(i + 1, "recv")
+            && ctx.punct_at(i + 2, '(')
+            && ctx.punct_at(i + 3, ')')
+        {
+            push(out, ctx, ctx.code[i].line, "L002",
+                "bare `recv()` waits forever; use `recv_timeout` sliced by a `WaitBudget`/`CancelToken` so the receiver stays cancellable".into());
         }
     }
 }
@@ -346,19 +413,12 @@ fn blocking_hazard(ctx: &FileCtx<'_>, i: usize) -> Option<&'static str> {
     None
 }
 
-/// Files allowed to open files for writing: the crash-safe catalog
-/// writer, cluster scratch (running CRC maintained on append), and the
-/// observability sinks. Everything else must go through them so every
-/// durable byte is covered by a checksum.
-const L004_ALLOWED: &[&str] = &[
-    "crates/metadata/src/persist.rs",
-    "crates/cluster/src/runtime.rs",
-];
-const L004_ALLOWED_DIRS: &[&str] = &["crates/obs/src/"];
-
-/// L004 — no direct file creation/write outside the checksummed paths.
+/// L004 — no direct file creation/write outside the checksummed paths
+/// (see [`allowlist::L004_ALLOWED`]).
 fn l004_no_unchecked_file_writes(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if L004_ALLOWED.contains(&ctx.rel_path) || L004_ALLOWED_DIRS.iter().any(|d| ctx.in_dir(d)) {
+    if allowlist::L004_ALLOWED.contains(&ctx.rel_path)
+        || allowlist::L004_ALLOWED_DIRS.iter().any(|d| ctx.in_dir(d))
+    {
         return;
     }
     for i in 0..ctx.code.len() {
@@ -381,9 +441,6 @@ fn l004_no_unchecked_file_writes(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// The registry module itself defines the canonical strings.
-const L005_ALLOWED: &[&str] = &["crates/obs/src/names.rs"];
-
 /// Obs call sites whose *first argument* is the event/span/metric name.
 const L005_SINKS: &[&str] = &[
     "emit",
@@ -398,7 +455,7 @@ const L005_SINKS: &[&str] = &[
 /// breaks replay-from-log, the predicted-vs-measured phase mapping, and
 /// the `ServingReport` latency export (which walks `names::LAT_ALL`).
 fn l005_obs_names_from_registry(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if L005_ALLOWED.contains(&ctx.rel_path) {
+    if allowlist::L005_ALLOWED.contains(&ctx.rel_path) {
         return;
     }
     for i in 0..ctx.code.len() {
@@ -437,21 +494,15 @@ fn l005_obs_names_from_registry(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// The sanctioned clock users: observability timing, Throttle pacing,
-/// and CancelToken deadlines.
-const L006_ALLOWED: &[&str] = &[
-    "crates/cluster/src/runtime.rs",
-    "crates/cluster/src/cancel.rs",
-];
-const L006_ALLOWED_DIRS: &[&str] = &["crates/obs/src/"];
-
 /// L006 — no ambient time or randomness in runtime paths.
 ///
 /// Seeded chaos replay (PR 2) reconstructs a run from its event log; any
 /// `Instant::now`-driven branch or unseeded RNG in a QES path makes the
 /// replay diverge from the original run.
 fn l006_no_ambient_clock_or_rng(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if L006_ALLOWED.contains(&ctx.rel_path) || L006_ALLOWED_DIRS.iter().any(|d| ctx.in_dir(d)) {
+    if allowlist::L006_ALLOWED.contains(&ctx.rel_path)
+        || allowlist::L006_ALLOWED_DIRS.iter().any(|d| ctx.in_dir(d))
+    {
         return;
     }
     for i in 0..ctx.code.len() {
@@ -485,13 +536,6 @@ const L007_SANCTIONED: &[&str] = &[
     "run_with_retries",
 ];
 
-/// The files implementing the sanctioned retry machinery — their internal
-/// loops *are* the policy.
-const L007_ALLOWED: &[&str] = &[
-    "crates/cluster/src/fault.rs",
-    "crates/cluster/src/retry_budget.rs",
-];
-
 /// L007 — retry loops in runtime paths must be governed by
 /// [`RecoveryPolicy`] (attempt cap + deadline + backoff) or a
 /// [`RetryBudget`] (success-funded token draws).
@@ -507,7 +551,7 @@ fn l007_no_adhoc_retry_loops(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !(ctx.in_dir("crates/join/src/")
         || ctx.in_dir("crates/cluster/src/")
         || ctx.in_dir("crates/query/src/"))
-        || L007_ALLOWED.contains(&ctx.rel_path)
+        || allowlist::L007_ALLOWED.contains(&ctx.rel_path)
     {
         return;
     }
@@ -586,6 +630,323 @@ fn l007_no_adhoc_retry_loops(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Workspace rules: L008–L010 run over the whole file set at once.
+// ---------------------------------------------------------------------
+
+/// Crates whose runtime loops L009 watches — the ones with worker pools,
+/// interconnect waits and admission queues. (Same scope as L003/L007.)
+const L009_DIRS: &[&str] = &[
+    "crates/join/src/",
+    "crates/cluster/src/",
+    "crates/query/src/",
+];
+
+/// L008 — the workspace lock-order graph must be acyclic.
+///
+/// Two threads acquiring the same pair of locks in opposite orders is
+/// the classic deadlock: each holds one and waits forever for the other,
+/// and under load (PR 5's worker pool, PR 6's federation fan-out) the
+/// whole service wedges. The graph has an edge A→B whenever some
+/// function acquires B while holding a guard on A — directly, or by
+/// calling (transitively) into a function that acquires B. Every cycle
+/// is reported once, with the full acquisition chain of each path as
+/// evidence.
+pub fn l008_lock_order(ws: &Workspace, reach: &Reach, out: &mut Vec<Diagnostic>) {
+    let edges = callgraph::lock_order_edges(ws, reach);
+    for cycle in callgraph::find_cycles(&edges) {
+        let keys: Vec<&str> = cycle.iter().map(|e| e.from.as_str()).collect();
+        let ring = format!("{} -> {}", keys.join(" -> "), keys[0]);
+        let mut evidence = Vec::new();
+        for (n, e) in cycle.iter().enumerate() {
+            for (file, line, note) in &e.evidence {
+                evidence.push(Evidence {
+                    file: file.clone(),
+                    line: *line,
+                    note: format!("[path {}] {}", n + 1, note),
+                });
+            }
+        }
+        let anchor = &cycle[0].evidence[0];
+        out.push(Diagnostic {
+            file: anchor.0.clone(),
+            line: anchor.1,
+            rule: "L008",
+            message: format!(
+                "lock-order cycle {ring}: two paths acquire these locks in opposite orders — a deadlock under concurrent load; pick one order and refactor the minority path"
+            ),
+            evidence,
+        });
+    }
+}
+
+/// L009 — every loop that reaches a blocking wait must also reach a
+/// cancellation or deadline check in the same loop.
+///
+/// PR 3 threaded `CancelToken` through every blocking loop by hand;
+/// this rule keeps refactors from quietly reintroducing an unkillable
+/// wait. "Reaches" is transitive through the call graph: a loop calling
+/// `drain()` which calls `recv_frame()` which parks on a condvar is just
+/// as unkillable as one parking directly. A loop is compliant when its
+/// body (nested loops included) mentions a cancel/deadline marker or
+/// calls into code that does.
+pub fn l009_cancellation(ws: &Workspace, reach: &Reach, out: &mut Vec<Diagnostic>) {
+    for f in &ws.fns {
+        if !L009_DIRS.iter().any(|d| f.file.starts_with(d)) {
+            continue;
+        }
+        // Innermost-first: an outer loop is not re-reported when the
+        // finding really lives in a nested loop it contains.
+        let mut order: Vec<usize> = (0..f.loops.len()).collect();
+        order.sort_by_key(|&i| f.loops[i].range.1 - f.loops[i].range.0);
+        let mut fired: Vec<(usize, usize)> = Vec::new();
+        for li in order {
+            let lp = &f.loops[li];
+            if fired
+                .iter()
+                .any(|&(s, e)| lp.range.0 <= s && e <= lp.range.1)
+            {
+                continue;
+            }
+            let mut evidence: Option<Evidence> = None;
+            if let Some(b) = lp.blocking.first() {
+                evidence = Some(Evidence {
+                    file: f.file.clone(),
+                    line: b.line,
+                    note: format!("blocking `{}` directly in the loop body", b.what),
+                });
+            } else {
+                'calls: for c in &lp.calls {
+                    for &t in ws.resolve(&c.callee) {
+                        if let Some(b) = &reach.blocks[t] {
+                            let via = if b.chain.is_empty() {
+                                ws.fns[t].qual.clone()
+                            } else {
+                                format!("{} -> {}", ws.fns[t].qual, b.chain.join(" -> "))
+                            };
+                            evidence = Some(Evidence {
+                                file: b.file.clone(),
+                                line: b.line,
+                                note: format!(
+                                    "loop calls `{}` (line {}), reaching blocking `{}` via {}",
+                                    c.callee, c.line, b.what, via
+                                ),
+                            });
+                            break 'calls;
+                        }
+                    }
+                }
+            }
+            let Some(evidence) = evidence else { continue };
+            let cancels = lp.cancel
+                || lp
+                    .calls
+                    .iter()
+                    .any(|c| ws.resolve(&c.callee).iter().any(|&t| reach.cancels[t]));
+            if cancels {
+                continue;
+            }
+            fired.push(lp.range);
+            out.push(Diagnostic {
+                file: f.file.clone(),
+                line: lp.line,
+                rule: "L009",
+                message: format!(
+                    "loop in `{}` reaches a blocking wait but no CancelToken/deadline check — an unkillable wait once the peer stalls; poll `cancel.check()` or bound the wait with a budget inside the loop",
+                    f.qual
+                ),
+                evidence: vec![evidence],
+            });
+        }
+    }
+}
+
+/// `{NAME}` identifiers interpolated into a format-string literal.
+fn interpolated_names(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            if j > start && bytes.get(j) == Some(&b'}') {
+                out.push(s[start..j].to_string());
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// What `crates/obs/src/names.rs` declares, plus every runtime use site
+/// seen so far. Build with [`MetricNames::from_names_file`], feed every
+/// other runtime file through [`MetricNames::scan_usage`], then collect
+/// findings with [`MetricNames::diagnostics`].
+pub struct MetricNames {
+    /// (ident, declaration line, declared as a plain `&str` constant).
+    decls: Vec<(String, usize, bool)>,
+    declared: BTreeSet<String>,
+    used: BTreeSet<String>,
+    /// `names::X` references whose `X` is not declared: (file, line, X).
+    phantoms: Vec<(String, usize, String)>,
+}
+
+impl MetricNames {
+    /// Parse the declarations out of the names registry's token stream:
+    /// `pub const NAME: … = …;` and `pub fn builder(…)`. A constant
+    /// whose initializer is a single string literal is a *name* constant
+    /// (subject to the dead-name check); aggregate constants like
+    /// `LAT_ALL: &[&str]` and builder functions only join the resolution
+    /// set.
+    ///
+    /// A constant referenced from a (non-test) builder *body* — as an
+    /// identifier or interpolated into a format string, e.g.
+    /// `format!("bds{node}/{PHASE_EXTRACT}")` — counts as covered: the
+    /// builder is the emitting path. References from other constants'
+    /// initializers (the `LAT_ALL` aggregate) deliberately do not count;
+    /// being listed in an export table is not being emitted.
+    pub fn from_names_file(code: &[&Tok], is_test_line: impl Fn(usize) -> bool) -> MetricNames {
+        let mut decls = Vec::new();
+        let ident = |i: usize| code.get(i).and_then(|t: &&Tok| t.kind.ident());
+        for i in 0..code.len() {
+            match ident(i) {
+                Some("const") => {
+                    let Some(name) = ident(i + 1) else { continue };
+                    // Find `=` then check for `Str ;`.
+                    let mut j = i + 2;
+                    let mut is_str = false;
+                    while j < code.len() {
+                        match code[j].kind {
+                            TokKind::Punct('=') => {
+                                is_str = matches!(
+                                    code.get(j + 1).map(|t| &t.kind),
+                                    Some(TokKind::Str(_))
+                                ) && matches!(
+                                    code.get(j + 2).map(|t| &t.kind),
+                                    Some(TokKind::Punct(';'))
+                                );
+                                break;
+                            }
+                            TokKind::Punct(';') => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    decls.push((name.to_string(), code[i].line, is_str));
+                }
+                Some("fn") => {
+                    if let Some(name) = ident(i + 1) {
+                        decls.push((name.to_string(), code[i].line, false));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let declared: BTreeSet<String> = decls.iter().map(|d| d.0.clone()).collect();
+        let mut used = BTreeSet::new();
+        for f in crate::items::parse_fns(code) {
+            if is_test_line(f.line) {
+                continue;
+            }
+            for tok in &code[f.body.0 + 1..f.body.1] {
+                match &tok.kind {
+                    TokKind::Ident(id) if declared.contains(id) => {
+                        used.insert(id.clone());
+                    }
+                    TokKind::Str(s) => {
+                        for name in interpolated_names(s) {
+                            if declared.contains(&name) {
+                                used.insert(name);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        MetricNames {
+            decls,
+            declared,
+            used,
+            phantoms: Vec::new(),
+        }
+    }
+
+    /// Record every `names::X` reference in one runtime file (plus bare
+    /// references inside the obs crate, which imports the constants
+    /// directly). `is_test_line` excludes test code: a counter only
+    /// asserted on in tests is still dead in production.
+    pub fn scan_usage(
+        &mut self,
+        rel_path: &str,
+        code: &[&Tok],
+        is_test_line: impl Fn(usize) -> bool,
+    ) {
+        let in_obs = rel_path.starts_with("crates/obs/src/");
+        for i in 0..code.len() {
+            let Some(id) = code[i].kind.ident() else {
+                continue;
+            };
+            if is_test_line(code[i].line) {
+                continue;
+            }
+            let qualified = i >= 3
+                && code[i - 1].kind == TokKind::Punct(':')
+                && code[i - 2].kind == TokKind::Punct(':')
+                && code[i - 3].kind.ident() == Some("names");
+            if qualified {
+                if self.declared.contains(id) {
+                    self.used.insert(id.to_string());
+                } else {
+                    self.phantoms
+                        .push((rel_path.to_string(), code[i].line, id.to_string()));
+                }
+            } else if in_obs && self.declared.contains(id) {
+                self.used.insert(id.to_string());
+            }
+        }
+    }
+
+    /// L010 — dead name constants and phantom `names::` references.
+    ///
+    /// A declared-but-never-emitted counter means a dashboard or chaos
+    /// assertion is silently reading zeros; an undeclared name at a sink
+    /// would never be found by the exporters that walk the registry.
+    /// Dead-name findings anchor at the declaration in `names.rs`;
+    /// phantom findings anchor at the use site.
+    pub fn diagnostics(&self, names_path: &str, out: &mut Vec<Diagnostic>) {
+        for (name, line, is_str) in &self.decls {
+            if *is_str && !self.used.contains(name) {
+                out.push(Diagnostic {
+                    file: names_path.to_string(),
+                    line: *line,
+                    rule: "L010",
+                    message: format!(
+                        "metric name `{name}` is declared but never emitted from any runtime path — remove it or wire up the increment/record/observe site"
+                    ),
+                    evidence: Vec::new(),
+                });
+            }
+        }
+        for (file, line, name) in &self.phantoms {
+            out.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                rule: "L010",
+                message: format!(
+                    "`names::{name}` does not resolve to a declared constant/builder in orv_obs::names — exporters walking the registry will never see it"
+                ),
+                evidence: Vec::new(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,12 +964,40 @@ mod tests {
             line: 3,
             rule: "L001",
             message: "say \"no\"\\".into(),
+            evidence: Vec::new(),
         };
         assert_eq!(
             d.to_json(),
             r#"{"rule":"L001","file":"a/b.rs","line":3,"message":"say \"no\"\\"}"#
         );
         assert_eq!(d.human(), r#"a/b.rs:3: L001 say "no"\"#);
+    }
+
+    #[test]
+    fn diagnostic_json_carries_evidence_when_present() {
+        let d = Diagnostic {
+            file: "a/b.rs".into(),
+            line: 3,
+            rule: "L008",
+            message: "cycle".into(),
+            evidence: vec![
+                Evidence {
+                    file: "a/b.rs".into(),
+                    line: 4,
+                    note: "takes \"x\"".into(),
+                },
+                Evidence {
+                    file: "c/d.rs".into(),
+                    line: 9,
+                    note: "acquires y".into(),
+                },
+            ],
+        };
+        assert_eq!(
+            d.to_json(),
+            r#"{"rule":"L008","file":"a/b.rs","line":3,"message":"cycle","evidence":[{"file":"a/b.rs","line":4,"note":"takes \"x\""},{"file":"c/d.rs","line":9,"note":"acquires y"}]}"#
+        );
+        assert!(d.human().contains("\n    a/b.rs:4: takes \"x\""));
     }
 
     #[test]

@@ -469,6 +469,7 @@ impl QueryTicket {
     /// Block until the query resolves.
     pub fn wait(self) -> Result<QueryResult> {
         let mut cell = relock(self.slot.result.lock());
+        // orv-lint: allow(L009) -- every submitted slot is resolved exactly once: a worker resolves it (success, error, shed, or cancel), `cancel()` resolves still-queued slots inline, and service Drop drains the queue resolving leftovers as Cancelled — so this condvar wait always terminates; callers wanting a bound use `wait_timeout`
         loop {
             if let Some(result) = cell.take() {
                 return result;

@@ -1,36 +1,65 @@
 //! Workspace invariant checker driver.
 //!
 //! ```text
-//! cargo run --release --bin orv-lint            # human output, exit 1 on findings
-//! cargo run --release --bin orv-lint -- --json  # one JSON object per finding
-//! cargo run --release --bin orv-lint -- path/   # lint a different root
+//! cargo run --release --bin orv-lint              # human output, exit 1 on findings
+//! cargo run --release --bin orv-lint -- --json    # one JSON object per finding
+//! cargo run --release --bin orv-lint -- --github  # GitHub Actions annotations
+//! cargo run --release --bin orv-lint -- path/     # lint a different root
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings (including malformed suppressions),
 //! 2 I/O failure while walking or reading sources.
 
-use orv_lint::{exit_code, lint_workspace, RULE_IDS};
+use orv_lint::{exit_code, lint_workspace, Diagnostic, RULE_IDS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-orv-lint — workspace invariant checker (rules L001..L006, see DESIGN.md §10)
+orv-lint — workspace invariant checker (rules L001..L010; file rules are
+DESIGN.md §10, structural rules L008..L010 are DESIGN.md §15)
 
-USAGE: orv-lint [--json] [ROOT]
+USAGE: orv-lint [--json | --github] [ROOT]
 
-  --json   one JSON object per finding (JSON lines), no summary
-  ROOT     workspace root to lint (default: current directory)
+  --json    one JSON object per finding (JSON lines), no summary
+  --github  GitHub Actions `::error` workflow commands, one per finding,
+            so the CI gate renders findings as inline PR annotations
+  ROOT      workspace root to lint (default: current directory)
 
 Suppress a finding at its site with a justified comment:
   // orv-lint: allow(L001) -- <why this site is provably fine>
 ";
 
+/// `::error file=…,line=…,title=…::…` — one workflow command per finding.
+/// Evidence steps ride in the message (annotations are single blocks);
+/// GitHub requires `%0A` for newlines inside a command value.
+fn github_annotation(d: &Diagnostic) -> String {
+    let mut msg = d.message.clone();
+    for ev in &d.evidence {
+        msg.push_str(&format!("%0A  {}:{}: {}", ev.file, ev.line, ev.note));
+    }
+    format!(
+        "::error file={},line={},title=orv-lint {}::{}",
+        d.file,
+        d.line,
+        d.rule,
+        msg.replace('\n', "%0A")
+    )
+}
+
+#[derive(PartialEq)]
+enum Output {
+    Human,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut output = Output::Human;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => output = Output::Json,
+            "--github" => output = Output::Github,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -50,22 +79,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if json {
-        for d in &diags {
-            println!("{}", d.to_json());
+    match output {
+        Output::Json => {
+            for d in &diags {
+                println!("{}", d.to_json());
+            }
         }
-    } else {
-        for d in &diags {
-            println!("{}", d.human());
+        Output::Github => {
+            for d in &diags {
+                println!("{}", github_annotation(d));
+            }
         }
-        if diags.is_empty() {
-            println!(
-                "orv-lint: clean ({} rules: {})",
-                RULE_IDS.len() - 1,
-                RULE_IDS[1..].join(", ")
-            );
-        } else {
-            println!("orv-lint: {} finding(s)", diags.len());
+        Output::Human => {
+            for d in &diags {
+                println!("{}", d.human());
+            }
+            if diags.is_empty() {
+                println!(
+                    "orv-lint: clean ({} rules: {})",
+                    RULE_IDS.len() - 1,
+                    RULE_IDS[1..].join(", ")
+                );
+            } else {
+                println!("orv-lint: {} finding(s)", diags.len());
+            }
         }
     }
     ExitCode::from(exit_code(&diags))
