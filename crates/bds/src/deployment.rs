@@ -6,6 +6,7 @@ use orv_metadata::MetadataService;
 use orv_types::{Error, NodeId, Result};
 use parking_lot::{Mutex, RwLock};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The storage side of a cluster: one chunk store per storage node, the
@@ -21,6 +22,10 @@ pub struct Deployment {
     stores: Vec<Arc<Mutex<Box<dyn ChunkStore>>>>,
     metadata: Arc<MetadataService>,
     registry: Arc<RwLock<ExtractorRegistry>>,
+    /// Durable count of chunk reads served by any BDS instance of this
+    /// deployment — shared across clones, so federated shards all feed
+    /// the same tally. A warm cache hit must not move this counter.
+    chunk_reads: Arc<AtomicU64>,
 }
 
 impl Deployment {
@@ -37,6 +42,7 @@ impl Deployment {
             stores,
             metadata: Arc::new(MetadataService::new()),
             registry: Arc::new(RwLock::new(ExtractorRegistry::new())),
+            chunk_reads: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -52,6 +58,7 @@ impl Deployment {
             stores,
             metadata: Arc::new(MetadataService::new()),
             registry: Arc::new(RwLock::new(ExtractorRegistry::new())),
+            chunk_reads: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -89,6 +96,7 @@ impl Deployment {
             stores,
             metadata,
             registry,
+            chunk_reads: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -112,6 +120,18 @@ impl Deployment {
     /// The shared extractor registry.
     pub fn registry(&self) -> &Arc<RwLock<ExtractorRegistry>> {
         &self.registry
+    }
+
+    /// Chunk reads served so far, across every BDS instance and clone of
+    /// this deployment. Regression tests use this to assert that a warm
+    /// cache hit performs *zero* chunk reads.
+    pub fn chunk_reads(&self) -> u64 {
+        self.chunk_reads.load(Ordering::Relaxed)
+    }
+
+    /// The shared read tally, for BDS instances to report into.
+    pub(crate) fn chunk_read_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.chunk_reads)
     }
 }
 

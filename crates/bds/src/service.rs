@@ -26,6 +26,7 @@ pub struct BdsService {
     registry: Arc<RwLock<ExtractorRegistry>>,
     bytes_read: ByteCounter,
     corruptions_detected: ByteCounter,
+    chunk_reads: Arc<std::sync::atomic::AtomicU64>,
     faults: Arc<FaultInjector>,
     spans: Spans,
     events: EventLog,
@@ -76,6 +77,7 @@ impl BdsService {
             registry: Arc::clone(deployment.registry()),
             bytes_read: ByteCounter::new(),
             corruptions_detected: ByteCounter::new(),
+            chunk_reads: deployment.chunk_read_counter(),
             faults,
             spans,
             events,
@@ -148,6 +150,8 @@ impl BdsService {
                 .before_chunk_read(self.node.0 as u64, &self.cancel)?;
             let mut bytes = self.store.lock().read(&meta.location)?;
             self.bytes_read.add(bytes.len() as u64);
+            self.chunk_reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             // Verify pages that carry a generation-time checksum. The
             // injector only targets those — it flips the *returned copy*
             // after checksumming, so verification must catch it and a

@@ -26,15 +26,15 @@ fn subtable(rows: usize, seed: u64) -> SubTable {
 
 fn bench_hash_ops(c: &mut Criterion) {
     let rows = 64 * 1024;
-    let left = subtable(rows, 0);
+    let left = Arc::new(subtable(rows, 0));
     let right = subtable(rows, 0);
     let counters = JoinCounters::new();
     let mut group = c.benchmark_group("alpha_constants");
     group.throughput(Throughput::Elements(rows as u64));
     group.bench_function("alpha_build", |b| {
-        b.iter(|| HashJoiner::build(&left, &["x", "y"], &counters, 1).unwrap())
+        b.iter(|| HashJoiner::build(Arc::clone(&left), &["x", "y"], &counters, 1).unwrap())
     });
-    let joiner = HashJoiner::build(&left, &["x", "y"], &counters, 1).unwrap();
+    let joiner = HashJoiner::build(Arc::clone(&left), &["x", "y"], &counters, 1).unwrap();
     group.bench_function("alpha_lookup", |b| {
         b.iter(|| {
             joiner

@@ -11,6 +11,9 @@ use orv_bench::{
 };
 use serde::Serialize;
 
+// Read only through the `Serialize` derive, which rustc's dead-code
+// pass does not count as a use.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct JsonPoint {
     x: f64,
@@ -20,6 +23,7 @@ struct JsonPoint {
     gh_model: f64,
 }
 
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct JsonFigure {
     id: u32,

@@ -1,6 +1,9 @@
 //! The columnar sub-table container.
 
-use orv_types::{BoundingBox, Error, Interval, Record, Result, Schema, SubTableId, Value};
+use orv_types::{
+    BoundingBox, ColumnBatch, ColumnData, Error, Interval, Record, Result, Schema, SubTableId,
+    Value,
+};
 use std::sync::Arc;
 
 /// A partition of a virtual table: a subset of records and attributes, with
@@ -199,6 +202,43 @@ impl SubTable {
         SubTable::from_columns(self.id, schema, columns)
     }
 
+    /// This sub-table's rows as a typed [`ColumnBatch`] — the entry
+    /// point of the columnar execution path. One pass per column turns
+    /// the boxed `Value` storage into primitive arrays; downstream
+    /// filter/project/join operators then run typed loops and convert
+    /// back to [`Record`]s only at the service edge (bit-exact, since
+    /// every supported type is fixed-width).
+    pub fn to_batch(&self) -> ColumnBatch {
+        let columns: Vec<ColumnData> = self
+            .schema
+            .attrs()
+            .iter()
+            .zip(self.columns.iter())
+            .map(|(attr, col)| {
+                let mut out = ColumnData::with_capacity(attr.dtype, col.len());
+                for &v in col {
+                    // from_columns type-checked every value on build, so
+                    // a mismatch here is unreachable; skipping it keeps
+                    // a typed value rather than silently dropping rows.
+                    let _ = out.push(v);
+                }
+                out
+            })
+            .collect();
+        // from_columns validated equal lengths when this sub-table was
+        // built, so this cannot fail.
+        ColumnBatch::from_columns(columns).unwrap_or_else(|_| {
+            ColumnBatch::new(
+                &self
+                    .schema
+                    .attrs()
+                    .iter()
+                    .map(|a| a.dtype)
+                    .collect::<Vec<_>>(),
+            )
+        })
+    }
+
     /// Rows' key values for the given attribute names, one `Vec<Value>` per
     /// row — used by join build/probe loops.
     pub fn keys(&self, names: &[&str]) -> Result<Vec<Vec<Value>>> {
@@ -331,6 +371,19 @@ mod tests {
         let empty = SubTable::empty(SubTableId::new(0u32, 9u32), schema());
         assert_eq!(empty.encoded_size(), 0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn to_batch_round_trips_rows() {
+        let st = sample();
+        let batch = st.to_batch();
+        assert_eq!(batch.num_rows(), st.num_rows());
+        assert_eq!(batch.num_columns(), st.schema().arity());
+        let rows = batch.to_records().unwrap();
+        let direct: Vec<Record> = st.records().collect();
+        assert_eq!(rows, direct, "batch path must reproduce the row path");
+        let empty = SubTable::empty(SubTableId::new(0u32, 9u32), schema());
+        assert!(empty.to_batch().is_empty());
     }
 
     #[test]

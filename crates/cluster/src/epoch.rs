@@ -1,0 +1,295 @@
+//! Epoch-published immutable snapshots — a hand-rolled arc-swap.
+//!
+//! [`EpochCell`] holds a value behind an atomic pointer. Readers call
+//! [`EpochCell::load`] — one `Acquire` pointer load plus an `Arc` clone,
+//! no lock, no spin, no wait — and get an immutable snapshot that stays
+//! valid however long they hold it. Writers serialize on a mutex, clone
+//! the current value, mutate the clone, and publish it with a `Release`
+//! store; readers that loaded the old epoch keep computing against it
+//! undisturbed.
+//!
+//! This is the catalog-read fast path the serving layer needs: with the
+//! catalog behind an `RwLock`, every warm query paid a shared-lock
+//! acquisition (and cache-line bounce) per statement; behind an
+//! `EpochCell` the read side is wait-free. DDL (`CREATE VIEW`) is rare
+//! and metadata-sized, so clone-and-publish on the write side is cheap.
+//!
+//! ## Memory reclamation
+//!
+//! The classic arc-swap hazard is a reader dereferencing a pointer the
+//! writer just retired. We sidestep reclamation entirely: every
+//! published epoch is boxed and retained in a writer-side history for
+//! the lifetime of the cell, so the raw pointer a reader loaded can
+//! never dangle. Epochs are small (an `Arc` plus a version number — the
+//! payload itself is shared, not duplicated per epoch beyond the
+//! writer's clone), and publishes are driven by DDL, so the history
+//! stays tiny. The retained history doubles as *versioned snapshots*:
+//! [`EpochCell::at_version`] answers "what did epoch `v` look like",
+//! which live-ingest and time-travel reads build on.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// One published epoch: the version number and the shared payload.
+struct Node<T> {
+    version: u64,
+    value: std::sync::Arc<T>,
+}
+
+/// A value readable without locking, replaced by clone-and-publish.
+///
+/// `T` must be `Clone` for [`EpochCell::publish_with`]; plain
+/// [`EpochCell::publish`] only needs the value itself.
+pub struct EpochCell<T> {
+    /// The current epoch. Always points at a node owned by `history`,
+    /// so dereferencing a loaded pointer is sound for the cell's
+    /// lifetime.
+    current: AtomicPtr<Node<T>>,
+    /// Every epoch ever published, never freed (see module docs). The
+    /// mutex also serializes writers. The boxing is load-bearing:
+    /// `current` holds raw pointers into these nodes, and a
+    /// `Vec<Node<T>>` would move them when it reallocates.
+    #[allow(clippy::vec_box)]
+    history: Mutex<Vec<Box<Node<T>>>>,
+}
+
+fn relock<G>(r: Result<G, PoisonError<G>>) -> G {
+    // Publishing is clone → mutate → push → store; none of those leave
+    // the history structurally torn, so a poisoned writer mutex is
+    // recoverable.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> EpochCell<T> {
+    /// A cell whose epoch 0 is `value`.
+    pub fn new(value: T) -> Self {
+        let node = Box::new(Node {
+            version: 0,
+            value: std::sync::Arc::new(value),
+        });
+        let ptr = Box::as_ref(&node) as *const Node<T> as *mut Node<T>;
+        EpochCell {
+            current: AtomicPtr::new(ptr),
+            history: Mutex::new(vec![node]),
+        }
+    }
+
+    #[inline]
+    fn current_node(&self) -> &Node<T> {
+        let p = self.current.load(Ordering::Acquire);
+        // SAFETY: `current` only ever holds pointers to nodes boxed into
+        // `history`, which grows monotonically and is dropped only with
+        // the cell itself — `Box` contents never move, so `p` is valid
+        // and unaliased-by-writers (nodes are immutable once published)
+        // for the duration of this borrow of `self`.
+        unsafe { &*p }
+    }
+
+    /// The current snapshot. Wait-free: one atomic load + `Arc` clone.
+    #[inline]
+    pub fn load(&self) -> std::sync::Arc<T> {
+        std::sync::Arc::clone(&self.current_node().value)
+    }
+
+    /// The current snapshot together with its epoch version.
+    #[inline]
+    pub fn load_versioned(&self) -> (u64, std::sync::Arc<T>) {
+        let node = self.current_node();
+        (node.version, std::sync::Arc::clone(&node.value))
+    }
+
+    /// The current epoch version (0 for the initial value, +1 per
+    /// publish).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.current_node().version
+    }
+
+    /// The snapshot as of epoch `version`, if that epoch was published.
+    pub fn at_version(&self, version: u64) -> Option<std::sync::Arc<T>> {
+        let history = relock(self.history.lock());
+        history
+            .get(version as usize)
+            .map(|n| std::sync::Arc::clone(&n.value))
+    }
+
+    /// Publish `value` as the next epoch, returning its version.
+    pub fn publish(&self, value: T) -> u64 {
+        let mut history = relock(self.history.lock());
+        let version = history.len() as u64;
+        let node = Box::new(Node {
+            version,
+            value: std::sync::Arc::new(value),
+        });
+        let ptr = Box::as_ref(&node) as *const Node<T> as *mut Node<T>;
+        history.push(node);
+        self.current.store(ptr, Ordering::Release);
+        version
+    }
+}
+
+impl<T: Clone> EpochCell<T> {
+    /// Clone the current value, let `mutate` edit the clone, publish the
+    /// result, and return the new version. Writers serialize here;
+    /// readers are never blocked.
+    pub fn publish_with(&self, mutate: impl FnOnce(&mut T)) -> u64 {
+        let mut history = relock(self.history.lock());
+        // Clone under the writer mutex so concurrent publishers cannot
+        // lose each other's updates.
+        let mut next = (*history[history.len() - 1].value).clone();
+        mutate(&mut next);
+        let version = history.len() as u64;
+        let node = Box::new(Node {
+            version,
+            value: std::sync::Arc::new(next),
+        });
+        let ptr = Box::as_ref(&node) as *const Node<T> as *mut Node<T>;
+        history.push(node);
+        self.current.store(ptr, Ordering::Release);
+        version
+    }
+
+    /// [`EpochCell::publish_with`] for fallible edits: the new epoch is
+    /// published only when `mutate` returns `Ok`; on `Err` the current
+    /// epoch stands and nothing is retained.
+    pub fn try_publish_with<R, E>(
+        &self,
+        mutate: impl FnOnce(&mut T) -> Result<R, E>,
+    ) -> Result<(u64, R), E> {
+        let mut history = relock(self.history.lock());
+        let mut next = (*history[history.len() - 1].value).clone();
+        let out = mutate(&mut next)?;
+        let version = history.len() as u64;
+        let node = Box::new(Node {
+            version,
+            value: std::sync::Arc::new(next),
+        });
+        let ptr = Box::as_ref(&node) as *const Node<T> as *mut Node<T>;
+        history.push(node);
+        self.current.store(ptr, Ordering::Release);
+        Ok((version, out))
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for EpochCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let node = self.current_node();
+        f.debug_struct("EpochCell")
+            .field("version", &node.version)
+            .field("value", &node.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Barrier};
+
+    #[test]
+    fn load_sees_initial_then_published() {
+        let cell = EpochCell::new(vec![1, 2]);
+        assert_eq!(*cell.load(), vec![1, 2]);
+        assert_eq!(cell.version(), 0);
+        let v = cell.publish(vec![3]);
+        assert_eq!(v, 1);
+        assert_eq!(*cell.load(), vec![3]);
+        let (ver, snap) = cell.load_versioned();
+        assert_eq!((ver, &*snap), (1, &vec![3]));
+    }
+
+    #[test]
+    fn old_snapshot_survives_publish() {
+        let cell = EpochCell::new(String::from("old"));
+        let snap = cell.load();
+        cell.publish(String::from("new"));
+        assert_eq!(&*snap, "old", "a held snapshot is immutable");
+        assert_eq!(&*cell.load(), "new");
+    }
+
+    #[test]
+    fn at_version_replays_history() {
+        let cell = EpochCell::new(0u32);
+        for i in 1..5u32 {
+            cell.publish_with(|v| *v = i);
+        }
+        for i in 0..5u32 {
+            assert_eq!(*cell.at_version(i as u64).unwrap(), i);
+        }
+        assert!(cell.at_version(5).is_none());
+    }
+
+    #[test]
+    fn try_publish_with_keeps_epoch_on_err() {
+        let cell = EpochCell::new(7u32);
+        let before = cell.version();
+        let err: Result<(u64, ()), &str> = cell.try_publish_with(|_| Err("rejected"));
+        assert_eq!(err.unwrap_err(), "rejected");
+        assert_eq!(cell.version(), before, "failed edit publishes nothing");
+        let (v, ()) = cell
+            .try_publish_with(|x| {
+                *x += 1;
+                Ok::<(), &str>(())
+            })
+            .unwrap();
+        assert_eq!((v, *cell.load()), (before + 1, 8));
+    }
+
+    #[test]
+    fn concurrent_readers_never_tear() {
+        // Writers publish (a, a) pairs; readers must never observe a
+        // mixed pair, and loads must stay valid across publishes.
+        let cell = Arc::new(EpochCell::new((0u64, 0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(5));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = cell.load();
+                    assert_eq!(snap.0, snap.1, "torn epoch observed");
+                }
+            }));
+        }
+        barrier.wait();
+        for i in 1..=500u64 {
+            cell.publish((i, i));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.version(), 500);
+        assert_eq!(*cell.load(), (500, 500));
+    }
+
+    #[test]
+    fn concurrent_publishers_serialize_without_lost_updates() {
+        let cell = Arc::new(EpochCell::new(0u64));
+        let n = 8;
+        let per = 50u64;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..per {
+                        cell.publish_with(|v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*cell.load(), n as u64 * per);
+        assert_eq!(cell.version(), n as u64 * per);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod cancel;
 pub mod checksum;
+pub mod epoch;
 pub mod fault;
 pub mod resource;
 pub mod retry_budget;
@@ -32,6 +33,7 @@ pub mod spec;
 
 pub use cancel::{CancelToken, DeadlineBudget, WaitBudget, SLEEP_SLICE};
 pub use checksum::crc32c;
+pub use epoch::EpochCell;
 pub use fault::{
     contain_panic, panic_message, silence_injected_panics, ClientFloodSpec, FaultInjector,
     FaultPlan, FaultStats, RecoveryPolicy, SendVerdict, ShardDeathSpec, ShardSlowSpec,

@@ -291,7 +291,7 @@ mod tests {
         let mut t1: f64 = 0.0;
         let mut t4: f64 = 0.0;
         for i in 0..64 {
-            t1 = t1.max(one.fetch(i % 1, i % 4, 100.0, 0.0));
+            t1 = t1.max(one.fetch(0, i % 4, 100.0, 0.0));
             t4 = t4.max(four.fetch(i % 4, i % 4, 100.0, 0.0));
         }
         assert!(

@@ -90,11 +90,24 @@ pub fn left_key_tag(join_attrs: &[&str], work_factor: u32) -> u64 {
     h
 }
 
-/// One compute node's shard: the LRU plus the in-flight key set of the
-/// single-flight protocol.
+/// How many hash-bucketed shards each compute node's cache splits into.
+///
+/// A single per-node mutex serializes every warm hit on that node —
+/// under high client concurrency the hit path itself becomes the
+/// bottleneck. Bucketing by key hash lets hits on different keys take
+/// different locks; the single-flight protocol is untouched because a
+/// given key always maps to the same bucket.
+pub const BUCKETS_PER_NODE: usize = 8;
+
+/// One cache shard: a hash bucket of one compute node's cache. Holds
+/// its slice of the LRU, the in-flight key set of the single-flight
+/// protocol, and its own hit/miss counters (bucket counters sum to the
+/// node totals the un-sharded cache reported).
 struct Shard {
     state: Mutex<ShardState>,
     cond: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 struct ShardState {
@@ -109,12 +122,13 @@ fn relock<T>(r: std::result::Result<T, PoisonError<T>>) -> T {
     r.unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Per-compute-node LRU shards, shared across join executions *and*
-/// across concurrent queries.
+/// Per-compute-node caches, each hash-bucketed into
+/// [`BUCKETS_PER_NODE`] independently locked shards, shared across join
+/// executions *and* across concurrent queries.
 pub struct CacheService {
+    /// `n_compute × BUCKETS_PER_NODE` shards; node `j`'s buckets are the
+    /// contiguous run `j*B .. (j+1)*B`.
     shards: Vec<Shard>,
-    hits: AtomicU64,
-    misses: AtomicU64,
     /// Watermark of counters already published into a metrics registry,
     /// so repeated [`CacheService::publish_into`] calls add only deltas.
     published: Mutex<CacheStats>,
@@ -123,61 +137,92 @@ pub struct CacheService {
     wait_samples: Mutex<Vec<f64>>,
 }
 
+/// FNV-1a over the key's identity fields, used to pick a bucket. Stable
+/// (not `RandomState`): the same key must hit the same bucket for the
+/// lifetime of the service, or single-flight dedup would break.
+fn key_bucket(key: &CacheKey) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    match key {
+        CacheKey::Left(id, tag) => {
+            eat(&[0]);
+            eat(&id.table.0.to_le_bytes());
+            eat(&id.chunk.0.to_le_bytes());
+            eat(&tag.to_le_bytes());
+        }
+        CacheKey::Right(id) => {
+            eat(&[1]);
+            eat(&id.table.0.to_le_bytes());
+            eat(&id.chunk.0.to_le_bytes());
+        }
+    }
+    h as usize % BUCKETS_PER_NODE
+}
+
 impl CacheService {
-    /// One shard per compute node, each `capacity_bytes` big.
+    /// [`BUCKETS_PER_NODE`] shards per compute node, splitting each
+    /// node's `capacity_bytes` evenly (rounded up) across its buckets.
     pub fn new(n_compute: usize, capacity_bytes: u64) -> Self {
+        let per_bucket = capacity_bytes.div_ceil(BUCKETS_PER_NODE as u64);
         CacheService {
-            shards: (0..n_compute)
+            shards: (0..n_compute * BUCKETS_PER_NODE)
                 .map(|_| Shard {
                     state: Mutex::new(ShardState {
-                        lru: LruCache::new(capacity_bytes),
+                        lru: LruCache::new(per_bucket),
                         in_flight: HashSet::new(),
                     }),
                     cond: Condvar::new(),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
                 })
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
             published: Mutex::new(CacheStats::default()),
             wait_samples: Mutex::new(Vec::new()),
         }
     }
 
-    /// Number of compute-node shards.
+    /// Number of compute nodes served (not the shard count).
     pub fn n_compute(&self) -> usize {
-        self.shards.len()
+        self.shards.len() / BUCKETS_PER_NODE
     }
 
-    fn shard(&self, j: usize) -> Result<&Shard> {
-        self.shards
-            .get(j)
-            .ok_or_else(|| Error::Config(format!("cache service has no shard {j}")))
+    /// The shard of `key` on compute node `j`.
+    fn shard(&self, j: usize, key: &CacheKey) -> Result<&Shard> {
+        if j >= self.n_compute() {
+            return Err(Error::Config(format!("cache service has no shard {j}")));
+        }
+        Ok(&self.shards[j * BUCKETS_PER_NODE + key_bucket(key)])
     }
 
     fn lock(shard: &Shard) -> MutexGuard<'_, ShardState> {
         relock(shard.state.lock())
     }
 
-    /// Look up `key` in shard `j`, counting a hit or miss.
+    /// Look up `key` in node `j`'s cache, counting a hit or miss.
     pub fn lookup(&self, j: usize, key: &CacheKey) -> Result<Option<CachedEntry>> {
-        let shard = self.shard(j)?;
+        let shard = self.shard(j, key)?;
         let mut state = Self::lock(shard);
         let found = state.lru.touch(key).cloned();
         match found {
             Some(entry) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Ok(Some(entry))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 Ok(None)
             }
         }
     }
 
-    /// Insert `key → entry` of `size` bytes into shard `j`.
+    /// Insert `key → entry` of `size` bytes into node `j`'s cache.
     pub fn insert(&self, j: usize, key: CacheKey, entry: CachedEntry, size: u64) -> Result<()> {
-        let shard = self.shard(j)?;
+        let shard = self.shard(j, &key)?;
         Self::lock(shard).lru.put(key, entry, size);
         Ok(())
     }
@@ -197,7 +242,7 @@ impl CacheService {
         cancel: &CancelToken,
         build: impl FnOnce() -> Result<(CachedEntry, u64)>,
     ) -> Result<(CachedEntry, bool)> {
-        let shard = self.shard(j)?;
+        let shard = self.shard(j, &key)?;
         let mut state = Self::lock(shard);
         // Single-flight block time: armed on the first wait, sampled once
         // the waiter unblocks (answered from the cache, promoted to
@@ -211,7 +256,7 @@ impl CacheService {
         loop {
             if let Some(entry) = state.lru.touch(&key) {
                 let entry = entry.clone();
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 drop(state);
                 sample_wait(&waited);
                 return Ok((entry, true));
@@ -244,7 +289,7 @@ impl CacheService {
         let key = in_flight.disarm();
         match built {
             Ok((entry, size)) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 state.in_flight.remove(&key);
                 state.lru.put(key, entry.clone(), size);
                 shard.cond.notify_all();
@@ -262,16 +307,31 @@ impl CacheService {
     /// Hits and misses follow single-flight semantics: a waiter answered
     /// by its builder's fetch counts as a hit; only builders count misses.
     pub fn stats(&self) -> CacheStats {
-        let evictions = self
-            .shards
+        self.shard_stats()
+            .into_iter()
+            .fold(CacheStats::default(), |mut acc, s| {
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.evictions += s.evictions;
+                acc
+            })
+    }
+
+    /// Per-shard counters, one entry per hash bucket of every compute
+    /// node (node `j`'s buckets occupy indices `j*B .. (j+1)*B` with
+    /// `B = BUCKETS_PER_NODE`). Summing them reproduces [`stats`]
+    /// exactly — bucketing never loses or double-counts an operation.
+    ///
+    /// [`stats`]: CacheService::stats
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
             .iter()
-            .map(|s| Self::lock(s).lru.stats().evictions)
-            .sum();
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions,
-        }
+            .map(|s| CacheStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: Self::lock(s).lru.stats().evictions,
+            })
+            .collect()
     }
 
     /// Total bytes currently cached across shards.
@@ -486,6 +546,39 @@ mod tests {
         );
         release_tx.send(()).unwrap();
         assert!(blocker.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn bucket_mapping_is_stable_and_shard_stats_sum_to_totals() {
+        // Same key, same bucket — forever: single-flight dedup depends
+        // on it.
+        for c in 0..64u32 {
+            assert_eq!(key_bucket(&rkey(c)), key_bucket(&rkey(c)));
+        }
+        let svc = CacheService::new(2, 1 << 20);
+        assert_eq!(svc.n_compute(), 2);
+        assert_eq!(svc.shard_stats().len(), 2 * BUCKETS_PER_NODE);
+        let cancel = CancelToken::none();
+        for c in 0..32u32 {
+            let j = (c % 2) as usize;
+            svc.get_or_build(j, rkey(c), &cancel, || Ok((CachedEntry::Right(st(1)), 8)))
+                .unwrap();
+            svc.get_or_build(j, rkey(c), &cancel, || panic!("cached"))
+                .unwrap();
+        }
+        let total = svc.stats();
+        assert_eq!((total.hits, total.misses), (32, 32));
+        let per_shard = svc.shard_stats();
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), total.hits);
+        assert_eq!(
+            per_shard.iter().map(|s| s.misses).sum::<u64>(),
+            total.misses
+        );
+        // The keys actually spread over more than one bucket.
+        assert!(
+            per_shard.iter().filter(|s| s.lookups() > 0).count() > 1,
+            "expected key hashing to use multiple buckets: {per_shard:?}"
+        );
     }
 
     #[test]

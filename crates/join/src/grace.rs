@@ -354,7 +354,7 @@ fn join_bucket_pair(
     )?;
     let joiner = {
         let _build = spans.span_with(|| names::span_tagged(&ctx.tag, names::PHASE_BUILD));
-        HashJoiner::build(&lst, ctx.join_attrs, ctx.counters, cfg.work_factor)?
+        HashJoiner::build(Arc::new(lst), ctx.join_attrs, ctx.counters, cfg.work_factor)?
     };
     let _probe = spans.span_with(|| names::span_tagged(&ctx.tag, names::PHASE_PROBE));
     if cfg.collect_results {

@@ -14,10 +14,28 @@
 //! time by them to measure `α` on the host.
 
 use orv_chunk::SubTable;
-use orv_types::{Record, Result, Value};
+use orv_types::{DataType, Record, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Key-family flag: floats and ints hash into disjoint key spaces.
+///
+/// [`Value`] equality is family-first — `I32(7) == I64(7)` but no int
+/// ever equals a float — and `Value::key_bits` is only canonical
+/// *within* a family. A column's family is constant (it is determined
+/// by the schema's [`DataType`]), so the join can key its hash table on
+/// raw `u64` key bits and compare the per-column family vectors once
+/// per probe instead of tagging every value.
+#[inline]
+fn is_float(ty: DataType) -> bool {
+    matches!(ty, DataType::F32 | DataType::F64)
+}
+
+/// The canonical key bits of one key column, gathered in a single pass.
+fn gather_key_bits(st: &SubTable, col: usize) -> Vec<u64> {
+    st.column(col).iter().map(|v| v.key_bits()).collect()
+}
 
 /// Shared counters for hash-join operations.
 #[derive(Clone, Default, Debug)]
@@ -56,10 +74,15 @@ impl JoinCounters {
 /// the table is `Arc`ed and the sub-table's columns already are.
 #[derive(Clone)]
 pub struct HashJoiner {
-    /// key → row indices in the build side.
-    table: Arc<HashMap<Vec<Value>, Vec<u32>>>,
-    /// The build-side sub-table (columns shared, not copied).
-    left: SubTable,
+    /// canonical key bits (one `u64` per key attribute) → row indices in
+    /// the build side. Keys are compared as raw bits; families are
+    /// checked once per probe (see [`is_float`]).
+    table: Arc<HashMap<Box<[u64]>, Vec<u32>>>,
+    /// Per-key-position family flags of the build side.
+    families: Arc<[bool]>,
+    /// The build-side sub-table, pinned behind an `Arc` so cache hits
+    /// and clones are refcount bumps — no column vector is ever copied.
+    left: Arc<SubTable>,
     /// Work multiplier (Figure 8's repeated-instructions trick): every
     /// build/probe is performed `work_factor` times.
     work_factor: u32,
@@ -67,8 +90,12 @@ pub struct HashJoiner {
 
 impl HashJoiner {
     /// Build a hash table over `left`'s rows keyed by `key_attrs`.
+    ///
+    /// Columnar: the key bits of each key attribute are gathered in one
+    /// pass per column, then the insert loop works on plain `u64`s —
+    /// no per-row `Vec<Value>` is allocated.
     pub fn build(
-        left: &SubTable,
+        left: Arc<SubTable>,
         key_attrs: &[&str],
         counters: &JoinCounters,
         work_factor: u32,
@@ -77,19 +104,28 @@ impl HashJoiner {
             .iter()
             .map(|a| left.schema().require(a))
             .collect::<Result<_>>()?;
+        let families: Arc<[bool]> = key_indices
+            .iter()
+            .map(|&i| is_float(left.schema().attrs()[i].dtype))
+            .collect();
+        let key_cols: Vec<Vec<u64>> = key_indices
+            .iter()
+            .map(|&i| gather_key_bits(&left, i))
+            .collect();
         let nrows = left.num_rows();
-        let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(nrows);
+        let mut table: HashMap<Box<[u64]>, Vec<u32>> = HashMap::with_capacity(nrows);
         let reps = work_factor.max(1);
-        let mut key = Vec::with_capacity(key_indices.len());
+        let mut key = vec![0u64; key_indices.len()];
         for rep in 0..reps {
             for r in 0..nrows {
-                key.clear();
-                key.extend(key_indices.iter().map(|&i| left.value(r, i)));
+                for (k, col) in key.iter_mut().zip(&key_cols) {
+                    *k = col[r];
+                }
                 if rep == 0 {
                     match table.get_mut(key.as_slice()) {
                         Some(rows) => rows.push(r as u32),
                         None => {
-                            table.insert(key.clone(), vec![r as u32]);
+                            table.insert(key.clone().into_boxed_slice(), vec![r as u32]);
                         }
                     }
                 } else {
@@ -105,7 +141,8 @@ impl HashJoiner {
             .fetch_add(nrows as u64 * reps as u64, Ordering::Relaxed);
         Ok(HashJoiner {
             table: Arc::new(table),
-            left: left.clone(),
+            families,
+            left,
             work_factor: reps,
         })
     }
@@ -123,6 +160,12 @@ impl HashJoiner {
     /// Probe with every row of `right`; for each match, emit
     /// `left_row ⨝ right_row` (right key fields dropped) through `on_match`.
     /// Returns the number of result tuples.
+    ///
+    /// Columnar: right-side key bits are gathered per column up front;
+    /// the match loop compares raw `u64`s. Matches are collected as
+    /// `(left_row, right_row)` pairs and rows are materialized only for
+    /// actual matches, at the end — the probe loop itself builds no
+    /// [`Record`].
     pub fn probe(
         &self,
         right: &SubTable,
@@ -134,36 +177,55 @@ impl HashJoiner {
             .iter()
             .map(|a| right.schema().require(a))
             .collect::<Result<_>>()?;
-        let mut produced = 0u64;
         let nrows = right.num_rows();
-        let left_arity = self.left.schema().arity();
-        let right_arity = right.schema().arity();
-        let mut key = Vec::with_capacity(right_keys.len());
-        for rep in 0..self.work_factor {
-            for ri in 0..nrows {
-                key.clear();
-                key.extend(right_keys.iter().map(|&i| right.value(ri, i)));
-                if rep > 0 {
-                    std::hint::black_box(self.table.get(key.as_slice()));
-                    continue;
-                }
-                if let Some(rows) = self.table.get(key.as_slice()) {
-                    for &li in rows {
-                        produced += 1;
-                        // left row ++ right row minus its key fields.
-                        let mut vals =
-                            Vec::with_capacity(left_arity + right_arity - right_keys.len());
-                        for c in 0..left_arity {
-                            vals.push(self.left.value(li as usize, c));
-                        }
-                        for c in 0..right_arity {
-                            if !right_keys.contains(&c) {
-                                vals.push(right.value(ri, c));
-                            }
-                        }
-                        on_match(Record::new(vals));
+        // Family mismatch on any key position (int column joined against
+        // float column) means no right key can equal any build key —
+        // `Value` equality never crosses families. Raw key bits could
+        // collide across families, so skip lookups entirely; the op
+        // counters still tick exactly as the row path did.
+        let families_match = right_keys.len() == self.families.len()
+            && right_keys
+                .iter()
+                .zip(self.families.iter())
+                .all(|(&i, &fam)| is_float(right.schema().attrs()[i].dtype) == fam);
+        let mut produced = 0u64;
+        if families_match {
+            let key_cols: Vec<Vec<u64>> = right_keys
+                .iter()
+                .map(|&i| gather_key_bits(right, i))
+                .collect();
+            let mut key = vec![0u64; right_keys.len()];
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            for rep in 0..self.work_factor {
+                for ri in 0..nrows {
+                    for (k, col) in key.iter_mut().zip(&key_cols) {
+                        *k = col[ri];
+                    }
+                    if rep > 0 {
+                        std::hint::black_box(self.table.get(key.as_slice()));
+                        continue;
+                    }
+                    if let Some(rows) = self.table.get(key.as_slice()) {
+                        pairs.extend(rows.iter().map(|&li| (li, ri as u32)));
                     }
                 }
+            }
+            produced = pairs.len() as u64;
+            // Materialize the matches: left row ++ right row minus its
+            // key fields. This is the row edge of the join.
+            let left_arity = self.left.schema().arity();
+            let right_cols: Vec<usize> = (0..right.schema().arity())
+                .filter(|c| !right_keys.contains(c))
+                .collect();
+            for (li, ri) in pairs {
+                let mut vals = Vec::with_capacity(left_arity + right_cols.len());
+                for c in 0..left_arity {
+                    vals.push(self.left.value(li as usize, c));
+                }
+                for &c in &right_cols {
+                    vals.push(right.value(ri as usize, c));
+                }
+                on_match(Record::new(vals));
             }
         }
         counters
@@ -177,7 +239,7 @@ impl HashJoiner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orv_types::{Schema, SubTableId};
+    use orv_types::{Schema, SubTableId, Value};
     use std::sync::Arc as StdArc;
 
     fn left() -> SubTable {
@@ -203,7 +265,7 @@ mod tests {
     #[test]
     fn joins_matching_keys() {
         let counters = JoinCounters::new();
-        let hj = HashJoiner::build(&left(), &["x", "y"], &counters, 1).unwrap();
+        let hj = HashJoiner::build(StdArc::new(left()), &["x", "y"], &counters, 1).unwrap();
         assert_eq!(hj.num_rows(), 3);
         assert_eq!(hj.num_keys(), 3);
         let mut out = Vec::new();
@@ -247,7 +309,7 @@ mod tests {
         let r_cols = vec![vec![Value::I32(5)], vec![Value::F32(9.0)]];
         let r = SubTable::from_columns(SubTableId::new(1u32, 0u32), schema, r_cols).unwrap();
         let counters = JoinCounters::new();
-        let hj = HashJoiner::build(&l, &["x"], &counters, 1).unwrap();
+        let hj = HashJoiner::build(StdArc::new(l), &["x"], &counters, 1).unwrap();
         assert_eq!(hj.num_keys(), 1);
         let n = hj.probe(&r, &["x"], &counters, |_| {}).unwrap();
         assert_eq!(n, 2);
@@ -256,7 +318,7 @@ mod tests {
     #[test]
     fn work_factor_multiplies_op_counts_not_results() {
         let counters = JoinCounters::new();
-        let hj = HashJoiner::build(&left(), &["x", "y"], &counters, 3).unwrap();
+        let hj = HashJoiner::build(StdArc::new(left()), &["x", "y"], &counters, 3).unwrap();
         let n = hj.probe(&right(), &["x", "y"], &counters, |_| {}).unwrap();
         assert_eq!(n, 2, "results unchanged by work factor");
         assert_eq!(counters.builds(), 9);
@@ -267,8 +329,8 @@ mod tests {
     #[test]
     fn missing_key_attr_errors() {
         let counters = JoinCounters::new();
-        assert!(HashJoiner::build(&left(), &["zzz"], &counters, 1).is_err());
-        let hj = HashJoiner::build(&left(), &["x"], &counters, 1).unwrap();
+        assert!(HashJoiner::build(StdArc::new(left()), &["zzz"], &counters, 1).is_err());
+        let hj = HashJoiner::build(StdArc::new(left()), &["x"], &counters, 1).unwrap();
         assert!(hj.probe(&right(), &["zzz"], &counters, |_| {}).is_err());
     }
 
@@ -276,18 +338,62 @@ mod tests {
     fn empty_sides_produce_nothing() {
         let counters = JoinCounters::new();
         let schema = StdArc::new(Schema::grid(&["x"], &["p"]).unwrap());
-        let empty = SubTable::empty(SubTableId::new(0u32, 0u32), schema);
-        let hj = HashJoiner::build(&empty, &["x"], &counters, 1).unwrap();
+        let empty = StdArc::new(SubTable::empty(SubTableId::new(0u32, 0u32), schema));
+        let hj = HashJoiner::build(StdArc::clone(&empty), &["x"], &counters, 1).unwrap();
         let n = hj.probe(&empty, &["x"], &counters, |_| {}).unwrap();
         assert_eq!(n, 0);
         assert_eq!(counters.builds(), 0);
     }
 
     #[test]
+    fn family_mismatch_matches_nothing_but_counts_probes() {
+        // Build keyed on an int column, probe keyed on a float column
+        // whose key bits collide with the int's: `Value` equality never
+        // crosses families, so the join must produce nothing.
+        let counters = JoinCounters::new();
+        let lschema = StdArc::new(Schema::grid(&["x"], &["p"]).unwrap());
+        let l_cols = vec![vec![Value::I32(1)], vec![Value::F32(0.5)]];
+        let l = SubTable::from_columns(SubTableId::new(0u32, 0u32), lschema, l_cols).unwrap();
+        let rschema = StdArc::new(
+            Schema::new(vec![orv_types::Attribute::scalar(
+                "x",
+                orv_types::DataType::F64,
+            )])
+            .unwrap(),
+        );
+        let bits_one = f64::from_bits(Value::I32(1).key_bits());
+        let r_cols = vec![vec![Value::F64(bits_one)]];
+        let r = SubTable::from_columns(SubTableId::new(1u32, 0u32), rschema, r_cols).unwrap();
+        let hj = HashJoiner::build(StdArc::new(l), &["x"], &counters, 1).unwrap();
+        let n = hj
+            .probe(&r, &["x"], &counters, |_| panic!("no match expected"))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(counters.probes(), 1, "probe work still counted");
+        assert_eq!(counters.results(), 0);
+    }
+
+    #[test]
+    fn cloned_joiner_shares_build_side() {
+        let counters = JoinCounters::new();
+        let l = StdArc::new(left());
+        let hj = HashJoiner::build(StdArc::clone(&l), &["x", "y"], &counters, 1).unwrap();
+        let hj2 = hj.clone();
+        assert!(
+            StdArc::ptr_eq(&hj.left, &hj2.left),
+            "clone is a refcount bump"
+        );
+        assert!(
+            StdArc::ptr_eq(&hj2.left, &l),
+            "build side pinned, not copied"
+        );
+    }
+
+    #[test]
     fn key_order_respected_across_schemas() {
         // Joining on (y, x) — key positions differ from storage order.
         let counters = JoinCounters::new();
-        let hj = HashJoiner::build(&left(), &["y", "x"], &counters, 1).unwrap();
+        let hj = HashJoiner::build(StdArc::new(left()), &["y", "x"], &counters, 1).unwrap();
         let n = hj.probe(&right(), &["y", "x"], &counters, |_| {}).unwrap();
         assert_eq!(n, 2);
     }

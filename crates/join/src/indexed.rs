@@ -250,13 +250,13 @@ pub fn indexed_join_cached(
                                     CacheKey::Left(lid, left_tag),
                                     &cfg.cancel,
                                     || {
-                                        let st = fetch(lid, &mut delta)?;
+                                        let st = Arc::new(fetch(lid, &mut delta)?);
                                         let size = st.encoded_size() as u64;
                                         let _build = cfg.obs.spans.span_with(|| {
                                             names::span_ij(node_idx, names::PHASE_BUILD)
                                         });
                                         let j = HashJoiner::build(
-                                            &st,
+                                            st,
                                             join_attrs,
                                             counters,
                                             cfg.work_factor,

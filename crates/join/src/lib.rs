@@ -30,7 +30,7 @@ pub mod reference;
 pub mod schedule;
 pub mod sim_exec;
 
-pub use cache::{left_key_tag, CacheKey, CacheService, CachedEntry};
+pub use cache::{left_key_tag, CacheKey, CacheService, CachedEntry, BUCKETS_PER_NODE};
 pub use connectivity::{ConnectivityGraph, ConnectivityStats};
 pub use grace::{grace_hash_join, GraceHashConfig};
 pub use hash_join::{HashJoiner, JoinCounters};

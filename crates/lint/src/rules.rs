@@ -283,11 +283,13 @@ fn l002_no_bare_sleep(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 /// admission queue all run under worker-shared locks; holding one
 /// across a blocking call turns a slow peer into a stalled cluster.
 /// Heuristic: a guard is born at
-/// `let [mut] NAME = <brace-free expr containing .lock()>;`, or at a
-/// statement-final `.read();` / `.write();` (the RwLock catalog
-/// pattern — chained temporaries like `.read().get(n).cloned();` die
-/// inside their own statement and are not guards), and dies at
-/// `drop(NAME)` or when its enclosing brace scope closes.
+/// `let [mut] NAME = <brace-free expr containing .lock()>;`, at the
+/// same form over a lock helper — `relock(..)` or a path-qualified
+/// `Self::lock(..)` / `Mutex::lock(..)`, the sharded cache's idiom —
+/// or at a statement-final `.read();` / `.write();` (the RwLock
+/// catalog pattern — chained temporaries like `.read().get(n)
+/// .cloned();` die inside their own statement and are not guards),
+/// and dies at `drop(NAME)` or when its enclosing brace scope closes.
 fn l003_no_guard_across_blocking(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !(ctx.in_dir("crates/join/src/")
         || ctx.in_dir("crates/cluster/src/")
@@ -341,6 +343,22 @@ fn l003_no_guard_across_blocking(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                                 && ctx.punct_at(k + 2, '(')
                                 && ctx.punct_at(k + 3, ')')
                                 && ctx.punct_at(k + 4, ';') =>
+                        {
+                            has_lock = true;
+                        }
+                        // Helper-acquired guards: `relock(..)` (the
+                        // poison-stripping wrapper) and path-qualified
+                        // `Self::lock(shard)` / `Mutex::lock(&m)` bind a
+                        // guard just like a method-form `.lock()` does.
+                        TokKind::Ident(ref h) if h == "relock" && ctx.punct_at(k + 1, '(') => {
+                            has_lock = true;
+                        }
+                        TokKind::Ident(ref h)
+                            if h == "lock"
+                                && ctx.punct_at(k + 1, '(')
+                                && k >= 2
+                                && ctx.punct_at(k - 1, ':')
+                                && ctx.punct_at(k - 2, ':') =>
                         {
                             has_lock = true;
                         }
@@ -1077,6 +1095,27 @@ mod tests {
         // fine.
         let src = "fn f() {\n    let view = self.catalog.read().get(name).cloned();\n    tx.send(view);\n}\n";
         let hits = findings("crates/query/src/x.rs", src);
+        assert!(hits.iter().all(|d| d.rule != "L003"), "{hits:?}");
+    }
+
+    #[test]
+    fn l003_helper_acquired_guard_across_send_fires() {
+        // The cache's shard idiom: guards born from the `Self::lock(..)`
+        // helper (or a `relock(..)` wrapper) are guards all the same —
+        // holding one across a channel send must fire.
+        for src in [
+            "fn f() {\n    let mut state = Self::lock(shard);\n    tx.send(state.take());\n}\n",
+            "fn f() {\n    let mut queue = relock(self.queue.lock());\n    tx.send(queue.pop());\n}\n",
+        ] {
+            let hits = findings("crates/join/src/x.rs", src);
+            assert_eq!(hits.iter().filter(|d| d.rule == "L003").count(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn l003_helper_acquired_guard_dropped_before_send_is_clean() {
+        let src = "fn f() {\n    let mut state = Self::lock(shard);\n    state.bump();\n    drop(state);\n    tx.send(msg);\n}\n";
+        let hits = findings("crates/join/src/x.rs", src);
         assert!(hits.iter().all(|d| d.rule != "L003"), "{hits:?}");
     }
 

@@ -438,7 +438,7 @@ mod tests {
     fn whitespace_and_pretty_input_accepted() {
         let v = JsonValue::parse(" { \"a\" : [ 1 , 2 ] ,\n \"b\" : { } } ").unwrap();
         assert_eq!(v.req("a").unwrap().as_array().unwrap().len(), 2);
-        assert_eq!(v.req_u64("a").is_err(), true);
+        assert!(v.req_u64("a").is_err());
         assert!(v.get("b").unwrap().as_object().unwrap().is_empty());
     }
 

@@ -10,7 +10,9 @@ use crate::ast::{AggFunc, RangePred, SelectItem};
 use orv_bds::{BdsService, Deployment};
 use orv_cluster::{CancelToken, FaultInjector};
 use orv_obs::{EventLog, Spans};
-use orv_types::{BoundingBox, Error, Record, Result, Schema, SubTableId, TableId, Value};
+use orv_types::{
+    BoundingBox, ColumnBatch, Error, Interval, Record, Result, Schema, SubTableId, TableId, Value,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -32,10 +34,98 @@ pub fn scan(
     scan_cancellable(deployment, table, range, &CancelToken::none())
 }
 
+/// Resolve `range` against a schema: `(column index, interval)` checks
+/// for the bounded attributes the schema actually has. Attributes the
+/// box bounds but the schema lacks are unconstrained (they never
+/// exclude a row) — the same semantics as `SubTable::filter_range`.
+fn range_checks(schema: &Schema, range: &BoundingBox) -> Vec<(usize, Interval)> {
+    range
+        .bounded_attrs()
+        .filter_map(|(name, iv)| schema.index_of(name).map(|i| (i, iv)))
+        .collect()
+}
+
+/// Range-filter one batch with typed column loops: build the keep list
+/// from primitive comparisons, then gather — no `Record` is ever built.
+pub fn filter_batch_range(batch: &ColumnBatch, checks: &[(usize, Interval)]) -> ColumnBatch {
+    if checks.is_empty() || batch.is_empty() {
+        return batch.clone();
+    }
+    let keep = batch.mask_to_keep(|r| {
+        checks
+            .iter()
+            .all(|&(ci, iv)| iv.contains(batch.column(ci).as_f64(r)))
+    });
+    batch.gather(&keep)
+}
+
+/// [`scan`] in columnar form: R-tree chunk pruning, then one typed
+/// [`ColumnBatch`] per surviving chunk with the range filter applied as
+/// primitive-array loops. This is the head of the batch execution path;
+/// rows are materialized from these batches only at the service edge
+/// ([`batches_to_rows`]).
+pub fn scan_batches(
+    deployment: &Deployment,
+    table: TableId,
+    range: Option<&BoundingBox>,
+    cancel: &CancelToken,
+) -> Result<(Arc<Schema>, Vec<ColumnBatch>)> {
+    let md = deployment.metadata();
+    let schema = md.schema(table)?;
+    let chunk_ids = match range {
+        Some(rg) => md.find_chunks(table, rg)?,
+        None => md.all_chunks(table)?,
+    };
+    let checks = range
+        .map(|rg| range_checks(&schema, rg))
+        .unwrap_or_default();
+    let services = BdsService::for_all_nodes_with_instruments(
+        deployment,
+        FaultInjector::disabled(),
+        Spans::disabled(),
+        EventLog::disabled(),
+        cancel.clone(),
+    )?;
+    let mut batches = Vec::with_capacity(chunk_ids.len());
+    for chunk in chunk_ids {
+        cancel.check()?;
+        let id = SubTableId { table, chunk };
+        let node = md.chunk_meta(id)?.node;
+        let st = services[node.index()].subtable(id)?;
+        batches.push(filter_batch_range(&st.to_batch(), &checks));
+    }
+    Ok((schema, batches))
+}
+
+/// The service-edge conversion: materialize a run of batches into rows.
+pub fn batches_to_rows(batches: &[ColumnBatch]) -> Result<Vec<Record>> {
+    let mut rows = Vec::with_capacity(batches.iter().map(|b| b.num_rows()).sum());
+    for b in batches {
+        b.append_records_to(&mut rows)?;
+    }
+    Ok(rows)
+}
+
 /// [`scan`] observing a [`CancelToken`]: the token is checked between
 /// chunks and inside every BDS read, so a cancelled query stops within
-/// one chunk fetch.
+/// one chunk fetch. Internally columnar ([`scan_batches`]); the rows
+/// come out byte-identical to the legacy row path
+/// ([`scan_rows_reference`]), which the differential oracle tier
+/// asserts.
 pub fn scan_cancellable(
+    deployment: &Deployment,
+    table: TableId,
+    range: Option<&BoundingBox>,
+    cancel: &CancelToken,
+) -> Result<(Arc<Schema>, Vec<Record>)> {
+    let (schema, batches) = scan_batches(deployment, table, range, cancel)?;
+    Ok((schema, batches_to_rows(&batches)?))
+}
+
+/// The legacy row-at-a-time scan, kept as the differential oracle for
+/// the batch path: every query shape must produce byte-identical rows
+/// through [`scan_batches`] + [`batches_to_rows`] and through this.
+pub fn scan_rows_reference(
     deployment: &Deployment,
     table: TableId,
     range: Option<&BoundingBox>,
@@ -96,19 +186,21 @@ pub fn scan_chunks(
     let mut sorted: Vec<_> = chunks.to_vec();
     sorted.sort();
     sorted.dedup();
+    let checks = range
+        .map(|rg| range_checks(&schema, rg))
+        .unwrap_or_default();
     let mut rows = Vec::new();
     let mut runs = Vec::with_capacity(sorted.len());
     for chunk in sorted {
         cancel.check()?;
         let id = SubTableId { table, chunk };
         let node = md.chunk_meta(id)?.node;
-        let mut st = services[node.index()].subtable(id)?;
-        if let Some(rg) = range {
-            st = st.filter_range(rg)?;
-        }
-        let before = rows.len();
-        rows.extend(st.records());
-        runs.push((chunk, rows.len() - before));
+        let st = services[node.index()].subtable(id)?;
+        // Columnar per chunk; the run boundary is the batch row count,
+        // rows materialize straight into the shard response buffer.
+        let batch = filter_batch_range(&st.to_batch(), &checks);
+        batch.append_records_to(&mut rows)?;
+        runs.push((chunk, batch.num_rows()));
     }
     Ok((schema, rows, runs))
 }

@@ -1368,7 +1368,7 @@ mod tests {
         }
         // Completed sub-queries credited the living shards' buckets.
         assert!(
-            snap.gauges.get(names::OVERLOAD_RETRY_TOKENS).is_some(),
+            snap.gauges.contains_key(names::OVERLOAD_RETRY_TOKENS),
             "{:?}",
             snap.gauges
         );

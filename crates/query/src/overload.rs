@@ -502,7 +502,7 @@ mod tests {
     #[test]
     fn same_observation_sequence_replays_the_same_log() {
         let depths: Vec<usize> = (0..200)
-            .map(|i: usize| (i.wrapping_mul(37) % 11) + if i % 3 == 0 { 6 } else { 0 })
+            .map(|i: usize| (i.wrapping_mul(37) % 11) + if i.is_multiple_of(3) { 6 } else { 0 })
             .collect();
         let run = |seq: &[usize]| {
             let ctl = BrownoutController::new(cfg(), 8);

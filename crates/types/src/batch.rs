@@ -1,0 +1,494 @@
+//! Columnar execution batches.
+//!
+//! A [`ColumnBatch`] holds a run of rows as fixed-width typed arrays —
+//! one primitive `Vec` per attribute plus a null bitmap — instead of a
+//! `Vec<Record>` of boxed [`Value`] rows. Scans, range filters,
+//! projections and hash-join key gathering become tight loops over
+//! primitive slices (no per-row allocation, no enum dispatch in the
+//! inner loop); rows are materialized back into [`Record`]s only at the
+//! service edge, and the conversion is bit-exact in both directions
+//! (every supported type is fixed-width; float bit patterns, including
+//! NaNs and `-0.0`, survive the round trip untouched).
+//!
+//! The null bitmap exists for forward compatibility with sparse
+//! scientific datasets: the current ingest path never produces nulls
+//! (a [`Value`] cannot be null), so [`ColumnBatch::to_records`] refuses
+//! batches with nulls rather than invent a sentinel.
+
+use crate::error::{Error, Result};
+use crate::record::Record;
+use crate::value::{DataType, Value};
+
+/// A per-column validity bitmap: bit set ⇒ the row is null.
+///
+/// Allocated lazily — batches built from [`Value`]s never allocate one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+}
+
+impl NullBitmap {
+    /// An empty bitmap (no nulls).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark `row` null.
+    pub fn set_null(&mut self, row: usize) {
+        let word = row / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (row % 64);
+    }
+
+    /// Is `row` null?
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        self.words
+            .get(row / 64)
+            .is_some_and(|w| w & (1u64 << (row % 64)) != 0)
+    }
+
+    /// Number of null rows recorded.
+    pub fn null_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no row is null.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// One attribute's values as a primitive array.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// 64-bit signed integers.
+    I64(Vec<i64>),
+    /// 32-bit floats (bit patterns preserved).
+    F32(Vec<f32>),
+    /// 64-bit floats (bit patterns preserved).
+    F64(Vec<f64>),
+}
+
+impl ColumnData {
+    /// An empty column of type `ty`.
+    pub fn new(ty: DataType) -> Self {
+        Self::with_capacity(ty, 0)
+    }
+
+    /// An empty column of type `ty` with room for `cap` rows.
+    pub fn with_capacity(ty: DataType, cap: usize) -> Self {
+        match ty {
+            DataType::I32 => ColumnData::I32(Vec::with_capacity(cap)),
+            DataType::I64 => ColumnData::I64(Vec::with_capacity(cap)),
+            DataType::F32 => ColumnData::F32(Vec::with_capacity(cap)),
+            DataType::F64 => ColumnData::F64(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The column's element type.
+    #[inline]
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::I32(_) => DataType::I32,
+            ColumnData::I64(_) => DataType::I64,
+            ColumnData::F32(_) => DataType::F32,
+            ColumnData::F64(_) => DataType::F64,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::I32(v) => v.len(),
+            ColumnData::I64(v) => v.len(),
+            ColumnData::F32(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append `v`, type-checked against the column.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        match (self, v) {
+            (ColumnData::I32(col), Value::I32(x)) => col.push(x),
+            (ColumnData::I64(col), Value::I64(x)) => col.push(x),
+            (ColumnData::F32(col), Value::F32(x)) => col.push(x),
+            (ColumnData::F64(col), Value::F64(x)) => col.push(x),
+            (col, v) => {
+                return Err(Error::Schema(format!(
+                    "column of type {} cannot hold {}",
+                    col.dtype(),
+                    v.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The value at `row` (bit-exact round trip).
+    #[inline]
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            ColumnData::I32(v) => Value::I32(v[row]),
+            ColumnData::I64(v) => Value::I64(v[row]),
+            ColumnData::F32(v) => Value::F32(v[row]),
+            ColumnData::F64(v) => Value::F64(v[row]),
+        }
+    }
+
+    /// Numeric view of `row` as `f64` (the predicate domain).
+    #[inline]
+    pub fn as_f64(&self, row: usize) -> f64 {
+        match self {
+            ColumnData::I32(v) => v[row] as f64,
+            ColumnData::I64(v) => v[row] as f64,
+            ColumnData::F32(v) => v[row] as f64,
+            ColumnData::F64(v) => v[row],
+        }
+    }
+
+    /// Append each row's canonical 8-byte join key ([`Value::key_bits`])
+    /// to `out` — the hash-join key gather, one typed loop per column.
+    pub fn key_bits_into(&self, out: &mut Vec<u64>) {
+        match self {
+            ColumnData::I32(v) => out.extend(v.iter().map(|&x| Value::I32(x).key_bits())),
+            ColumnData::I64(v) => out.extend(v.iter().map(|&x| Value::I64(x).key_bits())),
+            ColumnData::F32(v) => out.extend(v.iter().map(|&x| Value::F32(x).key_bits())),
+            ColumnData::F64(v) => out.extend(v.iter().map(|&x| Value::F64(x).key_bits())),
+        }
+    }
+
+    /// A new column holding the rows at `keep`, in order.
+    pub fn gather(&self, keep: &[u32]) -> ColumnData {
+        match self {
+            ColumnData::I32(v) => ColumnData::I32(keep.iter().map(|&r| v[r as usize]).collect()),
+            ColumnData::I64(v) => ColumnData::I64(keep.iter().map(|&r| v[r as usize]).collect()),
+            ColumnData::F32(v) => ColumnData::F32(keep.iter().map(|&r| v[r as usize]).collect()),
+            ColumnData::F64(v) => ColumnData::F64(keep.iter().map(|&r| v[r as usize]).collect()),
+        }
+    }
+}
+
+/// A run of rows in columnar form: typed arrays plus per-column null
+/// bitmaps, equal row counts across columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnBatch {
+    columns: Vec<ColumnData>,
+    nulls: Vec<NullBitmap>,
+}
+
+impl ColumnBatch {
+    /// An empty batch with the given column types.
+    pub fn new(types: &[DataType]) -> Self {
+        Self::with_capacity(types, 0)
+    }
+
+    /// An empty batch with room for `cap` rows per column.
+    pub fn with_capacity(types: &[DataType], cap: usize) -> Self {
+        ColumnBatch {
+            columns: types
+                .iter()
+                .map(|&t| ColumnData::with_capacity(t, cap))
+                .collect(),
+            nulls: vec![NullBitmap::new(); types.len()],
+        }
+    }
+
+    /// Build from typed columns of equal length.
+    pub fn from_columns(columns: Vec<ColumnData>) -> Result<Self> {
+        let nrows = columns.first().map(|c| c.len()).unwrap_or(0);
+        if let Some((i, c)) = columns.iter().enumerate().find(|(_, c)| c.len() != nrows) {
+            return Err(Error::Schema(format!(
+                "batch column {i} has {} rows, expected {nrows}",
+                c.len()
+            )));
+        }
+        let nulls = vec![NullBitmap::new(); columns.len()];
+        Ok(ColumnBatch { columns, nulls })
+    }
+
+    /// Build from row records, type-checked against `types`.
+    pub fn from_records(types: &[DataType], records: &[Record]) -> Result<Self> {
+        let mut batch = Self::with_capacity(types, records.len());
+        for r in records {
+            batch.push_record(r)?;
+        }
+        Ok(batch)
+    }
+
+    /// Append one row.
+    pub fn push_record(&mut self, r: &Record) -> Result<()> {
+        if r.arity() != self.columns.len() {
+            return Err(Error::Schema(format!(
+                "record of arity {} pushed into batch of {} columns",
+                r.arity(),
+                self.columns.len()
+            )));
+        }
+        for (col, &v) in self.columns.iter_mut().zip(r.values()) {
+            col.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the batch has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// The column types, in order.
+    pub fn dtypes(&self) -> Vec<DataType> {
+        self.columns.iter().map(|c| c.dtype()).collect()
+    }
+
+    /// Column `idx`.
+    #[inline]
+    pub fn column(&self, idx: usize) -> &ColumnData {
+        &self.columns[idx]
+    }
+
+    /// Column `idx`'s null bitmap.
+    #[inline]
+    pub fn nulls(&self, idx: usize) -> &NullBitmap {
+        &self.nulls[idx]
+    }
+
+    /// Mark `(row, col)` null.
+    pub fn set_null(&mut self, row: usize, col: usize) {
+        self.nulls[col].set_null(row);
+    }
+
+    /// Total nulls across all columns.
+    pub fn null_count(&self) -> usize {
+        self.nulls.iter().map(|n| n.null_count()).sum()
+    }
+
+    /// The value at `(row, col)`; `None` when null.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> Option<Value> {
+        if self.nulls[col].is_null(row) {
+            None
+        } else {
+            Some(self.columns[col].value(row))
+        }
+    }
+
+    /// Materialize row `row` as a [`Record`]. Errors on nulls — a
+    /// [`Value`] cannot represent null, and inventing a sentinel would
+    /// silently corrupt checksums.
+    pub fn record(&self, row: usize) -> Result<Record> {
+        let mut vals = Vec::with_capacity(self.columns.len());
+        for (ci, col) in self.columns.iter().enumerate() {
+            if self.nulls[ci].is_null(row) {
+                return Err(Error::Schema(format!(
+                    "row {row} column {ci} is null; records cannot hold nulls"
+                )));
+            }
+            vals.push(col.value(row));
+        }
+        Ok(Record::new(vals))
+    }
+
+    /// Materialize every row — the service-edge conversion. Bit-exact:
+    /// `ColumnBatch::from_records(t, &b.to_records()?)` reproduces `b`.
+    pub fn to_records(&self) -> Result<Vec<Record>> {
+        if self.nulls.iter().any(|n| !n.is_empty()) {
+            // Fall back to the per-row path for its error message.
+            return (0..self.num_rows()).map(|r| self.record(r)).collect();
+        }
+        let n = self.num_rows();
+        let mut rows = Vec::with_capacity(n);
+        for r in 0..n {
+            rows.push(Record::new(
+                self.columns.iter().map(|c| c.value(r)).collect(),
+            ));
+        }
+        Ok(rows)
+    }
+
+    /// Append every row of `rows` to `out` as [`Record`]s (the edge
+    /// conversion for a run of batches, avoiding intermediate vectors).
+    pub fn append_records_to(&self, out: &mut Vec<Record>) -> Result<()> {
+        out.reserve(self.num_rows());
+        if self.nulls.iter().any(|n| !n.is_empty()) {
+            for r in 0..self.num_rows() {
+                out.push(self.record(r)?);
+            }
+            return Ok(());
+        }
+        for r in 0..self.num_rows() {
+            out.push(Record::new(
+                self.columns.iter().map(|c| c.value(r)).collect(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Row indices passing `predicate(row)`, as a gather list.
+    pub fn mask_to_keep(&self, mut predicate: impl FnMut(usize) -> bool) -> Vec<u32> {
+        (0..self.num_rows() as u32)
+            .filter(|&r| predicate(r as usize))
+            .collect()
+    }
+
+    /// A new batch holding the rows at `keep`, in order.
+    pub fn gather(&self, keep: &[u32]) -> ColumnBatch {
+        let columns = self.columns.iter().map(|c| c.gather(keep)).collect();
+        let mut nulls = vec![NullBitmap::new(); self.columns.len()];
+        for (ci, src) in self.nulls.iter().enumerate() {
+            if src.is_empty() {
+                continue;
+            }
+            for (dst_row, &src_row) in keep.iter().enumerate() {
+                if src.is_null(src_row as usize) {
+                    nulls[ci].set_null(dst_row);
+                }
+            }
+        }
+        ColumnBatch { columns, nulls }
+    }
+
+    /// A new batch with the columns at `indices`, in that order (the
+    /// columnar projection: per-column memcpy, no row rebuild).
+    pub fn project(&self, indices: &[usize]) -> Result<ColumnBatch> {
+        let mut columns = Vec::with_capacity(indices.len());
+        let mut nulls = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let col = self
+                .columns
+                .get(i)
+                .ok_or_else(|| Error::Schema(format!("batch has no column {i}")))?;
+            columns.push(col.clone());
+            nulls.push(self.nulls[i].clone());
+        }
+        Ok(ColumnBatch { columns, nulls })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ColumnBatch {
+        ColumnBatch::from_columns(vec![
+            ColumnData::I32(vec![0, 1, 2, 3]),
+            ColumnData::F32(vec![0.5, -0.0, f32::NAN, 4.25]),
+            ColumnData::F64(vec![1.0, 2.0, 3.0, 4.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let b = sample();
+        let rows = b.to_records().unwrap();
+        assert_eq!(rows.len(), 4);
+        let back = ColumnBatch::from_records(&b.dtypes(), &rows).unwrap();
+        // Bit patterns (NaN, -0.0) must survive, not just Value equality.
+        match (back.column(1), b.column(1)) {
+            (ColumnData::F32(a), ColumnData::F32(c)) => {
+                for (x, y) in a.iter().zip(c) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            _ => panic!("column type changed in round trip"),
+        }
+        assert_eq!(back.num_rows(), b.num_rows());
+    }
+
+    #[test]
+    fn push_is_type_checked() {
+        let mut b = ColumnBatch::new(&[DataType::I32]);
+        assert!(b.push_record(&Record::new(vec![Value::F64(1.0)])).is_err());
+        assert!(b
+            .push_record(&Record::new(vec![Value::I32(1), Value::I32(2)]))
+            .is_err());
+        b.push_record(&Record::new(vec![Value::I32(1)])).unwrap();
+        assert_eq!(b.num_rows(), 1);
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let err =
+            ColumnBatch::from_columns(vec![ColumnData::I32(vec![1, 2]), ColumnData::I32(vec![1])])
+                .unwrap_err();
+        assert!(err.to_string().contains("expected 2"), "{err}");
+    }
+
+    #[test]
+    fn gather_and_project() {
+        let b = sample();
+        let keep = b.mask_to_keep(|r| b.column(0).as_f64(r) >= 1.0 && b.column(0).as_f64(r) <= 2.0);
+        assert_eq!(keep, vec![1, 2]);
+        let f = b.gather(&keep);
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.value(0, 0), Some(Value::I32(1)));
+        let p = f.project(&[2, 0]).unwrap();
+        assert_eq!(p.num_columns(), 2);
+        assert_eq!(p.value(1, 0), Some(Value::F64(3.0)));
+        assert_eq!(p.value(1, 1), Some(Value::I32(2)));
+        assert!(b.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn key_bits_match_value_key_bits() {
+        let b = sample();
+        for ci in 0..b.num_columns() {
+            let mut bits = Vec::new();
+            b.column(ci).key_bits_into(&mut bits);
+            for (r, &kb) in bits.iter().enumerate() {
+                assert_eq!(kb, b.column(ci).value(r).key_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn nulls_block_record_materialization_and_survive_gather() {
+        let mut b = sample();
+        b.set_null(2, 1);
+        assert_eq!(b.null_count(), 1);
+        assert_eq!(b.value(2, 1), None);
+        assert!(b.record(2).is_err());
+        assert!(b.to_records().is_err());
+        assert!(b.record(0).is_ok());
+        let g = b.gather(&[0, 2]);
+        assert!(g.nulls(1).is_null(1), "null must follow its row");
+        assert!(!g.nulls(1).is_null(0));
+        let mut out = Vec::new();
+        assert!(g.append_records_to(&mut out).is_err());
+    }
+
+    #[test]
+    fn empty_batch_behaves() {
+        let b = ColumnBatch::new(&[DataType::I64, DataType::F64]);
+        assert!(b.is_empty());
+        assert_eq!(b.to_records().unwrap(), Vec::<Record>::new());
+        assert_eq!(b.gather(&[]).num_rows(), 0);
+        assert_eq!(b.dtypes(), vec![DataType::I64, DataType::F64]);
+    }
+}

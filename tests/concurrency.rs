@@ -487,3 +487,167 @@ fn drop_with_queued_work_cancels_cleanly() {
     // The kept token reports cancelled state once the queue drained it.
     assert!(counters_handle.check().is_err());
 }
+
+/// Catalog snapshot consistency under concurrent publishes: a reader
+/// holding an old epoch's snapshot sees exactly the views of that
+/// epoch, forever — a writer registering new views publishes fresh
+/// snapshots without mutating any outstanding one — and the epoch
+/// history replays every intermediate catalog.
+#[test]
+fn catalog_snapshots_survive_concurrent_publishes() {
+    const WRITES: usize = 24;
+    const READERS: usize = 4;
+
+    let engine = Arc::new(build_engine(None));
+    let v0 = engine.catalog_version();
+    let snapshot0 = engine.catalog();
+    let mut names0 = snapshot0.names();
+    names0.sort();
+    assert_eq!(names0, vec!["v1".to_string(), "v2".to_string()]);
+
+    let barrier = Arc::new(Barrier::new(READERS + 1));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            let names0 = names0.clone();
+            std::thread::spawn(move || {
+                // Pin a snapshot before any write lands, then keep
+                // re-reading it while the writer publishes: an epoch
+                // snapshot must never change underneath its holder.
+                let pinned = engine.catalog();
+                let pinned_version = engine.catalog_version();
+                barrier.wait();
+                loop {
+                    let mut held = pinned.names();
+                    held.sort();
+                    assert_eq!(held, names0, "pinned snapshot mutated");
+                    // Fresh loads are monotonic and internally
+                    // consistent: every name the old epoch had is still
+                    // registered in any later epoch.
+                    let fresh = engine.catalog();
+                    for n in &held {
+                        assert!(fresh.get(n).is_some(), "view {n} vanished");
+                    }
+                    if engine.catalog_version() >= pinned_version + WRITES as u64 {
+                        return pinned_version;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    for k in 0..WRITES {
+        engine
+            .execute(&format!(
+                "CREATE VIEW w{k} AS SELECT * FROM t1 JOIN t2 ON (x, y)"
+            ))
+            .unwrap_or_else(|e| panic!("create w{k}: {e}"));
+    }
+
+    for r in readers {
+        let pinned_version = r.join().expect("reader thread");
+        assert!(pinned_version >= v0);
+    }
+
+    // The old epoch replays exactly: same views as the pinned snapshot.
+    let replay = engine
+        .catalog_at_version(v0)
+        .expect("epoch history retains v0");
+    let mut replayed = replay.names();
+    replayed.sort();
+    assert_eq!(replayed, names0);
+    assert_eq!(engine.catalog_version(), v0 + WRITES as u64);
+    // And the current epoch has everything.
+    assert_eq!(engine.catalog().names().len(), names0.len() + WRITES);
+}
+
+/// Cancelling a query that is mid-flight while a writer storms the
+/// catalog with publishes must still resolve within the cancellation
+/// bound: catalog publishes never hold a lock a query's cancellation
+/// path could block on.
+#[test]
+fn cancel_during_catalog_publish_resolves_quickly() {
+    let svc = Arc::new(
+        QueryService::new(
+            build_engine(None),
+            ServiceConfig {
+                workers: 1,
+                queue_cap: 8,
+                default_deadline: None,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service"),
+    );
+
+    // Pin the only worker on an occupied single-flight key, exactly as
+    // the mid-flight cancellation test does.
+    let md = svc.engine().deployment().metadata();
+    let t1 = md.table_id("t1").expect("t1 registered");
+    let first_chunk = md
+        .all_chunks(t1)
+        .expect("t1 chunks")
+        .into_iter()
+        .min()
+        .expect("t1 has chunks");
+    let key = CacheKey::Left(
+        SubTableId::new(t1, first_chunk),
+        left_key_tag(&["x", "y", "z"], 1),
+    );
+    let cache = svc.engine().shared_cache();
+    let (occupied_tx, occupied_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let blocker = std::thread::spawn(move || {
+        let res = cache.get_or_build(0, key, &CancelToken::none(), || {
+            occupied_tx.send(()).expect("occupied signal");
+            release_rx.recv().expect("release signal");
+            Err(Error::Cluster("blocker released".into()))
+        });
+        assert!(res.is_err());
+    });
+    occupied_rx.recv().expect("blocker owns the key");
+
+    let q1 = svc.submit("SELECT * FROM v1").expect("submit q1");
+    assert!(
+        q1.wait_timeout(Duration::from_millis(300)).is_none(),
+        "q1 must be pinned on the occupied cache key"
+    );
+
+    // Writer storm: publish views as fast as possible until told to stop.
+    let publishing = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let writer = {
+        let svc = Arc::clone(&svc);
+        let publishing = Arc::clone(&publishing);
+        std::thread::spawn(move || {
+            let mut k = 0usize;
+            while publishing.load(std::sync::atomic::Ordering::Relaxed) {
+                svc.engine()
+                    .execute(&format!(
+                        "CREATE VIEW storm{k} AS SELECT * FROM t1 JOIN t2 ON (x, y)"
+                    ))
+                    .expect("storm view");
+                k += 1;
+            }
+            k
+        })
+    };
+
+    let started = Instant::now();
+    q1.cancel();
+    let err = q1.wait().expect_err("cancelled running query must fail");
+    assert!(err.is_cancellation(), "got {err}");
+    assert!(
+        started.elapsed() < CANCEL_BOUND,
+        "cancellation under publish storm took {:?}",
+        started.elapsed()
+    );
+
+    publishing.store(false, std::sync::atomic::Ordering::Relaxed);
+    let published = writer.join().expect("writer thread");
+    assert!(published > 0, "the writer must actually have published");
+    release_tx.send(()).expect("release blocker");
+    blocker.join().expect("blocker thread");
+}

@@ -232,3 +232,99 @@ fn seeded_stress_from_env() {
         .unwrap_or(42);
     stress_round(seed, 8, 12);
 }
+
+/// Key-collision stress against the bucketed cache: many clients hammer
+/// a handful of keys. Single-flight must build every `(node, key)` pair
+/// exactly once for the whole run (one generation — the cache is big
+/// enough that nothing is ever evicted), and the per-shard counters
+/// must sum exactly to the aggregate totals the un-sharded cache used
+/// to report.
+#[test]
+fn key_collision_single_flight_and_shard_counter_balance() {
+    use orv::chunk::SubTable;
+    use orv::join::{CacheKey, CacheService, CachedEntry, BUCKETS_PER_NODE};
+    use orv::types::{Schema, SubTableId, Value};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    const NODES: usize = 2;
+    const KEYS: u32 = 4; // few keys...
+    const CLIENTS: usize = 16; // ...many clients
+    const ROUNDS: usize = 32;
+
+    let svc = Arc::new(CacheService::new(NODES, 1 << 20));
+    let entry = || {
+        let schema = Arc::new(Schema::grid(&["x"], &["p"]).unwrap());
+        let cols = vec![vec![Value::I32(0)], vec![Value::F32(0.0)]];
+        CachedEntry::Right(Arc::new(
+            SubTable::from_columns(SubTableId::new(0u32, 0u32), schema, cols).unwrap(),
+        ))
+    };
+    // Builds per (node, key); single-flight means each lands on 1.
+    let builds: Arc<Mutex<HashMap<(usize, u32), u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let calls = Arc::new(AtomicU64::new(0));
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let svc = Arc::clone(&svc);
+            let builds = Arc::clone(&builds);
+            let calls = Arc::clone(&calls);
+            let barrier = Arc::clone(&barrier);
+            let mut rng = Rng(0xc011_1de5 ^ (client as u64).wrapping_mul(0x9e37_79b9));
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    let c = rng.below(KEYS as u64) as u32;
+                    let j = rng.below(NODES as u64) as usize;
+                    let key = CacheKey::Right(SubTableId::new(0u32, c));
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    svc.get_or_build(j, key, &CancelToken::none(), || {
+                        *builds.lock().unwrap().entry((j, c)).or_insert(0) += 1;
+                        Ok((entry(), 64))
+                    })
+                    .unwrap_or_else(|e| panic!("get_or_build failed: {e}"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let builds = builds.lock().unwrap();
+    for (&(j, c), &n) in builds.iter() {
+        assert_eq!(
+            n, 1,
+            "key c{c} on node {j} built {n} times in one generation"
+        );
+    }
+    assert!(!builds.is_empty());
+
+    let total = svc.stats();
+    assert_eq!(total.evictions, 0, "one generation: nothing may be evicted");
+    assert_eq!(
+        total.misses,
+        builds.len() as u64,
+        "every miss is one build of a distinct (node, key)"
+    );
+    assert_eq!(
+        total.hits + total.misses,
+        calls.load(Ordering::Relaxed),
+        "every call is either the builder or answered from the cache"
+    );
+
+    // Bucket counters decompose the node totals exactly.
+    let per_shard = svc.shard_stats();
+    assert_eq!(per_shard.len(), NODES * BUCKETS_PER_NODE);
+    assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), total.hits);
+    assert_eq!(
+        per_shard.iter().map(|s| s.misses).sum::<u64>(),
+        total.misses
+    );
+    assert!(
+        per_shard.iter().filter(|s| s.lookups() > 0).count() > 1,
+        "collision script must still exercise more than one shard: {per_shard:?}"
+    );
+}
